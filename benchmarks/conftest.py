@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation and
+prints the corresponding rows/series.  Dataset sizes default to reduced
+versions so the whole harness finishes in minutes on a laptop; the
+``REPRO_BENCH_SCALE`` environment variable scales them up (e.g. ``=full`` for
+the paper-scale sizes — expect long runtimes).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets import DatasetRegistry
+
+#: Benchmark dataset sizes per scale setting.
+_SCALES = {
+    "small": dict(spotify_rows=8_000, bank_rows=5_000, sales_rows=20_000, products_rows=1_500),
+    "medium": dict(spotify_rows=40_000, bank_rows=10_127, sales_rows=120_000, products_rows=9_977),
+    "full": dict(spotify_rows=174_389, bank_rows=10_127, sales_rows=3_049_913, products_rows=9_977),
+}
+
+
+def bench_scale() -> str:
+    """The benchmark scale selected via the REPRO_BENCH_SCALE environment variable."""
+    return os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+
+
+def scale_sizes() -> dict:
+    """Dataset sizes for the selected scale."""
+    return _SCALES.get(bench_scale(), _SCALES["small"])
+
+
+@pytest.fixture(scope="session")
+def bench_registry() -> DatasetRegistry:
+    """The dataset registry shared by all benchmarks."""
+    return DatasetRegistry(seed=0, **scale_sizes())
+
+
+@pytest.fixture(scope="session")
+def registry_factory():
+    """Factory building registries whose sales table has a requested row count."""
+
+    def build(row_count: int) -> DatasetRegistry:
+        sizes = dict(scale_sizes())
+        sizes["sales_rows"] = row_count
+        sizes["spotify_rows"] = min(sizes["spotify_rows"], max(row_count, 1_000))
+        return DatasetRegistry(seed=0, **sizes)
+
+    return build
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a harness exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

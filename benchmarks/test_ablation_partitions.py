@@ -1,0 +1,57 @@
+"""Ablation: contribution quality per partition method.
+
+DESIGN.md calls out the three partition families (frequency, numeric binning,
+many-to-one) as a design choice; this ablation runs FEDEX with each family
+alone and reports the best standardized contribution it finds, showing that
+no single family dominates across queries (which is why FEDEX uses them all).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core import FedexConfig, FedexExplainer
+from repro.experiments import print_table
+from repro.workloads import get_query
+
+_QUERIES = (6, 7, 13, 21, 24, 28)
+_METHODS = ("frequency", "binning", "many_to_one")
+
+
+def _run_ablation(registry):
+    rows = []
+    for number in _QUERIES:
+        step = get_query(number).build_step(registry)
+        for method in _METHODS:
+            report = FedexExplainer(FedexConfig(
+                sample_size=5_000, seed=0, partition_methods=(method,),
+            )).explain(step)
+            best = max((c.standardized_contribution for c in report.all_candidates), default=0.0)
+            rows.append({
+                "query": number,
+                "method": method,
+                "candidates": len(report.all_candidates),
+                "best_standardized_contribution": best,
+                "explanations": len(report.explanations),
+            })
+    return rows
+
+
+def test_ablation_partition_methods(benchmark, bench_registry):
+    rows = run_once(benchmark, _run_ablation, bench_registry)
+    print_table(rows, title="Ablation — partition families in isolation")
+
+    # Every family must be able to produce candidates on at least one query,
+    # and at least two different families must win (produce the best
+    # standardized contribution) somewhere — no single family dominates.
+    wins = {}
+    for number in _QUERIES:
+        per_query = [row for row in rows if row["query"] == number and row["candidates"] > 0]
+        if not per_query:
+            continue
+        winner = max(per_query, key=lambda row: row["best_standardized_contribution"])
+        wins[winner["method"]] = wins.get(winner["method"], 0) + 1
+    print_table([{"method": m, "wins": w} for m, w in wins.items()],
+                title="Ablation — winning partition family per query")
+    assert sum(wins.values()) >= len(_QUERIES) - 1
+    assert len(wins) >= 2

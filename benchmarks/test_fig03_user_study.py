@@ -1,0 +1,35 @@
+"""Figure 3: simulated user study — explanation quality per system per dataset.
+
+Paper result: Expert explanations score highest; among automatic systems
+FEDEX is clearly preferred (average ~5.1–5.6) over IO (~3.2–4.4), SeeDB
+(~3.0–3.8) and Rath (~2.8–2.9) — roughly 1.7x more helpful than the common
+baselines.  The simulated judge reproduces the ordering and the ratio, not
+the absolute Likert values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import print_table, run_user_study
+
+
+def test_figure3_user_study(benchmark, bench_registry):
+    rows = run_once(benchmark, run_user_study, bench_registry, seed=17)
+    print_table(
+        rows,
+        columns=["dataset", "system", "coherency", "insight", "usefulness", "average"],
+        title="Figure 3 — simulated user study scores (1-7 scale)",
+    )
+    means = {}
+    for row in rows:
+        means.setdefault(row["system"], []).append(row["average"])
+    means = {system: float(np.mean(values)) for system, values in means.items()}
+    print_table([{"system": s, "average": v} for s, v in sorted(means.items(), key=lambda kv: -kv[1])],
+                title="Figure 3 — overall averages")
+
+    assert means["FEDEX"] > means["IO"] > min(means["SeeDB"], means["Rath"])
+    baselines = np.mean([means["SeeDB"], means["Rath"], means["IO"]])
+    assert means["FEDEX"] / baselines > 1.4
+    assert abs(means["Expert"] - means["FEDEX"]) < 1.5

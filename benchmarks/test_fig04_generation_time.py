@@ -1,0 +1,25 @@
+"""Figure 4: explanation generation time — FEDEX vs manually-authored expert notes.
+
+Paper result: experts need minutes per operation while FEDEX answers at
+interactive speed; the gap is several orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import print_table, run_generation_time_study
+
+
+def test_figure4_generation_time(benchmark, bench_registry):
+    rows = run_once(benchmark, run_generation_time_study, bench_registry, seed=17)
+    print_table(rows, title="Figure 4 — explanation generation time (seconds)")
+
+    fedex_mean = float(np.mean([row["fedex_seconds"] for row in rows]))
+    expert_mean = float(np.mean([row["expert_seconds"] for row in rows]))
+    print_table([{"system": "FEDEX", "mean_seconds": fedex_mean},
+                 {"system": "Expert", "mean_seconds": expert_mean}],
+                title="Figure 4 — means")
+    assert expert_mean > 60.0
+    assert expert_mean / fedex_mean > 10.0

@@ -1,0 +1,22 @@
+"""Figure 6: baselines augmented with expert captions, vs FEDEX (Bank notebook).
+
+Paper result: even with expert-written captions added to their
+visualizations, SeeDB (3.17) and Rath (3.42) remain far behind FEDEX (5.52).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import print_table, run_augmented_baselines_study
+
+
+def test_figure6_augmented_baselines(benchmark, bench_registry):
+    rows = run_once(benchmark, run_augmented_baselines_study, bench_registry, seed=17)
+    print_table(rows, title="Figure 6 — augmented baselines vs FEDEX (Bank notebook)")
+
+    scores = {row["system"]: row["average"] for row in rows}
+    assert "FEDEX" in scores
+    for system, score in scores.items():
+        if system != "FEDEX":
+            assert scores["FEDEX"] > score

@@ -1,0 +1,39 @@
+"""Figure 7: accuracy of fedex-Sampling vs the sample size.
+
+Paper result: precision@3 above 93% already at a 5K sample (rising to 99% at
+50K), Kendall-tau distance dropping from ~75 at a 50-row sample to ~11 at
+50K, and nDCG above 92% everywhere (99.8% at 5K).  The reproduced series
+must show the same monotone improvement and the high-accuracy regime at 5K.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, run_once
+
+from repro.experiments import mean_rows, print_table, sampling_accuracy_sweep
+
+_QUERIES = (4, 5, 6, 7, 8, 16, 19, 21, 23, 24)
+_SAMPLE_SIZES = {
+    "small": (50, 200, 1_000, 5_000),
+    "medium": (50, 200, 1_000, 5_000, 10_000, 20_000),
+    "full": (50, 200, 1_000, 5_000, 10_000, 20_000, 50_000),
+}
+
+
+def test_figure7_sampling_accuracy(benchmark, bench_registry):
+    sample_sizes = _SAMPLE_SIZES.get(bench_scale(), _SAMPLE_SIZES["small"])
+    rows = run_once(benchmark, sampling_accuracy_sweep, bench_registry,
+                    query_numbers=_QUERIES, sample_sizes=sample_sizes, seed=0)
+    means = mean_rows(rows, "sample_size")
+    print_table(means, columns=["sample_size", "precision_at_k", "kendall_tau", "ndcg"],
+                title="Figure 7 — fedex-Sampling accuracy vs sample size (mean over queries)")
+
+    by_size = {row["sample_size"]: row for row in means}
+    smallest, largest = min(by_size), max(by_size)
+    # Larger samples are at least as accurate as the smallest sample.
+    assert by_size[largest]["precision_at_k"] >= by_size[smallest]["precision_at_k"] - 1e-9
+    assert by_size[largest]["kendall_tau"] <= by_size[smallest]["kendall_tau"] + 1e-9
+    # The 5K operating point the paper selects is already highly accurate.
+    operating_point = by_size.get(5_000, by_size[largest])
+    assert operating_point["precision_at_k"] >= 0.85
+    assert operating_point["ndcg"] >= 0.90

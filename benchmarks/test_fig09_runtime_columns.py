@@ -1,0 +1,50 @@
+"""Figure 9: runtime vs number of columns — fedex-Sampling, SeeDB, Rath.
+
+Paper result (shape): fedex-Sampling's runtime grows moderately with the
+schema width and beats SeeDB on the wide Products & Sales view, while SeeDB
+can be slightly faster on the mostly-numeric Spotify dataset; Rath is the
+slowest / fails on the largest dataset.  Absolute seconds are hardware- and
+substrate-dependent and are not asserted.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, run_once
+
+from repro.experiments import average_by, column_scaling_sweep, print_table
+
+_DATASET_QUERIES = {"bank": (11, 13), "spotify": (6, 7), "products": (4, 5)}
+_COLUMN_COUNTS = {
+    "small": (4, 8, 16),
+    "medium": (4, 8, 16, 20, 33),
+    "full": (4, 8, 16, 20, 33),
+}
+
+
+def _sweep_all(registry, column_counts):
+    rows = []
+    for dataset, queries in _DATASET_QUERIES.items():
+        rows.extend(column_scaling_sweep(
+            registry, dataset, query_numbers=queries, column_counts=column_counts,
+            repetitions=1, timeout_seconds=300.0,
+        ))
+    return rows
+
+
+def test_figure9_runtime_vs_columns(benchmark, bench_registry):
+    column_counts = _COLUMN_COUNTS.get(bench_scale(), _COLUMN_COUNTS["small"])
+    rows = run_once(benchmark, _sweep_all, bench_registry, column_counts)
+    averaged = average_by(rows, ["dataset", "columns", "system"])
+    print_table(averaged, title="Figure 9 — runtime (s) vs number of columns, per dataset and system")
+
+    fedex_rows = [row for row in averaged if row["system"] == "FEDEX-Sampling"
+                  and row["seconds"] is not None]
+    assert fedex_rows, "fedex-Sampling must produce timings"
+    # fedex-Sampling stays interactive on the reduced benchmark sizes.
+    assert all(row["seconds"] < 120.0 for row in fedex_rows)
+    # Runtime should not shrink as columns are added (monotone-ish growth).
+    for dataset in _DATASET_QUERIES:
+        per_dataset = sorted((row for row in fedex_rows if row["dataset"] == dataset),
+                             key=lambda row: row["columns"])
+        if len(per_dataset) >= 2:
+            assert per_dataset[-1]["seconds"] >= per_dataset[0]["seconds"] * 0.5

@@ -1,0 +1,51 @@
+"""Figure 10: runtime vs number of rows — exact FEDEX, fedex-Sampling, SeeDB, Rath.
+
+Paper result (shape): fedex-Sampling's runtime grows slowly with the row
+count and scales past the baselines on large data (62s vs 155s for SeeDB at
+10M rows; Rath cannot run at that scale); exact FEDEX tracks fedex-Sampling
+but is slower on large inputs because the interestingness phase sees all
+rows.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, run_once
+
+from repro.baselines import RathInsights, SeeDB
+from repro.baselines.fedex_adapter import fedex_system
+from repro.experiments import average_by, print_table, row_scaling_sweep
+
+_ROW_COUNTS = {
+    "small": (2_000, 8_000, 20_000),
+    "medium": (20_000, 60_000, 120_000),
+    "full": (120_000, 1_000_000, 3_000_000, 10_000_000),
+}
+_QUERIES = (4, 6, 13, 16, 21)
+
+
+def test_figure10_runtime_vs_rows(benchmark, registry_factory):
+    row_counts = _ROW_COUNTS.get(bench_scale(), _ROW_COUNTS["small"])
+    systems = [fedex_system(5_000, name="FEDEX-Sampling"), SeeDB(), RathInsights()]
+    rows = run_once(benchmark, row_scaling_sweep, registry_factory,
+                    row_counts=row_counts, query_numbers=_QUERIES, systems=systems,
+                    include_exact_fedex=True, timeout_seconds=300.0)
+    averaged = average_by(rows, ["rows", "system"])
+    print_table(averaged, title="Figure 10 — runtime (s) vs number of rows (mean over queries)")
+
+    by_system = {}
+    for row in averaged:
+        if row["seconds"] is not None:
+            by_system.setdefault(row["system"], {})[row["rows"]] = row["seconds"]
+
+    fedex_sampling = by_system.get("FEDEX-Sampling", {})
+    assert fedex_sampling, "fedex-Sampling must produce timings"
+    smallest, largest = min(fedex_sampling), max(fedex_sampling)
+    # Sub-linear-ish growth: growing the data 10x should not grow runtime 50x.
+    growth = fedex_sampling[largest] / max(fedex_sampling[smallest], 1e-9)
+    size_ratio = largest / smallest
+    assert growth < size_ratio * 5.0
+    # Exact fedex is never faster than fedex-Sampling at the largest size by a
+    # wide margin (the sampling optimization should pay off or at least not hurt).
+    exact = by_system.get("FEDEX", {})
+    if largest in exact:
+        assert exact[largest] >= 0.5 * fedex_sampling[largest]

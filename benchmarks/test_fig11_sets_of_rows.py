@@ -1,0 +1,29 @@
+"""Figure 11: contribution score vs the number of sets-of-rows.
+
+Paper result: there is no clear monotone trend — the optimal number of
+sets-of-rows depends on the query and attribute — which motivates the
+readability-driven choice of 5 or 10 sets.  The benchmark prints the series
+for query 1 (Products & Sales) and query 7 (Spotify) and checks the values
+are well-formed.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments import print_table, sets_of_rows_sweep
+
+_SET_COUNTS = (2, 3, 5, 8, 10, 15, 20)
+
+
+def test_figure11_sets_of_rows(benchmark, bench_registry):
+    rows = run_once(benchmark, sets_of_rows_sweep, bench_registry,
+                    query_numbers=(1, 7), set_counts=_SET_COUNTS, sample_size=5_000, seed=0)
+    print_table(rows, columns=["query", "dataset", "attribute", "sets_of_rows",
+                               "best_contribution", "best_standardized_contribution"],
+                title="Figure 11 — best contribution vs number of sets-of-rows")
+
+    assert {row["query"] for row in rows} <= {1, 7}
+    assert all(row["best_contribution"] >= 0.0 for row in rows)
+    spotify_rows = [row for row in rows if row["query"] == 7]
+    assert len({row["sets_of_rows"] for row in spotify_rows}) == len(_SET_COUNTS)

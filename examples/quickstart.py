@@ -1,0 +1,41 @@
+"""Quickstart: explain a filter and a group-by step on the Spotify dataset.
+
+Reproduces the paper's running example (Section 1 / Figure 2): filter the
+songs to the popular ones and ask FEDEX what is interesting about the result,
+then group recent songs by year and ask again.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Comparison, ExplainableDataFrame
+from repro.datasets import load_spotify
+
+
+def main() -> None:
+    # A reduced Spotify dataset keeps the example fast; crank n_rows up to
+    # repro.datasets.FULL_SPOTIFY_ROWS for the paper-scale table.
+    songs = ExplainableDataFrame(load_spotify(n_rows=30_000, seed=7))
+    print(f"Loaded the Spotify dataset: {songs.shape[0]} rows x {songs.shape[1]} columns")
+
+    # Step 1 — "what makes songs popular?": keep only the popular songs.
+    popular = songs.filter(Comparison("popularity", ">", 65), label="popular songs")
+    print(f"\nFilter popularity > 65 -> {popular.shape[0]} rows")
+    print("\n" + popular.explain_text(width=44))
+
+    # Step 2 — focus on recent songs and compare loudness/danceability by year.
+    by_year = songs.groupby(
+        "year",
+        {"loudness": ["mean"], "danceability": ["mean"]},
+        pre_filter=Comparison("year", ">=", 1990),
+        label="mean loudness and danceability per year since 1990",
+    )
+    print(f"\nGroup-by year (year >= 1990) -> {by_year.shape[0]} groups")
+    print("\n" + by_year.explain_text(width=44))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Baseline systems the paper compares FEDEX against (§4.1)."""
+
+from .common import BaselineExplanation, BaselineSystem
+from .expert import ExpertBaseline
+from .fedex_adapter import FedexSystem, fedex_system
+from .interestingness_only import InterestingnessOnly
+from .rath import RathInsights
+from .seedb import SeeDB
+
+__all__ = [
+    "BaselineExplanation",
+    "BaselineSystem",
+    "ExpertBaseline",
+    "FedexSystem",
+    "InterestingnessOnly",
+    "RathInsights",
+    "SeeDB",
+    "fedex_system",
+]

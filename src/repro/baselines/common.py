@@ -1,0 +1,70 @@
+"""Shared types for the baseline systems the paper compares against.
+
+Every baseline consumes an :class:`~repro.operators.step.ExploratoryStep` and
+produces a list of :class:`BaselineExplanation` objects — a lowest common
+denominator of "something shown to the user about the step": a textual
+description, optionally a chart, and the *claims* it makes (which output
+column it talks about and, when applicable, which value/set-of-rows it
+highlights).  The simulated user study scores systems by comparing these
+claims against ground-truth signals.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..operators.step import ExploratoryStep
+from ..viz.chartspec import ChartSpec
+
+
+@dataclass
+class BaselineExplanation:
+    """One artefact produced by a baseline (or by FEDEX, for uniform scoring)."""
+
+    system: str
+    title: str
+    target_column: Optional[str] = None
+    highlighted_value: Optional[str] = None
+    caption: Optional[str] = None
+    chart: Optional[ChartSpec] = None
+    score: float = 0.0
+    details: dict = field(default_factory=dict)
+
+    @property
+    def has_visualization(self) -> bool:
+        """True when the artefact contains a chart."""
+        return self.chart is not None
+
+    @property
+    def has_text(self) -> bool:
+        """True when the artefact contains a caption / textual explanation."""
+        return bool(self.caption)
+
+    @property
+    def is_hybrid(self) -> bool:
+        """True when the artefact has both a chart and a caption (FEDEX's format)."""
+        return self.has_visualization and self.has_text
+
+    def claim(self) -> Tuple[Optional[str], Optional[str]]:
+        """The (column, highlighted value) pair the artefact claims is interesting."""
+        return (self.target_column, self.highlighted_value)
+
+
+class BaselineSystem(ABC):
+    """Interface of a baseline explanation/visualization system."""
+
+    #: Display name used in experiment tables.
+    name: str = "baseline"
+
+    @abstractmethod
+    def explain(self, step: ExploratoryStep, top_k: int = 3) -> List[BaselineExplanation]:
+        """Produce up to ``top_k`` artefacts for the exploratory step."""
+
+    def supports(self, step: ExploratoryStep) -> bool:
+        """Whether the system can handle the step at all (SeeDB cannot do group-by)."""
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

@@ -1,0 +1,52 @@
+"""Adapter presenting FEDEX through the baseline interface.
+
+The simulated user study scores every system through the common
+:class:`~repro.baselines.common.BaselineExplanation` type; this adapter runs
+the real FEDEX engine and converts its explanations, so FEDEX, fedex-Sampling
+and the baselines are judged by exactly the same code path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.config import FedexConfig
+from ..core.engine import FedexExplainer
+from ..operators.step import ExploratoryStep
+from .common import BaselineExplanation, BaselineSystem
+
+
+class FedexSystem(BaselineSystem):
+    """FEDEX (or fedex-Sampling) wrapped as a scorable system."""
+
+    def __init__(self, config: Optional[FedexConfig] = None, name: str = "FEDEX") -> None:
+        self.name = name
+        self._explainer = FedexExplainer(config=config)
+
+    def explain(self, step: ExploratoryStep, top_k: int = 3) -> List[BaselineExplanation]:
+        report = self._explainer.explain(step)
+        artefacts: List[BaselineExplanation] = []
+        for explanation in report.explanations[:top_k]:
+            candidate = explanation.candidate
+            artefacts.append(BaselineExplanation(
+                system=self.name,
+                title=f"{explanation.attribute} explained by {explanation.row_set_label}",
+                target_column=explanation.attribute,
+                highlighted_value=explanation.row_set_label,
+                caption=explanation.caption,
+                chart=explanation.chart,
+                score=candidate.weighted_score(1.0, 1.0),
+                details={
+                    "interestingness": candidate.interestingness,
+                    "standardized_contribution": candidate.standardized_contribution,
+                    "measure": candidate.measure_name,
+                },
+            ))
+        return artefacts
+
+
+def fedex_system(sample_size: Optional[int] = None, name: Optional[str] = None) -> FedexSystem:
+    """Convenience constructor for the exact or sampling FEDEX system."""
+    config = FedexConfig(sample_size=sample_size)
+    resolved_name = name if name is not None else ("FEDEX-Sampling" if sample_size else "FEDEX")
+    return FedexSystem(config=config, name=resolved_name)

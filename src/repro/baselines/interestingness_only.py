@@ -1,0 +1,87 @@
+"""Interestingness-Only (IO) baseline.
+
+The paper's IO baseline follows the pre-FEDEX practice inspired by [79]:
+measure how interesting each output attribute is (the same measures FEDEX
+uses in its first phase), and present the most interesting attributes to the
+user — without any contribution analysis, i.e. without saying *which rows*
+make the attribute interesting.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.interestingness import default_registry, measure_for_step
+from ..operators.step import ExploratoryStep
+from ..viz.chartspec import BarChartWithReference
+from .common import BaselineExplanation, BaselineSystem
+
+
+class InterestingnessOnly(BaselineSystem):
+    """Rank output columns by interestingness and report the top ones."""
+
+    name = "IO"
+
+    def __init__(self) -> None:
+        self._registry = default_registry()
+
+    def explain(self, step: ExploratoryStep, top_k: int = 3) -> List[BaselineExplanation]:
+        measure = measure_for_step(step, self._registry)
+        scores = {
+            attribute: measure.score_step(step, attribute)
+            for attribute in measure.applicable_columns(step)
+        }
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        explanations: List[BaselineExplanation] = []
+        for attribute, score in ranked[:top_k]:
+            if score <= 0:
+                continue
+            caption = (
+                f"The column '{attribute}' is the most affected by this operation "
+                f"({measure.name} score {score:.3f})."
+            )
+            explanations.append(BaselineExplanation(
+                system=self.name,
+                title=f"interesting column: {attribute}",
+                target_column=attribute,
+                highlighted_value=None,
+                caption=caption,
+                chart=self._column_chart(step, attribute),
+                score=score,
+                details={"measure": measure.name},
+            ))
+        return explanations
+
+    def _column_chart(self, step: ExploratoryStep, attribute: str) -> BarChartWithReference | None:
+        """A simple distribution chart of the output column (no row-set highlight)."""
+        if attribute not in step.output:
+            return None
+        column = step.output[attribute]
+        if column.is_numeric:
+            values = column.to_float()
+            values = values[~np.isnan(values)]
+            if values.size == 0:
+                return None
+            quantiles = np.quantile(values, [0.0, 0.25, 0.5, 0.75, 1.0])
+            return BarChartWithReference(
+                title=f"Distribution summary of '{attribute}'",
+                x_label="quantile",
+                y_label=attribute,
+                categories=["min", "p25", "median", "p75", "max"],
+                values=[float(q) for q in quantiles],
+                reference_value=float(np.mean(values)),
+            )
+        frequencies = column.frequencies()
+        top = sorted(frequencies.items(), key=lambda item: -item[1])[:10]
+        if not top:
+            return None
+        return BarChartWithReference(
+            title=f"Value frequencies of '{attribute}'",
+            x_label=attribute,
+            y_label="frequency",
+            categories=[str(value) for value, _ in top],
+            values=[100.0 * freq for _, freq in top],
+            reference_value=None,
+        )

@@ -1,0 +1,181 @@
+"""SeeDB baseline (Vartak et al., VLDB 2015) — deviation-based view recommendation.
+
+SeeDB recommends the visualizations whose *target* distribution (the query
+result) deviates most from the *reference* distribution (the input data).
+A view is a triple (grouping attribute ``a``, measure attribute ``m``,
+aggregate ``f``); its utility is the distance between the normalised
+aggregate vectors of the view computed on the output versus the input.
+
+The reimplementation follows the published algorithm:
+
+* candidate views = categorical (or low-cardinality) grouping attributes ×
+  numeric measure attributes × {count, sum, mean},
+* utility = earth-mover-style L1 distance between the normalised aggregate
+  distributions,
+* the top-k views are returned as side-by-side bar charts.
+
+As in the paper's experiments, SeeDB cannot explain group-by steps: the input
+and output schemas differ, so no reference distribution exists
+(:meth:`SeeDB.supports` returns False for them).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dataframe.frame import DataFrame
+from ..dataframe.groupby import group_indices
+from ..operators.operations import GroupBy
+from ..operators.step import ExploratoryStep
+from ..viz.chartspec import SideBySideBarChart
+from .common import BaselineExplanation, BaselineSystem
+
+_AGGREGATES = ("count", "sum", "mean")
+
+
+class SeeDB(BaselineSystem):
+    """Deviation-based view recommender.
+
+    Parameters
+    ----------
+    max_group_cardinality:
+        Grouping attributes with more distinct values than this are skipped
+        (high-cardinality groupings produce unreadable charts and blow up the
+        search space, exactly as in the original system's pruning).
+    max_categories_in_chart:
+        Number of category bars kept in the produced charts.
+    """
+
+    name = "SeeDB"
+
+    def __init__(self, max_group_cardinality: int = 40, max_categories_in_chart: int = 12) -> None:
+        self.max_group_cardinality = max_group_cardinality
+        self.max_categories_in_chart = max_categories_in_chart
+
+    def supports(self, step: ExploratoryStep) -> bool:
+        return not isinstance(step.operation, GroupBy)
+
+    def explain(self, step: ExploratoryStep, top_k: int = 3) -> List[BaselineExplanation]:
+        if not self.supports(step):
+            return []
+        reference = step.primary_input
+        target = step.output
+        views = self._candidate_views(reference, target)
+        scored: List[Tuple[float, Tuple[str, Optional[str], str]]] = []
+        for view in views:
+            utility = self._view_utility(reference, target, view)
+            if utility is not None:
+                scored.append((utility, view))
+        scored.sort(key=lambda item: (-item[0], item[1]))
+        explanations = []
+        for utility, (group_attr, measure_attr, aggregate) in scored[:top_k]:
+            explanations.append(self._render_view(
+                reference, target, group_attr, measure_attr, aggregate, utility
+            ))
+        return explanations
+
+    # ---------------------------------------------------------------- internals
+    def _candidate_views(self, reference: DataFrame,
+                         target: DataFrame) -> List[Tuple[str, Optional[str], str]]:
+        shared = [name for name in target.column_names if name in reference]
+        group_attrs = [
+            name for name in shared
+            if not reference[name].is_numeric or reference[name].n_unique() <= self.max_group_cardinality
+        ]
+        group_attrs = [
+            name for name in group_attrs
+            if 2 <= reference[name].n_unique() <= self.max_group_cardinality
+        ]
+        measure_attrs = [name for name in shared if reference[name].is_numeric]
+        views: List[Tuple[str, Optional[str], str]] = []
+        for group_attr in group_attrs:
+            views.append((group_attr, None, "count"))
+            for measure_attr in measure_attrs:
+                if measure_attr == group_attr:
+                    continue
+                views.append((group_attr, measure_attr, "sum"))
+                views.append((group_attr, measure_attr, "mean"))
+        return views
+
+    def _aggregate_vector(self, frame: DataFrame, group_attr: str, measure_attr: Optional[str],
+                          aggregate: str) -> Dict:
+        buckets = group_indices(frame, [group_attr])
+        vector: Dict = {}
+        for key, indices in buckets.items():
+            label = key[0]
+            if aggregate == "count" or measure_attr is None:
+                vector[label] = float(indices.size)
+                continue
+            values = frame[measure_attr].values[indices].astype(float)
+            values = values[~np.isnan(values)]
+            if values.size == 0:
+                vector[label] = 0.0
+            elif aggregate == "sum":
+                vector[label] = float(np.sum(values))
+            else:
+                vector[label] = float(np.mean(values))
+        return vector
+
+    def _view_utility(self, reference: DataFrame, target: DataFrame,
+                      view: Tuple[str, Optional[str], str]) -> Optional[float]:
+        group_attr, measure_attr, aggregate = view
+        if group_attr not in target:
+            return None
+        if measure_attr is not None and measure_attr not in target:
+            return None
+        reference_vector = self._aggregate_vector(reference, group_attr, measure_attr, aggregate)
+        target_vector = self._aggregate_vector(target, group_attr, measure_attr, aggregate)
+        if not reference_vector or not target_vector:
+            return None
+        return _normalised_l1(reference_vector, target_vector)
+
+    def _render_view(self, reference: DataFrame, target: DataFrame, group_attr: str,
+                     measure_attr: Optional[str], aggregate: str,
+                     utility: float) -> BaselineExplanation:
+        reference_vector = self._aggregate_vector(reference, group_attr, measure_attr, aggregate)
+        target_vector = self._aggregate_vector(target, group_attr, measure_attr, aggregate)
+        categories = sorted(
+            set(reference_vector) | set(target_vector),
+            key=lambda label: -(target_vector.get(label, 0.0)),
+        )[: self.max_categories_in_chart]
+        reference_total = sum(reference_vector.values()) or 1.0
+        target_total = sum(target_vector.values()) or 1.0
+        before = [100.0 * reference_vector.get(label, 0.0) / reference_total for label in categories]
+        after = [100.0 * target_vector.get(label, 0.0) / target_total for label in categories]
+        measure_text = f"{aggregate}({measure_attr})" if measure_attr else "count"
+        deviations = [abs(a - b) for a, b in zip(after, before)]
+        highlight = int(np.argmax(deviations)) if deviations else None
+        chart = SideBySideBarChart(
+            title=f"SeeDB view: {measure_text} by {group_attr}",
+            x_label=group_attr,
+            categories=[str(c) for c in categories],
+            before=before,
+            after=after,
+            highlight_index=highlight,
+            before_label="Reference",
+            after_label="Target",
+        )
+        claimed_column = measure_attr or group_attr
+        return BaselineExplanation(
+            system=self.name,
+            title=f"{measure_text} by {group_attr} (utility {utility:.3f})",
+            target_column=claimed_column,
+            highlighted_value=str(categories[highlight]) if highlight is not None else None,
+            caption=None,  # SeeDB produces visualizations only (no captions).
+            chart=chart,
+            score=utility,
+            details={"group_attr": group_attr, "measure_attr": measure_attr, "agg": aggregate},
+        )
+
+
+def _normalised_l1(first: Dict, second: Dict) -> float:
+    """L1 distance between the two vectors after normalising each to sum 1."""
+    labels = set(first) | set(second)
+    first_total = sum(abs(v) for v in first.values()) or 1.0
+    second_total = sum(abs(v) for v in second.values()) or 1.0
+    return float(sum(
+        abs(first.get(label, 0.0) / first_total - second.get(label, 0.0) / second_total)
+        for label in labels
+    ))

@@ -1,0 +1,81 @@
+"""FEDEX core: interestingness, contribution, partitions, skyline, engine."""
+
+from .candidates import ExplanationCandidate, build_candidates
+from .config import (
+    DEFAULT_SAMPLE_SIZE,
+    DEFAULT_SET_COUNTS,
+    FedexConfig,
+    exact_config,
+    sampling_config,
+)
+from .contribution import ContributionCalculator, contribution_of
+from .engine import ExplanationReport, FedexExplainer, explain_step
+from .explanation import Explanation, build_explanation
+from .interestingness import (
+    DiversityMeasure,
+    ExceptionalityMeasure,
+    FunctionMeasure,
+    InterestingnessMeasure,
+    MeasureRegistry,
+    default_registry,
+    measure_for_step,
+)
+from .measures_extra import (
+    CompactnessMeasure,
+    CoverageMeasure,
+    SurprisingnessMeasure,
+    extended_registry,
+)
+from .partition import (
+    FrequencyPartitioner,
+    ManyToOnePartitioner,
+    MappingPartitioner,
+    NumericBinningPartitioner,
+    Partitioner,
+    RowPartition,
+    RowSet,
+    build_partitions,
+    default_partitioners,
+)
+from .skyline import is_dominated, rank_by_weighted_score, skyline, skyline_pairs
+
+__all__ = [
+    "CompactnessMeasure",
+    "ContributionCalculator",
+    "CoverageMeasure",
+    "DEFAULT_SAMPLE_SIZE",
+    "DEFAULT_SET_COUNTS",
+    "DiversityMeasure",
+    "ExceptionalityMeasure",
+    "Explanation",
+    "ExplanationCandidate",
+    "ExplanationReport",
+    "FedexConfig",
+    "FedexExplainer",
+    "FrequencyPartitioner",
+    "FunctionMeasure",
+    "InterestingnessMeasure",
+    "ManyToOnePartitioner",
+    "MappingPartitioner",
+    "MeasureRegistry",
+    "NumericBinningPartitioner",
+    "Partitioner",
+    "RowPartition",
+    "RowSet",
+    "SurprisingnessMeasure",
+    "build_candidates",
+    "build_explanation",
+    "build_partitions",
+    "contribution_of",
+    "default_partitioners",
+    "default_registry",
+    "exact_config",
+    "explain_step",
+    "extended_registry",
+    "is_dominated",
+    "measure_for_step",
+    "rank_by_weighted_score",
+    "sampling_config",
+    "skyline",
+    "skyline_pairs",
+]

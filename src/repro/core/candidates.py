@@ -1,0 +1,97 @@
+"""Explanation candidates and their quality scores (paper §3.4 and §3.6).
+
+An explanation candidate is a pair ``(R, A)`` — a set-of-rows of the input
+and an attribute of the output — scored by the interestingness of ``A`` and
+the standardized contribution of ``R`` within its partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .partition import RowPartition, RowSet
+
+
+@dataclass
+class ExplanationCandidate:
+    """A scored candidate ``(R, A)``.
+
+    Attributes
+    ----------
+    row_set:
+        The set-of-rows ``R`` (with its partition metadata).
+    attribute:
+        The output column ``A`` being explained.
+    interestingness:
+        ``I_A(Q)`` of the column (computed on the full or sampled input,
+        depending on the engine configuration).
+    contribution:
+        Raw contribution ``C(R, A, Q)``.
+    standardized_contribution:
+        ``C̄(R, A)`` — the contribution z-scored within the candidate's
+        partition.
+    measure_name:
+        Name of the interestingness measure that produced the scores
+        (``"exceptionality"`` / ``"diversity"`` / custom).
+    partition_size:
+        Number of candidate sets-of-rows in the partition ``R`` came from.
+    """
+
+    row_set: RowSet
+    attribute: str
+    interestingness: float
+    contribution: float
+    standardized_contribution: float
+    measure_name: str
+    partition_size: int
+
+    def key(self) -> Tuple:
+        """Hashable identity used by the accuracy experiments to match candidates."""
+        return (self.attribute,) + self.row_set.key()
+
+    def weighted_score(self, interestingness_weight: float, contribution_weight: float) -> float:
+        """The optional weighted score ``(W_I·I + W_C·C̄) / (W_I + W_C)`` (§3.7)."""
+        denominator = interestingness_weight + contribution_weight
+        return (
+            interestingness_weight * self.interestingness
+            + contribution_weight * self.standardized_contribution
+        ) / denominator
+
+    def describe(self) -> str:
+        """One-line description used in logs and experiment reports."""
+        return (
+            f"(R={self.row_set.label_attribute}={self.row_set.label!r}, A={self.attribute}) "
+            f"I={self.interestingness:.3f} C={self.contribution:.4f} "
+            f"C̄={self.standardized_contribution:.2f} [{self.row_set.method}]"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExplanationCandidate({self.describe()})"
+
+
+def build_candidates(partition: RowPartition, attribute: str, interestingness: float,
+                     raw_contributions: List[float], standardized: List[float],
+                     measure_name: str,
+                     positive_only: bool = True) -> List[ExplanationCandidate]:
+    """Assemble candidates for one (partition, attribute) pair.
+
+    Mirrors lines 9–12 of Algorithm 1: every candidate set-of-rows of the
+    partition is considered, its raw and standardized contributions recorded,
+    and — when ``positive_only`` — only sets with a strictly positive raw
+    contribution are retained as candidates.
+    """
+    candidates: List[ExplanationCandidate] = []
+    for row_set, raw, std in zip(partition.sets, raw_contributions, standardized):
+        if positive_only and raw <= 0:
+            continue
+        candidates.append(ExplanationCandidate(
+            row_set=row_set,
+            attribute=attribute,
+            interestingness=interestingness,
+            contribution=raw,
+            standardized_contribution=std,
+            measure_name=measure_name,
+            partition_size=len(partition.sets),
+        ))
+    return candidates

@@ -1,0 +1,88 @@
+"""Natural-language caption templates (paper §3.7, "Generating captioned visualizations").
+
+Each explanation family has a template; the attribute name, the label of the
+chosen set-of-rows, and the quantities shown in the chart are plugged in:
+
+* exceptionality — "See that the column 'A' presents a significant change in
+  distribution.  In particular, 'label' (in green) is X times more frequent:
+  a% before and b% after."
+* diversity — "See that the column 'A' presents a significant diversity.  In
+  particular, groups with 'B'='label' (in green) have a relatively low/high
+  'A' value: z standard deviations lower/higher than the mean (m)."
+"""
+
+from __future__ import annotations
+
+
+def exceptionality_caption(attribute: str, label: str, before_fraction: float,
+                           after_fraction: float) -> str:
+    """Caption for an exceptionality (filter/join/union) explanation.
+
+    ``before_fraction`` and ``after_fraction`` are the relative frequencies of
+    the chosen set-of-rows in the input and output dataframes (0–1).
+    """
+    before_pct = 100.0 * before_fraction
+    after_pct = 100.0 * after_fraction
+    direction = "more" if after_fraction >= before_fraction else "less"
+    ratio = _frequency_ratio(before_fraction, after_fraction)
+    return (
+        f"See that the column '{attribute}' presents a significant change in distribution. "
+        f"In particular, '{label}' (in green) is {ratio} {direction} frequent: "
+        f"{_fmt_pct(before_pct)} before and {_fmt_pct(after_pct)} after."
+    )
+
+
+def diversity_caption(attribute: str, group_attribute: str, label: str, group_value: float,
+                      overall_mean: float, z_score: float) -> str:
+    """Caption for a diversity (group-by) explanation.
+
+    ``group_value`` is the mean aggregated value of the chosen set-of-rows,
+    ``overall_mean`` the mean of the aggregated column, and ``z_score`` the
+    standardized distance between the two.
+    """
+    direction = "low" if z_score < 0 else "high"
+    comparative = "lower" if z_score < 0 else "higher"
+    return (
+        f"See that the column '{attribute}' presents a significant diversity. "
+        f"In particular, groups with '{group_attribute}'='{label}' (in green) have a relatively "
+        f"{direction} '{attribute}' value ({_fmt_value(group_value)}): "
+        f"{abs(z_score):.1f} standard deviations {comparative} than the mean "
+        f"({_fmt_value(overall_mean)})."
+    )
+
+
+def generic_caption(attribute: str, label: str, measure_name: str,
+                    interestingness: float, standardized_contribution: float) -> str:
+    """Fallback caption for custom interestingness measures."""
+    return (
+        f"The column '{attribute}' scores {interestingness:.3f} on the '{measure_name}' measure; "
+        f"the rows where '{label}' (in green) contribute most "
+        f"(standardized contribution {standardized_contribution:.2f})."
+    )
+
+
+def _frequency_ratio(before_fraction: float, after_fraction: float) -> str:
+    """"17 times" style multiplier between the two frequencies."""
+    low, high = sorted((before_fraction, after_fraction))
+    if low <= 0:
+        return "infinitely"
+    ratio = high / low
+    if ratio >= 10:
+        return f"{ratio:.0f} times"
+    if ratio >= 1.05:
+        return f"{ratio:.1f} times"
+    return "about equally"
+
+
+def _fmt_pct(value: float) -> str:
+    if value >= 10:
+        return f"{value:.0f}%"
+    return f"{value:.1f}%"
+
+
+def _fmt_value(value: float) -> str:
+    if value != value:
+        return "nan"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}".rstrip("0").rstrip(".")

@@ -1,0 +1,133 @@
+"""Configuration of the FEDEX explanation engine.
+
+All knobs of Algorithm 1 and of the fedex-Sampling optimization live here so
+that experiments can sweep them declaratively.  The defaults follow the
+paper: partitions of 5 and 10 sets-of-rows, a 5K-row uniform sample for the
+sampling variant, and the skyline operator (optionally followed by a
+weighted top-k cut).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence
+
+from ..errors import ExplanationError
+
+#: Default numbers of sets-of-rows fedex tries (paper §4.3: "5 or 10").
+DEFAULT_SET_COUNTS = (5, 10)
+
+#: Default sample size of fedex-Sampling (paper §4.2/§4.3: 5K rows).
+DEFAULT_SAMPLE_SIZE = 5_000
+
+
+@dataclass(frozen=True)
+class FedexConfig:
+    """Parameters of the explanation generation process.
+
+    Parameters
+    ----------
+    sample_size:
+        Number of rows of the uniform sample used for the interestingness
+        computation (fedex-Sampling).  ``None`` disables sampling — this is
+        exact fedex.
+    set_counts:
+        Candidate numbers of sets-of-rows per partition; Algorithm 1 is run
+        for each and the candidate pool is the union.
+    top_k_columns:
+        Only the ``top_k_columns`` most interesting output columns are carried
+        into the contribution phase (the paper's two-step greedy process).
+        ``None`` keeps every column.
+    top_k_explanations:
+        Maximal number of explanations returned after the skyline (ranked by
+        the weighted score).  ``None`` returns the whole skyline.
+    interestingness_weight / contribution_weight:
+        Weights ``W_I`` and ``W_C`` of the optional weighted score used to
+        rank skyline explanations.
+    partition_methods:
+        Which partition families to use: any subset of ``"frequency"``,
+        ``"binning"``, ``"many_to_one"``.
+    partition_source:
+        ``"target"`` (default) partitions the input on the attribute being
+        explained (and on the group-by keys for diversity steps), matching the
+        paper's examples; ``"all"`` partitions on every input attribute — the
+        exhaustive variant used by the ablation benchmarks.
+    target_columns:
+        Optional user-specified columns (§3.8): only these output columns are
+        considered for explanation.
+    exclude_columns:
+        Output columns to skip (identifiers, free-text fields, ...).
+    use_skyline:
+        When False the skyline step is skipped and candidates are ranked by
+        the weighted score directly (ablation).
+    positive_contribution_only:
+        Keep only candidates with a strictly positive raw contribution
+        (Algorithm 1, line 11).  Exposed for ablation.
+    seed:
+        Random seed for the sampling step (determinism in tests/benchmarks).
+    min_group_values:
+        Partitions whose source column has fewer distinct values than this
+        are skipped (a one-value partition cannot separate contributions).
+    """
+
+    sample_size: Optional[int] = None
+    set_counts: Sequence[int] = DEFAULT_SET_COUNTS
+    top_k_columns: Optional[int] = 5
+    top_k_explanations: Optional[int] = None
+    interestingness_weight: float = 1.0
+    contribution_weight: float = 1.0
+    partition_methods: Sequence[str] = ("frequency", "binning", "many_to_one")
+    partition_source: str = "target"
+    target_columns: Optional[Sequence[str]] = None
+    exclude_columns: Sequence[str] = ()
+    use_skyline: bool = True
+    positive_contribution_only: bool = True
+    seed: Optional[int] = 0
+    min_group_values: int = 2
+
+    def __post_init__(self) -> None:
+        if self.sample_size is not None and self.sample_size <= 0:
+            raise ExplanationError(f"sample_size must be positive, got {self.sample_size}")
+        if not self.set_counts:
+            raise ExplanationError("set_counts must contain at least one value")
+        if any(count < 1 for count in self.set_counts):
+            raise ExplanationError(f"set_counts must be positive, got {list(self.set_counts)}")
+        if self.partition_source not in ("target", "all"):
+            raise ExplanationError(
+                f"partition_source must be 'target' or 'all', got {self.partition_source!r}"
+            )
+        unknown = set(self.partition_methods) - {"frequency", "binning", "many_to_one"}
+        if unknown:
+            raise ExplanationError(f"unknown partition methods: {sorted(unknown)}")
+        if self.interestingness_weight < 0 or self.contribution_weight < 0:
+            raise ExplanationError("weights must be non-negative")
+        if self.interestingness_weight == 0 and self.contribution_weight == 0:
+            raise ExplanationError("at least one of the weights must be positive")
+
+    # ------------------------------------------------------------ conveniences
+    def with_sampling(self, sample_size: int = DEFAULT_SAMPLE_SIZE) -> "FedexConfig":
+        """A copy of this config with the fedex-Sampling optimization enabled."""
+        return replace(self, sample_size=sample_size)
+
+    def without_sampling(self) -> "FedexConfig":
+        """A copy of this config with sampling disabled (exact fedex)."""
+        return replace(self, sample_size=None)
+
+    def restricted_to(self, columns: Sequence[str]) -> "FedexConfig":
+        """A copy restricted to user-specified output columns (§3.8)."""
+        return replace(self, target_columns=list(columns))
+
+    @property
+    def weighted_score_denominator(self) -> float:
+        """``W_I + W_C`` — the denominator of the weighted explanation score."""
+        return self.interestingness_weight + self.contribution_weight
+
+
+def exact_config(**overrides) -> FedexConfig:
+    """The exact-fedex configuration (no sampling), with optional overrides."""
+    return FedexConfig(**overrides)
+
+
+def sampling_config(sample_size: int = DEFAULT_SAMPLE_SIZE, **overrides) -> FedexConfig:
+    """The fedex-Sampling configuration with the paper's default 5K sample."""
+    return FedexConfig(sample_size=sample_size, **overrides)

@@ -1,0 +1,96 @@
+"""Contribution of a set-of-rows to column interestingness (paper §3.3).
+
+The contribution is the *intervention* quantity of Definition 3.3::
+
+    C(R, A, Q) = I_A(D_in, q, d_out) - I_A(D_in - R, q, d'_out)
+
+i.e. remove the set-of-rows ``R`` from the input, re-run the same operation,
+re-score the interestingness of column ``A``, and take the drop.  A large
+positive contribution means the rows in ``R`` are responsible for much of the
+column's interestingness.  Contributions can be negative (removing the rows
+makes the column *more* interesting); Algorithm 1 drops those candidates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..dataframe.frame import DataFrame
+from ..operators.step import ExploratoryStep
+from ..stats.dispersion import standardize
+from .interestingness import InterestingnessMeasure
+from .partition import RowPartition, RowSet
+
+
+class ContributionCalculator:
+    """Computes (and caches) contribution scores for one exploratory step.
+
+    The calculator caches two things:
+
+    * the baseline interestingness ``I_A(Q)`` per attribute (computed once),
+    * the reduced output dataframe per (input_index, row-set) pair, because
+      every output attribute reuses the same intervention result — this is
+      what makes scoring a whole partition against several interesting
+      columns affordable.
+    """
+
+    def __init__(self, step: ExploratoryStep, measure: InterestingnessMeasure,
+                 baseline_scores: Dict[str, float] | None = None) -> None:
+        self.step = step
+        self.measure = measure
+        self._baseline: Dict[str, float] = dict(baseline_scores or {})
+        self._reduced_cache: Dict[tuple, tuple] = {}
+
+    # --------------------------------------------------------------- baselines
+    def baseline(self, attribute: str) -> float:
+        """``I_A(Q)`` on the full inputs (cached)."""
+        if attribute not in self._baseline:
+            self._baseline[attribute] = self.measure.score_step(self.step, attribute)
+        return self._baseline[attribute]
+
+    # ------------------------------------------------------------ contribution
+    def contribution(self, row_set: RowSet, attribute: str) -> float:
+        """``C(R, A, Q)`` for one set-of-rows and one output attribute."""
+        reduced_inputs, reduced_output = self._reduced_step(row_set)
+        reduced_score = self.measure.score(
+            reduced_inputs, self.step, reduced_output, attribute
+        )
+        return self.baseline(attribute) - reduced_score
+
+    def partition_contributions(self, partition: RowPartition, attribute: str) -> List[float]:
+        """Raw contributions of every candidate set-of-rows in a partition."""
+        return [self.contribution(row_set, attribute) for row_set in partition.sets]
+
+    def standardized_contributions(self, partition: RowPartition, attribute: str) -> List[float]:
+        """Standardized contributions ``C̄(R, A)`` within the partition (§3.6).
+
+        Each set's raw contribution is z-scored against the contributions of
+        the *other* sets of the same partition (mean/std over all candidate
+        sets), quantifying how exceptional the set's contribution is among
+        its peers.
+        """
+        raw = self.partition_contributions(partition, attribute)
+        return list(standardize(raw))
+
+    # ------------------------------------------------------------------ helpers
+    def _reduced_step(self, row_set: RowSet) -> tuple:
+        """Inputs and output of the step after removing ``row_set`` (cached)."""
+        cache_key = (row_set.input_index, row_set.method, row_set.source_attribute,
+                     row_set.label_attribute, row_set.label)
+        if cache_key in self._reduced_cache:
+            return self._reduced_cache[cache_key]
+        target_input = self.step.inputs[row_set.input_index]
+        reduced_input = target_input.remove_rows(row_set.indices)
+        reduced_inputs: Sequence[DataFrame] = self.step.with_inputs_replaced(
+            row_set.input_index, reduced_input
+        )
+        reduced_output = self.step.rerun(reduced_inputs)
+        result = (reduced_inputs, reduced_output)
+        self._reduced_cache[cache_key] = result
+        return result
+
+
+def contribution_of(step: ExploratoryStep, row_set: RowSet, attribute: str,
+                    measure: InterestingnessMeasure) -> float:
+    """One-off contribution computation (convenience wrapper without caching)."""
+    return ContributionCalculator(step, measure).contribution(row_set, attribute)

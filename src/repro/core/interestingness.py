@@ -1,0 +1,196 @@
+"""Interestingness measures (paper §3.2).
+
+FEDEX scores each column ``A`` of the output dataframe of a step
+``Q = (D_in, q, d_out)`` with an interestingness function ``I_A(Q)``:
+
+* **Exceptionality** (filter / join / union): the two-sample Kolmogorov–
+  Smirnov statistic between the value distributions of ``d_in[A]`` and
+  ``d_out[A]`` (Eq. 1).  For a join, the input holding attribute ``A`` is the
+  reference; for a union, the maximum KS over the inputs is used.
+* **Diversity** (group-by): the coefficient of variation of the aggregated
+  values of ``d_out[A]`` (Eq. 2).
+
+The registry at the bottom lets users plug in custom measures (§3.8) with no
+requirements on monotonicity or non-negativity.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Sequence
+
+from ..dataframe.frame import DataFrame
+from ..errors import MeasureError
+from ..operators.operations import GroupBy, MEASURE_DIVERSITY, MEASURE_EXCEPTIONALITY
+from ..operators.step import ExploratoryStep
+from ..stats.dispersion import coefficient_of_variation
+from ..stats.ks import ks_columns
+
+
+class InterestingnessMeasure(ABC):
+    """Scores the interestingness of one output column of an exploratory step."""
+
+    #: Registry name of the measure.
+    name: str = "measure"
+
+    @abstractmethod
+    def score(self, inputs: Sequence[DataFrame], step: ExploratoryStep, output: DataFrame,
+              attribute: str) -> float:
+        """Interestingness of ``attribute`` for the step with the given materialisation.
+
+        ``inputs`` and ``output`` are passed explicitly (rather than read from
+        ``step``) because both the sampling optimization and the contribution
+        computation re-evaluate the same measure on *modified* inputs/outputs.
+        """
+
+    @abstractmethod
+    def applicable_columns(self, step: ExploratoryStep) -> List[str]:
+        """The output columns this measure can score for the given step."""
+
+    def score_step(self, step: ExploratoryStep, attribute: str) -> float:
+        """Score the step as materialised (no sampling, no intervention)."""
+        return self.score(step.inputs, step, step.output, attribute)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class ExceptionalityMeasure(InterestingnessMeasure):
+    """KS-statistic deviation between input and output column distributions (Eq. 1)."""
+
+    name = MEASURE_EXCEPTIONALITY
+
+    def score(self, inputs: Sequence[DataFrame], step: ExploratoryStep, output: DataFrame,
+              attribute: str) -> float:
+        if attribute not in output:
+            return 0.0
+        after = output[attribute]
+        scores = []
+        for frame in inputs:
+            if attribute in frame:
+                scores.append(ks_columns(frame[attribute], after))
+        if not scores:
+            return 0.0
+        # Single input -> plain Eq. 1; join -> the (only) input holding A;
+        # union -> the paper's max over the inputs.
+        return max(scores)
+
+    def applicable_columns(self, step: ExploratoryStep) -> List[str]:
+        present_in_inputs = set()
+        for frame in step.inputs:
+            present_in_inputs.update(frame.column_names)
+        return [name for name in step.output.column_names if name in present_in_inputs]
+
+
+class DiversityMeasure(InterestingnessMeasure):
+    """Coefficient-of-variation diversity of aggregated group-by columns (Eq. 2)."""
+
+    name = MEASURE_DIVERSITY
+
+    def score(self, inputs: Sequence[DataFrame], step: ExploratoryStep, output: DataFrame,
+              attribute: str) -> float:
+        if attribute not in output:
+            return 0.0
+        column = output[attribute]
+        if not column.is_numeric:
+            return 0.0
+        return coefficient_of_variation(column.to_float())
+
+    def applicable_columns(self, step: ExploratoryStep) -> List[str]:
+        operation = step.operation
+        if isinstance(operation, GroupBy):
+            aggregated = [
+                name for name in operation.aggregated_output_columns() if name in step.output
+            ]
+            if aggregated:
+                return aggregated
+        # Fallback for generic operations: every numeric, non-key output column.
+        keys = set(getattr(operation, "keys", []) or [])
+        return [
+            name for name in step.output.numeric_columns() if name not in keys
+        ]
+
+
+class FunctionMeasure(InterestingnessMeasure):
+    """Adapter turning a plain scoring function into a measure (custom measures, §3.8).
+
+    The function receives ``(inputs, step, output, attribute)`` and returns a
+    float.  ``columns`` optionally restricts which output columns the measure
+    applies to ("numeric", "categorical", "all", or an explicit list).
+    """
+
+    def __init__(self, name: str,
+                 func: Callable[[Sequence[DataFrame], ExploratoryStep, DataFrame, str], float],
+                 columns: str | Sequence[str] = "all") -> None:
+        self.name = name
+        self._func = func
+        self._columns = columns
+
+    def score(self, inputs: Sequence[DataFrame], step: ExploratoryStep, output: DataFrame,
+              attribute: str) -> float:
+        if attribute not in output:
+            return 0.0
+        return float(self._func(inputs, step, output, attribute))
+
+    def applicable_columns(self, step: ExploratoryStep) -> List[str]:
+        if isinstance(self._columns, str):
+            if self._columns == "numeric":
+                return step.output.numeric_columns()
+            if self._columns == "categorical":
+                return step.output.categorical_columns()
+            return step.output.column_names
+        return [name for name in self._columns if name in step.output]
+
+
+class MeasureRegistry:
+    """Registry of interestingness measures keyed by name.
+
+    The default registry holds the paper's two measures; users can register
+    custom measures and ask for them by name in :class:`~repro.core.engine.
+    FedexExplainer`.
+    """
+
+    def __init__(self) -> None:
+        self._measures: Dict[str, InterestingnessMeasure] = {}
+
+    def register(self, measure: InterestingnessMeasure, overwrite: bool = False) -> None:
+        """Add a measure; raises unless ``overwrite`` when the name is taken."""
+        if measure.name in self._measures and not overwrite:
+            raise MeasureError(f"measure {measure.name!r} is already registered")
+        self._measures[measure.name] = measure
+
+    def get(self, name: str) -> InterestingnessMeasure:
+        """Look a measure up by name."""
+        if name not in self._measures:
+            raise MeasureError(
+                f"unknown interestingness measure {name!r}; registered: {sorted(self._measures)}"
+            )
+        return self._measures[name]
+
+    def names(self) -> List[str]:
+        """Registered measure names."""
+        return sorted(self._measures)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._measures
+
+
+def default_registry() -> MeasureRegistry:
+    """A registry pre-populated with the exceptionality and diversity measures."""
+    registry = MeasureRegistry()
+    registry.register(ExceptionalityMeasure())
+    registry.register(DiversityMeasure())
+    return registry
+
+
+def measure_for_step(step: ExploratoryStep, registry: MeasureRegistry | None = None,
+                     override: str | None = None) -> InterestingnessMeasure:
+    """Pick the interestingness measure for a step.
+
+    ``override`` forces a specific registered measure; otherwise the
+    operation's default family is used (exceptionality for filter / join /
+    union, diversity for group-by), per §3.2.
+    """
+    registry = registry or default_registry()
+    name = override if override is not None else step.operation.default_measure
+    return registry.get(name)

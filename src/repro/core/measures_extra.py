@@ -1,0 +1,127 @@
+"""Additional interestingness measures (paper §3.8 and future work).
+
+The paper's extension section names compactness/coverage [16] and
+surprisingness [43] as further measures FEDEX can host without any changes to
+the engine.  This module provides reference implementations and a helper that
+registers them next to the built-in exceptionality/diversity measures:
+
+* :class:`SurprisingnessMeasure` — how far the output column's mean moved
+  away from the input column's mean, in input standard deviations.  Suitable
+  for filter/join/union steps over numeric columns; unlike the KS-based
+  exceptionality it reacts only to location shifts, not to arbitrary
+  distribution changes.
+* :class:`CoverageMeasure` — for group-by style outputs: the fraction of
+  input rows represented by the groups of the output (via the grouping keys).
+  A low-coverage result is interesting because the summary silently drops
+  data.
+* :class:`CompactnessMeasure` — rewards summaries with few groups relative to
+  the input size (``1 - log(groups)/log(rows)``), the "compactness" facet of
+  summarisation quality.
+
+These measures carry no monotonicity or non-negativity guarantees — which is
+exactly why the engine does not assume any (§3.8).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..dataframe.frame import DataFrame
+from ..operators.operations import GroupBy
+from ..operators.step import ExploratoryStep
+from .interestingness import InterestingnessMeasure, MeasureRegistry, default_registry
+
+
+class SurprisingnessMeasure(InterestingnessMeasure):
+    """Location shift of a numeric column between input and output, in input std units."""
+
+    name = "surprisingness"
+
+    def score(self, inputs: Sequence[DataFrame], step: ExploratoryStep, output: DataFrame,
+              attribute: str) -> float:
+        if attribute not in output or not output[attribute].is_numeric:
+            return 0.0
+        reference = None
+        for frame in inputs:
+            if attribute in frame and frame[attribute].is_numeric:
+                reference = frame[attribute]
+                break
+        if reference is None:
+            return 0.0
+        input_values = reference.to_float()
+        output_values = output[attribute].to_float()
+        input_values = input_values[~np.isnan(input_values)]
+        output_values = output_values[~np.isnan(output_values)]
+        if input_values.size < 2 or output_values.size == 0:
+            return 0.0
+        spread = float(np.std(input_values, ddof=1))
+        if spread == 0.0:
+            return 0.0
+        return abs(float(np.mean(output_values)) - float(np.mean(input_values))) / spread
+
+    def applicable_columns(self, step: ExploratoryStep) -> List[str]:
+        shared = set()
+        for frame in step.inputs:
+            shared.update(frame.numeric_columns())
+        return [name for name in step.output.numeric_columns() if name in shared]
+
+
+class CoverageMeasure(InterestingnessMeasure):
+    """Fraction of input rows *not* represented by the output's groups.
+
+    Scores 0 when every input row belongs to some output group and approaches
+    1 when the summary covers almost nothing — i.e. higher is "more
+    interesting" in the sense of "this summary hides data".
+    """
+
+    name = "coverage"
+
+    def score(self, inputs: Sequence[DataFrame], step: ExploratoryStep, output: DataFrame,
+              attribute: str) -> float:
+        operation = step.operation
+        keys = list(getattr(operation, "keys", []) or [])
+        keys = [key for key in keys if key in output and key in inputs[0]]
+        if not keys:
+            return 0.0
+        input_frame = inputs[0]
+        covered_values = set(zip(*[output[key].tolist() for key in keys])) if keys else set()
+        input_tuples = list(zip(*[input_frame[key].tolist() for key in keys]))
+        if not input_tuples:
+            return 0.0
+        covered = sum(1 for row in input_tuples if row in covered_values)
+        return 1.0 - covered / len(input_tuples)
+
+    def applicable_columns(self, step: ExploratoryStep) -> List[str]:
+        if isinstance(step.operation, GroupBy):
+            return [name for name in step.output.numeric_columns()]
+        return []
+
+
+class CompactnessMeasure(InterestingnessMeasure):
+    """How compact a group-by summary is: ``1 - log(groups + 1) / log(rows + 1)``."""
+
+    name = "compactness"
+
+    def score(self, inputs: Sequence[DataFrame], step: ExploratoryStep, output: DataFrame,
+              attribute: str) -> float:
+        rows = max(inputs[0].num_rows, 1)
+        groups = max(output.num_rows, 1)
+        if rows <= 1:
+            return 0.0
+        return max(0.0, 1.0 - np.log(groups + 1.0) / np.log(rows + 1.0))
+
+    def applicable_columns(self, step: ExploratoryStep) -> List[str]:
+        if isinstance(step.operation, GroupBy):
+            return step.output.numeric_columns()
+        return []
+
+
+def extended_registry() -> MeasureRegistry:
+    """The default registry plus the three additional measures of this module."""
+    registry = default_registry()
+    registry.register(SurprisingnessMeasure())
+    registry.register(CoverageMeasure())
+    registry.register(CompactnessMeasure())
+    return registry

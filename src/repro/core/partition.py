@@ -1,0 +1,476 @@
+"""Row partitions of the input dataframe (paper §3.5).
+
+A *row partition* splits the input dataframe into ``n`` disjoint
+sets-of-rows plus an optional *ignore-set* ``R̂`` (Definition 3.8).  FEDEX
+ships three partition families and accepts user-defined ones:
+
+* **Frequency-based** — one set per most-prevalent value of an attribute,
+  remaining rows in the ignore-set.
+* **Numeric-binning** — equal-frequency intervals of a numeric attribute
+  (empty ignore-set).
+* **Many-to-one** — the attribute is mapped through a strictly coarser
+  attribute ``B`` (functional dependency ``A → B``), then frequency-split
+  over ``B`` (e.g. year → decade).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..dataframe.column import Column
+from ..dataframe.frame import DataFrame
+from ..errors import PartitionError
+
+
+@dataclass
+class RowSet:
+    """A set-of-rows ``R`` of an input dataframe.
+
+    Attributes
+    ----------
+    label:
+        Human-readable label of the set (the attribute value, the interval
+        bounds, or the coarser attribute's value), used in captions.
+    indices:
+        Positional row indices of the input dataframe belonging to the set.
+    source_attribute:
+        The attribute the partition was built on.
+    label_attribute:
+        The attribute whose value names the set.  Equal to
+        ``source_attribute`` except for many-to-one partitions, where it is
+        the coarser attribute ``B``.
+    method:
+        Partition family name (``frequency`` / ``binning`` / ``many_to_one``
+        or a custom name).
+    input_index:
+        Which input dataframe of the step the indices refer to.
+    is_ignore:
+        True for the ignore-set ``R̂`` (never becomes an explanation).
+    values:
+        The raw value(s) of ``label_attribute`` defining this set (used to
+        locate the same rows in the output dataframe for captions/plots).
+    interval:
+        For binning partitions, the ``(low, high)`` bounds of the interval.
+    """
+
+    label: str
+    indices: np.ndarray
+    source_attribute: str
+    label_attribute: str
+    method: str
+    input_index: int = 0
+    is_ignore: bool = False
+    values: Tuple = ()
+    interval: Optional[Tuple[float, float]] = None
+
+    @property
+    def size(self) -> int:
+        """Number of rows in the set."""
+        return int(self.indices.size)
+
+    def key(self) -> Tuple:
+        """Hashable identity of the set (used for ranking-metric comparisons)."""
+        return (self.method, self.source_attribute, self.label_attribute, self.label,
+                self.input_index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RowSet({self.label!r}, n={self.size}, attr={self.source_attribute!r}, "
+                f"method={self.method})")
+
+
+@dataclass
+class RowPartition:
+    """A full partition: the sets-of-rows plus the optional ignore-set."""
+
+    sets: List[RowSet]
+    ignore_set: Optional[RowSet] = None
+    source_attribute: str = ""
+    method: str = ""
+    input_index: int = 0
+    n_requested: int = 0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check Definition 3.8: sets are pairwise disjoint."""
+        seen: set = set()
+        for row_set in self.all_sets():
+            indices = set(int(i) for i in row_set.indices)
+            overlap = seen & indices
+            if overlap:
+                raise PartitionError(
+                    f"row sets of partition on {self.source_attribute!r} overlap "
+                    f"({len(overlap)} shared rows)"
+                )
+            seen |= indices
+
+    def all_sets(self) -> List[RowSet]:
+        """Candidate sets plus the ignore-set (when present)."""
+        if self.ignore_set is not None:
+            return self.sets + [self.ignore_set]
+        return list(self.sets)
+
+    def covered_rows(self) -> int:
+        """Total number of rows covered by the partition (including ignore-set)."""
+        return sum(row_set.size for row_set in self.all_sets())
+
+    def __len__(self) -> int:
+        return len(self.sets)
+
+    def __iter__(self):
+        return iter(self.sets)
+
+
+class Partitioner(ABC):
+    """Base class of the partition families."""
+
+    #: Registry / caption name of the family.
+    method: str = "partition"
+
+    @abstractmethod
+    def partition(self, frame: DataFrame, attribute: str, n_sets: int,
+                  input_index: int = 0) -> Optional[RowPartition]:
+        """Partition ``frame`` on ``attribute`` into up to ``n_sets`` sets-of-rows.
+
+        Returns ``None`` when the method is not applicable to the attribute
+        (e.g. numeric binning of a categorical column, or no many-to-one
+        companion exists).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class FrequencyPartitioner(Partitioner):
+    """One set-of-rows per most-prevalent value; remaining rows are ignored."""
+
+    method = "frequency"
+
+    def partition(self, frame: DataFrame, attribute: str, n_sets: int,
+                  input_index: int = 0) -> Optional[RowPartition]:
+        if attribute not in frame:
+            return None
+        column = frame[attribute]
+        codes, uniques = column.factorize()
+        if len(uniques) < 2:
+            return None
+        counts = np.bincount(codes[codes >= 0], minlength=len(uniques))
+        ranked = sorted(
+            range(len(uniques)), key=lambda position: (-counts[position], str(uniques[position]))
+        )
+        top_positions = ranked[:n_sets]
+
+        sets = []
+        covered = np.zeros(frame.num_rows, dtype=bool)
+        for position in top_positions:
+            member_indices = np.flatnonzero(codes == position)
+            covered[member_indices] = True
+            value = uniques[position]
+            sets.append(RowSet(
+                label=_format_value(value),
+                indices=member_indices.astype(np.int64),
+                source_attribute=attribute,
+                label_attribute=attribute,
+                method=self.method,
+                input_index=input_index,
+                values=(value,),
+            ))
+        ignore_indices = np.flatnonzero(~covered)
+        ignore_set = None
+        if ignore_indices.size:
+            ignore_set = RowSet(
+                label="(other values)",
+                indices=ignore_indices.astype(np.int64),
+                source_attribute=attribute,
+                label_attribute=attribute,
+                method=self.method,
+                input_index=input_index,
+                is_ignore=True,
+            )
+        return RowPartition(
+            sets=sets, ignore_set=ignore_set, source_attribute=attribute,
+            method=self.method, input_index=input_index, n_requested=n_sets,
+        )
+
+
+class NumericBinningPartitioner(Partitioner):
+    """Equal-frequency intervals of a numeric attribute (empty ignore-set)."""
+
+    method = "binning"
+
+    def partition(self, frame: DataFrame, attribute: str, n_sets: int,
+                  input_index: int = 0) -> Optional[RowPartition]:
+        if attribute not in frame:
+            return None
+        column = frame[attribute]
+        if not column.is_numeric:
+            return None
+        values = column.to_float()
+        finite_mask = ~np.isnan(values)
+        finite = values[finite_mask]
+        if finite.size == 0 or np.unique(finite).size < 2:
+            return None
+        n_bins = min(n_sets, int(np.unique(finite).size))
+        quantiles = np.quantile(finite, np.linspace(0.0, 1.0, n_bins + 1))
+        edges = np.unique(quantiles)
+        if edges.size < 2:
+            return None
+        # Assign each row to a bin; the last bin is closed on the right.
+        bin_ids = np.digitize(values, edges[1:-1], right=True)
+        sets: List[RowSet] = []
+        ignore_indices = np.flatnonzero(~finite_mask)
+        for bin_id in range(edges.size - 1):
+            member_mask = finite_mask & (bin_ids == bin_id)
+            indices = np.flatnonzero(member_mask)
+            if indices.size == 0:
+                continue
+            low, high = float(edges[bin_id]), float(edges[bin_id + 1])
+            sets.append(RowSet(
+                label=_format_interval(low, high, closed=bin_id == edges.size - 2),
+                indices=indices.astype(np.int64),
+                source_attribute=attribute,
+                label_attribute=attribute,
+                method=self.method,
+                input_index=input_index,
+                interval=(low, high),
+            ))
+        if len(sets) < 2:
+            return None
+        ignore_set = None
+        if ignore_indices.size:
+            ignore_set = RowSet(
+                label="(missing values)",
+                indices=ignore_indices.astype(np.int64),
+                source_attribute=attribute,
+                label_attribute=attribute,
+                method=self.method,
+                input_index=input_index,
+                is_ignore=True,
+            )
+        return RowPartition(
+            sets=sets, ignore_set=ignore_set, source_attribute=attribute,
+            method=self.method, input_index=input_index, n_requested=n_sets,
+        )
+
+
+class ManyToOnePartitioner(Partitioner):
+    """Partition an attribute through a strictly coarser attribute ``B``.
+
+    For the attribute ``A`` we search for attributes ``B`` such that ``A``
+    functionally determines ``B`` (condition 1) while ``B`` merges at least
+    two distinct ``A`` values (condition 2).  Rows are then frequency-split
+    on ``B``; the coarser attribute's values become the labels (e.g.
+    year → decade in the running example).
+    """
+
+    method = "many_to_one"
+
+    def __init__(self, max_companions: int = 3, max_distinct_ratio: float = 0.9) -> None:
+        self.max_companions = max_companions
+        self.max_distinct_ratio = max_distinct_ratio
+        self._frequency = FrequencyPartitioner()
+
+    def partition(self, frame: DataFrame, attribute: str, n_sets: int,
+                  input_index: int = 0) -> Optional[RowPartition]:
+        companions = self.find_companions(frame, attribute)
+        for companion in companions[: self.max_companions]:
+            base = self._frequency.partition(frame, companion, n_sets, input_index=input_index)
+            if base is None:
+                continue
+            sets = [
+                RowSet(
+                    label=row_set.label,
+                    indices=row_set.indices,
+                    source_attribute=attribute,
+                    label_attribute=companion,
+                    method=self.method,
+                    input_index=input_index,
+                    values=row_set.values,
+                )
+                for row_set in base.sets
+            ]
+            ignore_set = None
+            if base.ignore_set is not None:
+                ignore_set = RowSet(
+                    label=base.ignore_set.label,
+                    indices=base.ignore_set.indices,
+                    source_attribute=attribute,
+                    label_attribute=companion,
+                    method=self.method,
+                    input_index=input_index,
+                    is_ignore=True,
+                )
+            return RowPartition(
+                sets=sets, ignore_set=ignore_set, source_attribute=attribute,
+                method=self.method, input_index=input_index, n_requested=n_sets,
+            )
+        return None
+
+    def find_companions(self, frame: DataFrame, attribute: str) -> List[str]:
+        """Attributes ``B`` with a many-to-one relationship from ``attribute``.
+
+        Checks the two conditions of §3.5 and ranks candidates by how much
+        coarser they are (fewer distinct values first), which tends to yield
+        the most readable explanations.  The functional-dependency test is
+        vectorised: ``A → B`` holds exactly when the number of distinct
+        (A, B) pairs equals the number of distinct A values.
+        """
+        if attribute not in frame:
+            return []
+        source_codes, source_uniques = frame[attribute].factorize()
+        source_distinct = len(source_uniques)
+        if source_distinct < 2:
+            return []
+        source_valid = source_codes >= 0
+        candidates: List[Tuple[int, str]] = []
+        for other in frame.column_names:
+            if other == attribute:
+                continue
+            other_codes, other_uniques = frame[other].factorize()
+            distinct_b = len(other_uniques)
+            if distinct_b < 2 or distinct_b >= source_distinct:
+                continue
+            if distinct_b > self.max_distinct_ratio * source_distinct:
+                continue
+            both_valid = source_valid & (other_codes >= 0)
+            if not both_valid.any():
+                continue
+            pair_codes = source_codes[both_valid] * distinct_b + other_codes[both_valid]
+            distinct_pairs = np.unique(pair_codes).size
+            distinct_a_present = np.unique(source_codes[both_valid]).size
+            functional = distinct_pairs == distinct_a_present
+            strictly_coarser = np.unique(other_codes[both_valid]).size < distinct_a_present
+            if functional and strictly_coarser:
+                candidates.append((distinct_b, other))
+        candidates.sort()
+        return [name for _, name in candidates]
+
+
+class MappingPartitioner(Partitioner):
+    """User-defined partition via an explicit value-mapping function (§3.8).
+
+    ``mapper`` receives a raw attribute value and returns the label of the
+    set the row belongs to (returning ``None`` sends the row to the
+    ignore-set).  Useful for custom date bucketing, geo roll-ups, etc.
+    """
+
+    def __init__(self, name: str, mapper) -> None:
+        self.method = name
+        self._mapper = mapper
+
+    def partition(self, frame: DataFrame, attribute: str, n_sets: int,
+                  input_index: int = 0) -> Optional[RowPartition]:
+        if attribute not in frame:
+            return None
+        labels = [self._mapper(value) for value in frame[attribute].tolist()]
+        buckets: Dict[str, List[int]] = {}
+        ignore: List[int] = []
+        for row_index, label in enumerate(labels):
+            if label is None:
+                ignore.append(row_index)
+            else:
+                buckets.setdefault(str(label), []).append(row_index)
+        if len(buckets) < 2:
+            return None
+        ranked = sorted(buckets.items(), key=lambda item: (-len(item[1]), item[0]))[:n_sets]
+        kept_labels = {label for label, _ in ranked}
+        for label, indices in buckets.items():
+            if label not in kept_labels:
+                ignore.extend(indices)
+        sets = [
+            RowSet(
+                label=label,
+                indices=np.asarray(indices, dtype=np.int64),
+                source_attribute=attribute,
+                label_attribute=attribute,
+                method=self.method,
+                input_index=input_index,
+                values=(label,),
+            )
+            for label, indices in ranked
+        ]
+        ignore_set = None
+        if ignore:
+            ignore_set = RowSet(
+                label="(other values)",
+                indices=np.asarray(sorted(ignore), dtype=np.int64),
+                source_attribute=attribute,
+                label_attribute=attribute,
+                method=self.method,
+                input_index=input_index,
+                is_ignore=True,
+            )
+        return RowPartition(
+            sets=sets, ignore_set=ignore_set, source_attribute=attribute,
+            method=self.method, input_index=input_index, n_requested=n_sets,
+        )
+
+
+def default_partitioners(methods: Sequence[str] = ("frequency", "binning", "many_to_one")) -> List[Partitioner]:
+    """The partitioners corresponding to the configured method names."""
+    available: Dict[str, Partitioner] = {
+        "frequency": FrequencyPartitioner(),
+        "binning": NumericBinningPartitioner(),
+        "many_to_one": ManyToOnePartitioner(),
+    }
+    unknown = [m for m in methods if m not in available]
+    if unknown:
+        raise PartitionError(f"unknown partition methods: {unknown}")
+    return [available[m] for m in methods]
+
+
+def build_partitions(frame: DataFrame, attributes: Sequence[str], n_sets_options: Sequence[int],
+                     partitioners: Sequence[Partitioner], input_index: int = 0,
+                     min_group_values: int = 2) -> List[RowPartition]:
+    """All partitions of ``frame`` over the given attributes, methods, and sizes.
+
+    Implements lines 3–6 of Algorithm 1: the union of every row-partition
+    produced by every configured method, for every candidate attribute and
+    every requested number of sets-of-rows.  Duplicate partitions (same
+    method, attribute, and resulting set labels) are dropped.
+    """
+    partitions: List[RowPartition] = []
+    seen_signatures: set = set()
+    for attribute in attributes:
+        if attribute not in frame:
+            continue
+        if frame[attribute].n_unique() < min_group_values:
+            continue
+        for n_sets in n_sets_options:
+            for partitioner in partitioners:
+                partition = partitioner.partition(frame, attribute, n_sets, input_index=input_index)
+                if partition is None or len(partition) < 2:
+                    continue
+                signature = (
+                    partition.method,
+                    partition.source_attribute,
+                    tuple(row_set.label for row_set in partition.sets),
+                    input_index,
+                )
+                if signature in seen_signatures:
+                    continue
+                seen_signatures.add(signature)
+                partitions.append(partition)
+    return partitions
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and value == int(value):
+        return str(int(value))
+    return str(value)
+
+
+def _format_interval(low: float, high: float, closed: bool) -> str:
+    bracket = "]" if closed else ")"
+    return f"[{_format_number(low)}, {_format_number(high)}{bracket}"
+
+
+def _format_number(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:.3g}"

@@ -1,0 +1,123 @@
+"""Skyline selection of explanation candidates (paper §3.6–3.7).
+
+The skyline operator [13] keeps only *dominating* candidates: a candidate is
+dropped when some other candidate is at least as good on both the
+interestingness of its column and its standardized contribution, and strictly
+better on at least one of them (the standard Pareto-dominance used by the
+skyline operator; the paper's user studies report skyline sets of size ≤ 3,
+which only the standard semantics produces once interestingness ties — all
+candidates about the same column share its interestingness — are taken into
+account).  The surviving set balances the two quality dimensions without
+committing to a weighting; an optional weighted score can then rank the
+skyline and keep the top-k (Algorithm 1, remark after line 13).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .candidates import ExplanationCandidate
+
+
+def is_dominated(candidate: ExplanationCandidate, others: Sequence[ExplanationCandidate]) -> bool:
+    """True when some other candidate Pareto-dominates ``candidate``.
+
+    ``other`` dominates when it is at least as interesting and at least as
+    contributing, and strictly better on at least one of the two.
+    """
+    for other in others:
+        if other is candidate:
+            continue
+        at_least_as_good = (
+            other.interestingness >= candidate.interestingness
+            and other.standardized_contribution >= candidate.standardized_contribution
+        )
+        strictly_better = (
+            other.interestingness > candidate.interestingness
+            or other.standardized_contribution > candidate.standardized_contribution
+        )
+        if at_least_as_good and strictly_better:
+            return True
+    return False
+
+
+def skyline(candidates: Sequence[ExplanationCandidate]) -> List[ExplanationCandidate]:
+    """The maximal subset of candidates not Pareto-dominated by any other.
+
+    Implemented by sorting on interestingness (descending, contribution
+    descending as tie-break) and sweeping while tracking the best standardized
+    contribution seen so far — O(n log n) rather than the quadratic pairwise
+    check (the pairwise definition is kept in :func:`is_dominated` and the
+    test suite verifies both agree).
+    """
+    if not candidates:
+        return []
+    ranked = sorted(
+        candidates,
+        key=lambda c: (-c.interestingness, -c.standardized_contribution),
+    )
+    result: List[ExplanationCandidate] = []
+    best_contribution = float("-inf")
+    index = 0
+    n = len(ranked)
+    while index < n:
+        # Candidates sharing the same interestingness: only those matching the
+        # group's best contribution can be non-dominated (within the group,
+        # a higher contribution dominates a lower one).
+        tie_end = index
+        while tie_end < n and ranked[tie_end].interestingness == ranked[index].interestingness:
+            tie_end += 1
+        group = ranked[index:tie_end]
+        group_best = max(c.standardized_contribution for c in group)
+        if group_best > best_contribution:
+            result.extend(c for c in group if c.standardized_contribution == group_best)
+            best_contribution = group_best
+        index = tie_end
+    return result
+
+
+def rank_by_weighted_score(candidates: Sequence[ExplanationCandidate],
+                           interestingness_weight: float = 1.0,
+                           contribution_weight: float = 1.0,
+                           top_k: int | None = None) -> List[ExplanationCandidate]:
+    """Candidates sorted by the weighted score, optionally truncated to ``top_k``."""
+    ranked = sorted(
+        candidates,
+        key=lambda c: (
+            -c.weighted_score(interestingness_weight, contribution_weight),
+            -c.interestingness,
+            -c.standardized_contribution,
+            c.attribute,
+            c.row_set.label,
+        ),
+    )
+    if top_k is not None:
+        ranked = ranked[:top_k]
+    return ranked
+
+
+def skyline_pairs(points: Sequence[Tuple[float, float]]) -> List[int]:
+    """Generic 2-D skyline over (x, y) points, maximizing both; returns indices.
+
+    Exposed for reuse by baselines and tests; mirrors the candidate skyline
+    (standard Pareto dominance) but works on raw score pairs.
+    """
+    order = sorted(range(len(points)), key=lambda i: (-points[i][0], -points[i][1]))
+    result: List[int] = []
+    best_y = float("-inf")
+    index = 0
+    n = len(order)
+    while index < n:
+        tie_end = index
+        x_value = points[order[index]][0]
+        while tie_end < n and points[order[tie_end]][0] == x_value:
+            tie_end += 1
+        group = order[index:tie_end]
+        group_best = max(points[position][1] for position in group)
+        if group_best > best_y:
+            result.extend(
+                position for position in group if points[position][1] == group_best
+            )
+            best_y = group_best
+        index = tie_end
+    return sorted(result)

@@ -1,0 +1,61 @@
+"""Columnar dataframe substrate (pandas replacement) built on NumPy.
+
+Public surface::
+
+    from repro.dataframe import DataFrame, Column, read_csv, write_csv
+    from repro.dataframe import Comparison, IsIn, Between, And, Or, Not
+"""
+
+from .column import (
+    KIND_BOOLEAN,
+    KIND_CATEGORICAL,
+    KIND_NUMERIC,
+    Column,
+    column_from_mapping,
+)
+from .frame import DataFrame, concat_frames
+from .groupby import AGGREGATIONS, aggregation_column_name, group_indices, groupby
+from .io import read_csv, write_csv
+from .join import join, union
+from .predicates import (
+    And,
+    Between,
+    Comparison,
+    IsIn,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+    RowIndexPredicate,
+)
+from .sampling import stratified_sample, uniform_sample, upsample_with_replacement
+
+__all__ = [
+    "AGGREGATIONS",
+    "And",
+    "Between",
+    "Column",
+    "Comparison",
+    "DataFrame",
+    "IsIn",
+    "IsNull",
+    "KIND_BOOLEAN",
+    "KIND_CATEGORICAL",
+    "KIND_NUMERIC",
+    "Not",
+    "Or",
+    "Predicate",
+    "RowIndexPredicate",
+    "aggregation_column_name",
+    "column_from_mapping",
+    "concat_frames",
+    "group_indices",
+    "groupby",
+    "join",
+    "read_csv",
+    "stratified_sample",
+    "uniform_sample",
+    "union",
+    "upsample_with_replacement",
+    "write_csv",
+]

@@ -1,0 +1,114 @@
+"""CSV input/output for the dataframe substrate.
+
+The paper's datasets are distributed as Kaggle CSV files; users of this
+reproduction can load their own CSVs through :func:`read_csv` and persist
+generated synthetic datasets with :func:`write_csv`.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import DataFrameError
+from .column import Column
+from .frame import DataFrame
+
+
+def read_csv(path: str | Path, delimiter: str = ",", numeric_columns: Sequence[str] | None = None,
+             max_rows: int | None = None) -> DataFrame:
+    """Load a CSV file into a :class:`DataFrame`.
+
+    Column types are inferred: a column whose non-empty values all parse as
+    floats becomes numeric, otherwise it is categorical.  ``numeric_columns``
+    forces specific columns to be numeric (unparsable entries become NaN).
+
+    Parameters
+    ----------
+    path:
+        CSV file path.
+    delimiter:
+        Field delimiter, ``","`` by default.
+    numeric_columns:
+        Columns to coerce to numeric regardless of inference.
+    max_rows:
+        Optional cap on the number of data rows read.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataFrameError(f"CSV file not found: {path}")
+    forced_numeric = set(numeric_columns or [])
+
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataFrameError(f"CSV file {path} is empty") from None
+        raw: Dict[str, List[str]] = {name: [] for name in header}
+        for row_number, row in enumerate(reader):
+            if max_rows is not None and row_number >= max_rows:
+                break
+            for position, name in enumerate(header):
+                raw[name].append(row[position] if position < len(row) else "")
+
+    columns = []
+    for name in header:
+        columns.append(_build_column(name, raw[name], force_numeric=name in forced_numeric))
+    return DataFrame(columns)
+
+
+def write_csv(frame: DataFrame, path: str | Path, delimiter: str = ",") -> Path:
+    """Write a dataframe to a CSV file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = frame.to_rows()
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(frame.column_names)
+        for row in rows:
+            writer.writerow([_format_value(row[name]) for name in frame.column_names])
+    return path
+
+
+def _build_column(name: str, raw_values: List[str], force_numeric: bool) -> Column:
+    """Infer a column type from its raw string values and build the Column."""
+    parsed: List[float | None] = []
+    numeric = True
+    for value in raw_values:
+        stripped = value.strip()
+        if stripped == "":
+            parsed.append(None)
+            continue
+        try:
+            parsed.append(float(stripped))
+        except ValueError:
+            numeric = False
+            if not force_numeric:
+                break
+            parsed.append(None)
+
+    if numeric or force_numeric:
+        filled = [np.nan if v is None else v for v in parsed]
+        # Pad in case inference bailed out early (cannot happen when numeric).
+        while len(filled) < len(raw_values):
+            filled.append(np.nan)
+        return Column(name, np.asarray(filled, dtype=float))
+
+    values = [value.strip() if value.strip() != "" else None for value in raw_values]
+    return Column(name, np.asarray(values, dtype=object))
+
+
+def _format_value(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float):
+        if np.isnan(value):
+            return ""
+        if value == int(value):
+            return str(int(value))
+        return repr(value)
+    return str(value)

@@ -1,0 +1,183 @@
+"""Join and union operators for the dataframe substrate.
+
+The paper's workloads use inner joins (Products ⋈ Sales on item / county /
+store, Table 2 queries 1–3) and unions.  Joins are implemented as hash joins
+on the key column(s); unions align columns by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import OperationError, SchemaError
+from .column import Column
+from .frame import DataFrame
+
+_SUPPORTED_HOW = ("inner", "left")
+
+
+def join(left: DataFrame, right: DataFrame, on: str | Sequence[str], how: str = "inner",
+         suffixes: Tuple[str, str] = ("_left", "_right")) -> DataFrame:
+    """Hash join of two dataframes on equality of the key column(s).
+
+    Parameters
+    ----------
+    left, right:
+        The input dataframes.
+    on:
+        Key column name (or list of names) present in both inputs.
+    how:
+        ``"inner"`` (default) or ``"left"``.
+    suffixes:
+        Suffixes appended to non-key columns whose names collide.
+
+    Returns
+    -------
+    DataFrame
+        The joined dataframe.  Key columns appear once; other columns keep
+        their names unless they collide, in which case the suffixes are used.
+    """
+    if how not in _SUPPORTED_HOW:
+        raise OperationError(f"unsupported join type {how!r}; expected one of {_SUPPORTED_HOW}")
+    keys = [on] if isinstance(on, str) else list(on)
+    for key in keys:
+        if key not in left:
+            raise SchemaError(f"join key {key!r} missing from left dataframe")
+        if key not in right:
+            raise SchemaError(f"join key {key!r} missing from right dataframe")
+
+    left_idx, right_idx, unmatched_left = _match_rows(left, right, keys)
+
+    columns: List[Column] = []
+    collisions = (set(left.column_names) & set(right.column_names)) - set(keys)
+
+    for name in left.column_names:
+        out_name = name + suffixes[0] if name in collisions else name
+        taken = left[name].take(left_idx)
+        if how == "left" and unmatched_left.size:
+            extra = left[name].take(unmatched_left)
+            taken = taken.concat(extra)
+        columns.append(taken.rename(out_name))
+
+    n_unmatched = int(unmatched_left.size) if how == "left" else 0
+    for name in right.column_names:
+        if name in keys:
+            continue
+        out_name = name + suffixes[1] if name in collisions else name
+        taken = right[name].take(right_idx)
+        if n_unmatched:
+            filler = _null_column(out_name, right[name], n_unmatched)
+            taken = taken.concat(filler)
+        columns.append(taken.rename(out_name))
+
+    return DataFrame(columns)
+
+
+def union(top: DataFrame, bottom: DataFrame) -> DataFrame:
+    """Row-wise union (concatenation) of two dataframes.
+
+    Columns are aligned by name; the output schema is the union of both
+    schemas, with missing values filled in for columns absent from one side.
+    """
+    names: List[str] = list(top.column_names)
+    for name in bottom.column_names:
+        if name not in names:
+            names.append(name)
+
+    columns: List[Column] = []
+    for name in names:
+        if name in top and name in bottom:
+            columns.append(top[name].concat(bottom[name]))
+        elif name in top:
+            filler = _null_column(name, top[name], bottom.num_rows)
+            columns.append(top[name].concat(filler))
+        else:
+            filler = _null_column(name, bottom[name], top.num_rows)
+            columns.append(filler.concat(bottom[name]))
+    return DataFrame(columns)
+
+
+def _match_rows(left: DataFrame, right: DataFrame, keys: Sequence[str]) -> Tuple:
+    """Matched (left_indices, right_indices) pairs plus unmatched left row indices.
+
+    Both sides' key columns are rendered as composite string keys, after which
+    the match is a sorted-array lookup (searchsorted) — no per-row python
+    loop.  Rows with a missing value in any key column never match.
+    """
+    left_keys, left_missing = _composite_keys(left, keys)
+    right_keys, right_missing = _composite_keys(right, keys)
+
+    left_positions = np.flatnonzero(~left_missing)
+    right_present_positions = np.flatnonzero(~right_missing)
+    left_values = left_keys[left_positions]
+    right_values = right_keys[right_present_positions]
+
+    order = np.argsort(right_values, kind="stable")
+    sorted_right = right_values[order]
+    right_positions = right_present_positions[order]
+
+    start = np.searchsorted(sorted_right, left_values, side="left")
+    stop = np.searchsorted(sorted_right, left_values, side="right")
+    match_counts = stop - start
+    matched_mask = match_counts > 0
+
+    if matched_mask.any():
+        counts = match_counts[matched_mask]
+        starts = start[matched_mask]
+        left_idx = np.repeat(left_positions[matched_mask], counts)
+        # Positions into sorted_right for every match: each left row expands
+        # to the run [start, stop) of its key, built without a python loop.
+        offsets = np.arange(int(counts.sum())) - np.repeat(np.cumsum(counts) - counts, counts)
+        gather = np.repeat(starts, counts) + offsets
+        right_idx = right_positions[gather]
+    else:
+        left_idx = np.zeros(0, dtype=np.int64)
+        right_idx = np.zeros(0, dtype=np.int64)
+
+    unmatched = np.concatenate([
+        left_positions[~matched_mask], np.flatnonzero(left_missing)
+    ])
+    unmatched.sort()
+    return left_idx.astype(np.int64), right_idx.astype(np.int64), unmatched.astype(np.int64)
+
+
+def _composite_keys(frame: DataFrame, keys: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+    """Composite key per row plus a mask of rows with a missing key part.
+
+    A single numeric key stays numeric (no string conversion — this is the
+    common, hot case: the workload joins on ``item`` / ``store`` / ``county``);
+    multi-column or categorical keys are rendered as '\\x1f'-joined strings.
+    """
+    missing = np.zeros(frame.num_rows, dtype=bool)
+    for key in keys:
+        missing |= frame[key].null_mask()
+
+    if len(keys) == 1:
+        column = frame[keys[0]]
+        if column.is_numeric or column.is_boolean:
+            values = column.values.astype(float)
+            return np.where(missing, np.nan, values), missing
+
+    parts = []
+    for key in keys:
+        column = frame[key]
+        if column.is_numeric or column.is_boolean:
+            parts.append(column.values.astype(float).astype("U32"))
+        else:
+            parts.append(np.asarray([str(v) for v in column.values], dtype=str))
+    if not parts:
+        combined = np.asarray([""] * frame.num_rows, dtype=str)
+    else:
+        combined = parts[0]
+        for part in parts[1:]:
+            combined = np.char.add(np.char.add(combined, "\x1f"), part)
+    return combined, missing
+
+
+def _null_column(name: str, template: Column, length: int) -> Column:
+    """A column of ``length`` missing values with the same kind as ``template``."""
+    if template.is_numeric:
+        return Column(name, np.full(length, np.nan, dtype=float))
+    return Column(name, np.asarray([None] * length, dtype=object), kind=template.kind)

@@ -1,0 +1,72 @@
+"""Uniform row sampling.
+
+The fedex-Sampling optimization (paper §3.7) computes interestingness scores
+on a uniform sample of the input rows (default 5K) while the contribution is
+still computed over all rows.  This module provides the sampling primitive,
+plus a helper to over-sample (sample with replacement) which the scalability
+experiments use to blow a dataset up to 10M rows (paper §4.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import DataFrameError
+from .frame import DataFrame
+
+
+def uniform_sample(frame: DataFrame, n: int, seed: int | None = None) -> DataFrame:
+    """Uniform sample of ``n`` rows without replacement.
+
+    If ``n`` is greater than or equal to the number of rows the frame is
+    returned unchanged (no point in shuffling — the paper's sampling is only
+    an approximation device).
+    """
+    if n < 0:
+        raise DataFrameError(f"sample size must be non-negative, got {n}")
+    if n >= frame.num_rows:
+        return frame
+    rng = np.random.default_rng(seed)
+    indices = rng.choice(frame.num_rows, size=n, replace=False)
+    indices.sort()
+    return frame.take(indices)
+
+
+def upsample_with_replacement(frame: DataFrame, target_rows: int, seed: int | None = None) -> DataFrame:
+    """Grow a dataframe to ``target_rows`` rows by sampling rows with replacement.
+
+    Mirrors the paper's scalability setup where the Products & Sales join view
+    is padded with uniformly sampled duplicate rows up to 10M rows.
+    """
+    if target_rows < frame.num_rows:
+        raise DataFrameError(
+            f"target_rows ({target_rows}) must be >= current rows ({frame.num_rows}); "
+            "use uniform_sample to shrink"
+        )
+    if target_rows == frame.num_rows or frame.num_rows == 0:
+        return frame
+    rng = np.random.default_rng(seed)
+    extra = rng.integers(0, frame.num_rows, size=target_rows - frame.num_rows)
+    indices = np.concatenate([np.arange(frame.num_rows), extra])
+    return frame.take(indices)
+
+
+def stratified_sample(frame: DataFrame, by: str, per_group: int, seed: int | None = None) -> DataFrame:
+    """Sample up to ``per_group`` rows from every distinct value of column ``by``.
+
+    Not used by the core algorithm, but handy for building small test fixtures
+    that preserve every category of a skewed column.
+    """
+    from .groupby import group_indices
+
+    rng = np.random.default_rng(seed)
+    chosen = []
+    for _, indices in sorted(group_indices(frame, [by]).items(), key=lambda item: str(item[0])):
+        if indices.size <= per_group:
+            chosen.append(indices)
+        else:
+            chosen.append(rng.choice(indices, size=per_group, replace=False))
+    if not chosen:
+        return frame.head(0)
+    all_indices = np.sort(np.concatenate(chosen))
+    return frame.take(all_indices)

@@ -1,0 +1,43 @@
+"""Synthetic dataset generators reproducing the paper's three evaluation datasets."""
+
+from .credit import FULL_CREDIT_ROWS, load_credit
+from .products import (
+    FULL_PRODUCTS_ROWS,
+    FULL_SALES_ROWS,
+    load_counties,
+    load_products,
+    load_products_and_sales,
+    load_products_sales_view,
+    load_sales,
+    load_stores,
+)
+from .registry import (
+    DATASET_BANK,
+    DATASET_PRODUCTS,
+    DATASET_SPOTIFY,
+    DatasetRegistry,
+    paper_scale_registry,
+    small_registry,
+)
+from .spotify import FULL_SPOTIFY_ROWS, load_spotify
+
+__all__ = [
+    "DATASET_BANK",
+    "DATASET_PRODUCTS",
+    "DATASET_SPOTIFY",
+    "DatasetRegistry",
+    "FULL_CREDIT_ROWS",
+    "FULL_PRODUCTS_ROWS",
+    "FULL_SALES_ROWS",
+    "FULL_SPOTIFY_ROWS",
+    "load_counties",
+    "load_credit",
+    "load_products",
+    "load_products_and_sales",
+    "load_products_sales_view",
+    "load_sales",
+    "load_spotify",
+    "load_stores",
+    "paper_scale_registry",
+    "small_registry",
+]

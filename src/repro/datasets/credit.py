@@ -1,0 +1,123 @@
+"""Synthetic "Credit Card Customers" (Bank) dataset.
+
+The paper's Credit Card Customers dataset [19] has 10,127 rows and 21 columns
+describing bank customers and whether they churned ("Attrited Customer" vs
+"Existing Customer").  This generator reproduces the schema used by workload
+queries 11–15 and 26–30 and plants the structure the paper's second user
+study revolves around (why do customers leave?):
+
+* churned customers have fewer transactions, lower transaction amounts, more
+  inactive months, and a larger drop in Q4-vs-Q1 activity,
+* income categories and card categories are skewed categorical columns,
+* ``Credit_Used`` (revolving balance / utilisation) is right-skewed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dataframe.column import Column
+from ..dataframe.frame import DataFrame
+from ..errors import DatasetError
+
+#: Row count of the real Kaggle dataset.
+FULL_CREDIT_ROWS = 10_127
+
+_INCOME_CATEGORIES = [
+    "Less than $40K", "$40K - $60K", "$60K - $80K", "$80K - $120K", "$120K +", "Unknown",
+]
+_INCOME_WEIGHTS = [0.35, 0.18, 0.14, 0.15, 0.07, 0.11]
+_EDUCATION_LEVELS = [
+    "High School", "Graduate", "Uneducated", "College", "Post-Graduate", "Doctorate", "Unknown",
+]
+_EDUCATION_WEIGHTS = [0.20, 0.31, 0.15, 0.10, 0.05, 0.04, 0.15]
+_MARITAL_STATUSES = ["Married", "Single", "Divorced", "Unknown"]
+_MARITAL_WEIGHTS = [0.46, 0.39, 0.07, 0.08]
+_CARD_CATEGORIES = ["Blue", "Silver", "Gold", "Platinum"]
+_CARD_WEIGHTS = [0.93, 0.055, 0.011, 0.004]
+
+
+def load_credit(n_rows: int = FULL_CREDIT_ROWS, seed: int = 11, churn_rate: float = 0.16) -> DataFrame:
+    """Generate the synthetic Credit Card Customers dataframe.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of customers; defaults to the real dataset's size.
+    seed:
+        Seed of the generator.
+    churn_rate:
+        Fraction of attrited customers (the real dataset has ~16%).
+    """
+    if n_rows <= 0:
+        raise DatasetError(f"n_rows must be positive, got {n_rows}")
+    if not 0.0 < churn_rate < 1.0:
+        raise DatasetError(f"churn_rate must be in (0, 1), got {churn_rate}")
+    rng = np.random.default_rng(seed)
+
+    churned = rng.random(n_rows) < churn_rate
+    attrition_flag = np.where(churned, "Attrited Customer", "Existing Customer").astype(object)
+
+    customer_age = np.clip(np.round(rng.normal(46.0, 8.0, size=n_rows)), 22, 75)
+    gender = np.where(rng.random(n_rows) < 0.53, "F", "M").astype(object)
+    dependent_count = rng.integers(0, 6, size=n_rows)
+    education = rng.choice(_EDUCATION_LEVELS, size=n_rows, p=_EDUCATION_WEIGHTS).astype(object)
+    marital_status = rng.choice(_MARITAL_STATUSES, size=n_rows, p=_MARITAL_WEIGHTS).astype(object)
+    income_category = rng.choice(_INCOME_CATEGORIES, size=n_rows, p=_INCOME_WEIGHTS).astype(object)
+    card_category = rng.choice(_CARD_CATEGORIES, size=n_rows, p=_CARD_WEIGHTS).astype(object)
+
+    months_on_book = np.clip(np.round(rng.normal(36.0, 8.0, size=n_rows)), 13, 56)
+    registered_products = np.clip(
+        rng.integers(1, 7, size=n_rows) - churned.astype(int), 1, 6
+    )
+    # Churners are systematically less active: more inactive months, fewer
+    # contacts, larger Q4-vs-Q1 drop, fewer and smaller transactions.
+    months_inactive = np.clip(
+        rng.poisson(2.0 + 1.4 * churned, size=n_rows), 0, 6
+    )
+    contacts_count = np.clip(rng.poisson(2.3 + 0.9 * churned, size=n_rows), 0, 6)
+
+    credit_limit = np.round(rng.lognormal(mean=8.9, sigma=0.72, size=n_rows), 0)
+    credit_limit = np.clip(credit_limit, 1_400, 35_000)
+    credit_used = np.clip(
+        rng.beta(1.3, 3.5, size=n_rows) * (1.0 - 0.45 * churned) * credit_limit, 0, None
+    )
+    total_transactions = np.clip(
+        np.round(rng.normal(68.0 - 24.0 * churned, 22.0, size=n_rows)), 10, 140
+    )
+    total_amount = np.clip(
+        rng.lognormal(mean=8.15 - 0.55 * churned, sigma=0.55, size=n_rows), 500, 20_000
+    )
+    count_change_q4_q1 = np.clip(
+        rng.normal(0.72 - 0.22 * churned, 0.22, size=n_rows), 0.0, 3.8
+    )
+    amount_change_q4_q1 = np.clip(
+        rng.normal(0.76 - 0.20 * churned, 0.21, size=n_rows), 0.0, 3.4
+    )
+    utilisation_ratio = np.clip(credit_used / credit_limit, 0.0, 1.0)
+
+    customer_ids = np.asarray([f"C{100000 + i}" for i in range(n_rows)], dtype=object)
+
+    return DataFrame([
+        Column("Customer_ID", customer_ids),
+        Column("Attrition_Flag", attrition_flag),
+        Column("Customer_Age", customer_age.astype(float)),
+        Column("Gender", gender),
+        Column("Dependent_Count", dependent_count.astype(float)),
+        Column("Education_Level", education),
+        Column("Marital_Status", marital_status),
+        Column("Income_Category", income_category),
+        Column("Card_Category", card_category),
+        Column("Months_On_Book", months_on_book.astype(float)),
+        Column("Registered_Products_Count", registered_products.astype(float)),
+        Column("Months_Inactive_Count_Last_Year", months_inactive.astype(float)),
+        Column("Contacts_Count_Last_Year", contacts_count.astype(float)),
+        Column("Credit_Limit", credit_limit.astype(float)),
+        Column("Credit_Used", np.round(credit_used, 1)),
+        Column("Utilisation_Ratio", np.round(utilisation_ratio, 3)),
+        Column("Total_Transitions_Amount", np.round(total_amount, 1)),
+        Column("Total_Transactions_Count", total_transactions.astype(float)),
+        Column("Total_Count_Change_Q4_vs_Q1", np.round(count_change_q4_q1, 3)),
+        Column("Total_Amount_Change_Q4_vs_Q1", np.round(amount_change_q4_q1, 3)),
+        Column("Avg_Open_To_Buy", np.round(np.clip(credit_limit - credit_used, 0, None), 1)),
+    ])

@@ -1,0 +1,212 @@
+"""Synthetic "Products and Sales" dataset (Iowa liquor-style sales).
+
+The paper's Products and Sales dataset [55] consists of a Products table
+(9,977 rows × 16 columns) describing beverage products and a Sales table
+(3,049,913 rows × 17 columns) recording individual sales in a store chain;
+the evaluation joins them into a single view and — for the scalability
+experiment — pads the view to 10M rows with uniformly sampled duplicates.
+
+The generator reproduces:
+
+* the two-table structure with ``item`` as the join key (many-to-one from
+  sales to products),
+* additional many-to-one relations (item → vendor / category, store →
+  county) that the many-to-one partitioner can mine,
+* extreme skew in sales totals and pack sizes (the paper reports a top
+  Fisher–Pearson coefficient of ~206 for this dataset),
+* the prefixed join view (``products_*`` / ``sales_*`` column names) the
+  workload queries of Appendix A refer to.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..dataframe.column import Column
+from ..dataframe.frame import DataFrame
+from ..errors import DatasetError
+
+#: Row counts of the real dataset.
+FULL_PRODUCTS_ROWS = 9_977
+FULL_SALES_ROWS = 3_049_913
+
+_CATEGORIES = [
+    "vodka", "whiskey", "rum", "tequila", "gin", "brandy", "liqueur", "schnapps",
+    "scotch", "bourbon", "wine", "beer",
+]
+_COUNTY_COUNT = 99
+_STORE_COUNT = 1_400
+_VENDOR_COUNT = 260
+_PACKS = np.asarray([1, 6, 12, 24, 48])
+_PACK_WEIGHTS = np.asarray([0.08, 0.37, 0.40, 0.12, 0.03])
+_BOTTLE_SIZES = np.asarray([50, 200, 375, 500, 750, 1000, 1750])
+_BOTTLE_WEIGHTS = np.asarray([0.04, 0.07, 0.16, 0.11, 0.38, 0.14, 0.10])
+
+
+def load_products(n_rows: int = FULL_PRODUCTS_ROWS, seed: int = 23) -> DataFrame:
+    """Generate the Products table."""
+    if n_rows <= 0:
+        raise DatasetError(f"n_rows must be positive, got {n_rows}")
+    rng = np.random.default_rng(seed)
+
+    item = np.arange(10_000, 10_000 + n_rows)
+    vendor_ids = rng.zipf(1.35, size=n_rows) % _VENDOR_COUNT
+    category_ids = rng.integers(0, len(_CATEGORIES), size=n_rows)
+    pack = rng.choice(_PACKS, size=n_rows, p=_PACK_WEIGHTS)
+    inner_pack = np.where(pack >= 12, pack // 2, 1)
+    bottle_size = rng.choice(_BOTTLE_SIZES, size=n_rows, p=_BOTTLE_WEIGHTS)
+    liter_size = bottle_size / 1000.0
+    bottle_cost = np.round(np.clip(rng.lognormal(2.1, 0.6, size=n_rows), 1.0, 400.0), 2)
+    bottle_retail = np.round(bottle_cost * rng.uniform(1.4, 1.6, size=n_rows), 2)
+    proof = np.clip(np.round(rng.normal(78.0, 18.0, size=n_rows)), 0, 190)
+    upc = rng.integers(10**11, 10**12, size=n_rows)
+    age_years = np.clip(rng.poisson(1.6, size=n_rows), 0, 25)
+
+    vendors = np.asarray([f"vendor_{v:03d}" for v in vendor_ids], dtype=object)
+    categories = np.asarray([_CATEGORIES[c] for c in category_ids], dtype=object)
+    names = np.asarray(
+        [f"{_CATEGORIES[c]}_product_{i:05d}" for i, c in enumerate(category_ids)], dtype=object
+    )
+    descriptions = np.asarray(
+        [f"{int(b)}ml pack of {int(p)}" for b, p in zip(bottle_size, pack)], dtype=object
+    )
+
+    return DataFrame([
+        Column("item", item.astype(float)),
+        Column("name", names),
+        Column("description", descriptions),
+        Column("vendor", vendors),
+        Column("vendor_id", vendor_ids.astype(float)),
+        Column("category_name", categories),
+        Column("pack", pack.astype(float)),
+        Column("inner_pack", inner_pack.astype(float)),
+        Column("bottle_size", bottle_size.astype(float)),
+        Column("liter_size", liter_size),
+        Column("bottle_cost", bottle_cost),
+        Column("bottle_retail", bottle_retail),
+        Column("proof", proof.astype(float)),
+        Column("upc", upc.astype(float)),
+        Column("age_years", age_years.astype(float)),
+        Column("list_date_year", rng.integers(1995, 2019, size=n_rows).astype(float)),
+    ])
+
+
+def load_sales(n_rows: int = 200_000, products: DataFrame | None = None, seed: int = 29) -> DataFrame:
+    """Generate the Sales table.
+
+    ``n_rows`` defaults to 200K (not the full 3M) so that examples and tests
+    stay fast; pass ``FULL_SALES_ROWS`` for the paper-scale table.  Each sale
+    references an ``item`` from the Products table (popular items follow a
+    Zipf distribution, so the join is heavily skewed).
+    """
+    if n_rows <= 0:
+        raise DatasetError(f"n_rows must be positive, got {n_rows}")
+    products = products if products is not None else load_products(seed=seed)
+    rng = np.random.default_rng(seed)
+
+    n_products = products.num_rows
+    product_positions = rng.zipf(1.25, size=n_rows) % n_products
+    item = products["item"].to_float()[product_positions]
+    pack = products["pack"].to_float()[product_positions]
+    liter_size = products["liter_size"].to_float()[product_positions]
+    retail = products["bottle_retail"].to_float()[product_positions]
+    category = np.asarray(products["category_name"].tolist(), dtype=object)[product_positions]
+    vendor = np.asarray(products["vendor"].tolist(), dtype=object)[product_positions]
+
+    store_ids = rng.zipf(1.4, size=n_rows) % _STORE_COUNT
+    county_ids = store_ids % _COUNTY_COUNT
+    stores = np.asarray([f"store_{s:04d}" for s in store_ids], dtype=object)
+    counties = np.asarray([f"county_{c:02d}" for c in county_ids], dtype=object)
+
+    year = rng.integers(2012, 2019, size=n_rows)
+    month = rng.integers(1, 13, size=n_rows)
+    day = rng.integers(1, 29, size=n_rows)
+    dates = np.asarray(
+        [f"{y}-{m:02d}-{d:02d}" for y, m, d in zip(year, month, day)], dtype=object
+    )
+
+    bottle_quantity = np.clip(rng.zipf(1.9, size=n_rows), 1, 600).astype(float)
+    quantity = bottle_quantity * pack
+    total = np.round(bottle_quantity * retail, 2)
+    volume_liters = np.round(bottle_quantity * liter_size, 3)
+    sale_liter_size = liter_size * 1000.0
+
+    return DataFrame([
+        Column("sale_id", np.arange(n_rows).astype(float)),
+        Column("item", item),
+        Column("store", stores),
+        Column("store_id", store_ids.astype(float)),
+        Column("county", counties),
+        Column("county_id", county_ids.astype(float)),
+        Column("date", dates),
+        Column("year", year.astype(float)),
+        Column("month", month.astype(float)),
+        Column("vendor", vendor),
+        Column("category_name", category),
+        Column("pack", pack),
+        Column("liter_size", sale_liter_size),
+        Column("bottle_quantity", bottle_quantity),
+        Column("quantity", quantity),
+        Column("total", total),
+        Column("volume_liters", volume_liters),
+    ])
+
+
+def load_counties(seed: int = 31) -> DataFrame:
+    """Generate the small Counties dimension table (used by join query 2)."""
+    rng = np.random.default_rng(seed)
+    county_ids = np.arange(_COUNTY_COUNT)
+    counties = np.asarray([f"county_{c:02d}" for c in county_ids], dtype=object)
+    population = np.round(rng.lognormal(10.2, 0.9, size=_COUNTY_COUNT), 0)
+    region = np.asarray(
+        [["north", "south", "east", "west"][c % 4] for c in county_ids], dtype=object
+    )
+    return DataFrame([
+        Column("county", counties),
+        Column("county_id", county_ids.astype(float)),
+        Column("population", population.astype(float)),
+        Column("region", region),
+    ])
+
+
+def load_stores(seed: int = 37) -> DataFrame:
+    """Generate the small Stores dimension table (used by join query 3)."""
+    rng = np.random.default_rng(seed)
+    store_ids = np.arange(_STORE_COUNT)
+    stores = np.asarray([f"store_{s:04d}" for s in store_ids], dtype=object)
+    counties = np.asarray([f"county_{s % _COUNTY_COUNT:02d}" for s in store_ids], dtype=object)
+    square_feet = np.round(rng.lognormal(7.6, 0.5, size=_STORE_COUNT), 0)
+    return DataFrame([
+        Column("store", stores),
+        Column("store_id", store_ids.astype(float)),
+        Column("county", counties),
+        Column("square_feet", square_feet.astype(float)),
+    ])
+
+
+def load_products_sales_view(n_sales: int = 200_000, seed: int = 29,
+                             n_products: int = FULL_PRODUCTS_ROWS) -> DataFrame:
+    """The joined Products ⋈ Sales view with prefixed column names.
+
+    The paper's Appendix-A queries reference the join view with column names
+    like ``sales_total``, ``sales_pack``, ``products_bottle_size``; this
+    helper materialises exactly that view.
+    """
+    products, sales = load_products_and_sales(n_sales=n_sales, seed=seed, n_products=n_products)
+    prefixed_products = products.rename(
+        {name: f"products_{name}" for name in products.column_names if name != "item"}
+    )
+    prefixed_sales = sales.rename(
+        {name: f"sales_{name}" for name in sales.column_names if name != "item"}
+    )
+    return prefixed_sales.join(prefixed_products, on="item", how="inner")
+
+
+def load_products_and_sales(n_sales: int = 200_000, seed: int = 29,
+                            n_products: int = FULL_PRODUCTS_ROWS) -> Tuple[DataFrame, DataFrame]:
+    """Both base tables, sharing one product catalogue."""
+    products = load_products(n_rows=n_products, seed=seed)
+    sales = load_sales(n_rows=n_sales, products=products, seed=seed)
+    return products, sales

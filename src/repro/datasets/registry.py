@@ -1,0 +1,107 @@
+"""Dataset registry: look datasets up by the names the workloads use.
+
+The registry decouples the workload definitions ("query 6 runs on the
+``spotify`` table") from dataset materialisation, and lets experiments swap
+in smaller instances of the same datasets for fast sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..dataframe.frame import DataFrame
+from ..errors import DatasetError
+from .credit import FULL_CREDIT_ROWS, load_credit
+from .products import (
+    FULL_PRODUCTS_ROWS,
+    FULL_SALES_ROWS,
+    load_counties,
+    load_products,
+    load_products_sales_view,
+    load_sales,
+    load_stores,
+)
+from .spotify import FULL_SPOTIFY_ROWS, load_spotify
+
+#: Logical dataset names used throughout workloads and experiments.
+DATASET_SPOTIFY = "spotify"
+DATASET_BANK = "bank"
+DATASET_PRODUCTS = "products"
+
+
+class DatasetRegistry:
+    """Caches dataset tables by name so repeated experiments reuse one build.
+
+    Parameters
+    ----------
+    spotify_rows / bank_rows / sales_rows:
+        Sizes of the generated tables.  The defaults are experiment-friendly
+        reductions; pass the ``FULL_*_ROWS`` constants for paper-scale data.
+    seed:
+        Base seed; each table derives its own seed from it.
+    """
+
+    def __init__(self, spotify_rows: int = 40_000, bank_rows: int = FULL_CREDIT_ROWS,
+                 sales_rows: int = 120_000, products_rows: int = FULL_PRODUCTS_ROWS,
+                 seed: int = 0) -> None:
+        self.spotify_rows = spotify_rows
+        self.bank_rows = bank_rows
+        self.sales_rows = sales_rows
+        self.products_rows = products_rows
+        self.seed = seed
+        self._cache: Dict[str, DataFrame] = {}
+        self._builders: Dict[str, Callable[[], DataFrame]] = {
+            "spotify": lambda: load_spotify(self.spotify_rows, seed=self.seed + 7),
+            "bank": lambda: load_credit(self.bank_rows, seed=self.seed + 11),
+            "products": lambda: load_products(self.products_rows, seed=self.seed + 23),
+            "sales": lambda: load_sales(
+                self.sales_rows, products=self.table("products"), seed=self.seed + 29
+            ),
+            "counties": lambda: load_counties(seed=self.seed + 31),
+            "stores": lambda: load_stores(seed=self.seed + 37),
+            "products_sales": lambda: load_products_sales_view(
+                n_sales=self.sales_rows, seed=self.seed + 29, n_products=self.products_rows
+            ),
+        }
+
+    def table(self, name: str) -> DataFrame:
+        """The table registered under ``name`` (built lazily, then cached)."""
+        key = name.lower()
+        if key not in self._builders:
+            raise DatasetError(
+                f"unknown table {name!r}; available: {sorted(self._builders)}"
+            )
+        if key not in self._cache:
+            self._cache[key] = self._builders[key]()
+        return self._cache[key]
+
+    def register(self, name: str, frame: DataFrame) -> None:
+        """Register (or replace) a table under a custom name."""
+        self._cache[name.lower()] = frame
+        self._builders[name.lower()] = lambda: frame
+
+    def table_names(self) -> List[str]:
+        """Names of all registered tables."""
+        return sorted(self._builders)
+
+    def clear(self) -> None:
+        """Drop all cached tables (frees memory between experiments)."""
+        self._cache.clear()
+
+
+def small_registry(seed: int = 0) -> DatasetRegistry:
+    """A registry with small tables for unit tests and quick examples."""
+    return DatasetRegistry(
+        spotify_rows=6_000, bank_rows=4_000, sales_rows=20_000, products_rows=2_000, seed=seed
+    )
+
+
+def paper_scale_registry(seed: int = 0) -> DatasetRegistry:
+    """A registry with the paper's full dataset sizes (slow to build)."""
+    return DatasetRegistry(
+        spotify_rows=FULL_SPOTIFY_ROWS,
+        bank_rows=FULL_CREDIT_ROWS,
+        sales_rows=FULL_SALES_ROWS,
+        products_rows=FULL_PRODUCTS_ROWS,
+        seed=seed,
+    )

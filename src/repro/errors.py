@@ -1,0 +1,60 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so that a
+caller can catch everything coming out of the package with a single except
+clause, while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class DataFrameError(ReproError):
+    """Base class for errors raised by the dataframe substrate."""
+
+
+class ColumnError(DataFrameError):
+    """A column was malformed, missing, or used with an incompatible dtype."""
+
+
+class SchemaError(DataFrameError):
+    """Two dataframes (or a dataframe and an operation) disagree on schema."""
+
+
+class LengthMismatchError(DataFrameError):
+    """Columns of different lengths were combined into one dataframe."""
+
+
+class OperationError(ReproError):
+    """An EDA operation specification is invalid or cannot be applied."""
+
+
+class QueryParseError(OperationError):
+    """A textual query could not be parsed into an EDA operation."""
+
+
+class ExplanationError(ReproError):
+    """The explanation engine was configured or invoked incorrectly."""
+
+
+class PartitionError(ExplanationError):
+    """A row partition is invalid (overlapping sets, unknown attribute, ...)."""
+
+
+class MeasureError(ExplanationError):
+    """An interestingness measure is unknown or not applicable to a step."""
+
+
+class DatasetError(ReproError):
+    """A synthetic dataset generator received invalid parameters."""
+
+
+class BaselineError(ReproError):
+    """A baseline system (SeeDB / RATH / IO) was misconfigured."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was invoked with inconsistent parameters."""

@@ -1,0 +1,58 @@
+"""Experiment harnesses regenerating every table and figure of the paper's evaluation."""
+
+from .accuracy import (
+    DEFAULT_SAMPLE_SIZES,
+    FIG7_QUERY_NUMBERS,
+    FIG8_QUERY_NUMBERS,
+    compare_reports,
+    mean_rows,
+    rows_accuracy_sweep,
+    sampling_accuracy_sweep,
+)
+from .report import format_table, pivot_series, print_table
+from .runtime import (
+    average_by,
+    column_scaling_sweep,
+    default_runtime_systems,
+    row_scaling_sweep,
+    time_system,
+)
+from .setsofrows import DEFAULT_SET_COUNTS as FIG11_SET_COUNTS
+from .setsofrows import FIG11_QUERY_NUMBERS, sets_of_rows_sweep
+from .user_study import (
+    GroundTruth,
+    SimulatedJudge,
+    default_systems,
+    run_augmented_baselines_study,
+    run_generation_time_study,
+    run_interactive_study,
+    run_user_study,
+)
+
+__all__ = [
+    "DEFAULT_SAMPLE_SIZES",
+    "FIG11_QUERY_NUMBERS",
+    "FIG11_SET_COUNTS",
+    "FIG7_QUERY_NUMBERS",
+    "FIG8_QUERY_NUMBERS",
+    "GroundTruth",
+    "SimulatedJudge",
+    "average_by",
+    "column_scaling_sweep",
+    "compare_reports",
+    "default_runtime_systems",
+    "default_systems",
+    "format_table",
+    "mean_rows",
+    "pivot_series",
+    "print_table",
+    "row_scaling_sweep",
+    "rows_accuracy_sweep",
+    "run_augmented_baselines_study",
+    "run_generation_time_study",
+    "run_interactive_study",
+    "run_user_study",
+    "sampling_accuracy_sweep",
+    "sets_of_rows_sweep",
+    "time_system",
+]

@@ -1,0 +1,141 @@
+"""Accuracy of fedex-Sampling w.r.t. exact fedex (paper Figures 7 and 8).
+
+Exact fedex (no sampling) is the ground truth; fedex-Sampling is run with a
+range of sample sizes (Figure 7) or with a fixed 5K sample on growing data
+(Figure 8), and the two explanation sets are compared with:
+
+* precision@k of the skyline explanation set (k = 3, as in the paper),
+* the Kendall-tau distance between the two candidate rankings,
+* the nDCG of the sampled ranking, with the exact weighted scores as graded
+  relevance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core.config import FedexConfig
+from ..core.engine import ExplanationReport, FedexExplainer
+from ..datasets.registry import DatasetRegistry
+from ..stats.ranking import kendall_tau_distance, ndcg, precision_at_k
+from ..workloads.queries import WorkloadQuery, get_query
+
+#: The sample sizes swept in Figure 7.
+DEFAULT_SAMPLE_SIZES = (50, 200, 1_000, 5_000, 10_000, 20_000, 50_000)
+
+#: Queries averaged in Figure 7 (Spotify + Products filter/join and group-by).
+FIG7_QUERY_NUMBERS = (1, 4, 5, 6, 7, 8, 9, 10, 16, 18, 19, 21, 22, 23, 24, 25)
+
+#: Queries averaged in Figure 8 (Products filter/join queries).
+FIG8_QUERY_NUMBERS = (1, 4, 5)
+
+
+def compare_reports(exact: ExplanationReport, sampled: ExplanationReport, k: int = 3) -> Dict[str, float]:
+    """Accuracy metrics of a sampled report against the exact report.
+
+    Candidate keys are de-duplicated (different partition granularities can
+    rediscover the same set-of-rows) so the ranking metrics compare each
+    distinct explanation once.
+    """
+    exact_skyline = _dedupe(exact.skyline_keys())
+    sampled_skyline = _dedupe(sampled.skyline_keys())
+    exact_ranking = _dedupe([candidate.key() for candidate in exact.ranked_candidates()])
+    sampled_ranking = _dedupe([candidate.key() for candidate in sampled.ranked_candidates()])
+    relevance: Dict = {}
+    for candidate in exact.ranked_candidates():
+        key = candidate.key()
+        score = max(candidate.weighted_score(1.0, 1.0), 0.0)
+        relevance[key] = max(relevance.get(key, 0.0), score)
+    return {
+        "precision_at_k": precision_at_k(sampled_skyline, exact_skyline, k=k),
+        "kendall_tau": float(kendall_tau_distance(sampled_ranking, exact_ranking)),
+        "ndcg": ndcg(sampled_ranking, relevance, k=max(len(exact_ranking), 1)),
+    }
+
+
+def _dedupe(items: Sequence) -> List:
+    """Drop repeated items while preserving the first-occurrence order."""
+    seen: set = set()
+    unique: List = []
+    for item in items:
+        if item in seen:
+            continue
+        seen.add(item)
+        unique.append(item)
+    return unique
+
+
+def sampling_accuracy_sweep(registry: DatasetRegistry,
+                            query_numbers: Sequence[int] = FIG7_QUERY_NUMBERS,
+                            sample_sizes: Sequence[int] = DEFAULT_SAMPLE_SIZES,
+                            k: int = 3, seed: int = 0) -> List[Dict]:
+    """Figure 7: accuracy of fedex-Sampling as a function of the sample size.
+
+    Returns long-form rows ``{sample_size, query, precision_at_k, kendall_tau,
+    ndcg}`` plus per-sample-size averages (query = "mean").
+    """
+    rows: List[Dict] = []
+    exact_reports: Dict[int, ExplanationReport] = {}
+    steps = {}
+    for number in query_numbers:
+        query = get_query(number)
+        step = query.build_step(registry)
+        steps[number] = step
+        exact_reports[number] = FedexExplainer(FedexConfig(sample_size=None, seed=seed)).explain(step)
+
+    for sample_size in sample_sizes:
+        per_query_metrics: List[Dict[str, float]] = []
+        for number in query_numbers:
+            sampled_report = FedexExplainer(
+                FedexConfig(sample_size=sample_size, seed=seed)
+            ).explain(steps[number])
+            metrics = compare_reports(exact_reports[number], sampled_report, k=k)
+            per_query_metrics.append(metrics)
+            rows.append({"sample_size": sample_size, "query": number, **metrics})
+        rows.append({
+            "sample_size": sample_size,
+            "query": "mean",
+            "precision_at_k": float(np.mean([m["precision_at_k"] for m in per_query_metrics])),
+            "kendall_tau": float(np.mean([m["kendall_tau"] for m in per_query_metrics])),
+            "ndcg": float(np.mean([m["ndcg"] for m in per_query_metrics])),
+        })
+    return rows
+
+
+def rows_accuracy_sweep(registry_factory, row_counts: Sequence[int],
+                        query_numbers: Sequence[int] = FIG8_QUERY_NUMBERS,
+                        sample_size: int = 5_000, k: int = 3, seed: int = 0) -> List[Dict]:
+    """Figure 8: accuracy of fedex-Sampling (5K sample) for growing data sizes.
+
+    ``registry_factory`` maps a row count to a :class:`DatasetRegistry` whose
+    Products & Sales view has (roughly) that many rows; the sweep re-runs the
+    exact and the sampled engines at every size.
+    """
+    rows: List[Dict] = []
+    for row_count in row_counts:
+        registry = registry_factory(row_count)
+        per_query_metrics: List[Dict[str, float]] = []
+        for number in query_numbers:
+            step = get_query(number).build_step(registry)
+            exact_report = FedexExplainer(FedexConfig(sample_size=None, seed=seed)).explain(step)
+            sampled_report = FedexExplainer(
+                FedexConfig(sample_size=sample_size, seed=seed)
+            ).explain(step)
+            metrics = compare_reports(exact_report, sampled_report, k=k)
+            per_query_metrics.append(metrics)
+            rows.append({"rows": row_count, "query": number, **metrics})
+        rows.append({
+            "rows": row_count,
+            "query": "mean",
+            "precision_at_k": float(np.mean([m["precision_at_k"] for m in per_query_metrics])),
+            "kendall_tau": float(np.mean([m["kendall_tau"] for m in per_query_metrics])),
+            "ndcg": float(np.mean([m["ndcg"] for m in per_query_metrics])),
+        })
+    return rows
+
+
+def mean_rows(rows: Sequence[Dict], axis_column: str) -> List[Dict]:
+    """Only the per-axis-value averages (query == "mean") of a sweep result."""
+    return [row for row in rows if row.get("query") == "mean"]

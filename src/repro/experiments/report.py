@@ -1,0 +1,65 @@
+"""Result-table formatting for the experiment harnesses.
+
+Every experiment returns plain data (lists of dict rows); these helpers print
+them as aligned text tables so the benchmark runs produce the same kind of
+rows/series the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str] | None = None,
+                 title: str | None = None, float_format: str = "{:.3f}") -> str:
+    """Format a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered: List[List[str]] = [[_format_cell(row.get(column), float_format) for column in columns]
+                                 for row in rows]
+    widths = [
+        max(len(str(column)), max(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in rendered
+    ]
+    lines = ([title, ""] if title else []) + [header, separator] + body
+    return "\n".join(lines)
+
+
+def print_table(rows: Sequence[Dict], columns: Sequence[str] | None = None,
+                title: str | None = None) -> None:
+    """Print a formatted table (convenience for benchmark harnesses)."""
+    print(format_table(rows, columns=columns, title=title))
+    print()
+
+
+def pivot_series(rows: Sequence[Dict], index: str, series: str, value: str) -> List[Dict]:
+    """Pivot long-form rows into one row per ``index`` with one column per ``series``."""
+    ordered_index: List = []
+    table: Dict = {}
+    series_names: List[str] = []
+    for row in rows:
+        key = row[index]
+        if key not in table:
+            table[key] = {index: key}
+            ordered_index.append(key)
+        name = str(row[series])
+        if name not in series_names:
+            series_names.append(name)
+        table[key][name] = row[value]
+    return [table[key] for key in ordered_index]
+
+
+def _format_cell(value, float_format: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return float_format.format(value)
+    return str(value)

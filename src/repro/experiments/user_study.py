@@ -1,0 +1,345 @@
+"""Simulated user studies (paper Figures 3, 4, 5, and 6).
+
+The paper evaluates explanation quality with human studies.  Humans are not
+available in this offline reproduction, so the studies are *simulated* with an
+explicit, documented judge model — the goal is to check the relative ordering
+of the systems (Expert ≥ FEDEX > IO > SeeDB / Rath, and assisted EDA finding
+more insights than unassisted EDA), not to reproduce absolute Likert values.
+
+Judge model
+-----------
+Ground truth for a query is computed by an exact FEDEX run (no sampling,
+wide column budget): the ranking of output columns by interestingness and,
+per column, the sets-of-rows with the highest standardized contribution.  An artefact produced by any system is
+scored on three 1–7 scales:
+
+* *insight* and *usefulness* — how well the artefact's claim (which column it
+  talks about, which value/set-of-rows it highlights) aligns with the ground
+  truth; claims about uninteresting columns or without any row-set grounding
+  score low,
+* *coherency* — a modality prior reflecting the paper's own observation that
+  visualization-only artefacts are harder to interpret: narrative text scores
+  highest, hybrid text+chart slightly lower, chart-only much lower.
+
+The self-alignment caveat (FEDEX is scored against ground truth produced by
+an exhaustive FEDEX run) is inherent to simulation and is documented in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.common import BaselineExplanation, BaselineSystem
+from ..baselines.expert import ExpertBaseline
+from ..baselines.fedex_adapter import fedex_system
+from ..baselines.interestingness_only import InterestingnessOnly
+from ..baselines.rath import RathInsights
+from ..baselines.seedb import SeeDB
+from ..core.config import FedexConfig
+from ..core.engine import FedexExplainer
+from ..datasets.registry import DatasetRegistry, small_registry
+from ..operators.step import ExploratoryStep
+from ..workloads.queries import NOTEBOOK_QUERIES, get_query
+
+#: Coherency priors by artefact modality (1–7 scale).
+COHERENCY_TEXT_ONLY = 6.2
+COHERENCY_HYBRID = 5.8
+COHERENCY_CHART_ONLY = 3.2
+COHERENCY_EMPTY = 1.5
+
+#: Unassisted-EDA simulation parameters (Figure 5): one exploratory step takes
+#: ~75 seconds and yields a task-relevant insight with the per-dataset
+#: probability below (the Spotify task is the easier of the two).
+UNASSISTED_SECONDS_PER_STEP = 75.0
+UNASSISTED_INSIGHT_PROBABILITY = {"spotify": 0.30, "bank": 0.125}
+STUDY_MINUTES = 10.0
+
+
+@dataclass
+class GroundTruth:
+    """Ground-truth signals of one query, derived from exhaustive exact FEDEX."""
+
+    column_ranking: List[str]
+    interestingness: Dict[str, float]
+    row_sets: Dict[str, List[Tuple[str, str, float]]] = field(default_factory=dict)
+
+    def column_score(self, column: Optional[str]) -> float:
+        """Alignment of a claimed column with the interestingness ranking."""
+        if column is None or column not in self.interestingness:
+            return 0.0
+        if column in self.column_ranking:
+            rank = self.column_ranking.index(column)
+            if rank == 0:
+                return 1.0
+            if rank == 1:
+                return 0.8
+            if rank == 2:
+                return 0.6
+        return 0.4 if self.interestingness.get(column, 0.0) > 0 else 0.0
+
+    def row_set_score(self, column: Optional[str], value: Optional[str]) -> float:
+        """Alignment of a highlighted value with the top contributing sets-of-rows."""
+        if value is None:
+            return 0.0
+        if column is not None and self._matches_any(self.row_sets.get(column, []), value):
+            return 1.0
+        for other_column, row_sets in self.row_sets.items():
+            if other_column != column and self._matches_any(row_sets, value):
+                return 0.3
+        return 0.1
+
+    @staticmethod
+    def _matches_any(row_sets: List[Tuple[str, str, float]], value: str) -> bool:
+        return any(_labels_match(label, value) for _, label, _ in row_sets)
+
+
+class SimulatedJudge:
+    """Scores artefacts of any system against FEDEX-exhaustive ground truth."""
+
+    def __init__(self, seed: int = 17, ground_truth_top_k: int = 5) -> None:
+        self._rng = np.random.default_rng(seed)
+        self._ground_truth_top_k = ground_truth_top_k
+        config = FedexConfig(sample_size=None, top_k_columns=8, top_k_explanations=None)
+        self._explainer = FedexExplainer(config=config)
+
+    def ground_truth(self, step: ExploratoryStep) -> GroundTruth:
+        """Build the ground-truth signals for one exploratory step."""
+        report = self._explainer.explain(step)
+        ranking = sorted(report.interestingness_scores.items(), key=lambda item: (-item[1], item[0]))
+        column_ranking = [column for column, score in ranking if score > 0]
+        row_sets: Dict[str, List[Tuple[str, str, float]]] = {}
+        ranked_candidates = report.ranked_candidates()
+        for candidate in ranked_candidates:
+            bucket = row_sets.setdefault(candidate.attribute, [])
+            if len(bucket) < self._ground_truth_top_k:
+                bucket.append((
+                    candidate.row_set.label_attribute,
+                    candidate.row_set.label,
+                    candidate.standardized_contribution,
+                ))
+        return GroundTruth(
+            column_ranking=column_ranking,
+            interestingness=dict(report.interestingness_scores),
+            row_sets=row_sets,
+        )
+
+    def score(self, artefact: BaselineExplanation, ground_truth: GroundTruth) -> Dict[str, float]:
+        """1–7 coherency / insight / usefulness scores of one artefact."""
+        column_alignment = ground_truth.column_score(artefact.target_column)
+        row_alignment = ground_truth.row_set_score(artefact.target_column, artefact.highlighted_value)
+
+        insight = 1.0 + 6.0 * (0.45 * column_alignment + 0.55 * row_alignment)
+        usefulness = 1.0 + 6.0 * (0.55 * column_alignment + 0.45 * row_alignment)
+        if artefact.is_hybrid:
+            coherency = COHERENCY_HYBRID
+        elif artefact.has_text:
+            coherency = COHERENCY_TEXT_ONLY
+        elif artefact.has_visualization:
+            coherency = COHERENCY_CHART_ONLY
+        else:
+            coherency = COHERENCY_EMPTY
+        coherency = float(np.clip(coherency + self._rng.uniform(-0.3, 0.3), 1.0, 7.0))
+        return {
+            "coherency": coherency,
+            "insight": float(np.clip(insight + self._rng.uniform(-0.3, 0.3), 1.0, 7.0)),
+            "usefulness": float(np.clip(usefulness + self._rng.uniform(-0.3, 0.3), 1.0, 7.0)),
+        }
+
+
+def default_systems(sample_size: int = 5_000) -> List[BaselineSystem]:
+    """The systems compared in the first user study (Figure 3)."""
+    return [
+        ExpertBaseline(),
+        fedex_system(sample_size=sample_size, name="FEDEX"),
+        InterestingnessOnly(),
+        SeeDB(),
+        RathInsights(),
+    ]
+
+
+def run_user_study(registry: DatasetRegistry | None = None,
+                   systems: Sequence[BaselineSystem] | None = None,
+                   notebooks: Dict[str, List[int]] | None = None,
+                   artefacts_per_query: int = 2,
+                   seed: int = 17) -> List[Dict]:
+    """Figure 3: per-dataset, per-system coherency / insight / usefulness scores.
+
+    Returns long-form rows ``{dataset, system, coherency, insight, usefulness,
+    average, queries, generation_seconds}``.
+    """
+    registry = registry or small_registry()
+    systems = list(systems) if systems is not None else default_systems()
+    notebooks = notebooks or NOTEBOOK_QUERIES
+    judge = SimulatedJudge(seed=seed)
+
+    rows: List[Dict] = []
+    for dataset, query_numbers in notebooks.items():
+        steps = [get_query(number).build_step(registry) for number in query_numbers]
+        truths = [judge.ground_truth(step) for step in steps]
+        for system in systems:
+            scores: List[Dict[str, float]] = []
+            generation_seconds = 0.0
+            for step, truth in zip(steps, truths):
+                if not system.supports(step):
+                    continue
+                started = time.perf_counter()
+                artefacts = system.explain(step, top_k=artefacts_per_query)
+                generation_seconds += time.perf_counter() - started
+                for artefact in artefacts[:artefacts_per_query]:
+                    scores.append(judge.score(artefact, truth))
+            if not scores:
+                continue
+            row = {
+                "dataset": dataset,
+                "system": system.name,
+                "coherency": float(np.mean([s["coherency"] for s in scores])),
+                "insight": float(np.mean([s["insight"] for s in scores])),
+                "usefulness": float(np.mean([s["usefulness"] for s in scores])),
+                "queries": len(steps),
+                "generation_seconds": generation_seconds,
+            }
+            row["average"] = float(np.mean([row["coherency"], row["insight"], row["usefulness"]]))
+            rows.append(row)
+    return rows
+
+
+def run_generation_time_study(registry: DatasetRegistry | None = None,
+                              notebooks: Dict[str, List[int]] | None = None,
+                              sample_size: int = 5_000, seed: int = 17) -> List[Dict]:
+    """Figure 4: explanation generation time, FEDEX vs the (simulated) expert."""
+    registry = registry or small_registry()
+    notebooks = notebooks or NOTEBOOK_QUERIES
+    fedex = fedex_system(sample_size=sample_size, name="FEDEX")
+    expert = ExpertBaseline(seed=seed)
+
+    rows: List[Dict] = []
+    for dataset, query_numbers in notebooks.items():
+        for number in query_numbers:
+            step = get_query(number).build_step(registry)
+            started = time.perf_counter()
+            fedex.explain(step)
+            fedex_seconds = time.perf_counter() - started
+            expert.explain(step)
+            rows.append({
+                "dataset": dataset,
+                "query": number,
+                "fedex_seconds": fedex_seconds,
+                "expert_seconds": expert.last_authoring_seconds,
+                "speedup": expert.last_authoring_seconds / max(fedex_seconds, 1e-9),
+            })
+    return rows
+
+
+def run_interactive_study(registry: DatasetRegistry | None = None,
+                          sample_size: int = 5_000, seed: int = 17) -> List[Dict]:
+    """Figure 5: number of task-relevant insights found with vs without FEDEX.
+
+    The unassisted arm is a simulation: a participant performs one exploratory
+    step every ``UNASSISTED_SECONDS_PER_STEP`` seconds and each step yields a
+    task-relevant insight with the per-dataset probability above.  The
+    assisted arm adds the *actual* distinct, ground-truth-aligned explanations
+    FEDEX produces for the notebook's queries (each explanation read counts as
+    one insight, as in the paper's counting protocol).
+    """
+    registry = registry or small_registry()
+    judge = SimulatedJudge(seed=seed)
+    rng = np.random.default_rng(seed)
+    steps_in_session = int(STUDY_MINUTES * 60.0 / UNASSISTED_SECONDS_PER_STEP)
+    fedex = fedex_system(sample_size=sample_size, name="FEDEX")
+
+    rows: List[Dict] = []
+    for dataset in ("bank", "spotify"):
+        probability = UNASSISTED_INSIGHT_PROBABILITY[dataset]
+        unassisted = float(rng.binomial(steps_in_session, probability))
+
+        query_numbers = NOTEBOOK_QUERIES[dataset]
+        revealed: set = set()
+        for number in query_numbers:
+            step = get_query(number).build_step(registry)
+            truth = judge.ground_truth(step)
+            for artefact in fedex.explain(step, top_k=2):
+                aligned = (
+                    truth.column_score(artefact.target_column) >= 0.6
+                    and truth.row_set_score(artefact.target_column, artefact.highlighted_value) >= 1.0
+                )
+                if aligned:
+                    revealed.add((artefact.target_column, artefact.highlighted_value))
+        assisted = unassisted + len(revealed)
+        rows.append({"dataset": dataset, "mode": "unassisted", "insights": unassisted})
+        rows.append({"dataset": dataset, "mode": "fedex-assisted", "insights": assisted})
+    return rows
+
+
+def run_augmented_baselines_study(registry: DatasetRegistry | None = None,
+                                  seed: int = 17, artefacts_per_query: int = 2) -> List[Dict]:
+    """Figure 6: SeeDB/Rath augmented with expert captions, vs FEDEX (Bank notebook)."""
+    registry = registry or small_registry()
+    judge = SimulatedJudge(seed=seed)
+    systems: List[BaselineSystem] = [
+        fedex_system(sample_size=5_000, name="FEDEX"),
+        SeeDB(),
+        RathInsights(),
+    ]
+    steps = [get_query(number).build_step(registry) for number in NOTEBOOK_QUERIES["bank"]]
+    truths = [judge.ground_truth(step) for step in steps]
+
+    rows: List[Dict] = []
+    for system in systems:
+        scores: List[Dict[str, float]] = []
+        for step, truth in zip(steps, truths):
+            if not system.supports(step):
+                continue
+            artefacts = system.explain(step, top_k=artefacts_per_query)
+            for artefact in artefacts[:artefacts_per_query]:
+                if system.name != "FEDEX" and not artefact.has_text:
+                    artefact.caption = _augmented_caption(artefact)
+                scores.append(judge.score(artefact, truth))
+        if not scores:
+            continue
+        label = system.name if system.name == "FEDEX" else f"{system.name}+text"
+        rows.append({
+            "system": label,
+            "coherency": float(np.mean([s["coherency"] for s in scores])),
+            "insight": float(np.mean([s["insight"] for s in scores])),
+            "usefulness": float(np.mean([s["usefulness"] for s in scores])),
+            "average": float(np.mean([list(s.values()) for s in scores])),
+        })
+    return rows
+
+
+def _augmented_caption(artefact: BaselineExplanation) -> str:
+    """The expert-written caption added to a visualization-only baseline artefact."""
+    subject = artefact.target_column or "the result"
+    highlight = f", with '{artefact.highlighted_value}' standing out" if artefact.highlighted_value else ""
+    return f"This view summarises {subject} in the query result{highlight}."
+
+
+def _labels_match(ground_truth_label: str, value: str) -> bool:
+    """Whether a highlighted value names the same thing as a ground-truth set label."""
+    first = str(ground_truth_label).strip().lower()
+    second = str(value).strip().lower()
+    if first == second:
+        return True
+    first_number = _try_float(first)
+    second_number = _try_float(second)
+    if first_number is not None and second_number is not None:
+        return abs(first_number - second_number) < 1e-9
+    # Interval labels like "[1960, 1965)" match any value inside the interval.
+    if first.startswith("[") and ("," in first) and second_number is not None:
+        bounds = first.strip("[]()").split(",")
+        low, high = _try_float(bounds[0]), _try_float(bounds[1])
+        if low is not None and high is not None:
+            return low <= second_number <= high
+    return False
+
+
+def _try_float(text: str) -> Optional[float]:
+    try:
+        return float(text)
+    except (TypeError, ValueError):
+        return None

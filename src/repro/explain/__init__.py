@@ -1,0 +1,5 @@
+"""One-line explanation wrapper over the dataframe substrate (pd-explain style)."""
+
+from .explainable import ExplainableDataFrame, explain_dataframe
+
+__all__ = ["ExplainableDataFrame", "explain_dataframe"]

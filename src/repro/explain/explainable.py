@@ -1,0 +1,130 @@
+"""One-line explanation wrapper (the "pandas wrapper" of the paper's future work).
+
+:class:`ExplainableDataFrame` wraps a :class:`~repro.dataframe.frame.DataFrame`
+and records every EDA operation applied through it.  After any operation the
+user can call :meth:`~ExplainableDataFrame.explain` to get FEDEX explanations
+of the *last* step (or of any recorded step), in one line::
+
+    songs = ExplainableDataFrame(load_spotify())
+    popular = songs.filter(Comparison("popularity", ">", 65))
+    print(popular.explain().render_text())
+
+This mirrors the pd-explain interface the FEDEX authors released alongside
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from ..core.config import FedexConfig
+from ..core.engine import ExplanationReport, FedexExplainer
+from ..dataframe.frame import DataFrame
+from ..dataframe.predicates import Predicate
+from ..errors import ExplanationError
+from ..operators.operations import Filter, GroupBy, Join, Union
+from ..operators.step import ExploratoryStep
+
+
+class ExplainableDataFrame:
+    """A dataframe that remembers how it was produced and can explain it."""
+
+    def __init__(self, frame: DataFrame, history: Optional[List[ExploratoryStep]] = None,
+                 config: FedexConfig | None = None) -> None:
+        self._frame = frame
+        self._history: List[ExploratoryStep] = list(history or [])
+        self._config = config or FedexConfig()
+
+    # ------------------------------------------------------------------ access
+    @property
+    def frame(self) -> DataFrame:
+        """The wrapped dataframe."""
+        return self._frame
+
+    @property
+    def history(self) -> List[ExploratoryStep]:
+        """All exploratory steps recorded so far (oldest first)."""
+        return list(self._history)
+
+    @property
+    def last_step(self) -> Optional[ExploratoryStep]:
+        """The most recent exploratory step, if any."""
+        return self._history[-1] if self._history else None
+
+    @property
+    def shape(self) -> tuple:
+        """Shape of the wrapped dataframe."""
+        return self._frame.shape
+
+    @property
+    def column_names(self) -> List[str]:
+        """Column names of the wrapped dataframe."""
+        return self._frame.column_names
+
+    def __len__(self) -> int:
+        return len(self._frame)
+
+    def __getitem__(self, name: str):
+        return self._frame[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExplainableDataFrame({self._frame!r}, steps={len(self._history)})"
+
+    # -------------------------------------------------------------- operations
+    def filter(self, predicate: Predicate, label: str | None = None) -> "ExplainableDataFrame":
+        """Apply a filter operation and record the step."""
+        return self._apply(Filter(predicate), label=label)
+
+    def groupby(self, keys: Sequence[str] | str,
+                aggregations: Mapping[str, Sequence[str]] | None = None,
+                include_count: bool = False,
+                pre_filter: Predicate | None = None,
+                label: str | None = None) -> "ExplainableDataFrame":
+        """Apply a group-by operation and record the step."""
+        operation = GroupBy(keys, aggregations, include_count=include_count, pre_filter=pre_filter)
+        return self._apply(operation, label=label)
+
+    def join(self, other: "ExplainableDataFrame | DataFrame", on: str | Sequence[str],
+             how: str = "inner", label: str | None = None) -> "ExplainableDataFrame":
+        """Apply a join with another (explainable) dataframe and record the step."""
+        right = other.frame if isinstance(other, ExplainableDataFrame) else other
+        operation = Join(on=on, how=how)
+        step = ExploratoryStep([self._frame, right], operation, label=label)
+        return ExplainableDataFrame(step.output, self._history + [step], config=self._config)
+
+    def union(self, other: "ExplainableDataFrame | DataFrame",
+              label: str | None = None) -> "ExplainableDataFrame":
+        """Apply a union with another (explainable) dataframe and record the step."""
+        right = other.frame if isinstance(other, ExplainableDataFrame) else other
+        operation = Union(n_inputs=2)
+        step = ExploratoryStep([self._frame, right], operation, label=label)
+        return ExplainableDataFrame(step.output, self._history + [step], config=self._config)
+
+    # ------------------------------------------------------------- explanation
+    def explain(self, step_index: int = -1, config: FedexConfig | None = None,
+                measure: str | None = None,
+                target_columns: Sequence[str] | None = None) -> ExplanationReport:
+        """Explain a recorded exploratory step (the last one by default)."""
+        if not self._history:
+            raise ExplanationError(
+                "no exploratory step has been recorded yet; apply an operation first"
+            )
+        step = self._history[step_index]
+        effective_config = config or self._config
+        if target_columns is not None:
+            effective_config = effective_config.restricted_to(target_columns)
+        return FedexExplainer(config=effective_config).explain(step, measure=measure)
+
+    def explain_text(self, step_index: int = -1, width: int = 40, **kwargs) -> str:
+        """Shorthand: explanations of a recorded step rendered as text."""
+        return self.explain(step_index=step_index, **kwargs).render_text(width=width)
+
+    # ---------------------------------------------------------------- internals
+    def _apply(self, operation, label: str | None) -> "ExplainableDataFrame":
+        step = ExploratoryStep([self._frame], operation, label=label)
+        return ExplainableDataFrame(step.output, self._history + [step], config=self._config)
+
+
+def explain_dataframe(frame: DataFrame, config: FedexConfig | None = None) -> ExplainableDataFrame:
+    """Wrap a plain dataframe for one-line explanations."""
+    return ExplainableDataFrame(frame, config=config)

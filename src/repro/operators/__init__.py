@@ -1,0 +1,33 @@
+"""EDA operation model: operations, exploratory steps, OLAP extensions, and the query parser."""
+
+from .olap import Diff, Pivot, RollUp
+from .operations import (
+    Filter,
+    GroupBy,
+    Join,
+    MEASURE_DIVERSITY,
+    MEASURE_EXCEPTIONALITY,
+    Operation,
+    Project,
+    Union,
+)
+from .parser import ParsedQuery, parse_query, parse_workload
+from .step import ExploratoryStep
+
+__all__ = [
+    "Diff",
+    "ExploratoryStep",
+    "Filter",
+    "GroupBy",
+    "Join",
+    "MEASURE_DIVERSITY",
+    "MEASURE_EXCEPTIONALITY",
+    "Operation",
+    "ParsedQuery",
+    "Pivot",
+    "Project",
+    "RollUp",
+    "Union",
+    "parse_query",
+    "parse_workload",
+]

@@ -1,0 +1,220 @@
+"""EDA operation specifications.
+
+An *operation* (``q`` in the paper) is a declarative, re-applicable
+description of an exploratory action: filter, group-by, join, or union.
+Keeping operations declarative is essential for FEDEX's contribution
+computation, which removes a set of rows from the input and re-runs *the
+same* operation on the reduced input (Definition 3.3).
+
+Every operation knows:
+
+* how to :meth:`~Operation.apply` itself to a list of input dataframes,
+* which interestingness family suits it by default
+  (:attr:`~Operation.default_measure` — ``"exceptionality"`` for
+  filter/join/union, ``"diversity"`` for group-by, per §3.2),
+* how to :meth:`~Operation.describe` itself for captions and logs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Mapping, Sequence
+
+from ..dataframe.frame import DataFrame
+from ..dataframe.predicates import Predicate
+from ..errors import OperationError
+
+#: Interestingness families (see :mod:`repro.core.interestingness`).
+MEASURE_EXCEPTIONALITY = "exceptionality"
+MEASURE_DIVERSITY = "diversity"
+
+
+class Operation(ABC):
+    """Base class for EDA operations."""
+
+    #: Name of the operation type ("filter", "groupby", "join", "union").
+    kind: str = "operation"
+
+    @abstractmethod
+    def apply(self, inputs: Sequence[DataFrame]) -> DataFrame:
+        """Apply the operation to the input dataframes and return the output."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Short human-readable description used in captions and logs."""
+
+    @property
+    def default_measure(self) -> str:
+        """The interestingness family FEDEX uses for this operation by default."""
+        return MEASURE_EXCEPTIONALITY
+
+    @property
+    def arity(self) -> int:
+        """Number of input dataframes the operation expects."""
+        return 1
+
+    def validate_inputs(self, inputs: Sequence[DataFrame]) -> None:
+        """Raise :class:`OperationError` when the number of inputs is wrong."""
+        if len(inputs) != self.arity:
+            raise OperationError(
+                f"{self.kind} operation expects {self.arity} input dataframe(s), got {len(inputs)}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.describe()})"
+
+
+class Filter(Operation):
+    """Row-selection operation: keep rows satisfying a predicate."""
+
+    kind = "filter"
+
+    def __init__(self, predicate: Predicate) -> None:
+        self.predicate = predicate
+
+    def apply(self, inputs: Sequence[DataFrame]) -> DataFrame:
+        self.validate_inputs(inputs)
+        return inputs[0].filter(self.predicate)
+
+    def describe(self) -> str:
+        return f"filter {self.predicate.describe()}"
+
+
+class GroupBy(Operation):
+    """Group-by-and-aggregate operation.
+
+    Parameters
+    ----------
+    keys:
+        Grouping column(s).
+    aggregations:
+        Mapping value-column -> list of aggregation names (``mean``, ``max``,
+        ``min``, ``sum``, ``count``, ``median``, ``std``).
+    include_count:
+        Add a ``count`` column with the group sizes (the paper's
+        ``SELECT count ... GROUP BY`` queries).
+    pre_filter:
+        Optional predicate applied to the input before grouping; the paper's
+        running example (query "group by year where year >= 1990") uses this.
+    """
+
+    kind = "groupby"
+
+    def __init__(self, keys: Sequence[str] | str,
+                 aggregations: Mapping[str, Sequence[str]] | None = None,
+                 include_count: bool = False,
+                 pre_filter: Predicate | None = None) -> None:
+        self.keys = [keys] if isinstance(keys, str) else list(keys)
+        if not self.keys:
+            raise OperationError("group-by requires at least one key column")
+        self.aggregations: Dict[str, List[str]] = {
+            column: list(aggs) for column, aggs in (aggregations or {}).items()
+        }
+        self.include_count = include_count or not self.aggregations
+        self.pre_filter = pre_filter
+
+    def apply(self, inputs: Sequence[DataFrame]) -> DataFrame:
+        self.validate_inputs(inputs)
+        frame = inputs[0]
+        if self.pre_filter is not None:
+            frame = frame.filter(self.pre_filter)
+        return frame.groupby(self.keys, self.aggregations, include_count=self.include_count)
+
+    @property
+    def default_measure(self) -> str:
+        return MEASURE_DIVERSITY
+
+    def aggregated_output_columns(self) -> List[str]:
+        """Names of the aggregate columns produced in the output dataframe."""
+        from ..dataframe.groupby import aggregation_column_name
+
+        names = [
+            aggregation_column_name(agg, column)
+            for column, aggs in self.aggregations.items()
+            for agg in aggs
+        ]
+        if self.include_count:
+            names.append("count")
+        return names
+
+    def describe(self) -> str:
+        agg_text = ", ".join(
+            f"{agg}({column})" for column, aggs in self.aggregations.items() for agg in aggs
+        )
+        if self.include_count:
+            agg_text = f"{agg_text}, count" if agg_text else "count"
+        prefix = f"where {self.pre_filter.describe()} " if self.pre_filter is not None else ""
+        return f"{prefix}group by {', '.join(self.keys)} computing {agg_text}"
+
+
+class Join(Operation):
+    """Inner (or left) join of two input dataframes on key column(s)."""
+
+    kind = "join"
+
+    def __init__(self, on: str | Sequence[str], how: str = "inner") -> None:
+        self.on = [on] if isinstance(on, str) else list(on)
+        if not self.on:
+            raise OperationError("join requires at least one key column")
+        self.how = how
+
+    @property
+    def arity(self) -> int:
+        return 2
+
+    def apply(self, inputs: Sequence[DataFrame]) -> DataFrame:
+        self.validate_inputs(inputs)
+        return inputs[0].join(inputs[1], on=self.on, how=self.how)
+
+    def describe(self) -> str:
+        return f"{self.how} join on {', '.join(self.on)}"
+
+
+class Union(Operation):
+    """Union (row concatenation, aligned by column name) of input dataframes."""
+
+    kind = "union"
+
+    def __init__(self, n_inputs: int = 2) -> None:
+        if n_inputs < 2:
+            raise OperationError("union requires at least two input dataframes")
+        self.n_inputs = n_inputs
+
+    @property
+    def arity(self) -> int:
+        return self.n_inputs
+
+    def apply(self, inputs: Sequence[DataFrame]) -> DataFrame:
+        self.validate_inputs(inputs)
+        result = inputs[0]
+        for frame in inputs[1:]:
+            result = result.union(frame)
+        return result
+
+    def describe(self) -> str:
+        return f"union of {self.n_inputs} dataframes"
+
+
+class Project(Operation):
+    """Column projection.
+
+    Not one of the paper's four first-class EDA operations, but used to
+    implement the "user-specified columns" extension (§3.8): FEDEX projects
+    the input and output onto the user-selected attributes before running
+    Algorithm 1.
+    """
+
+    kind = "project"
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        if not columns:
+            raise OperationError("projection requires at least one column")
+        self.columns = list(columns)
+
+    def apply(self, inputs: Sequence[DataFrame]) -> DataFrame:
+        self.validate_inputs(inputs)
+        present = [name for name in self.columns if name in inputs[0]]
+        return inputs[0].select(present)
+
+    def describe(self) -> str:
+        return f"project onto {', '.join(self.columns)}"

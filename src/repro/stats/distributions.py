@@ -1,0 +1,111 @@
+"""Value distributions over dataframe columns.
+
+The exceptionality measure (paper Eq. 1) compares the *probability
+distribution of column values* before and after an operation.  The paper
+defines ``Pr(d[A])`` over the relative frequency of values, so the natural
+representation is a discrete distribution: value -> probability.  For the
+KS statistic we additionally need the two distributions over a common sorted
+domain, which :func:`aligned_cdfs` provides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..dataframe.column import Column
+
+
+class ValueDistribution:
+    """Discrete probability distribution of a column's values.
+
+    Parameters
+    ----------
+    probabilities:
+        Mapping from value to probability.  Probabilities are re-normalised so
+        they always sum to one (empty distributions stay empty).
+    """
+
+    __slots__ = ("probabilities",)
+
+    def __init__(self, probabilities: Dict[Hashable, float]) -> None:
+        total = float(sum(probabilities.values()))
+        if total > 0:
+            self.probabilities = {value: p / total for value, p in probabilities.items()}
+        else:
+            self.probabilities = {}
+
+    @classmethod
+    def from_column(cls, column: Column) -> "ValueDistribution":
+        """Relative-frequency distribution of a column (missing values excluded)."""
+        return cls(column.frequencies())
+
+    @classmethod
+    def from_values(cls, values: Sequence) -> "ValueDistribution":
+        """Relative-frequency distribution of a plain sequence of values."""
+        counts: Dict[Hashable, float] = {}
+        for value in values:
+            item = value.item() if isinstance(value, np.generic) else value
+            if item is None or (isinstance(item, float) and np.isnan(item)):
+                continue
+            counts[item] = counts.get(item, 0.0) + 1.0
+        return cls(counts)
+
+    # ------------------------------------------------------------------ access
+    def __len__(self) -> int:
+        return len(self.probabilities)
+
+    def __bool__(self) -> bool:
+        return bool(self.probabilities)
+
+    def probability(self, value: Hashable) -> float:
+        """Probability mass of ``value`` (0 when absent)."""
+        return self.probabilities.get(value, 0.0)
+
+    def support(self) -> List:
+        """Values with non-zero probability, sorted for determinism."""
+        return sorted(self.probabilities.keys(), key=_sort_token)
+
+    def entropy(self) -> float:
+        """Shannon entropy in nats (used by the RATH-style baseline)."""
+        probs = np.asarray(list(self.probabilities.values()), dtype=float)
+        probs = probs[probs > 0]
+        if probs.size == 0:
+            return 0.0
+        return float(-np.sum(probs * np.log(probs)))
+
+    def most_common(self, k: int = 1) -> List[Tuple[Hashable, float]]:
+        """The ``k`` most probable values as (value, probability) pairs."""
+        ranked = sorted(self.probabilities.items(), key=lambda item: (-item[1], _sort_token(item[0])))
+        return ranked[:k]
+
+    def total_variation_distance(self, other: "ValueDistribution") -> float:
+        """Total variation distance between two discrete distributions."""
+        values = set(self.probabilities) | set(other.probabilities)
+        return 0.5 * sum(abs(self.probability(v) - other.probability(v)) for v in values)
+
+
+def aligned_cdfs(first: ValueDistribution, second: ValueDistribution) -> Tuple[np.ndarray, np.ndarray]:
+    """Cumulative distribution functions of both distributions on a shared domain.
+
+    The shared domain is the sorted union of both supports; numeric values are
+    ordered numerically and mixed domains fall back to string ordering.  The
+    two returned arrays have equal length and each is non-decreasing, ending
+    at 1 (for non-empty distributions).
+    """
+    values = sorted(set(first.probabilities) | set(second.probabilities), key=_sort_token)
+    if not values:
+        return np.zeros(0), np.zeros(0)
+    first_pmf = np.asarray([first.probability(v) for v in values], dtype=float)
+    second_pmf = np.asarray([second.probability(v) for v in values], dtype=float)
+    return np.cumsum(first_pmf), np.cumsum(second_pmf)
+
+
+def _sort_token(value) -> Tuple:
+    """Order numbers before strings so mixed supports sort deterministically."""
+    if isinstance(value, bool):
+        return (1, 0.0, str(value))
+    if isinstance(value, (int, float)):
+        return (0, float(value), "")
+    return (1, 0.0, str(value))

@@ -1,0 +1,106 @@
+"""Ranking-quality metrics used by the accuracy experiments (Figs 7 and 8).
+
+The paper evaluates fedex-Sampling against the exact fedex output with three
+metrics:
+
+* precision@k of the skyline explanation set,
+* Kendall-tau distance between the two explanation rankings,
+* nDCG of the sampled ranking against the exact ranking used as ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Sequence
+
+import numpy as np
+
+
+def precision_at_k(predicted: Sequence[Hashable], relevant: Sequence[Hashable], k: int) -> float:
+    """Fraction of the top-``k`` predicted items that appear in the relevant set.
+
+    ``k`` is capped at the length of the prediction list; an empty prediction
+    (or ``k == 0``) scores 0.
+    """
+    if k <= 0:
+        return 0.0
+    top = list(predicted)[:k]
+    if not top:
+        return 0.0
+    relevant_set = set(relevant)
+    hits = sum(1 for item in top if item in relevant_set)
+    return hits / len(top)
+
+
+def kendall_tau_distance(ranking_a: Sequence[Hashable], ranking_b: Sequence[Hashable]) -> int:
+    """Number of discordant pairs between two rankings of (mostly) shared items.
+
+    Items appearing in only one ranking are appended to the end of the other
+    ranking (in a deterministic order) so the metric remains defined when the
+    sampled skyline differs slightly from the exact one — the same situation
+    the paper measures.  The returned value is the raw count of discordant
+    pairs (the paper's Figure 7b reports raw counts, not the normalised tau).
+    """
+    order_a = _complete_ranking(ranking_a, ranking_b)
+    order_b = _complete_ranking(ranking_b, ranking_a)
+    position_b = {item: index for index, item in enumerate(order_b)}
+    discordant = 0
+    n = len(order_a)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if position_b[order_a[i]] > position_b[order_a[j]]:
+                discordant += 1
+    return discordant
+
+
+def normalized_kendall_tau_distance(ranking_a: Sequence[Hashable], ranking_b: Sequence[Hashable]) -> float:
+    """Kendall-tau distance normalised to [0, 1] by the number of item pairs."""
+    order_a = _complete_ranking(ranking_a, ranking_b)
+    n = len(order_a)
+    if n < 2:
+        return 0.0
+    pairs = n * (n - 1) / 2
+    return kendall_tau_distance(ranking_a, ranking_b) / pairs
+
+
+def dcg(relevances: Sequence[float]) -> float:
+    """Discounted cumulative gain of a relevance-ordered list."""
+    gains = np.asarray(list(relevances), dtype=float)
+    if gains.size == 0:
+        return 0.0
+    discounts = 1.0 / np.log2(np.arange(2, gains.size + 2, dtype=float))
+    return float(np.sum(gains * discounts))
+
+
+def ndcg(predicted: Sequence[Hashable], relevance: Dict[Hashable, float], k: int | None = None) -> float:
+    """Normalised DCG of a predicted ranking given graded relevance labels.
+
+    ``relevance`` maps item -> graded relevance (e.g. the exact fedex score of
+    each explanation).  Items missing from the mapping count as relevance 0.
+    """
+    items = list(predicted)
+    if k is not None:
+        items = items[:k]
+    gains = [relevance.get(item, 0.0) for item in items]
+    ideal = sorted(relevance.values(), reverse=True)
+    if k is not None:
+        ideal = ideal[:k]
+    ideal_dcg = dcg(ideal)
+    if ideal_dcg == 0.0:
+        return 1.0 if dcg(gains) == 0.0 else 0.0
+    return dcg(gains) / ideal_dcg
+
+
+def reciprocal_rank(predicted: Sequence[Hashable], relevant: Sequence[Hashable]) -> float:
+    """Reciprocal rank of the first relevant item (0 when none is present)."""
+    relevant_set = set(relevant)
+    for index, item in enumerate(predicted, start=1):
+        if item in relevant_set:
+            return 1.0 / index
+    return 0.0
+
+
+def _complete_ranking(primary: Sequence[Hashable], other: Sequence[Hashable]) -> list:
+    """``primary`` followed by the items present only in ``other`` (sorted by repr)."""
+    seen = set(primary)
+    extras = sorted((item for item in other if item not in seen), key=repr)
+    return list(primary) + extras

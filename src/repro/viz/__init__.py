@@ -1,0 +1,19 @@
+"""Visualization substrate: declarative chart specs, ASCII rendering, export."""
+
+from .chartspec import BarChartWithReference, ChartSpec, ChartSpecError, SideBySideBarChart
+from .export import chart_to_dict, chart_to_json, charts_to_json, save_charts
+from .render_text import render_bars_with_reference, render_chart, render_side_by_side
+
+__all__ = [
+    "BarChartWithReference",
+    "ChartSpec",
+    "ChartSpecError",
+    "SideBySideBarChart",
+    "chart_to_dict",
+    "chart_to_json",
+    "charts_to_json",
+    "render_bars_with_reference",
+    "render_chart",
+    "render_side_by_side",
+    "save_charts",
+]

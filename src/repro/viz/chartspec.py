@@ -1,0 +1,136 @@
+"""Declarative chart specifications.
+
+The paper renders explanations with matplotlib; matplotlib is not available
+here, so explanations carry a *chart spec* instead — a small declarative
+object holding exactly the data the paper's figures show.  Specs can be
+rendered as ASCII charts (:mod:`repro.viz.render_text`) or exported to plain
+dictionaries / JSON (:mod:`repro.viz.export`) for any plotting front-end.
+
+Two spec types mirror the paper's two explanation visualizations (§3.7):
+
+* :class:`SideBySideBarChart` — exceptionality explanations: per-group value
+  frequencies before and after the operation, with the chosen set-of-rows
+  highlighted (Figure 2a).
+* :class:`BarChartWithReference` — diversity explanations: the aggregated
+  value of every group, a horizontal reference line at the overall mean, and
+  the chosen set-of-rows highlighted (Figure 2b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import ReproError
+
+
+class ChartSpecError(ReproError):
+    """A chart specification is malformed."""
+
+
+@dataclass
+class SideBySideBarChart:
+    """Side-by-side before/after frequency bars (exceptionality explanations)."""
+
+    title: str
+    x_label: str
+    categories: List[str]
+    before: List[float]
+    after: List[float]
+    highlight_index: Optional[int] = None
+    before_label: str = "Before"
+    after_label: str = "After"
+    y_label: str = "Frequency (%)"
+    kind: str = field(default="side_by_side_bars", init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.categories) != len(self.before) or len(self.categories) != len(self.after):
+            raise ChartSpecError(
+                "categories, before, and after must have equal lengths "
+                f"({len(self.categories)}, {len(self.before)}, {len(self.after)})"
+            )
+        if self.highlight_index is not None and not (
+            0 <= self.highlight_index < len(self.categories)
+        ):
+            raise ChartSpecError(
+                f"highlight_index {self.highlight_index} out of range for "
+                f"{len(self.categories)} categories"
+            )
+
+    @property
+    def highlighted_category(self) -> Optional[str]:
+        """The highlighted (green) category, when any."""
+        if self.highlight_index is None:
+            return None
+        return self.categories[self.highlight_index]
+
+    def to_dict(self) -> Dict:
+        """Plain-dict representation (JSON-serialisable)."""
+        return {
+            "kind": self.kind,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "categories": list(self.categories),
+            "series": [
+                {"label": self.before_label, "values": list(self.before)},
+                {"label": self.after_label, "values": list(self.after)},
+            ],
+            "highlight_index": self.highlight_index,
+        }
+
+
+@dataclass
+class BarChartWithReference:
+    """Per-group bars with a horizontal reference (mean) line (diversity explanations)."""
+
+    title: str
+    x_label: str
+    y_label: str
+    categories: List[str]
+    values: List[float]
+    reference_value: Optional[float] = None
+    reference_label: str = "mean"
+    highlight_index: Optional[int] = None
+    kind: str = field(default="bars_with_reference", init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.categories) != len(self.values):
+            raise ChartSpecError(
+                f"categories and values must have equal lengths "
+                f"({len(self.categories)}, {len(self.values)})"
+            )
+        if self.highlight_index is not None and not (
+            0 <= self.highlight_index < len(self.categories)
+        ):
+            raise ChartSpecError(
+                f"highlight_index {self.highlight_index} out of range for "
+                f"{len(self.categories)} categories"
+            )
+
+    @property
+    def highlighted_category(self) -> Optional[str]:
+        """The highlighted (green) category, when any."""
+        if self.highlight_index is None:
+            return None
+        return self.categories[self.highlight_index]
+
+    def to_dict(self) -> Dict:
+        """Plain-dict representation (JSON-serialisable)."""
+        return {
+            "kind": self.kind,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "categories": list(self.categories),
+            "values": list(self.values),
+            "reference": (
+                {"label": self.reference_label, "value": self.reference_value}
+                if self.reference_value is not None
+                else None
+            ),
+            "highlight_index": self.highlight_index,
+        }
+
+
+ChartSpec = SideBySideBarChart | BarChartWithReference

@@ -1,0 +1,44 @@
+"""Export chart specifications and explanations to plain data formats.
+
+Downstream tools (a notebook extension, a plotting service, or the original
+matplotlib renderer) can consume the exported dictionaries / JSON documents
+directly; the schema matches ``ChartSpec.to_dict``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from .chartspec import ChartSpec
+
+
+def chart_to_dict(spec: ChartSpec) -> Dict:
+    """Dictionary form of a chart spec (alias of ``spec.to_dict`` for symmetry)."""
+    return spec.to_dict()
+
+
+def chart_to_json(spec: ChartSpec, indent: int = 2) -> str:
+    """JSON document of a single chart spec."""
+    return json.dumps(spec.to_dict(), indent=indent, default=_jsonify)
+
+
+def charts_to_json(specs: Iterable[ChartSpec], indent: int = 2) -> str:
+    """JSON array of several chart specs."""
+    return json.dumps([spec.to_dict() for spec in specs], indent=indent, default=_jsonify)
+
+
+def save_charts(specs: Iterable[ChartSpec], path: str | Path) -> Path:
+    """Write chart specs to a JSON file and return its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(charts_to_json(list(specs)), encoding="utf-8")
+    return path
+
+
+def _jsonify(value):
+    """Coerce numpy scalars and other exotic values to JSON-friendly types."""
+    if hasattr(value, "item"):
+        return value.item()
+    return str(value)

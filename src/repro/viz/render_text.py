@@ -1,0 +1,80 @@
+"""ASCII rendering of chart specifications.
+
+The notebook front-end of the original system draws matplotlib figures; this
+renderer produces the terminal-friendly equivalent so explanations remain a
+self-contained, human-readable artefact in this environment.  The highlighted
+set-of-rows is marked with ``*`` (the paper colours it green).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .chartspec import BarChartWithReference, ChartSpec, SideBySideBarChart
+
+_DEFAULT_WIDTH = 40
+
+
+def render_chart(spec: ChartSpec, width: int = _DEFAULT_WIDTH) -> str:
+    """Render any chart spec as an ASCII chart."""
+    if isinstance(spec, SideBySideBarChart):
+        return render_side_by_side(spec, width=width)
+    if isinstance(spec, BarChartWithReference):
+        return render_bars_with_reference(spec, width=width)
+    raise TypeError(f"unsupported chart spec type: {type(spec).__name__}")
+
+
+def render_side_by_side(spec: SideBySideBarChart, width: int = _DEFAULT_WIDTH) -> str:
+    """Render before/after frequency bars, one category per pair of lines."""
+    lines: List[str] = [spec.title, ""]
+    max_value = max([*spec.before, *spec.after, 1e-12])
+    label_width = max((len(c) for c in spec.categories), default=0)
+    label_width = max(label_width, len(spec.before_label), len(spec.after_label))
+    for index, category in enumerate(spec.categories):
+        marker = "*" if index == spec.highlight_index else " "
+        before_bar = _bar(spec.before[index], max_value, width)
+        after_bar = _bar(spec.after[index], max_value, width)
+        lines.append(f"{marker} {category:<{label_width}} | {spec.before_label:<6} {before_bar} {_fmt(spec.before[index])}")
+        lines.append(f"  {'':<{label_width}} | {spec.after_label:<6} {after_bar} {_fmt(spec.after[index])}")
+    lines.append("")
+    lines.append(f"x: {spec.x_label}    y: {spec.y_label}    (* = highlighted set-of-rows)")
+    return "\n".join(lines)
+
+
+def render_bars_with_reference(spec: BarChartWithReference, width: int = _DEFAULT_WIDTH) -> str:
+    """Render per-group bars plus the reference (mean) line."""
+    lines: List[str] = [spec.title, ""]
+    finite = [v for v in spec.values if v == v]  # drop NaNs
+    low = min(finite + [0.0]) if finite else 0.0
+    high = max(finite + [0.0]) if finite else 1.0
+    if spec.reference_value is not None:
+        low = min(low, spec.reference_value)
+        high = max(high, spec.reference_value)
+    span = (high - low) or 1.0
+    label_width = max((len(c) for c in spec.categories), default=0)
+    for index, category in enumerate(spec.categories):
+        marker = "*" if index == spec.highlight_index else " "
+        value = spec.values[index]
+        bar = _bar(value - low, span, width) if value == value else "(missing)"
+        lines.append(f"{marker} {category:<{label_width}} | {bar} {_fmt(value)}")
+    if spec.reference_value is not None:
+        offset = int(round((spec.reference_value - low) / span * width))
+        lines.append(f"  {'':<{label_width}} | {' ' * offset}^ {spec.reference_label} = {_fmt(spec.reference_value)}")
+    lines.append("")
+    lines.append(f"x: {spec.x_label}    y: {spec.y_label}    (* = highlighted set-of-rows)")
+    return "\n".join(lines)
+
+
+def _bar(value: float, max_value: float, width: int) -> str:
+    if max_value <= 0 or value != value:
+        return ""
+    length = int(round(max(0.0, value) / max_value * width))
+    return "#" * max(length, 0)
+
+
+def _fmt(value: float) -> str:
+    if value != value:
+        return "nan"
+    if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+        return f"{value:.3g}"
+    return f"{value:.2f}".rstrip("0").rstrip(".")

@@ -1,0 +1,27 @@
+"""The paper's 30 evaluation queries (Appendix A, Tables 2 and 3)."""
+
+from .queries import (
+    KIND_FILTER,
+    KIND_GROUPBY,
+    KIND_JOIN,
+    NOTEBOOK_QUERIES,
+    WORKLOAD,
+    WorkloadQuery,
+    filter_join_queries,
+    get_query,
+    groupby_queries,
+    queries_for_dataset,
+)
+
+__all__ = [
+    "KIND_FILTER",
+    "KIND_GROUPBY",
+    "KIND_JOIN",
+    "NOTEBOOK_QUERIES",
+    "WORKLOAD",
+    "WorkloadQuery",
+    "filter_join_queries",
+    "get_query",
+    "groupby_queries",
+    "queries_for_dataset",
+]

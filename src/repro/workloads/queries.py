@@ -1,0 +1,325 @@
+"""The paper's evaluation workload: the 30 queries of Appendix A.
+
+Tables 2 and 3 of the paper define 15 filter/join queries (evaluated with the
+exceptionality measure) and 15 group-by queries (evaluated with the diversity
+measure) over the three datasets.  Each :class:`WorkloadQuery` carries the
+original SQL-ish text and knows how to build the corresponding
+:class:`~repro.operators.step.ExploratoryStep` from a
+:class:`~repro.datasets.registry.DatasetRegistry`.
+
+Notes on the mapping to the synthetic datasets:
+
+* "Bank" is the Credit Card Customers dataset (the paper uses both names).
+* Query 3's text in the paper is garbled ("SELECT * FROM counties INNER
+  SELECT * FROM stores INNER JOIN sales ..."); it is reproduced as the
+  Stores ⋈ Sales join, which is what the runnable part of the text states.
+* Query 12 is the paper's nested query: a filter applied on the result of
+  query 11.
+* Query 18 groups by ``products_sales_pack``, which does not exist verbatim
+  in the join view; it is mapped to ``products_pack``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..dataframe.predicates import Comparison
+from ..datasets.registry import DatasetRegistry
+from ..errors import ExperimentError
+from ..operators.operations import Filter, GroupBy, Join, Operation
+from ..operators.step import ExploratoryStep
+
+#: Workload kinds.
+KIND_FILTER = "filter"
+KIND_JOIN = "join"
+KIND_GROUPBY = "groupby"
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One evaluation query of Appendix A."""
+
+    number: int
+    dataset: str
+    kind: str
+    sql: str
+    builder: Callable[[DatasetRegistry], ExploratoryStep]
+
+    def build_step(self, registry: DatasetRegistry) -> ExploratoryStep:
+        """Materialise the exploratory step on the registry's tables."""
+        step = self.builder(registry)
+        return step
+
+    @property
+    def measure(self) -> str:
+        """Interestingness family the paper evaluates this query with."""
+        return "diversity" if self.kind == KIND_GROUPBY else "exceptionality"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return f"Q{self.number} [{self.dataset}/{self.kind}] {self.sql}"
+
+
+def _filter_step(table: str, predicate: Comparison, label: str):
+    def build(registry: DatasetRegistry) -> ExploratoryStep:
+        frame = registry.table(table)
+        return ExploratoryStep([frame], Filter(predicate), label=label)
+
+    return build
+
+
+def _join_step(left: str, right: str, on: str, label: str):
+    def build(registry: DatasetRegistry) -> ExploratoryStep:
+        return ExploratoryStep(
+            [registry.table(left), registry.table(right)], Join(on=on), label=label
+        )
+
+    return build
+
+
+def _groupby_step(table: str, keys: Sequence[str], aggregations=None, include_count: bool = False,
+                  pre_filter: Optional[Comparison] = None, label: str = ""):
+    def build(registry: DatasetRegistry) -> ExploratoryStep:
+        operation = GroupBy(
+            keys=list(keys), aggregations=aggregations, include_count=include_count,
+            pre_filter=pre_filter,
+        )
+        return ExploratoryStep([registry.table(table)], operation, label=label)
+
+    return build
+
+
+def _nested_filter_step(table: str, outer: Comparison, inner: Comparison, label: str):
+    """Filter applied on the result of an inner filter (query 12)."""
+
+    def build(registry: DatasetRegistry) -> ExploratoryStep:
+        base = registry.table(table)
+        inner_result = base.filter(inner)
+        return ExploratoryStep([inner_result], Filter(outer), label=label)
+
+    return build
+
+
+def _build_workload() -> List[WorkloadQuery]:
+    queries: List[WorkloadQuery] = []
+
+    # ----------------------------------------------------------- Table 2 (filter/join)
+    queries.append(WorkloadQuery(
+        1, "products", KIND_JOIN,
+        "SELECT * FROM products INNER JOIN sales ON products.item=sales.item;",
+        _join_step("products", "sales", "item", "Q1"),
+    ))
+    queries.append(WorkloadQuery(
+        2, "products", KIND_JOIN,
+        "SELECT * FROM counties INNER JOIN sales ON counties.county=sales.county;",
+        _join_step("counties", "sales", "county", "Q2"),
+    ))
+    queries.append(WorkloadQuery(
+        3, "products", KIND_JOIN,
+        "SELECT * FROM stores INNER JOIN sales ON stores.store=sales.store;",
+        _join_step("stores", "sales", "store", "Q3"),
+    ))
+    queries.append(WorkloadQuery(
+        4, "products", KIND_FILTER,
+        "SELECT * FROM products_sales WHERE sales_liter_size <= 500;",
+        _filter_step("products_sales", Comparison("sales_liter_size", "<=", 500), "Q4"),
+    ))
+    queries.append(WorkloadQuery(
+        5, "products", KIND_FILTER,
+        "SELECT * FROM products_sales WHERE sales_pack == 12;",
+        _filter_step("products_sales", Comparison("sales_pack", "==", 12), "Q5"),
+    ))
+    queries.append(WorkloadQuery(
+        6, "spotify", KIND_FILTER,
+        "SELECT * FROM spotify WHERE popularity > 65;",
+        _filter_step("spotify", Comparison("popularity", ">", 65), "Q6"),
+    ))
+    queries.append(WorkloadQuery(
+        7, "spotify", KIND_FILTER,
+        "SELECT * FROM spotify WHERE year > 1990;",
+        _filter_step("spotify", Comparison("year", ">", 1990), "Q7"),
+    ))
+    queries.append(WorkloadQuery(
+        8, "spotify", KIND_FILTER,
+        "SELECT * FROM spotify WHERE loudness > -12;",
+        _filter_step("spotify", Comparison("loudness", ">", -12), "Q8"),
+    ))
+    queries.append(WorkloadQuery(
+        9, "spotify", KIND_FILTER,
+        "SELECT * FROM spotify WHERE duration_minutes < 3;",
+        _filter_step("spotify", Comparison("duration_minutes", "<", 3), "Q9"),
+    ))
+    queries.append(WorkloadQuery(
+        10, "spotify", KIND_FILTER,
+        "SELECT * FROM spotify WHERE tempo > 100;",
+        _filter_step("spotify", Comparison("tempo", ">", 100), "Q10"),
+    ))
+    queries.append(WorkloadQuery(
+        11, "bank", KIND_FILTER,
+        'SELECT * FROM Bank WHERE Attrition_Flag != "Existing Customer";',
+        _filter_step("bank", Comparison("Attrition_Flag", "!=", "Existing Customer"), "Q11"),
+    ))
+    queries.append(WorkloadQuery(
+        12, "bank", KIND_FILTER,
+        "SELECT * FROM [SELECT * FROM Bank WHERE Attrition_Flag != 'Existing Customer'] "
+        "WHERE Total_Count_Change_Q4_vs_Q1 > 0.75;",
+        _nested_filter_step(
+            "bank",
+            outer=Comparison("Total_Count_Change_Q4_vs_Q1", ">", 0.75),
+            inner=Comparison("Attrition_Flag", "!=", "Existing Customer"),
+            label="Q12",
+        ),
+    ))
+    queries.append(WorkloadQuery(
+        13, "bank", KIND_FILTER,
+        "SELECT * FROM Bank WHERE Months_Inactive_Count_Last_Year > 2;",
+        _filter_step("bank", Comparison("Months_Inactive_Count_Last_Year", ">", 2), "Q13"),
+    ))
+    queries.append(WorkloadQuery(
+        14, "bank", KIND_FILTER,
+        "SELECT * FROM Bank WHERE Customer_Age < 30;",
+        _filter_step("bank", Comparison("Customer_Age", "<", 30), "Q14"),
+    ))
+    queries.append(WorkloadQuery(
+        15, "bank", KIND_FILTER,
+        'SELECT * FROM Bank WHERE Income_Category == "Less than $40K";',
+        _filter_step("bank", Comparison("Income_Category", "==", "Less than $40K"), "Q15"),
+    ))
+
+    # ------------------------------------------------------------- Table 3 (group-by)
+    queries.append(WorkloadQuery(
+        16, "products", KIND_GROUPBY,
+        "SELECT count(item) FROM products_sales GROUP BY sales_vendor;",
+        _groupby_step("products_sales", ["sales_vendor"], include_count=True, label="Q16"),
+    ))
+    queries.append(WorkloadQuery(
+        17, "products", KIND_GROUPBY,
+        "SELECT count(item) FROM products_sales GROUP BY sales_county, sales_category_name;",
+        _groupby_step("products_sales", ["sales_county", "sales_category_name"],
+                      include_count=True, label="Q17"),
+    ))
+    queries.append(WorkloadQuery(
+        18, "products", KIND_GROUPBY,
+        "SELECT count(item) FROM products_sales GROUP BY products_sales_pack;",
+        _groupby_step("products_sales", ["products_pack"], include_count=True, label="Q18"),
+    ))
+    queries.append(WorkloadQuery(
+        19, "products", KIND_GROUPBY,
+        "SELECT mean(sales_total), mean(sales_pack) FROM products_sales "
+        "GROUP BY sales_bottle_quantity;",
+        _groupby_step("products_sales", ["sales_bottle_quantity"],
+                      {"sales_total": ["mean"], "sales_pack": ["mean"]}, label="Q19"),
+    ))
+    queries.append(WorkloadQuery(
+        20, "products", KIND_GROUPBY,
+        "SELECT mean(products_bottle_size) FROM products_sales "
+        "GROUP BY products_pack, products_inner_pack;",
+        _groupby_step("products_sales", ["products_pack", "products_inner_pack"],
+                      {"products_bottle_size": ["mean"]}, label="Q20"),
+    ))
+    queries.append(WorkloadQuery(
+        21, "spotify", KIND_GROUPBY,
+        "SELECT mean(popularity), max(popularity), min(popularity) FROM spotify GROUP BY year;",
+        _groupby_step("spotify", ["year"], {"popularity": ["mean", "max", "min"]}, label="Q21"),
+    ))
+    queries.append(WorkloadQuery(
+        22, "spotify", KIND_GROUPBY,
+        "SELECT mean(danceability), max(danceability), mean(instrumentalness), "
+        "max(instrumentalness), mean(liveness) FROM spotify GROUP BY year;",
+        _groupby_step("spotify", ["year"], {
+            "danceability": ["mean", "max"],
+            "instrumentalness": ["mean", "max"],
+            "liveness": ["mean"],
+        }, label="Q22"),
+    ))
+    queries.append(WorkloadQuery(
+        23, "spotify", KIND_GROUPBY,
+        "SELECT mean(danceability), mean(popularity) FROM spotify GROUP BY key;",
+        _groupby_step("spotify", ["key"], {"danceability": ["mean"], "popularity": ["mean"]},
+                      label="Q23"),
+    ))
+    queries.append(WorkloadQuery(
+        24, "spotify", KIND_GROUPBY,
+        "SELECT max(duration_minutes), mean(duration_minutes) FROM spotify GROUP BY decade;",
+        _groupby_step("spotify", ["decade"], {"duration_minutes": ["max", "mean"]}, label="Q24"),
+    ))
+    queries.append(WorkloadQuery(
+        25, "spotify", KIND_GROUPBY,
+        "SELECT mean(loudness), mean(liveness), mean(tempo) FROM spotify GROUP BY mode, key;",
+        _groupby_step("spotify", ["mode", "key"], {
+            "loudness": ["mean"], "liveness": ["mean"], "tempo": ["mean"],
+        }, label="Q25"),
+    ))
+    queries.append(WorkloadQuery(
+        26, "bank", KIND_GROUPBY,
+        "SELECT mean(Credit_Used), mean(Total_Transitions_Amount) FROM Bank "
+        "GROUP BY Marital_Status, Income_Category;",
+        _groupby_step("bank", ["Marital_Status", "Income_Category"], {
+            "Credit_Used": ["mean"], "Total_Transitions_Amount": ["mean"],
+        }, label="Q26"),
+    ))
+    queries.append(WorkloadQuery(
+        27, "bank", KIND_GROUPBY,
+        "SELECT count FROM Bank GROUP BY Marital_Status, Gender, Education_Level;",
+        _groupby_step("bank", ["Marital_Status", "Gender", "Education_Level"],
+                      include_count=True, label="Q27"),
+    ))
+    queries.append(WorkloadQuery(
+        28, "bank", KIND_GROUPBY,
+        "SELECT mean(Credit_Used), mean(Total_Transitions_Amount) FROM Bank "
+        "GROUP BY Marital_Status;",
+        _groupby_step("bank", ["Marital_Status"], {
+            "Credit_Used": ["mean"], "Total_Transitions_Amount": ["mean"],
+        }, label="Q28"),
+    ))
+    queries.append(WorkloadQuery(
+        29, "bank", KIND_GROUPBY,
+        "SELECT mean(Customer_Age) FROM Bank GROUP BY Gender, Income_Category;",
+        _groupby_step("bank", ["Gender", "Income_Category"], {"Customer_Age": ["mean"]},
+                      label="Q29"),
+    ))
+    queries.append(WorkloadQuery(
+        30, "bank", KIND_GROUPBY,
+        "SELECT count FROM Bank GROUP BY Registered_Products_Count, Attrition_Flag;",
+        _groupby_step("bank", ["Registered_Products_Count", "Attrition_Flag"],
+                      include_count=True, label="Q30"),
+    ))
+    return queries
+
+
+#: The full workload, ordered by query number.
+WORKLOAD: List[WorkloadQuery] = _build_workload()
+
+#: The user-study notebook query subsets (paper §4.2).
+NOTEBOOK_QUERIES = {
+    "spotify": [6, 7, 21, 22],
+    "bank": [11, 12, 13, 27],
+    "products": [1, 5, 16, 17, 18],
+}
+
+
+def get_query(number: int) -> WorkloadQuery:
+    """The workload query with the given Appendix-A number."""
+    for query in WORKLOAD:
+        if query.number == number:
+            return query
+    raise ExperimentError(f"no workload query numbered {number}; valid range is 1-30")
+
+
+def queries_for_dataset(dataset: str, kinds: Sequence[str] | None = None) -> List[WorkloadQuery]:
+    """All queries on a dataset, optionally restricted to certain kinds."""
+    selected = [query for query in WORKLOAD if query.dataset == dataset]
+    if kinds is not None:
+        allowed = set(kinds)
+        selected = [query for query in selected if query.kind in allowed]
+    return selected
+
+
+def filter_join_queries() -> List[WorkloadQuery]:
+    """Queries 1–15 (Table 2): filter and join queries."""
+    return [query for query in WORKLOAD if query.kind in (KIND_FILTER, KIND_JOIN)]
+
+
+def groupby_queries() -> List[WorkloadQuery]:
+    """Queries 16–30 (Table 3): group-by queries."""
+    return [query for query in WORKLOAD if query.kind == KIND_GROUPBY]

@@ -1,0 +1,79 @@
+"""Unit tests for the Interestingness-Only, Expert, and FEDEX-adapter baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ExpertBaseline, FedexSystem, InterestingnessOnly, fedex_system
+from repro.core import ExceptionalityMeasure
+from repro.dataframe import Comparison
+from repro.operators import ExploratoryStep, Filter, GroupBy
+
+
+@pytest.fixture
+def filter_step(spotify_small):
+    return ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+
+
+class TestInterestingnessOnly:
+    def test_reports_most_interesting_columns(self, filter_step):
+        artefacts = InterestingnessOnly().explain(filter_step, top_k=3)
+        assert artefacts
+        measure = ExceptionalityMeasure()
+        scores = {a.target_column: measure.score_step(filter_step, a.target_column)
+                  for a in artefacts}
+        ranked = sorted(scores.values(), reverse=True)
+        assert [scores[a.target_column] for a in artefacts] == ranked
+
+    def test_no_row_set_is_highlighted(self, filter_step):
+        artefacts = InterestingnessOnly().explain(filter_step)
+        assert all(a.highlighted_value is None for a in artefacts)
+
+    def test_artifacts_have_caption_and_chart(self, filter_step):
+        artefacts = InterestingnessOnly().explain(filter_step)
+        assert all(a.has_text for a in artefacts)
+
+    def test_groupby_steps_supported(self, spotify_small):
+        step = ExploratoryStep([spotify_small], GroupBy("decade", {"loudness": ["mean"]}))
+        assert InterestingnessOnly().explain(step)
+
+
+class TestExpert:
+    def test_produces_text_only_narratives(self, filter_step):
+        artefacts = ExpertBaseline().explain(filter_step, top_k=2)
+        assert artefacts
+        assert all(a.has_text and not a.has_visualization for a in artefacts)
+
+    def test_authoring_time_is_minutes_not_milliseconds(self, filter_step):
+        expert = ExpertBaseline(authoring_minutes=(5.0, 10.0))
+        expert.explain(filter_step)
+        assert 5 * 60 <= expert.last_authoring_seconds <= 10 * 60
+
+    def test_narrative_mentions_the_row_set(self, filter_step):
+        artefact = ExpertBaseline().explain(filter_step, top_k=1)[0]
+        assert artefact.highlighted_value is not None
+        assert artefact.highlighted_value in artefact.caption
+
+
+class TestFedexAdapter:
+    def test_wraps_fedex_explanations(self, filter_step):
+        artefacts = FedexSystem().explain(filter_step, top_k=2)
+        assert artefacts
+        assert all(a.is_hybrid for a in artefacts)
+        assert all(a.system == "FEDEX" for a in artefacts)
+
+    def test_factory_names(self):
+        assert fedex_system().name == "FEDEX"
+        assert fedex_system(5_000).name == "FEDEX-Sampling"
+        assert fedex_system(5_000, name="custom").name == "custom"
+
+    def test_details_carry_scores(self, filter_step):
+        artefact = fedex_system(2_000).explain(filter_step, top_k=1)[0]
+        assert "interestingness" in artefact.details
+        assert "standardized_contribution" in artefact.details
+
+    def test_claim_tuple(self, filter_step):
+        artefact = FedexSystem().explain(filter_step, top_k=1)[0]
+        column, value = artefact.claim()
+        assert column in filter_step.output.column_names
+        assert value is not None

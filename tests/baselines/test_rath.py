@@ -1,0 +1,64 @@
+"""Unit tests for the RATH-style top-k insight baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import RathInsights
+from repro.dataframe import Comparison, DataFrame
+from repro.operators import ExploratoryStep, Filter, GroupBy
+
+
+@pytest.fixture
+def groupby_step(spotify_small):
+    return ExploratoryStep([spotify_small], GroupBy("decade", {"loudness": ["mean"],
+                                                               "popularity": ["mean"]}))
+
+
+class TestRath:
+    def test_produces_top_k_insights(self, groupby_step):
+        insights = RathInsights().explain(groupby_step, top_k=3)
+        assert 1 <= len(insights) <= 3
+
+    def test_insights_sorted_by_score(self, groupby_step):
+        insights = RathInsights().explain(groupby_step, top_k=5)
+        scores = [insight.score for insight in insights]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_insight_types_recorded(self, groupby_step):
+        insights = RathInsights().explain(groupby_step, top_k=5)
+        kinds = {insight.details["insight_type"] for insight in insights}
+        assert kinds <= {"outstanding #1", "outstanding last", "trend"}
+
+    def test_detects_planted_outlier(self):
+        frame = DataFrame({
+            "group": np.asarray(["a", "b", "c", "d", "e"], dtype=object),
+            "value": np.asarray([1.0, 1.1, 0.9, 1.05, 10.0]),
+        })
+        step = ExploratoryStep([frame], Filter(Comparison("value", ">", 0)))
+        insights = RathInsights().explain(step, top_k=1)
+        assert insights[0].highlighted_value == "e"
+
+    def test_detects_trend(self):
+        frame = DataFrame({
+            "year": np.asarray([2000.0, 2001.0, 2002.0, 2003.0, 2004.0] * 4),
+            "value": np.asarray([1.0, 2.0, 3.0, 4.0, 5.0] * 4) + 0.01 * np.arange(20),
+        })
+        step = ExploratoryStep([frame], Filter(Comparison("value", ">", 0)))
+        insights = RathInsights().explain(step, top_k=10)
+        assert any(insight.details["insight_type"] == "trend" for insight in insights)
+
+    def test_supports_all_step_kinds(self, groupby_step):
+        assert RathInsights().supports(groupby_step)
+
+    def test_max_rows_guard_returns_nothing(self, groupby_step):
+        assert RathInsights(max_rows=1).explain(groupby_step) == []
+
+    def test_insights_only_look_at_the_output(self, spotify_small):
+        """Rath is output-only: its claims never reference input-only columns."""
+        step = ExploratoryStep([spotify_small],
+                               GroupBy("decade", {"loudness": ["mean"]}))
+        insights = RathInsights().explain(step, top_k=5)
+        for insight in insights:
+            assert insight.target_column in step.output.column_names

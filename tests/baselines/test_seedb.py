@@ -1,0 +1,52 @@
+"""Unit tests for the SeeDB baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SeeDB
+from repro.dataframe import Comparison
+from repro.operators import ExploratoryStep, Filter, GroupBy
+
+
+@pytest.fixture
+def filter_step(spotify_small):
+    return ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+
+
+class TestSeeDB:
+    def test_produces_views_for_filter_steps(self, filter_step):
+        views = SeeDB().explain(filter_step, top_k=3)
+        assert 1 <= len(views) <= 3
+        assert all(view.system == "SeeDB" for view in views)
+
+    def test_views_are_visualization_only(self, filter_step):
+        views = SeeDB().explain(filter_step)
+        assert all(view.has_visualization and not view.has_text for view in views)
+
+    def test_views_sorted_by_utility(self, filter_step):
+        views = SeeDB().explain(filter_step, top_k=3)
+        utilities = [view.score for view in views]
+        assert utilities == sorted(utilities, reverse=True)
+
+    def test_decade_view_ranks_high_for_the_popularity_filter(self, filter_step):
+        views = SeeDB().explain(filter_step, top_k=5)
+        group_attrs = [view.details["group_attr"] for view in views]
+        assert "decade" in group_attrs
+
+    def test_does_not_support_groupby_steps(self, spotify_small):
+        step = ExploratoryStep([spotify_small], GroupBy("decade", {"loudness": ["mean"]}))
+        system = SeeDB()
+        assert not system.supports(step)
+        assert system.explain(step) == []
+
+    def test_chart_has_reference_and_target_series(self, filter_step):
+        view = SeeDB().explain(filter_step, top_k=1)[0]
+        assert view.chart.before_label == "Reference"
+        assert view.chart.after_label == "Target"
+
+    def test_high_cardinality_groupings_pruned(self, filter_step):
+        views = SeeDB(max_group_cardinality=5).explain(filter_step, top_k=10)
+        for view in views:
+            group_attr = view.details["group_attr"]
+            assert filter_step.primary_input[group_attr].n_unique() <= 5

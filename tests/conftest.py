@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite.
+
+Fixtures are deliberately small (a few thousand rows at most) so the full
+suite stays fast; the paper-scale sizes are exercised by the benchmark
+harness instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Column, DataFrame
+from repro.datasets import DatasetRegistry, load_credit, load_spotify
+from repro.datasets.products import load_products_and_sales
+
+
+@pytest.fixture
+def tiny_frame() -> DataFrame:
+    """A 8-row dataframe with numeric and categorical columns."""
+    return DataFrame({
+        "year": np.asarray([1991, 1992, 2001, 2002, 2011, 2012, 2013, 2014], dtype=float),
+        "decade": np.asarray(["1990s", "1990s", "2000s", "2000s", "2010s", "2010s",
+                              "2010s", "2010s"], dtype=object),
+        "popularity": np.asarray([30, 40, 50, 55, 70, 75, 80, 85], dtype=float),
+        "loudness": np.asarray([-12.0, -11.0, -9.0, -8.5, -7.0, -6.5, -6.0, -5.5]),
+    })
+
+
+@pytest.fixture
+def grouped_frame() -> DataFrame:
+    """The dataframe of the paper's §3.3 negative-contribution example."""
+    return DataFrame({
+        "label": np.asarray(["x", "x", "y"], dtype=object),
+        "value": np.asarray([1.0, 2.0, 3.0]),
+    })
+
+
+@pytest.fixture(scope="session")
+def spotify_small() -> DataFrame:
+    """A 4000-row synthetic Spotify dataset (session-scoped for speed)."""
+    return load_spotify(n_rows=4_000, seed=7)
+
+
+@pytest.fixture(scope="session")
+def credit_small() -> DataFrame:
+    """A 3000-row synthetic Credit Card Customers dataset."""
+    return load_credit(n_rows=3_000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def products_and_sales_small():
+    """Small Products and Sales tables sharing one catalogue."""
+    return load_products_and_sales(n_sales=8_000, n_products=800, seed=29)
+
+
+@pytest.fixture(scope="session")
+def tiny_registry() -> DatasetRegistry:
+    """A dataset registry with very small tables for workload tests."""
+    return DatasetRegistry(
+        spotify_rows=3_000, bank_rows=2_000, sales_rows=6_000, products_rows=600, seed=1
+    )

@@ -1,0 +1,54 @@
+"""Unit tests for explanation candidates (paper §3.4 / §3.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ExplanationCandidate, FrequencyPartitioner, build_candidates
+from repro.dataframe import DataFrame
+
+
+@pytest.fixture
+def partition():
+    frame = DataFrame({
+        "decade": np.asarray(["1990s", "1990s", "2000s", "2010s", "2010s", "2010s"], dtype=object),
+    })
+    return FrequencyPartitioner().partition(frame, "decade", 3)
+
+
+class TestBuildCandidates:
+    def test_one_candidate_per_positive_set(self, partition):
+        raw = [0.2, -0.1, 0.05]
+        standardized = [1.0, -1.2, 0.2]
+        candidates = build_candidates(partition, "decade", 0.5, raw, standardized, "exceptionality")
+        assert len(candidates) == 2
+        assert all(candidate.contribution > 0 for candidate in candidates)
+
+    def test_positive_only_can_be_disabled(self, partition):
+        raw = [0.2, -0.1, 0.05]
+        standardized = [1.0, -1.2, 0.2]
+        candidates = build_candidates(partition, "decade", 0.5, raw, standardized,
+                                      "exceptionality", positive_only=False)
+        assert len(candidates) == 3
+
+    def test_scores_recorded(self, partition):
+        candidates = build_candidates(partition, "decade", 0.5, [0.2, 0.1, 0.3],
+                                      [0.5, -0.5, 1.0], "exceptionality")
+        best = max(candidates, key=lambda c: c.contribution)
+        assert best.interestingness == 0.5
+        assert best.standardized_contribution == 1.0
+        assert best.partition_size == 3
+        assert best.measure_name == "exceptionality"
+
+    def test_candidate_key_unique_per_set(self, partition):
+        candidates = build_candidates(partition, "decade", 0.5, [0.2, 0.1, 0.3],
+                                      [0.5, -0.5, 1.0], "exceptionality")
+        keys = {candidate.key() for candidate in candidates}
+        assert len(keys) == len(candidates)
+
+    def test_describe_mentions_attribute_and_label(self, partition):
+        candidates = build_candidates(partition, "decade", 0.5, [0.2, 0.1, 0.3],
+                                      [0.5, -0.5, 1.0], "exceptionality")
+        text = candidates[0].describe()
+        assert "decade" in text

@@ -1,0 +1,51 @@
+"""Unit tests for the natural-language caption templates (paper §3.7)."""
+
+from __future__ import annotations
+
+from repro.core.captions import diversity_caption, exceptionality_caption, generic_caption
+
+
+class TestExceptionalityCaption:
+    def test_structure_matches_paper_figure_2a(self):
+        caption = exceptionality_caption("decade", "2010s", 0.035, 0.61)
+        assert "column 'decade'" in caption
+        assert "'2010s'" in caption
+        assert "17 times" in caption
+        assert "3.5%" in caption
+        assert "61%" in caption
+        assert "more frequent" in caption
+
+    def test_less_frequent_direction(self):
+        caption = exceptionality_caption("year", "[1960, 1965)", 0.10, 0.02)
+        assert "less frequent" in caption
+
+    def test_vanished_value(self):
+        caption = exceptionality_caption("pack", "48", 0.10, 0.0)
+        assert "infinitely" in caption
+
+    def test_nearly_equal_frequencies(self):
+        caption = exceptionality_caption("pack", "6", 0.30, 0.305)
+        assert "about equally" in caption
+
+
+class TestDiversityCaption:
+    def test_structure_matches_paper_figure_2b(self):
+        caption = diversity_caption("loudness", "decade", "1990s", -10.8, -8.7, -1.2)
+        assert "column 'loudness'" in caption
+        assert "'decade'='1990s'" in caption
+        assert "1.2 standard deviations lower" in caption
+        assert "-8.7" in caption
+        assert "low" in caption
+
+    def test_high_direction(self):
+        caption = diversity_caption("mean_popularity", "decade", "2020s", 80.0, 60.0, 2.1)
+        assert "higher" in caption
+        assert "high" in caption
+
+
+class TestGenericCaption:
+    def test_mentions_measure_and_scores(self):
+        caption = generic_caption("total", "vendor_001", "concentration", 0.42, 1.7)
+        assert "concentration" in caption
+        assert "total" in caption
+        assert "vendor_001" in caption

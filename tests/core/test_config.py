@@ -1,0 +1,70 @@
+"""Unit tests for FedexConfig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DEFAULT_SAMPLE_SIZE, FedexConfig, exact_config, sampling_config
+from repro.errors import ExplanationError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = FedexConfig()
+        assert config.sample_size is None
+        assert tuple(config.set_counts) == (5, 10)
+
+    def test_negative_sample_size_rejected(self):
+        with pytest.raises(ExplanationError):
+            FedexConfig(sample_size=0)
+
+    def test_empty_set_counts_rejected(self):
+        with pytest.raises(ExplanationError):
+            FedexConfig(set_counts=())
+
+    def test_non_positive_set_counts_rejected(self):
+        with pytest.raises(ExplanationError):
+            FedexConfig(set_counts=(5, 0))
+
+    def test_unknown_partition_method_rejected(self):
+        with pytest.raises(ExplanationError):
+            FedexConfig(partition_methods=("frequency", "magic"))
+
+    def test_unknown_partition_source_rejected(self):
+        with pytest.raises(ExplanationError):
+            FedexConfig(partition_source="some")
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ExplanationError):
+            FedexConfig(interestingness_weight=-1.0)
+
+    def test_all_zero_weights_rejected(self):
+        with pytest.raises(ExplanationError):
+            FedexConfig(interestingness_weight=0.0, contribution_weight=0.0)
+
+
+class TestConveniences:
+    def test_with_sampling(self):
+        config = FedexConfig().with_sampling()
+        assert config.sample_size == DEFAULT_SAMPLE_SIZE
+
+    def test_without_sampling(self):
+        assert FedexConfig(sample_size=100).without_sampling().sample_size is None
+
+    def test_restricted_to(self):
+        config = FedexConfig().restricted_to(["a", "b"])
+        assert config.target_columns == ["a", "b"]
+
+    def test_config_is_immutable(self):
+        config = FedexConfig()
+        with pytest.raises(Exception):
+            config.sample_size = 10
+
+    def test_weighted_score_denominator(self):
+        config = FedexConfig(interestingness_weight=2.0, contribution_weight=3.0)
+        assert config.weighted_score_denominator == 5.0
+
+    def test_factory_helpers(self):
+        assert exact_config().sample_size is None
+        assert sampling_config().sample_size == DEFAULT_SAMPLE_SIZE
+        assert sampling_config(1_000).sample_size == 1_000

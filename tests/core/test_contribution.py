@@ -1,0 +1,122 @@
+"""Unit tests for the contribution function (paper §3.3, Definition 3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ContributionCalculator,
+    DiversityMeasure,
+    ExceptionalityMeasure,
+    FrequencyPartitioner,
+    RowSet,
+    contribution_of,
+)
+from repro.dataframe import Comparison, DataFrame
+from repro.operators import ExploratoryStep, Filter, GroupBy
+
+
+def _row_set(frame: DataFrame, attribute: str, value) -> RowSet:
+    indices = np.flatnonzero(np.asarray([v == value for v in frame[attribute].tolist()]))
+    return RowSet(str(value), indices, attribute, attribute, "frequency", values=(value,))
+
+
+class TestDefinition:
+    def test_contribution_is_baseline_minus_reduced(self, tiny_frame):
+        step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", 65)))
+        measure = ExceptionalityMeasure()
+        calculator = ContributionCalculator(step, measure)
+        row_set = _row_set(tiny_frame, "decade", "2010s")
+
+        baseline = measure.score_step(step, "decade")
+        reduced_input = tiny_frame.remove_rows(row_set.indices)
+        reduced_step = ExploratoryStep([reduced_input], step.operation)
+        reduced = measure.score_step(reduced_step, "decade")
+
+        assert calculator.contribution(row_set, "decade") == pytest.approx(baseline - reduced)
+
+    def test_rows_driving_the_deviation_contribute_positively(self, tiny_frame):
+        step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", 65)))
+        calculator = ContributionCalculator(step, ExceptionalityMeasure())
+        contribution = calculator.contribution(_row_set(tiny_frame, "decade", "2010s"), "decade")
+        assert contribution > 0
+
+    def test_groupby_contribution_can_be_negative(self, grouped_frame):
+        """The paper's §3.3 example: removing (x, 2) makes the result *more* diverse."""
+        step = ExploratoryStep([grouped_frame], GroupBy("label", {"value": ["sum"]}))
+        calculator = ContributionCalculator(step, DiversityMeasure())
+        row_set = RowSet("(x,2)", np.asarray([1]), "label", "label", "frequency")
+        assert calculator.contribution(row_set, "sum_value") < 0
+
+    def test_groupby_contribution_can_be_positive(self):
+        """The paper's second §3.3 example: removing one (x, 1) removes all diversity."""
+        frame = DataFrame({
+            "label": np.asarray(["x", "x", "y"], dtype=object),
+            "value": np.asarray([1.0, 1.0, 1.0]),
+        })
+        step = ExploratoryStep([frame], GroupBy("label", {"value": ["sum"]}))
+        calculator = ContributionCalculator(step, DiversityMeasure())
+        row_set = RowSet("(x,1)", np.asarray([1]), "label", "label", "frequency")
+        assert calculator.contribution(row_set, "sum_value") > 0
+
+    def test_one_off_helper_matches_calculator(self, tiny_frame):
+        step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", 65)))
+        measure = ExceptionalityMeasure()
+        row_set = _row_set(tiny_frame, "decade", "1990s")
+        assert contribution_of(step, row_set, "decade", measure) == pytest.approx(
+            ContributionCalculator(step, measure).contribution(row_set, "decade")
+        )
+
+
+class TestCalculator:
+    def test_baseline_is_cached(self, tiny_frame):
+        step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", 65)))
+        calculator = ContributionCalculator(step, ExceptionalityMeasure())
+        assert calculator.baseline("decade") == calculator.baseline("decade")
+
+    def test_explicit_baseline_respected(self, tiny_frame):
+        step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", 65)))
+        calculator = ContributionCalculator(step, ExceptionalityMeasure(),
+                                            baseline_scores={"decade": 0.9})
+        assert calculator.baseline("decade") == 0.9
+
+    def test_partition_contributions_align_with_sets(self, tiny_frame):
+        step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", 65)))
+        calculator = ContributionCalculator(step, ExceptionalityMeasure())
+        partition = FrequencyPartitioner().partition(tiny_frame, "decade", 3)
+        contributions = calculator.partition_contributions(partition, "decade")
+        assert len(contributions) == len(partition.sets)
+
+    def test_standardized_contributions_are_z_scores(self, tiny_frame):
+        step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", 65)))
+        calculator = ContributionCalculator(step, ExceptionalityMeasure())
+        partition = FrequencyPartitioner().partition(tiny_frame, "decade", 3)
+        standardized = calculator.standardized_contributions(partition, "decade")
+        assert np.mean(standardized) == pytest.approx(0.0, abs=1e-9)
+
+    def test_reduced_step_is_cached_across_attributes(self, tiny_frame):
+        step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", 65)))
+        calculator = ContributionCalculator(step, ExceptionalityMeasure())
+        row_set = _row_set(tiny_frame, "decade", "2010s")
+        calculator.contribution(row_set, "decade")
+        calculator.contribution(row_set, "year")
+        assert len(calculator._reduced_cache) == 1
+
+    def test_join_contribution_removes_rows_from_the_right_input(self):
+        products = DataFrame({
+            "item": np.asarray([1.0, 2.0, 3.0]),
+            "vendor": np.asarray(["a", "a", "b"], dtype=object),
+        })
+        sales = DataFrame({
+            "item": np.asarray([1.0, 1.0, 2.0, 3.0]),
+            "total": np.asarray([5.0, 6.0, 7.0, 8.0]),
+        })
+        from repro.operators import Join
+
+        step = ExploratoryStep([products, sales], Join("item"))
+        calculator = ContributionCalculator(step, ExceptionalityMeasure())
+        row_set = RowSet("item=1 sales", np.asarray([0, 1]), "item", "item", "frequency",
+                         input_index=1)
+        contribution = calculator.contribution(row_set, "vendor")
+        assert isinstance(contribution, float)

@@ -1,0 +1,195 @@
+"""Integration tests of the FEDEX engine (Algorithm 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import FedexConfig, FedexExplainer, MappingPartitioner, explain_step
+from repro.dataframe import Comparison, DataFrame
+from repro.errors import ExplanationError
+from repro.operators import ExploratoryStep, Filter, GroupBy, Join, Union
+
+
+@pytest.fixture
+def filter_step(spotify_small):
+    return ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+
+
+@pytest.fixture
+def groupby_step(spotify_small):
+    operation = GroupBy("year", {"loudness": ["mean"], "danceability": ["mean"]},
+                        pre_filter=Comparison("year", ">=", 1990))
+    return ExploratoryStep([spotify_small], operation)
+
+
+class TestFilterExplanations:
+    def test_produces_explanations(self, filter_step):
+        report = FedexExplainer().explain(filter_step)
+        assert report.explanations
+
+    def test_interestingness_scores_cover_output_columns(self, filter_step):
+        report = FedexExplainer().explain(filter_step)
+        assert set(report.interestingness_scores).issubset(set(filter_step.output.column_names))
+        assert all(score >= 0 for score in report.interestingness_scores.values())
+
+    def test_selected_columns_are_most_interesting(self, filter_step):
+        report = FedexExplainer(FedexConfig(top_k_columns=3)).explain(filter_step)
+        assert len(report.selected_columns) <= 3
+        top = max(report.interestingness_scores, key=report.interestingness_scores.get)
+        assert top in report.selected_columns
+
+    def test_all_candidates_have_positive_contribution(self, filter_step):
+        report = FedexExplainer().explain(filter_step)
+        assert all(candidate.contribution > 0 for candidate in report.all_candidates)
+
+    def test_skyline_is_subset_of_candidates(self, filter_step):
+        report = FedexExplainer().explain(filter_step)
+        candidate_keys = {candidate.key() for candidate in report.all_candidates}
+        assert set(report.skyline_keys()).issubset(candidate_keys)
+
+    def test_no_duplicate_final_explanations(self, filter_step):
+        report = FedexExplainer().explain(filter_step)
+        identities = [(e.attribute, e.row_set_label) for e in report.explanations]
+        assert len(identities) == len(set(identities))
+
+    def test_decade_explained_by_recent_decades(self, filter_step):
+        """The running example's insight: popular songs skew to recent decades."""
+        config = FedexConfig(target_columns=["decade"])
+        report = FedexExplainer(config).explain(filter_step)
+        assert report.explanations
+        labels = {e.row_set_label for e in report.explanations}
+        assert labels & {"2010s", "2000s", "2020s"}
+
+    def test_timings_recorded(self, filter_step):
+        report = FedexExplainer().explain(filter_step)
+        assert set(report.timings) == {"interestingness", "partitioning", "contribution",
+                                       "skyline", "visualization"}
+        assert report.total_time > 0
+
+
+class TestGroupByExplanations:
+    def test_produces_explanations(self, groupby_step):
+        report = FedexExplainer().explain(groupby_step)
+        assert report.explanations
+
+    def test_explained_columns_are_aggregates(self, groupby_step):
+        report = FedexExplainer().explain(groupby_step)
+        for explanation in report.explanations:
+            assert explanation.attribute in {"mean_loudness", "mean_danceability"}
+
+    def test_row_sets_come_from_group_keys(self, groupby_step):
+        report = FedexExplainer().explain(groupby_step)
+        for explanation in report.explanations:
+            assert explanation.candidate.row_set.source_attribute == "year"
+
+
+class TestJoinAndUnion:
+    def test_join_step_explained(self, products_and_sales_small):
+        products, sales = products_and_sales_small
+        step = ExploratoryStep([products, sales], Join("item"))
+        report = FedexExplainer(FedexConfig(sample_size=2_000, top_k_columns=3)).explain(step)
+        assert report.interestingness_scores
+        assert report.explanations
+
+    def test_union_step_explained(self, spotify_small):
+        recent = spotify_small.filter(Comparison("year", ">", 2010))
+        step = ExploratoryStep([spotify_small, recent], Union())
+        report = FedexExplainer(FedexConfig(top_k_columns=3)).explain(step)
+        assert report.interestingness_scores
+
+
+class TestConfigurationEffects:
+    def test_target_columns_restrict_explanations(self, filter_step):
+        config = FedexConfig(target_columns=["decade", "year"])
+        report = FedexExplainer(config).explain(filter_step)
+        assert set(e.attribute for e in report.explanations).issubset({"decade", "year"})
+
+    def test_unknown_target_columns_rejected(self, filter_step):
+        config = FedexConfig(target_columns=["nope"])
+        with pytest.raises(ExplanationError):
+            FedexExplainer(config).explain(filter_step)
+
+    def test_exclude_columns(self, filter_step):
+        config = FedexConfig(exclude_columns=("popularity",))
+        report = FedexExplainer(config).explain(filter_step)
+        assert "popularity" not in report.interestingness_scores
+
+    def test_top_k_explanations_limit(self, filter_step):
+        config = FedexConfig(top_k_explanations=1)
+        report = FedexExplainer(config).explain(filter_step)
+        assert len(report.explanations) == 1
+
+    def test_disable_skyline_keeps_all_candidates(self, filter_step):
+        config = FedexConfig(use_skyline=False, top_k_explanations=None)
+        report = FedexExplainer(config).explain(filter_step)
+        with_skyline = FedexExplainer(FedexConfig()).explain(filter_step)
+        assert len(report.skyline_candidates) >= len(with_skyline.skyline_candidates)
+
+    def test_sampling_changes_only_interestingness_phase(self, filter_step):
+        exact = FedexExplainer(FedexConfig(sample_size=None, seed=0)).explain(filter_step)
+        sampled = FedexExplainer(FedexConfig(sample_size=500, seed=0)).explain(filter_step)
+        # Contribution is still computed on all rows, so for each shared
+        # candidate key the raw contribution must be identical.
+        exact_contributions = {c.key(): c.contribution for c in exact.all_candidates}
+        shared = [c for c in sampled.all_candidates if c.key() in exact_contributions]
+        assert shared
+        for candidate in shared:
+            assert candidate.contribution == pytest.approx(
+                exact_contributions[candidate.key()], rel=1e-9
+            )
+
+    def test_sampling_is_deterministic_given_seed(self, filter_step):
+        first = FedexExplainer(FedexConfig(sample_size=500, seed=5)).explain(filter_step)
+        second = FedexExplainer(FedexConfig(sample_size=500, seed=5)).explain(filter_step)
+        assert first.skyline_keys() == second.skyline_keys()
+
+    def test_custom_partitioner_is_used(self, spotify_small):
+        step = ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 70)))
+        partitioner = MappingPartitioner("era", lambda year: "old" if year < 2000 else "new")
+        explainer = FedexExplainer(
+            FedexConfig(target_columns=["year"]), extra_partitioners=[partitioner]
+        )
+        report = explainer.explain(step)
+        methods = {candidate.row_set.method for candidate in report.all_candidates}
+        assert "era" in methods
+
+    def test_measure_override(self, filter_step):
+        report = FedexExplainer().explain(filter_step, measure="diversity")
+        assert all(c.measure_name == "diversity" for c in report.all_candidates)
+
+
+class TestReportHelpers:
+    def test_explanation_for(self, filter_step):
+        report = FedexExplainer().explain(filter_step)
+        attribute = report.explanations[0].attribute
+        assert report.explanation_for(attribute) is report.explanations[0]
+        assert report.explanation_for("missing-column") is None
+
+    def test_render_text_mentions_every_explanation(self, filter_step):
+        report = FedexExplainer().explain(filter_step)
+        text = report.render_text()
+        assert text.count("Explanation:") == len(report.explanations)
+
+    def test_render_text_without_explanations(self, tiny_frame):
+        step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", -1)))
+        report = FedexExplainer().explain(step)
+        assert "No explanation" in report.render_text() or report.explanations
+
+    def test_explain_step_helper(self, filter_step):
+        report = explain_step(filter_step, FedexConfig(top_k_explanations=2))
+        assert len(report.explanations) <= 2
+
+
+class TestNoExplanationCases:
+    def test_no_positive_contribution_yields_no_explanations(self):
+        frame = DataFrame({
+            "x": np.asarray([1.0, 2.0, 3.0, 4.0] * 5),
+            "label": np.asarray(["a", "b", "c", "d"] * 5, dtype=object),
+        })
+        # A filter that keeps everything changes nothing: interestingness is 0
+        # for every column, so there is nothing to explain.
+        step = ExploratoryStep([frame], Filter(Comparison("x", ">", 0)))
+        report = FedexExplainer().explain(step)
+        assert report.explanations == []
+        assert report.all_candidates == []

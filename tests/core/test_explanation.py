@@ -1,0 +1,94 @@
+"""Unit tests for explanation construction (captioned visualizations, paper §3.7)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import FedexConfig, FedexExplainer
+from repro.dataframe import Comparison
+from repro.operators import ExploratoryStep, Filter, GroupBy
+from repro.viz import BarChartWithReference, SideBySideBarChart
+
+
+@pytest.fixture
+def filter_report(spotify_small):
+    step = ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+    return step, FedexExplainer(FedexConfig(seed=0)).explain(step)
+
+
+@pytest.fixture
+def groupby_report(spotify_small):
+    operation = GroupBy("year", {"loudness": ["mean"], "danceability": ["mean"]},
+                        pre_filter=Comparison("year", ">=", 1990))
+    step = ExploratoryStep([spotify_small], operation)
+    return step, FedexExplainer(FedexConfig(seed=0)).explain(step)
+
+
+class TestExceptionalityExplanation:
+    def test_chart_is_side_by_side(self, filter_report):
+        _, report = filter_report
+        assert report.explanations
+        explanation = report.explanations[0]
+        assert isinstance(explanation.chart, SideBySideBarChart)
+
+    def test_highlighted_category_is_the_row_set(self, filter_report):
+        _, report = filter_report
+        explanation = report.explanations[0]
+        assert explanation.chart.highlighted_category == explanation.row_set_label
+
+    def test_before_frequencies_sum_to_at_most_100(self, filter_report):
+        _, report = filter_report
+        chart = report.explanations[0].chart
+        assert sum(chart.before) <= 100.0 + 1e-6
+
+    def test_caption_follows_template(self, filter_report):
+        _, report = filter_report
+        caption = report.explanations[0].caption
+        assert caption.startswith("See that the column")
+        assert "frequent" in caption
+
+    def test_render_text_contains_caption_and_chart(self, filter_report):
+        _, report = filter_report
+        text = report.explanations[0].render_text()
+        assert "Explanation:" in text
+        assert "Before" in text
+
+    def test_to_dict_is_json_serialisable(self, filter_report):
+        _, report = filter_report
+        payload = json.dumps(report.explanations[0].to_dict())
+        assert "interestingness" in payload
+
+
+class TestDiversityExplanation:
+    def test_chart_is_bar_with_reference(self, groupby_report):
+        _, report = groupby_report
+        assert report.explanations
+        explanation = report.explanations[0]
+        assert isinstance(explanation.chart, BarChartWithReference)
+
+    def test_reference_line_is_output_mean(self, groupby_report):
+        step, report = groupby_report
+        explanation = report.explanations[0]
+        column = step.output[explanation.attribute].to_float()
+        assert explanation.chart.reference_value == pytest.approx(column.mean(), rel=1e-6)
+
+    def test_caption_mentions_standard_deviations(self, groupby_report):
+        _, report = groupby_report
+        assert "standard deviations" in report.explanations[0].caption
+
+    def test_chart_has_no_empty_categories(self, groupby_report):
+        _, report = groupby_report
+        chart = report.explanations[0].chart
+        non_highlight_values = [
+            value for index, value in enumerate(chart.values) if index != chart.highlight_index
+        ]
+        assert all(value == value for value in non_highlight_values)
+
+    def test_explanation_properties(self, groupby_report):
+        _, report = groupby_report
+        explanation = report.explanations[0]
+        assert explanation.interestingness == explanation.candidate.interestingness
+        assert explanation.standardized_contribution == \
+            explanation.candidate.standardized_contribution

@@ -1,0 +1,145 @@
+"""Unit tests for the interestingness measures (paper §3.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DiversityMeasure,
+    ExceptionalityMeasure,
+    FunctionMeasure,
+    MeasureRegistry,
+    default_registry,
+    measure_for_step,
+)
+from repro.dataframe import Comparison, DataFrame
+from repro.errors import MeasureError
+from repro.operators import ExploratoryStep, Filter, GroupBy, Join, Union
+from repro.stats import coefficient_of_variation, ks_columns
+
+
+@pytest.fixture
+def filter_step(tiny_frame):
+    return ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", 65)))
+
+
+@pytest.fixture
+def groupby_step(tiny_frame):
+    return ExploratoryStep([tiny_frame], GroupBy("decade", {"loudness": ["mean"],
+                                                            "popularity": ["mean"]}))
+
+
+class TestExceptionality:
+    def test_equals_ks_of_column_distributions(self, filter_step, tiny_frame):
+        measure = ExceptionalityMeasure()
+        expected = ks_columns(tiny_frame["decade"], filter_step.output["decade"])
+        assert measure.score_step(filter_step, "decade") == pytest.approx(expected)
+
+    def test_filtered_column_is_interesting(self, filter_step):
+        measure = ExceptionalityMeasure()
+        assert measure.score_step(filter_step, "popularity") > 0.4
+
+    def test_unrelated_identity_filter_scores_zero(self, tiny_frame):
+        step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", -1)))
+        measure = ExceptionalityMeasure()
+        assert measure.score_step(step, "decade") == 0.0
+
+    def test_missing_column_scores_zero(self, filter_step):
+        assert ExceptionalityMeasure().score_step(filter_step, "nope") == 0.0
+
+    def test_applicable_columns_are_shared_columns(self, filter_step):
+        assert set(ExceptionalityMeasure().applicable_columns(filter_step)) == \
+            set(filter_step.output.column_names)
+
+    def test_join_uses_input_holding_the_attribute(self):
+        products = DataFrame({
+            "item": np.asarray([1.0, 2.0, 3.0, 4.0]),
+            "vendor": np.asarray(["a", "a", "b", "c"], dtype=object),
+        })
+        sales = DataFrame({
+            "item": np.asarray([1.0, 1.0, 1.0, 2.0]),
+            "total": np.asarray([5.0, 6.0, 7.0, 8.0]),
+        })
+        step = ExploratoryStep([products, sales], Join("item"))
+        measure = ExceptionalityMeasure()
+        expected = ks_columns(products["vendor"], step.output["vendor"])
+        assert measure.score_step(step, "vendor") == pytest.approx(expected)
+        assert measure.score_step(step, "vendor") > 0
+
+    def test_union_takes_max_over_inputs(self, tiny_frame):
+        other = tiny_frame.filter(Comparison("popularity", ">", 65))
+        step = ExploratoryStep([tiny_frame, other], Union())
+        measure = ExceptionalityMeasure()
+        individual = [
+            ks_columns(tiny_frame["decade"], step.output["decade"]),
+            ks_columns(other["decade"], step.output["decade"]),
+        ]
+        assert measure.score_step(step, "decade") == pytest.approx(max(individual))
+
+
+class TestDiversity:
+    def test_equals_cv_of_aggregated_column(self, groupby_step):
+        measure = DiversityMeasure()
+        expected = coefficient_of_variation(groupby_step.output["mean_loudness"].to_float())
+        assert measure.score_step(groupby_step, "mean_loudness") == pytest.approx(expected)
+
+    def test_non_numeric_column_scores_zero(self, groupby_step):
+        assert DiversityMeasure().score_step(groupby_step, "decade") == 0.0
+
+    def test_applicable_columns_are_aggregates_only(self, groupby_step):
+        columns = DiversityMeasure().applicable_columns(groupby_step)
+        assert set(columns) == {"mean_loudness", "mean_popularity"}
+
+    def test_paper_example_loudness_more_diverse_than_danceability(self):
+        frame = DataFrame({
+            "year": np.asarray([1991.0, 1992.0, 2013.0, 2014.0]),
+            "loudness": np.asarray([-11.0, -10.7, -8.2, -7.8]),
+            "danceability": np.asarray([0.555, 0.555, 0.593, 0.586]),
+        })
+        step = ExploratoryStep([frame], GroupBy("year", {"loudness": ["mean"],
+                                                         "danceability": ["mean"]}))
+        measure = DiversityMeasure()
+        assert measure.score_step(step, "mean_loudness") > \
+            measure.score_step(step, "mean_danceability")
+
+
+class TestRegistry:
+    def test_default_registry_contains_both_measures(self):
+        registry = default_registry()
+        assert "exceptionality" in registry
+        assert "diversity" in registry
+
+    def test_duplicate_registration_rejected(self):
+        registry = default_registry()
+        with pytest.raises(MeasureError):
+            registry.register(ExceptionalityMeasure())
+
+    def test_overwrite_allowed_when_requested(self):
+        registry = default_registry()
+        registry.register(ExceptionalityMeasure(), overwrite=True)
+        assert "exceptionality" in registry
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(MeasureError):
+            default_registry().get("nope")
+
+    def test_measure_for_step_uses_operation_default(self, filter_step, groupby_step):
+        assert measure_for_step(filter_step).name == "exceptionality"
+        assert measure_for_step(groupby_step).name == "diversity"
+
+    def test_measure_for_step_override(self, filter_step):
+        assert measure_for_step(filter_step, override="diversity").name == "diversity"
+
+    def test_function_measure(self, groupby_step):
+        measure = FunctionMeasure("range", lambda inputs, step, output, attr:
+                                  output[attr].max() - output[attr].min(), columns="numeric")
+        registry = MeasureRegistry()
+        registry.register(measure)
+        score = measure.score_step(groupby_step, "mean_popularity")
+        assert score > 0
+        assert "mean_popularity" in measure.applicable_columns(groupby_step)
+
+    def test_function_measure_explicit_columns(self, groupby_step):
+        measure = FunctionMeasure("one", lambda *args: 1.0, columns=["mean_loudness"])
+        assert measure.applicable_columns(groupby_step) == ["mean_loudness"]

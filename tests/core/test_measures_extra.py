@@ -1,0 +1,93 @@
+"""Unit tests for the additional interestingness measures (§3.8 extensions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompactnessMeasure,
+    CoverageMeasure,
+    FedexConfig,
+    FedexExplainer,
+    SurprisingnessMeasure,
+    extended_registry,
+)
+from repro.dataframe import Comparison, DataFrame
+from repro.operators import ExploratoryStep, Filter, GroupBy
+
+
+@pytest.fixture
+def frame() -> DataFrame:
+    rng = np.random.default_rng(1)
+    n = 500
+    value = rng.normal(10.0, 2.0, n)
+    group = np.asarray(["a", "b", "c", "d", "e"], dtype=object)[rng.integers(0, 5, n)]
+    return DataFrame({"value": value, "group": group})
+
+
+class TestSurprisingness:
+    def test_shifting_filter_scores_high(self, frame):
+        step = ExploratoryStep([frame], Filter(Comparison("value", ">", 13)))
+        score = SurprisingnessMeasure().score_step(step, "value")
+        assert score > 1.0
+
+    def test_neutral_filter_scores_near_zero(self, frame):
+        step = ExploratoryStep([frame], Filter(Comparison("value", ">", -100)))
+        assert SurprisingnessMeasure().score_step(step, "value") == pytest.approx(0.0, abs=1e-9)
+
+    def test_categorical_columns_not_applicable(self, frame):
+        step = ExploratoryStep([frame], Filter(Comparison("value", ">", 10)))
+        assert "group" not in SurprisingnessMeasure().applicable_columns(step)
+
+    def test_missing_column_scores_zero(self, frame):
+        step = ExploratoryStep([frame], Filter(Comparison("value", ">", 10)))
+        assert SurprisingnessMeasure().score_step(step, "nope") == 0.0
+
+
+class TestCoverageAndCompactness:
+    def test_full_coverage_scores_zero(self, frame):
+        step = ExploratoryStep([frame], GroupBy("group", {"value": ["mean"]}))
+        assert CoverageMeasure().score_step(step, "mean_value") == pytest.approx(0.0)
+
+    def test_partial_coverage_scores_positive(self, frame):
+        operation = GroupBy("group", {"value": ["mean"]},
+                            pre_filter=Comparison("value", ">", 12))
+        step = ExploratoryStep([frame], operation)
+        # Groups are computed only over the filtered rows, so some input rows
+        # may fall outside the summarised groups only if a whole group vanishes;
+        # either way the score stays within [0, 1].
+        score = CoverageMeasure().score_step(step, "mean_value")
+        assert 0.0 <= score <= 1.0
+
+    def test_coverage_not_applicable_to_filters(self, frame):
+        step = ExploratoryStep([frame], Filter(Comparison("value", ">", 10)))
+        assert CoverageMeasure().applicable_columns(step) == []
+
+    def test_compactness_rewards_fewer_groups(self, frame):
+        few_groups = ExploratoryStep([frame], GroupBy("group", {"value": ["mean"]}))
+        many_groups = ExploratoryStep(
+            [frame.with_column(frame["value"].rename("fine_key"))],
+            GroupBy("fine_key", {"value": ["mean"]}),
+        )
+        compactness = CompactnessMeasure()
+        assert compactness.score_step(few_groups, "mean_value") > \
+            compactness.score_step(many_groups, "mean_value")
+
+    def test_compactness_bounded(self, frame):
+        step = ExploratoryStep([frame], GroupBy("group", {"value": ["mean"]}))
+        assert 0.0 <= CompactnessMeasure().score_step(step, "mean_value") <= 1.0
+
+
+class TestExtendedRegistry:
+    def test_contains_all_measures(self):
+        registry = extended_registry()
+        for name in ("exceptionality", "diversity", "surprisingness", "coverage", "compactness"):
+            assert name in registry
+
+    def test_engine_runs_with_surprisingness(self, frame):
+        step = ExploratoryStep([frame], Filter(Comparison("value", ">", 13)))
+        explainer = FedexExplainer(FedexConfig(seed=0), registry=extended_registry())
+        report = explainer.explain(step, measure="surprisingness")
+        assert report.interestingness_scores
+        assert all(c.measure_name == "surprisingness" for c in report.all_candidates)

@@ -1,0 +1,187 @@
+"""Unit tests for row partitions (paper §3.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FrequencyPartitioner,
+    ManyToOnePartitioner,
+    MappingPartitioner,
+    NumericBinningPartitioner,
+    RowPartition,
+    RowSet,
+    build_partitions,
+    default_partitioners,
+)
+from repro.dataframe import DataFrame
+from repro.errors import PartitionError
+
+
+@pytest.fixture
+def frame() -> DataFrame:
+    years = np.asarray([1991, 1992, 1993, 2001, 2002, 2011, 2012, 2013, 2014, 2015], dtype=float)
+    decades = np.asarray([f"{int(y) // 10 * 10}s" for y in years], dtype=object)
+    return DataFrame({
+        "year": years,
+        "decade": decades,
+        "value": np.linspace(0, 9, 10),
+    })
+
+
+class TestDefinition:
+    def test_row_sets_must_be_disjoint(self):
+        first = RowSet("a", np.asarray([0, 1]), "x", "x", "frequency")
+        second = RowSet("b", np.asarray([1, 2]), "x", "x", "frequency")
+        with pytest.raises(PartitionError):
+            RowPartition(sets=[first, second], source_attribute="x", method="frequency")
+
+    def test_all_sets_includes_ignore_set(self):
+        first = RowSet("a", np.asarray([0]), "x", "x", "frequency")
+        ignore = RowSet("rest", np.asarray([1]), "x", "x", "frequency", is_ignore=True)
+        partition = RowPartition(sets=[first], ignore_set=ignore, source_attribute="x",
+                                 method="frequency")
+        assert len(partition.all_sets()) == 2
+        assert partition.covered_rows() == 2
+
+
+class TestFrequencyPartitioner:
+    def test_top_values_become_sets(self, frame):
+        partition = FrequencyPartitioner().partition(frame, "decade", n_sets=2)
+        labels = {row_set.label for row_set in partition.sets}
+        assert labels == {"2010s", "1990s"}
+
+    def test_remaining_rows_go_to_ignore_set(self, frame):
+        partition = FrequencyPartitioner().partition(frame, "decade", n_sets=2)
+        assert partition.ignore_set is not None
+        assert partition.ignore_set.size == 2  # the two 2000s rows
+
+    def test_covers_all_rows(self, frame):
+        partition = FrequencyPartitioner().partition(frame, "decade", n_sets=2)
+        assert partition.covered_rows() == frame.num_rows
+
+    def test_no_ignore_set_when_all_values_kept(self, frame):
+        partition = FrequencyPartitioner().partition(frame, "decade", n_sets=3)
+        assert partition.ignore_set is None
+
+    def test_numeric_attribute_supported(self, frame):
+        partition = FrequencyPartitioner().partition(frame, "year", n_sets=5)
+        assert len(partition) == 5
+
+    def test_single_valued_column_returns_none(self):
+        frame = DataFrame({"c": np.asarray(["x", "x"], dtype=object)})
+        assert FrequencyPartitioner().partition(frame, "c", 5) is None
+
+    def test_missing_attribute_returns_none(self, frame):
+        assert FrequencyPartitioner().partition(frame, "nope", 5) is None
+
+
+class TestNumericBinningPartitioner:
+    def test_equal_frequency_bins(self, frame):
+        partition = NumericBinningPartitioner().partition(frame, "value", n_sets=5)
+        assert len(partition) == 5
+        sizes = [row_set.size for row_set in partition.sets]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_bins_cover_all_rows_without_ignore_set(self, frame):
+        partition = NumericBinningPartitioner().partition(frame, "value", n_sets=5)
+        assert partition.ignore_set is None
+        assert partition.covered_rows() == frame.num_rows
+
+    def test_interval_labels(self, frame):
+        partition = NumericBinningPartitioner().partition(frame, "value", n_sets=2)
+        assert partition.sets[0].interval is not None
+        assert partition.sets[0].label.startswith("[")
+
+    def test_categorical_attribute_returns_none(self, frame):
+        assert NumericBinningPartitioner().partition(frame, "decade", 5) is None
+
+    def test_missing_values_in_ignore_set(self):
+        frame = DataFrame({"x": np.asarray([1.0, 2.0, 3.0, 4.0, np.nan])})
+        partition = NumericBinningPartitioner().partition(frame, "x", 2)
+        assert partition.ignore_set is not None
+        assert partition.ignore_set.size == 1
+
+    def test_constant_column_returns_none(self):
+        frame = DataFrame({"x": np.asarray([2.0, 2.0, 2.0])})
+        assert NumericBinningPartitioner().partition(frame, "x", 3) is None
+
+    def test_fewer_distinct_values_than_bins(self):
+        frame = DataFrame({"x": np.asarray([1.0, 1.0, 2.0, 2.0])})
+        partition = NumericBinningPartitioner().partition(frame, "x", 10)
+        assert partition is not None
+        assert len(partition) == 2
+
+
+class TestManyToOnePartitioner:
+    def test_finds_year_to_decade(self, frame):
+        companions = ManyToOnePartitioner().find_companions(frame, "year")
+        assert "decade" in companions
+
+    def test_rejects_non_functional_relationships(self, frame):
+        # value -> decade is functional here, but decade -> year is not.
+        companions = ManyToOnePartitioner().find_companions(frame, "decade")
+        assert "year" not in companions
+
+    def test_partition_labels_come_from_companion(self, frame):
+        partition = ManyToOnePartitioner().partition(frame, "year", n_sets=5)
+        assert partition is not None
+        assert partition.source_attribute == "year"
+        assert all(row_set.label_attribute == "decade" for row_set in partition.sets)
+        assert {row_set.label for row_set in partition.sets} == {"1990s", "2000s", "2010s"}
+
+    def test_no_companion_returns_none(self):
+        frame = DataFrame({
+            "a": np.asarray([1.0, 2.0, 3.0]),
+            "b": np.asarray([4.0, 5.0, 6.0]),
+        })
+        assert ManyToOnePartitioner().partition(frame, "a", 3) is None
+
+    def test_identical_cardinality_not_coarser(self):
+        frame = DataFrame({
+            "a": np.asarray(["x", "y", "z"], dtype=object),
+            "b": np.asarray(["p", "q", "r"], dtype=object),
+        })
+        assert ManyToOnePartitioner().find_companions(frame, "a") == []
+
+
+class TestMappingPartitioner:
+    def test_custom_buckets(self, frame):
+        partitioner = MappingPartitioner("era", lambda year: "old" if year < 2000 else "new")
+        partition = partitioner.partition(frame, "year", n_sets=5)
+        assert {row_set.label for row_set in partition.sets} == {"old", "new"}
+
+    def test_none_goes_to_ignore_set(self, frame):
+        partitioner = MappingPartitioner("era", lambda year: None if year < 2000 else "new")
+        partition = partitioner.partition(frame, "year", n_sets=5)
+        assert partition is None or partition.ignore_set is not None
+
+    def test_single_bucket_returns_none(self, frame):
+        partitioner = MappingPartitioner("era", lambda year: "all")
+        assert partitioner.partition(frame, "year", 5) is None
+
+
+class TestBuildPartitions:
+    def test_all_methods_contribute(self, frame):
+        partitions = build_partitions(frame, ["year"], [5], default_partitioners())
+        methods = {partition.method for partition in partitions}
+        assert methods == {"frequency", "binning", "many_to_one"}
+
+    def test_duplicate_partitions_removed(self, frame):
+        partitions = build_partitions(frame, ["decade"], [3, 10], default_partitioners(("frequency",)))
+        # 3 and 10 requested sets collapse to the same 3-value partition.
+        assert len(partitions) == 1
+
+    def test_low_cardinality_attributes_skipped(self):
+        frame = DataFrame({"c": np.asarray(["x", "x", "x"], dtype=object)})
+        assert build_partitions(frame, ["c"], [5], default_partitioners()) == []
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(PartitionError):
+            default_partitioners(("nope",))
+
+    def test_row_set_key_is_hashable(self, frame):
+        partition = FrequencyPartitioner().partition(frame, "decade", 3)
+        keys = {row_set.key() for row_set in partition.sets}
+        assert len(keys) == 3

@@ -1,0 +1,114 @@
+"""Unit and property tests for the skyline operator and weighted ranking (paper §3.6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ExplanationCandidate, RowSet, is_dominated, rank_by_weighted_score, skyline
+from repro.core.skyline import skyline_pairs
+
+
+def _candidate(interestingness: float, contribution: float, attribute: str = "a",
+               label: str = "r") -> ExplanationCandidate:
+    row_set = RowSet(label, np.asarray([0]), attribute, attribute, "frequency")
+    return ExplanationCandidate(
+        row_set=row_set,
+        attribute=attribute,
+        interestingness=interestingness,
+        contribution=contribution,
+        standardized_contribution=contribution,
+        measure_name="exceptionality",
+        partition_size=3,
+    )
+
+
+class TestSkyline:
+    def test_dominated_candidate_removed(self):
+        good = _candidate(0.9, 2.0, label="good")
+        bad = _candidate(0.5, 1.0, label="bad")
+        assert skyline([good, bad]) == [good]
+
+    def test_incomparable_candidates_both_kept(self):
+        first = _candidate(0.9, 1.0, label="interesting")
+        second = _candidate(0.5, 2.0, label="contributing")
+        assert set(c.row_set.label for c in skyline([first, second])) == {"interesting", "contributing"}
+
+    def test_equal_interestingness_keeps_only_best_contribution(self):
+        first = _candidate(0.9, 2.0, label="best")
+        second = _candidate(0.9, 1.0, label="worse")
+        assert skyline([first, second]) == [first]
+
+    def test_fully_tied_candidates_all_kept(self):
+        first = _candidate(0.9, 1.0, label="one")
+        second = _candidate(0.9, 1.0, label="two")
+        assert len(skyline([first, second])) == 2
+
+    def test_empty_input(self):
+        assert skyline([]) == []
+
+    def test_is_dominated_matches_paper_definition(self):
+        candidates = [_candidate(0.9, 1.0), _candidate(0.5, 2.0), _candidate(0.4, 0.5)]
+        assert not is_dominated(candidates[0], candidates)
+        assert not is_dominated(candidates[1], candidates)
+        assert is_dominated(candidates[2], candidates)
+
+    def test_sweep_matches_pairwise_definition_on_random_data(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            candidates = [
+                _candidate(float(rng.integers(0, 5)) / 4, float(rng.integers(0, 5)), label=str(i))
+                for i in range(rng.integers(1, 15))
+            ]
+            expected = {id(c) for c in candidates if not is_dominated(c, candidates)}
+            actual = {id(c) for c in skyline(candidates)}
+            assert actual == expected
+
+
+class TestWeightedRanking:
+    def test_ranked_by_weighted_score(self):
+        first = _candidate(1.0, 0.0, label="interesting")
+        second = _candidate(0.0, 2.0, label="contributing")
+        ranked = rank_by_weighted_score([first, second], 1.0, 1.0)
+        assert ranked[0].row_set.label == "contributing"
+
+    def test_weights_change_the_order(self):
+        first = _candidate(1.0, 0.0, label="interesting")
+        second = _candidate(0.0, 1.5, label="contributing")
+        by_interest = rank_by_weighted_score([first, second], 10.0, 1.0)
+        assert by_interest[0].row_set.label == "interesting"
+
+    def test_top_k_truncation(self):
+        candidates = [_candidate(0.5, float(i), label=str(i)) for i in range(5)]
+        assert len(rank_by_weighted_score(candidates, top_k=2)) == 2
+
+    def test_weighted_score_formula(self):
+        candidate = _candidate(0.6, 1.8)
+        assert candidate.weighted_score(1.0, 2.0) == pytest.approx((0.6 + 2 * 1.8) / 3)
+
+
+class TestSkylinePairs:
+    def test_simple_case(self):
+        points = [(1.0, 1.0), (2.0, 0.5), (0.5, 2.0), (0.4, 0.4)]
+        assert skyline_pairs(points) == [0, 1, 2]
+
+    def test_single_point(self):
+        assert skyline_pairs([(1.0, 1.0)]) == [0]
+
+
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=25))
+@settings(max_examples=80, deadline=None)
+def test_skyline_pairs_matches_bruteforce(points):
+    points = [(float(x), float(y)) for x, y in points]
+
+    def dominated(i):
+        return any(
+            (points[j][0] >= points[i][0] and points[j][1] >= points[i][1]
+             and points[j] != points[i])
+            for j in range(len(points))
+        )
+
+    expected = sorted(i for i in range(len(points)) if not dominated(i))
+    assert skyline_pairs(points) == expected

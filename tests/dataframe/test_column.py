@@ -1,0 +1,176 @@
+"""Unit tests for the Column type."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Column
+from repro.dataframe.column import column_from_mapping, ensure_same_length, infer_kind
+from repro.errors import ColumnError
+
+
+class TestConstruction:
+    def test_numeric_kind_is_inferred(self):
+        column = Column("x", [1.0, 2.0, 3.0])
+        assert column.is_numeric
+        assert not column.is_categorical
+
+    def test_string_kind_is_inferred(self):
+        column = Column("x", np.asarray(["a", "b"], dtype=object))
+        assert column.is_categorical
+
+    def test_boolean_kind_is_inferred(self):
+        column = Column("x", np.asarray([True, False]))
+        assert column.is_boolean
+
+    def test_explicit_kind_override(self):
+        column = Column("x", np.asarray([1.0, 0.0]), kind="numeric")
+        assert column.kind == "numeric"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ColumnError):
+            Column("x", [1, 2], kind="weird")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ColumnError):
+            Column("", [1, 2])
+
+    def test_two_dimensional_values_rejected(self):
+        with pytest.raises(ColumnError):
+            Column("x", np.zeros((2, 2)))
+
+    def test_object_values_are_normalised_to_python_types(self):
+        column = Column("x", np.asarray([np.str_("a"), np.int64(3), None], dtype=object))
+        assert column.tolist() == ["a", 3, None]
+
+    def test_infer_kind_function(self):
+        assert infer_kind(np.asarray([1.5])) == "numeric"
+        assert infer_kind(np.asarray(["a"], dtype=object)) == "categorical"
+        assert infer_kind(np.asarray([True])) == "boolean"
+
+
+class TestAccess:
+    def test_len_and_iter(self):
+        column = Column("x", [1.0, 2.0, 3.0])
+        assert len(column) == 3
+        assert list(column) == [1.0, 2.0, 3.0]
+
+    def test_scalar_getitem_returns_python_value(self):
+        column = Column("x", np.asarray([4.0, 5.0]))
+        assert column[1] == 5.0
+        assert isinstance(column[1], float)
+
+    def test_slice_getitem_returns_column(self):
+        column = Column("x", [1.0, 2.0, 3.0])
+        sliced = column[np.asarray([0, 2])]
+        assert isinstance(sliced, Column)
+        assert sliced.tolist() == [1.0, 3.0]
+
+    def test_equality(self):
+        assert Column("x", [1.0, 2.0]) == Column("x", [1.0, 2.0])
+        assert Column("x", [1.0, 2.0]) != Column("y", [1.0, 2.0])
+        assert Column("x", [1.0, 2.0]) != Column("x", [1.0, 3.0])
+
+
+class TestTransforms:
+    def test_rename_keeps_values(self):
+        column = Column("x", [1.0, 2.0]).rename("y")
+        assert column.name == "y"
+        assert column.tolist() == [1.0, 2.0]
+
+    def test_take_reorders(self):
+        column = Column("x", [10.0, 20.0, 30.0])
+        assert column.take(np.asarray([2, 0])).tolist() == [30.0, 10.0]
+
+    def test_mask_filters(self):
+        column = Column("x", [10.0, 20.0, 30.0])
+        assert column.mask(np.asarray([True, False, True])).tolist() == [10.0, 30.0]
+
+    def test_mask_requires_boolean(self):
+        with pytest.raises(ColumnError):
+            Column("x", [1.0]).mask(np.asarray([1]))
+
+    def test_mask_length_checked(self):
+        with pytest.raises(ColumnError):
+            Column("x", [1.0, 2.0]).mask(np.asarray([True]))
+
+    def test_concat_same_kind(self):
+        merged = Column("x", [1.0]).concat(Column("x", [2.0, 3.0]))
+        assert merged.tolist() == [1.0, 2.0, 3.0]
+
+    def test_concat_mixed_kind_degrades_to_categorical(self):
+        merged = Column("x", [1.0]).concat(Column("x", np.asarray(["a"], dtype=object)))
+        assert merged.is_categorical
+        assert merged.tolist() == ["1.0", "a"]
+
+    def test_copy_is_independent(self):
+        column = Column("x", [1.0, 2.0])
+        copy = column.copy()
+        copy.values[0] = 99.0
+        assert column.tolist() == [1.0, 2.0]
+
+
+class TestStatistics:
+    def test_null_mask_numeric(self):
+        column = Column("x", [1.0, np.nan, 3.0])
+        assert column.null_mask().tolist() == [False, True, False]
+
+    def test_null_mask_categorical(self):
+        column = Column("x", np.asarray(["a", None, "b"], dtype=object))
+        assert column.null_mask().tolist() == [False, True, False]
+
+    def test_unique_and_n_unique(self):
+        column = Column("x", np.asarray(["b", "a", "b", None], dtype=object))
+        assert sorted(column.unique()) == ["a", "b"]
+        assert column.n_unique() == 2
+
+    def test_value_counts(self):
+        column = Column("x", np.asarray(["a", "b", "a"], dtype=object))
+        assert column.value_counts() == {"a": 2, "b": 1}
+
+    def test_frequencies_sum_to_one(self):
+        column = Column("x", [1.0, 1.0, 2.0, np.nan])
+        frequencies = column.frequencies()
+        assert frequencies[1.0] == pytest.approx(2 / 3)
+        assert sum(frequencies.values()) == pytest.approx(1.0)
+
+    def test_factorize_codes_match_uniques(self):
+        column = Column("x", np.asarray(["b", "a", "b", None], dtype=object))
+        codes, uniques = column.factorize()
+        assert uniques == ["a", "b"]
+        assert codes.tolist() == [1, 0, 1, -1]
+
+    def test_factorize_is_cached(self):
+        column = Column("x", [1.0, 2.0])
+        assert column.factorize() is column.factorize()
+
+    def test_numeric_summaries(self):
+        column = Column("x", [1.0, 2.0, 3.0, np.nan])
+        assert column.min() == 1.0
+        assert column.max() == 3.0
+        assert column.mean() == pytest.approx(2.0)
+        assert column.sum() == pytest.approx(6.0)
+        assert column.std() == pytest.approx(1.0)
+
+    def test_empty_numeric_summaries(self):
+        column = Column("x", np.asarray([np.nan]))
+        assert np.isnan(column.min())
+        assert column.sum() == 0.0
+
+    def test_to_float_rejects_categorical(self):
+        with pytest.raises(ColumnError):
+            Column("x", np.asarray(["a"], dtype=object)).to_float()
+
+
+class TestHelpers:
+    def test_column_from_mapping(self):
+        column = column_from_mapping("decade", {1991: "1990s", 2001: "2000s"}, [1991, 2001, 1991])
+        assert column.tolist() == ["1990s", "2000s", "1990s"]
+
+    def test_ensure_same_length_accepts_equal(self):
+        assert ensure_same_length([Column("a", [1.0]), Column("b", [2.0])]) == 1
+
+    def test_ensure_same_length_rejects_mismatch(self):
+        with pytest.raises(ColumnError):
+            ensure_same_length([Column("a", [1.0]), Column("b", [1.0, 2.0])])

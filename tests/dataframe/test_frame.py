@@ -1,0 +1,157 @@
+"""Unit tests for the DataFrame container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Column, Comparison, DataFrame, concat_frames
+from repro.errors import ColumnError, SchemaError
+
+
+class TestConstruction:
+    def test_from_mapping_preserves_order(self, tiny_frame):
+        assert tiny_frame.column_names == ["year", "decade", "popularity", "loudness"]
+
+    def test_from_columns(self):
+        frame = DataFrame([Column("a", [1.0]), Column("b", [2.0])])
+        assert frame.shape == (1, 2)
+
+    def test_empty_frame(self):
+        frame = DataFrame()
+        assert frame.num_rows == 0
+        assert frame.num_columns == 0
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            DataFrame([Column("a", [1.0]), Column("a", [2.0])])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ColumnError):
+            DataFrame({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_from_rows(self):
+        frame = DataFrame.from_rows([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert frame.shape == (2, 2)
+        assert frame["b"].tolist() == ["x", "y"]
+
+    def test_from_rows_empty(self):
+        frame = DataFrame.from_rows([], column_order=["a"])
+        assert frame.num_rows == 0
+        assert frame.column_names == ["a"]
+
+
+class TestAccess:
+    def test_getitem_unknown_column(self, tiny_frame):
+        with pytest.raises(ColumnError):
+            tiny_frame["missing"]
+
+    def test_contains_and_iter(self, tiny_frame):
+        assert "year" in tiny_frame
+        assert list(tiny_frame) == tiny_frame.column_names
+
+    def test_numeric_and_categorical_columns(self, tiny_frame):
+        assert "decade" in tiny_frame.categorical_columns()
+        assert set(tiny_frame.numeric_columns()) == {"year", "popularity", "loudness"}
+
+    def test_row_and_to_rows(self, tiny_frame):
+        row = tiny_frame.row(0)
+        assert row["decade"] == "1990s"
+        assert tiny_frame.to_rows()[0] == row
+
+    def test_to_dict(self, tiny_frame):
+        data = tiny_frame.to_dict()
+        assert data["year"][0] == 1991
+
+    def test_describe(self, tiny_frame):
+        summary = tiny_frame.describe()
+        assert summary["popularity"]["count"] == 8
+        assert summary["decade"]["distinct"] == 3
+
+    def test_column_kinds(self, tiny_frame):
+        kinds = tiny_frame.column_kinds()
+        assert kinds["decade"] == "categorical"
+        assert kinds["year"] == "numeric"
+
+
+class TestRowSelection:
+    def test_filter_keeps_matching_rows(self, tiny_frame):
+        popular = tiny_frame.filter(Comparison("popularity", ">", 65))
+        assert popular.num_rows == 4
+        assert set(popular["decade"].tolist()) == {"2010s"}
+
+    def test_mask_length_checked(self, tiny_frame):
+        with pytest.raises(ColumnError):
+            tiny_frame.mask(np.asarray([True]))
+
+    def test_take(self, tiny_frame):
+        taken = tiny_frame.take([7, 0])
+        assert taken["year"].tolist() == [2014.0, 1991.0]
+
+    def test_remove_rows(self, tiny_frame):
+        reduced = tiny_frame.remove_rows([0, 1])
+        assert reduced.num_rows == 6
+        assert "1990s" not in reduced["decade"].tolist()
+
+    def test_remove_rows_ignores_out_of_range(self, tiny_frame):
+        reduced = tiny_frame.remove_rows([100, -5])
+        assert reduced.num_rows == tiny_frame.num_rows
+
+    def test_head_and_tail(self, tiny_frame):
+        assert tiny_frame.head(3).num_rows == 3
+        assert tiny_frame.tail(2)["year"].tolist() == [2013.0, 2014.0]
+
+    def test_sort_values(self, tiny_frame):
+        ordered = tiny_frame.sort_values("popularity", ascending=False)
+        assert ordered["popularity"].tolist()[0] == 85.0
+
+    def test_sort_values_categorical(self, tiny_frame):
+        ordered = tiny_frame.sort_values("decade")
+        assert ordered["decade"].tolist()[0] == "1990s"
+
+
+class TestProjectionAndCopy:
+    def test_select(self, tiny_frame):
+        projected = tiny_frame.select(["decade", "popularity"])
+        assert projected.column_names == ["decade", "popularity"]
+
+    def test_select_missing_column(self, tiny_frame):
+        with pytest.raises(ColumnError):
+            tiny_frame.select(["nope"])
+
+    def test_drop(self, tiny_frame):
+        remaining = tiny_frame.drop(["loudness"])
+        assert "loudness" not in remaining
+
+    def test_rename(self, tiny_frame):
+        renamed = tiny_frame.rename({"year": "release_year"})
+        assert "release_year" in renamed
+        assert "year" not in renamed
+
+    def test_with_column_adds_and_replaces(self, tiny_frame):
+        extended = tiny_frame.with_column(Column("flag", np.ones(8)))
+        assert "flag" in extended
+        replaced = extended.with_column(Column("flag", np.zeros(8)))
+        assert replaced["flag"].tolist() == [0.0] * 8
+
+    def test_with_column_length_checked(self, tiny_frame):
+        with pytest.raises(ColumnError):
+            tiny_frame.with_column(Column("flag", [1.0]))
+
+    def test_copy_is_deep(self, tiny_frame):
+        copy = tiny_frame.copy()
+        copy["year"].values[0] = 1800.0
+        assert tiny_frame["year"][0] == 1991.0
+
+    def test_equality(self, tiny_frame):
+        assert tiny_frame == tiny_frame.copy()
+        assert tiny_frame != tiny_frame.select(["year"])
+
+
+class TestConcat:
+    def test_concat_frames(self, tiny_frame):
+        merged = concat_frames([tiny_frame.head(2), tiny_frame.tail(2)])
+        assert merged.num_rows == 4
+
+    def test_concat_frames_empty_list(self):
+        assert concat_frames([]).num_rows == 0

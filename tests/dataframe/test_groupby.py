@@ -1,0 +1,116 @@
+"""Unit tests for group-by and aggregation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, group_indices, groupby
+from repro.dataframe.groupby import AGGREGATIONS, aggregation_column_name
+from repro.errors import ColumnError, OperationError
+
+
+@pytest.fixture
+def frame() -> DataFrame:
+    return DataFrame({
+        "city": np.asarray(["a", "a", "b", "b", "b", None], dtype=object),
+        "kind": np.asarray(["x", "y", "x", "x", "y", "x"], dtype=object),
+        "value": np.asarray([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+    })
+
+
+class TestGroupIndices:
+    def test_single_key(self, frame):
+        buckets = group_indices(frame, ["city"])
+        assert sorted(buckets.keys()) == [("a",), ("b",)]
+        assert buckets[("a",)].tolist() == [0, 1]
+        assert buckets[("b",)].tolist() == [2, 3, 4]
+
+    def test_rows_with_missing_key_are_skipped(self, frame):
+        buckets = group_indices(frame, ["city"])
+        assert all(5 not in indices for indices in buckets.values())
+
+    def test_multi_key(self, frame):
+        buckets = group_indices(frame, ["city", "kind"])
+        assert buckets[("b", "x")].tolist() == [2, 3]
+        assert len(buckets) == 4
+
+    def test_unknown_key_rejected(self, frame):
+        with pytest.raises(ColumnError):
+            group_indices(frame, ["missing"])
+
+    def test_empty_frame(self):
+        assert group_indices(DataFrame({"a": []}), ["a"]) == {}
+
+
+class TestGroupBy:
+    def test_mean_aggregation(self, frame):
+        result = groupby(frame, "city", {"value": ["mean"]})
+        assert result.column_names == ["city", "mean_value"]
+        by_city = dict(zip(result["city"].tolist(), result["mean_value"].tolist()))
+        assert by_city["a"] == pytest.approx(1.5)
+        assert by_city["b"] == pytest.approx(4.0)
+
+    def test_multiple_aggregations(self, frame):
+        result = groupby(frame, "city", {"value": ["min", "max", "sum"]})
+        assert set(result.column_names) == {"city", "min_value", "max_value", "sum_value"}
+
+    def test_count_column(self, frame):
+        result = groupby(frame, "city", include_count=True)
+        by_city = dict(zip(result["city"].tolist(), result["count"].tolist()))
+        assert by_city == {"a": 2.0, "b": 3.0}
+
+    def test_count_is_default_without_aggregations(self, frame):
+        result = groupby(frame, "city")
+        assert "count" in result
+
+    def test_multi_key_output_has_all_keys(self, frame):
+        result = groupby(frame, ["city", "kind"], {"value": ["mean"]})
+        assert result.column_names[:2] == ["city", "kind"]
+        assert result.num_rows == 4
+
+    def test_groups_sorted_deterministically(self, frame):
+        result = groupby(frame, "city", include_count=True)
+        assert result["city"].tolist() == ["a", "b"]
+
+    def test_unknown_aggregation_rejected(self, frame):
+        with pytest.raises(OperationError):
+            groupby(frame, "city", {"value": ["p99"]})
+
+    def test_unknown_value_column_rejected(self, frame):
+        with pytest.raises(ColumnError):
+            groupby(frame, "city", {"missing": ["mean"]})
+
+    def test_categorical_value_column_rejected_for_mean(self, frame):
+        with pytest.raises(OperationError):
+            groupby(frame, "city", {"kind": ["mean"]})
+
+    def test_empty_key_list_rejected(self, frame):
+        with pytest.raises(OperationError):
+            groupby(frame, [])
+
+    def test_nan_values_excluded_from_aggregates(self):
+        frame = DataFrame({
+            "key": np.asarray(["a", "a"], dtype=object),
+            "value": np.asarray([1.0, np.nan]),
+        })
+        result = groupby(frame, "key", {"value": ["mean"]})
+        assert result["mean_value"][0] == pytest.approx(1.0)
+
+    def test_median_and_std(self, frame):
+        result = groupby(frame, "city", {"value": ["median", "std"]})
+        by_city = dict(zip(result["city"].tolist(), result["median_value"].tolist()))
+        assert by_city["b"] == pytest.approx(4.0)
+
+    def test_dataframe_method_delegates(self, frame):
+        assert frame.groupby("city", {"value": ["mean"]}) == groupby(frame, "city", {"value": ["mean"]})
+
+
+class TestHelpers:
+    def test_aggregation_column_name(self):
+        assert aggregation_column_name("mean", "loudness") == "mean_loudness"
+
+    def test_all_aggregations_handle_singletons(self):
+        values = np.asarray([3.0])
+        for name, func in AGGREGATIONS.items():
+            assert isinstance(func(values), float)

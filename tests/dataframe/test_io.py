@@ -1,0 +1,80 @@
+"""Unit tests for CSV input/output."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, read_csv, write_csv
+from repro.errors import DataFrameError
+
+
+@pytest.fixture
+def frame() -> DataFrame:
+    return DataFrame({
+        "name": np.asarray(["alpha", "beta", "gamma"], dtype=object),
+        "score": np.asarray([1.5, 2.0, np.nan]),
+        "count": np.asarray([3.0, 4.0, 5.0]),
+    })
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, frame, tmp_path):
+        path = write_csv(frame, tmp_path / "data.csv")
+        loaded = read_csv(path)
+        assert loaded.column_names == frame.column_names
+        assert loaded["name"].tolist() == frame["name"].tolist()
+        assert loaded["count"].tolist() == frame["count"].tolist()
+
+    def test_nan_round_trips_as_missing(self, frame, tmp_path):
+        loaded = read_csv(write_csv(frame, tmp_path / "data.csv"))
+        assert np.isnan(loaded["score"].tolist()[2])
+
+    def test_integers_written_without_decimal(self, frame, tmp_path):
+        path = write_csv(frame, tmp_path / "data.csv")
+        text = path.read_text()
+        assert "3\n" in text or ",3" in text
+
+
+class TestReadCsv:
+    def test_type_inference(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text("a,b\n1,x\n2,y\n")
+        frame = read_csv(path)
+        assert frame["a"].is_numeric
+        assert frame["b"].is_categorical
+
+    def test_forced_numeric_column(self, tmp_path):
+        path = tmp_path / "forced.csv"
+        path.write_text("a\n1\noops\n3\n")
+        frame = read_csv(path, numeric_columns=["a"])
+        assert frame["a"].is_numeric
+        assert np.isnan(frame["a"].tolist()[1])
+
+    def test_max_rows(self, tmp_path):
+        path = tmp_path / "rows.csv"
+        path.write_text("a\n1\n2\n3\n4\n")
+        assert read_csv(path, max_rows=2).num_rows == 2
+
+    def test_empty_cells_become_missing(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("a,b\n1,\n,x\n")
+        frame = read_csv(path)
+        assert np.isnan(frame["a"].tolist()[1])
+        assert frame["b"].tolist()[0] is None
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(DataFrameError):
+            read_csv(tmp_path / "nope.csv")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataFrameError):
+            read_csv(path)
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "semi.csv"
+        path.write_text("a;b\n1;2\n")
+        frame = read_csv(path, delimiter=";")
+        assert frame.column_names == ["a", "b"]

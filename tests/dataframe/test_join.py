@@ -1,0 +1,124 @@
+"""Unit tests for join and union."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, join, union
+from repro.errors import OperationError, SchemaError
+
+
+@pytest.fixture
+def products() -> DataFrame:
+    return DataFrame({
+        "item": np.asarray([1.0, 2.0, 3.0]),
+        "vendor": np.asarray(["v1", "v2", "v1"], dtype=object),
+        "price": np.asarray([10.0, 20.0, 30.0]),
+    })
+
+
+@pytest.fixture
+def sales() -> DataFrame:
+    return DataFrame({
+        "item": np.asarray([1.0, 1.0, 2.0, 4.0]),
+        "store": np.asarray(["s1", "s2", "s1", "s3"], dtype=object),
+        "price": np.asarray([11.0, 12.0, 21.0, 41.0]),
+    })
+
+
+class TestInnerJoin:
+    def test_matches_and_row_count(self, products, sales):
+        result = join(sales, products, on="item")
+        assert result.num_rows == 3  # items 1 (twice) and 2
+
+    def test_unmatched_rows_dropped(self, products, sales):
+        result = join(sales, products, on="item")
+        assert 4.0 not in result["item"].tolist()
+        assert 3.0 not in result["item"].tolist()
+
+    def test_key_column_appears_once(self, products, sales):
+        result = join(sales, products, on="item")
+        assert result.column_names.count("item") == 1
+
+    def test_collision_suffixes(self, products, sales):
+        result = join(sales, products, on="item")
+        assert "price_left" in result and "price_right" in result
+
+    def test_join_values_align(self, products, sales):
+        result = join(sales, products, on="item").sort_values("store")
+        row = result.to_rows()[0]
+        assert row["store"] == "s1"
+        assert row["vendor"] in {"v1", "v2"}
+
+    def test_one_to_many_duplication(self, products, sales):
+        result = join(products, sales, on="item")
+        item_counts = result["item"].value_counts()
+        assert item_counts[1.0] == 2
+
+    def test_categorical_key(self):
+        left = DataFrame({"k": np.asarray(["a", "b"], dtype=object), "x": [1.0, 2.0]})
+        right = DataFrame({"k": np.asarray(["b", "b", "c"], dtype=object), "y": [1.0, 2.0, 3.0]})
+        result = join(left, right, on="k")
+        assert result.num_rows == 2
+        assert set(result["k"].tolist()) == {"b"}
+
+    def test_missing_keys_never_match(self):
+        left = DataFrame({"k": np.asarray([1.0, np.nan]), "x": [1.0, 2.0]})
+        right = DataFrame({"k": np.asarray([np.nan, 1.0]), "y": [5.0, 6.0]})
+        result = join(left, right, on="k")
+        assert result.num_rows == 1
+        assert result["y"].tolist() == [6.0]
+
+    def test_multi_column_key(self):
+        left = DataFrame({
+            "a": np.asarray(["x", "x"], dtype=object), "b": np.asarray([1.0, 2.0]), "v": [1.0, 2.0],
+        })
+        right = DataFrame({
+            "a": np.asarray(["x", "x"], dtype=object), "b": np.asarray([2.0, 3.0]), "w": [9.0, 8.0],
+        })
+        result = join(left, right, on=["a", "b"])
+        assert result.num_rows == 1
+        assert result["w"].tolist() == [9.0]
+
+    def test_missing_key_column_rejected(self, products, sales):
+        with pytest.raises(SchemaError):
+            join(products, sales, on="unknown")
+
+    def test_unsupported_how_rejected(self, products, sales):
+        with pytest.raises(OperationError):
+            join(products, sales, on="item", how="outer")
+
+    def test_dataframe_method_delegates(self, products, sales):
+        assert products.join(sales, on="item") == join(products, sales, on="item")
+
+
+class TestLeftJoin:
+    def test_left_join_keeps_unmatched(self, products, sales):
+        result = join(products, sales, on="item", how="left")
+        assert result.num_rows == 4  # item1 x2, item2, item3 unmatched
+        assert 3.0 in result["item"].tolist()
+
+    def test_left_join_fills_missing(self, products, sales):
+        result = join(products, sales, on="item", how="left")
+        rows = {row["item"]: row for row in result.to_rows()}
+        assert rows[3.0]["store"] is None
+        assert np.isnan(rows[3.0]["price_right"])
+
+
+class TestUnion:
+    def test_same_schema(self, products):
+        result = union(products, products)
+        assert result.num_rows == 6
+        assert result.column_names == products.column_names
+
+    def test_different_schemas_fill_missing(self, products):
+        other = DataFrame({"item": np.asarray([9.0]), "extra": np.asarray(["z"], dtype=object)})
+        result = union(products, other)
+        assert result.num_rows == 4
+        assert "extra" in result
+        assert result["extra"].tolist()[:3] == [None, None, None]
+        assert np.isnan(result["price"].tolist()[-1])
+
+    def test_dataframe_method_delegates(self, products):
+        assert products.union(products) == union(products, products)

@@ -1,0 +1,101 @@
+"""Unit tests for filter predicates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import (
+    And,
+    Between,
+    Comparison,
+    DataFrame,
+    IsIn,
+    IsNull,
+    Not,
+    Or,
+    RowIndexPredicate,
+)
+from repro.errors import OperationError
+
+
+@pytest.fixture
+def frame() -> DataFrame:
+    return DataFrame({
+        "value": np.asarray([1.0, 2.0, 3.0, np.nan, 5.0]),
+        "label": np.asarray(["a", "b", "a", "c", None], dtype=object),
+    })
+
+
+class TestComparison:
+    @pytest.mark.parametrize("op,expected", [
+        ("==", [False, True, False, False, False]),
+        ("!=", [True, False, True, True, True]),
+        (">", [False, False, True, False, True]),
+        (">=", [False, True, True, False, True]),
+        ("<", [True, False, False, False, False]),
+        ("<=", [True, True, False, False, False]),
+    ])
+    def test_numeric_operators(self, frame, op, expected):
+        assert Comparison("value", op, 2).mask(frame).tolist() == expected
+
+    def test_string_equality(self, frame):
+        assert Comparison("label", "==", "a").mask(frame).tolist() == [True, False, True, False, False]
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(OperationError):
+            Comparison("value", "~", 2)
+
+    def test_describe(self):
+        assert Comparison("value", ">", 2).describe() == "value > 2"
+
+
+class TestOtherPredicates:
+    def test_isin(self, frame):
+        assert IsIn("label", ["a", "c"]).mask(frame).tolist() == [True, False, True, True, False]
+
+    def test_isin_requires_values(self):
+        with pytest.raises(OperationError):
+            IsIn("label", [])
+
+    def test_between_half_open(self, frame):
+        assert Between("value", 2, 5).mask(frame).tolist() == [False, True, True, False, False]
+
+    def test_between_inclusive(self, frame):
+        assert Between("value", 2, 5, inclusive_high=True).mask(frame).tolist() == \
+            [False, True, True, False, True]
+
+    def test_isnull(self, frame):
+        assert IsNull("value").mask(frame).tolist() == [False, False, False, True, False]
+        assert IsNull("label").mask(frame).tolist() == [False, False, False, False, True]
+
+    def test_row_index_predicate(self, frame):
+        assert RowIndexPredicate([0, 4, 99]).mask(frame).tolist() == [True, False, False, False, True]
+
+
+class TestCombinators:
+    def test_and(self, frame):
+        predicate = Comparison("value", ">", 1) & Comparison("label", "==", "a")
+        assert predicate.mask(frame).tolist() == [False, False, True, False, False]
+
+    def test_or(self, frame):
+        predicate = Comparison("value", "<", 2) | Comparison("label", "==", "c")
+        assert predicate.mask(frame).tolist() == [True, False, False, True, False]
+
+    def test_not(self, frame):
+        predicate = ~Comparison("value", ">", 2)
+        assert predicate.mask(frame).tolist() == [True, True, False, True, False]
+
+    def test_empty_and_rejected(self):
+        with pytest.raises(OperationError):
+            And([])
+
+    def test_empty_or_rejected(self):
+        with pytest.raises(OperationError):
+            Or([])
+
+    def test_describe_composition(self, frame):
+        predicate = And([Comparison("value", ">", 1), Not(Comparison("label", "==", "a"))])
+        text = predicate.describe()
+        assert "value > 1" in text
+        assert "not" in text

@@ -1,0 +1,105 @@
+"""Property-based tests of the dataframe substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import Column, Comparison, DataFrame, join, union, uniform_sample
+
+_values = st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=60)
+_labels = st.lists(st.sampled_from(["a", "b", "c", "d"]), min_size=1, max_size=60)
+
+
+def _frame(values, labels):
+    n = min(len(values), len(labels))
+    return DataFrame({
+        "value": np.asarray(values[:n], dtype=float),
+        "label": np.asarray(labels[:n], dtype=object),
+    })
+
+
+@given(_values, _labels)
+@settings(max_examples=40, deadline=None)
+def test_filter_complement_partitions_rows(values, labels):
+    """Rows matching a predicate plus rows matching its negation cover the frame."""
+    frame = _frame(values, labels)
+    predicate = Comparison("value", ">", 0)
+    kept = frame.filter(predicate)
+    dropped = frame.filter(~predicate)
+    assert kept.num_rows + dropped.num_rows == frame.num_rows
+
+
+@given(_values, _labels)
+@settings(max_examples=40, deadline=None)
+def test_remove_rows_is_complement_of_take(values, labels):
+    frame = _frame(values, labels)
+    indices = list(range(0, frame.num_rows, 2))
+    removed = frame.remove_rows(indices)
+    assert removed.num_rows == frame.num_rows - len(indices)
+
+
+@given(_values, _labels)
+@settings(max_examples=40, deadline=None)
+def test_value_counts_total_equals_non_missing_rows(values, labels):
+    frame = _frame(values, labels)
+    counts = frame["label"].value_counts()
+    assert sum(counts.values()) == frame.num_rows
+
+
+@given(_values, _labels)
+@settings(max_examples=40, deadline=None)
+def test_frequencies_sum_to_one(values, labels):
+    frame = _frame(values, labels)
+    frequencies = frame["label"].frequencies()
+    assert abs(sum(frequencies.values()) - 1.0) < 1e-9
+
+
+@given(_values, _labels, st.integers(min_value=0, max_value=80))
+@settings(max_examples=40, deadline=None)
+def test_uniform_sample_never_exceeds_frame(values, labels, size):
+    frame = _frame(values, labels)
+    sample = uniform_sample(frame, size, seed=0)
+    assert sample.num_rows == min(size, frame.num_rows)
+
+
+@given(_values, _labels)
+@settings(max_examples=40, deadline=None)
+def test_union_row_count_adds_up(values, labels):
+    frame = _frame(values, labels)
+    merged = union(frame, frame)
+    assert merged.num_rows == 2 * frame.num_rows
+
+
+@given(_labels, _labels)
+@settings(max_examples=40, deadline=None)
+def test_inner_join_row_count_matches_pair_count(left_labels, right_labels):
+    """|A ⋈ B| equals the sum over keys of count_A(k) * count_B(k)."""
+    left = DataFrame({"k": np.asarray(left_labels, dtype=object),
+                      "x": np.arange(len(left_labels), dtype=float)})
+    right = DataFrame({"k": np.asarray(right_labels, dtype=object),
+                       "y": np.arange(len(right_labels), dtype=float)})
+    joined = join(left, right, on="k")
+    left_counts = left["k"].value_counts()
+    right_counts = right["k"].value_counts()
+    expected = sum(count * right_counts.get(key, 0) for key, count in left_counts.items())
+    assert joined.num_rows == expected
+
+
+@given(_values)
+@settings(max_examples=40, deadline=None)
+def test_groupby_counts_cover_all_rows(values):
+    labels = ["g" + str(int(abs(v)) % 3) for v in values]
+    frame = DataFrame({"g": np.asarray(labels, dtype=object), "v": np.asarray(values, dtype=float)})
+    grouped = frame.groupby("g", include_count=True)
+    assert sum(grouped["count"].tolist()) == frame.num_rows
+
+
+@given(_values)
+@settings(max_examples=30, deadline=None)
+def test_column_factorize_reconstructs_values(values):
+    column = Column("v", np.asarray(values, dtype=float))
+    codes, uniques = column.factorize()
+    reconstructed = [uniques[code] for code in codes]
+    assert np.allclose(reconstructed, values)

@@ -1,0 +1,73 @@
+"""Unit tests for uniform / stratified sampling and upsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import DataFrame, stratified_sample, uniform_sample, upsample_with_replacement
+from repro.errors import DataFrameError
+
+
+@pytest.fixture
+def frame() -> DataFrame:
+    return DataFrame({
+        "id": np.arange(100, dtype=float),
+        "group": np.asarray([f"g{i % 4}" for i in range(100)], dtype=object),
+    })
+
+
+class TestUniformSample:
+    def test_sample_size(self, frame):
+        assert uniform_sample(frame, 10, seed=0).num_rows == 10
+
+    def test_sample_without_replacement(self, frame):
+        sample = uniform_sample(frame, 50, seed=0)
+        assert len(set(sample["id"].tolist())) == 50
+
+    def test_sample_larger_than_frame_returns_frame(self, frame):
+        assert uniform_sample(frame, 1_000, seed=0) is frame
+
+    def test_sample_deterministic_given_seed(self, frame):
+        first = uniform_sample(frame, 10, seed=3)
+        second = uniform_sample(frame, 10, seed=3)
+        assert first == second
+
+    def test_negative_size_rejected(self, frame):
+        with pytest.raises(DataFrameError):
+            uniform_sample(frame, -1)
+
+    def test_dataframe_method_delegates(self, frame):
+        assert frame.sample(5, seed=1) == uniform_sample(frame, 5, seed=1)
+
+
+class TestUpsample:
+    def test_target_size(self, frame):
+        grown = upsample_with_replacement(frame, 250, seed=0)
+        assert grown.num_rows == 250
+
+    def test_original_rows_preserved(self, frame):
+        grown = upsample_with_replacement(frame, 150, seed=0)
+        assert grown["id"].tolist()[:100] == frame["id"].tolist()
+
+    def test_shrinking_rejected(self, frame):
+        with pytest.raises(DataFrameError):
+            upsample_with_replacement(frame, 10)
+
+    def test_same_size_is_identity(self, frame):
+        assert upsample_with_replacement(frame, 100) is frame
+
+
+class TestStratifiedSample:
+    def test_per_group_cap(self, frame):
+        sample = stratified_sample(frame, "group", per_group=5, seed=0)
+        counts = sample["group"].value_counts()
+        assert all(count == 5 for count in counts.values())
+
+    def test_small_groups_kept_whole(self):
+        frame = DataFrame({
+            "group": np.asarray(["a", "a", "b"], dtype=object),
+            "x": np.asarray([1.0, 2.0, 3.0]),
+        })
+        sample = stratified_sample(frame, "group", per_group=10, seed=0)
+        assert sample.num_rows == 3

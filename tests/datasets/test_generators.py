@@ -1,0 +1,141 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    load_counties,
+    load_credit,
+    load_products,
+    load_products_and_sales,
+    load_products_sales_view,
+    load_sales,
+    load_spotify,
+    load_stores,
+)
+from repro.errors import DatasetError
+
+
+class TestSpotify:
+    def test_schema_has_20_columns(self, spotify_small):
+        assert spotify_small.num_columns == 20
+
+    def test_requested_row_count(self):
+        assert load_spotify(n_rows=500, seed=0).num_rows == 500
+
+    def test_deterministic_given_seed(self):
+        assert load_spotify(300, seed=5) == load_spotify(300, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert load_spotify(300, seed=5) != load_spotify(300, seed=6)
+
+    def test_workload_columns_present(self, spotify_small):
+        for column in ("popularity", "year", "decade", "loudness", "duration_minutes", "tempo",
+                       "danceability", "instrumentalness", "liveness", "key", "mode"):
+            assert column in spotify_small
+
+    def test_year_decade_is_many_to_one(self, spotify_small):
+        years = spotify_small["year"].tolist()
+        decades = spotify_small["decade"].tolist()
+        mapping = {}
+        for year, decade in zip(years, decades):
+            assert mapping.setdefault(year, decade) == decade
+        assert len(set(decades)) < len(set(years))
+
+    def test_popularity_bounded(self, spotify_small):
+        assert spotify_small["popularity"].min() >= 0
+        assert spotify_small["popularity"].max() <= 100
+
+    def test_recent_songs_are_more_popular(self, spotify_small):
+        from repro.dataframe import Comparison
+
+        recent = spotify_small.filter(Comparison("year", ">=", 2010))
+        older = spotify_small.filter(Comparison("year", "<", 2010))
+        assert recent["popularity"].mean() > older["popularity"].mean() + 5
+
+    def test_invalid_row_count_rejected(self):
+        with pytest.raises(DatasetError):
+            load_spotify(0)
+
+
+class TestCredit:
+    def test_schema_has_21_columns(self, credit_small):
+        assert credit_small.num_columns == 21
+
+    def test_workload_columns_present(self, credit_small):
+        for column in ("Attrition_Flag", "Total_Count_Change_Q4_vs_Q1", "Customer_Age",
+                       "Months_Inactive_Count_Last_Year", "Income_Category", "Credit_Used",
+                       "Total_Transitions_Amount", "Marital_Status", "Gender",
+                       "Education_Level", "Registered_Products_Count"):
+            assert column in credit_small
+
+    def test_churn_rate_close_to_requested(self):
+        frame = load_credit(n_rows=5_000, seed=1, churn_rate=0.2)
+        churned = frame["Attrition_Flag"].value_counts().get("Attrited Customer", 0)
+        assert 0.15 < churned / frame.num_rows < 0.25
+
+    def test_churners_are_less_active(self, credit_small):
+        from repro.dataframe import Comparison
+
+        churned = credit_small.filter(Comparison("Attrition_Flag", "==", "Attrited Customer"))
+        existing = credit_small.filter(Comparison("Attrition_Flag", "==", "Existing Customer"))
+        assert churned["Total_Transactions_Count"].mean() < existing["Total_Transactions_Count"].mean()
+        assert churned["Months_Inactive_Count_Last_Year"].mean() > \
+            existing["Months_Inactive_Count_Last_Year"].mean()
+
+    def test_invalid_churn_rate_rejected(self):
+        with pytest.raises(DatasetError):
+            load_credit(100, churn_rate=1.5)
+
+
+class TestProductsAndSales:
+    def test_products_schema(self, products_and_sales_small):
+        products, _ = products_and_sales_small
+        assert products.num_columns == 16
+        assert "item" in products and "vendor" in products and "pack" in products
+
+    def test_sales_schema(self, products_and_sales_small):
+        _, sales = products_and_sales_small
+        assert sales.num_columns == 17
+        for column in ("item", "store", "county", "total", "bottle_quantity", "pack"):
+            assert column in sales
+
+    def test_every_sale_references_a_product(self, products_and_sales_small):
+        products, sales = products_and_sales_small
+        product_items = set(products["item"].tolist())
+        assert set(sales["item"].tolist()).issubset(product_items)
+
+    def test_item_to_vendor_is_many_to_one(self, products_and_sales_small):
+        _, sales = products_and_sales_small
+        mapping = {}
+        for item, vendor in zip(sales["item"].tolist(), sales["vendor"].tolist()):
+            assert mapping.setdefault(item, vendor) == vendor
+
+    def test_join_view_has_prefixed_columns(self):
+        view = load_products_sales_view(n_sales=2_000, n_products=300, seed=3)
+        assert "sales_total" in view
+        assert "products_pack" in view
+        assert "item" in view
+        assert view.num_rows == 2_000
+
+    def test_dimension_tables(self):
+        counties = load_counties()
+        stores = load_stores()
+        assert counties.num_rows == 99
+        assert "county" in stores
+        store_counties = set(stores["county"].tolist())
+        assert store_counties.issubset(set(counties["county"].tolist()))
+
+    def test_sales_total_is_heavily_skewed(self, products_and_sales_small):
+        from repro.stats import fisher_pearson_skewness
+
+        _, sales = products_and_sales_small
+        assert fisher_pearson_skewness(sales["total"].to_float()) > 2.0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(DatasetError):
+            load_products(0)
+        with pytest.raises(DatasetError):
+            load_sales(0)

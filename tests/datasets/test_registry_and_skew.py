@@ -1,0 +1,75 @@
+"""Tests of the dataset registry and of the skew structure reported in paper §4.1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import DatasetRegistry, small_registry
+from repro.errors import DatasetError
+from repro.stats import fisher_pearson_skewness
+
+
+class TestRegistry:
+    def test_known_tables(self, tiny_registry):
+        names = tiny_registry.table_names()
+        for expected in ("spotify", "bank", "products", "sales", "products_sales",
+                         "counties", "stores"):
+            assert expected in names
+
+    def test_tables_are_cached(self, tiny_registry):
+        assert tiny_registry.table("spotify") is tiny_registry.table("spotify")
+
+    def test_case_insensitive_lookup(self, tiny_registry):
+        assert tiny_registry.table("Bank") is tiny_registry.table("bank")
+
+    def test_unknown_table_rejected(self, tiny_registry):
+        with pytest.raises(DatasetError):
+            tiny_registry.table("unknown")
+
+    def test_register_custom_table(self, tiny_registry, tiny_frame):
+        tiny_registry.register("custom", tiny_frame)
+        assert tiny_registry.table("custom") is tiny_frame
+
+    def test_clear_rebuilds_tables(self):
+        registry = DatasetRegistry(spotify_rows=200, bank_rows=200, sales_rows=200,
+                                   products_rows=100, seed=0)
+        first = registry.table("spotify")
+        registry.clear()
+        assert registry.table("spotify") is not first
+
+    def test_sizes_respected(self):
+        registry = DatasetRegistry(spotify_rows=321, bank_rows=222, sales_rows=150,
+                                   products_rows=80, seed=0)
+        assert registry.table("spotify").num_rows == 321
+        assert registry.table("bank").num_rows == 222
+        assert registry.table("sales").num_rows == 150
+
+    def test_small_registry_builds_quickly(self):
+        registry = small_registry()
+        assert registry.table("bank").num_rows > 0
+
+
+class TestSkewStructure:
+    """The paper reports heavily skewed columns in every dataset (§4.1)."""
+
+    def test_spotify_has_a_heavily_skewed_column(self, spotify_small):
+        skews = [
+            abs(fisher_pearson_skewness(spotify_small[name].to_float()))
+            for name in spotify_small.numeric_columns()
+        ]
+        assert max(skews) > 2.0
+
+    def test_products_sales_top_skew_is_extreme(self, products_and_sales_small):
+        _, sales = products_and_sales_small
+        skews = [
+            abs(fisher_pearson_skewness(sales[name].to_float()))
+            for name in sales.numeric_columns()
+        ]
+        assert max(skews) > 10.0
+
+    def test_credit_has_moderately_skewed_columns(self, credit_small):
+        skews = [
+            abs(fisher_pearson_skewness(credit_small[name].to_float()))
+            for name in credit_small.numeric_columns()
+        ]
+        assert max(skews) > 1.0

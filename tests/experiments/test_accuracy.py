@@ -1,0 +1,68 @@
+"""Tests of the sampling-accuracy experiment harness (Figures 7 and 8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FedexConfig, FedexExplainer
+from repro.datasets import DatasetRegistry
+from repro.experiments import compare_reports, mean_rows, rows_accuracy_sweep, sampling_accuracy_sweep
+from repro.workloads import get_query
+
+
+class TestCompareReports:
+    def test_identical_reports_score_perfectly(self, tiny_registry):
+        step = get_query(6).build_step(tiny_registry)
+        report = FedexExplainer(FedexConfig(seed=0)).explain(step)
+        metrics = compare_reports(report, report)
+        assert metrics["precision_at_k"] == 1.0
+        assert metrics["kendall_tau"] == 0.0
+        assert metrics["ndcg"] == pytest.approx(1.0)
+
+    def test_sampled_report_metrics_in_range(self, tiny_registry):
+        step = get_query(6).build_step(tiny_registry)
+        exact = FedexExplainer(FedexConfig(sample_size=None, seed=0)).explain(step)
+        sampled = FedexExplainer(FedexConfig(sample_size=500, seed=0)).explain(step)
+        metrics = compare_reports(exact, sampled)
+        assert 0.0 <= metrics["precision_at_k"] <= 1.0
+        assert 0.0 <= metrics["ndcg"] <= 1.0
+        assert metrics["kendall_tau"] >= 0.0
+
+
+class TestSweeps:
+    def test_sampling_accuracy_sweep_structure(self, tiny_registry):
+        rows = sampling_accuracy_sweep(
+            tiny_registry, query_numbers=(6, 21), sample_sizes=(200, 1_000), seed=0
+        )
+        sizes = {row["sample_size"] for row in rows}
+        assert sizes == {200, 1_000}
+        means = mean_rows(rows, "sample_size")
+        assert len(means) == 2
+        assert all(0.0 <= row["precision_at_k"] <= 1.0 for row in means)
+
+    def test_accuracy_improves_or_holds_with_larger_samples(self, tiny_registry):
+        rows = sampling_accuracy_sweep(
+            tiny_registry, query_numbers=(6, 7, 21), sample_sizes=(100, 2_500), seed=0
+        )
+        means = {row["sample_size"]: row for row in mean_rows(rows, "sample_size")}
+        assert means[2_500]["ndcg"] >= means[100]["ndcg"] - 0.05
+
+    def test_large_sample_equals_exact(self, tiny_registry):
+        """A sample larger than the data is exact fedex: perfect accuracy."""
+        rows = sampling_accuracy_sweep(
+            tiny_registry, query_numbers=(6,), sample_sizes=(1_000_000,), seed=0
+        )
+        mean = mean_rows(rows, "sample_size")[0]
+        assert mean["precision_at_k"] == 1.0
+        assert mean["kendall_tau"] == 0.0
+
+    def test_rows_accuracy_sweep_structure(self):
+        def registry_factory(row_count: int) -> DatasetRegistry:
+            return DatasetRegistry(spotify_rows=500, bank_rows=500, sales_rows=row_count,
+                                   products_rows=300, seed=2)
+
+        rows = rows_accuracy_sweep(registry_factory, row_counts=(2_000, 4_000),
+                                   query_numbers=(4, 5), sample_size=1_000, seed=0)
+        means = mean_rows(rows, "rows")
+        assert len(means) == 2
+        assert all(0.0 <= row["ndcg"] <= 1.0 for row in means)

@@ -1,0 +1,45 @@
+"""Unit tests for experiment result formatting."""
+
+from __future__ import annotations
+
+from repro.experiments import format_table, pivot_series
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        rows = [{"system": "FEDEX", "seconds": 1.234}, {"system": "SeeDB", "seconds": 2.5}]
+        text = format_table(rows, title="Runtime")
+        assert "Runtime" in text
+        assert "system" in text and "seconds" in text
+        assert "FEDEX" in text and "2.500" in text
+
+    def test_column_subset_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="Empty")
+
+    def test_none_rendered_as_dash(self):
+        text = format_table([{"x": None}])
+        assert "-" in text
+
+
+class TestPivotSeries:
+    def test_pivot_long_to_wide(self):
+        rows = [
+            {"rows": 10, "system": "FEDEX", "seconds": 1.0},
+            {"rows": 10, "system": "SeeDB", "seconds": 2.0},
+            {"rows": 20, "system": "FEDEX", "seconds": 3.0},
+        ]
+        wide = pivot_series(rows, index="rows", series="system", value="seconds")
+        assert wide[0] == {"rows": 10, "FEDEX": 1.0, "SeeDB": 2.0}
+        assert wide[1]["FEDEX"] == 3.0
+
+    def test_index_order_preserved(self):
+        rows = [{"k": "b", "s": "x", "v": 1}, {"k": "a", "s": "x", "v": 2}]
+        wide = pivot_series(rows, "k", "s", "v")
+        assert [row["k"] for row in wide] == ["b", "a"]

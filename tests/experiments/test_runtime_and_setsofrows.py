@@ -1,0 +1,95 @@
+"""Tests of the runtime-scaling and sets-of-rows experiment harnesses (Figures 9–11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SeeDB
+from repro.baselines.fedex_adapter import fedex_system
+from repro.datasets import DatasetRegistry
+from repro.experiments import (
+    average_by,
+    column_scaling_sweep,
+    row_scaling_sweep,
+    sets_of_rows_sweep,
+    time_system,
+)
+from repro.workloads import get_query
+
+
+class TestTimeSystem:
+    def test_returns_seconds(self, tiny_registry):
+        step = get_query(6).build_step(tiny_registry)
+        seconds = time_system(fedex_system(1_000), step)
+        assert seconds is not None and seconds > 0
+
+    def test_unsupported_step_returns_none(self, tiny_registry):
+        step = get_query(21).build_step(tiny_registry)
+        assert time_system(SeeDB(), step) is None
+
+    def test_timeout_returns_none(self, tiny_registry):
+        step = get_query(6).build_step(tiny_registry)
+        assert time_system(fedex_system(1_000), step, timeout_seconds=1e-9) is None
+
+
+class TestColumnScaling:
+    def test_sweep_structure(self, tiny_registry):
+        rows = column_scaling_sweep(
+            tiny_registry, "spotify", query_numbers=(6,), column_counts=(4, 8),
+            systems=[fedex_system(1_000, name="FEDEX-Sampling")],
+        )
+        assert {row["columns"] for row in rows} <= {4, 8}
+        assert all(row["system"] == "FEDEX-Sampling" for row in rows)
+        assert all(row["seconds"] is None or row["seconds"] > 0 for row in rows)
+
+    def test_queries_from_other_datasets_skipped(self, tiny_registry):
+        rows = column_scaling_sweep(tiny_registry, "spotify", query_numbers=(11,),
+                                    column_counts=(4,),
+                                    systems=[fedex_system(1_000)])
+        assert rows == []
+
+
+class TestRowScaling:
+    def test_sweep_structure(self):
+        def registry_factory(row_count: int) -> DatasetRegistry:
+            return DatasetRegistry(spotify_rows=row_count, bank_rows=300, sales_rows=500,
+                                   products_rows=200, seed=3)
+
+        rows = row_scaling_sweep(
+            registry_factory, row_counts=(1_000, 2_000), query_numbers=(6,),
+            systems=[fedex_system(500, name="FEDEX-Sampling")], include_exact_fedex=True,
+        )
+        systems = {row["system"] for row in rows}
+        assert systems == {"FEDEX", "FEDEX-Sampling"}
+        assert {row["rows"] for row in rows} == {1_000, 2_000}
+
+    def test_average_by(self):
+        rows = [
+            {"rows": 10, "system": "a", "seconds": 1.0},
+            {"rows": 10, "system": "a", "seconds": 3.0},
+            {"rows": 10, "system": "b", "seconds": None},
+        ]
+        averaged = average_by(rows, ["rows", "system"])
+        by_system = {entry["system"]: entry for entry in averaged}
+        assert by_system["a"]["seconds"] == pytest.approx(2.0)
+        assert by_system["b"]["seconds"] is None
+
+
+class TestSetsOfRows:
+    def test_sweep_structure(self, tiny_registry):
+        rows = sets_of_rows_sweep(tiny_registry, query_numbers=(7,), set_counts=(3, 5, 10),
+                                  sample_size=1_000, seed=0)
+        assert {row["sets_of_rows"] for row in rows} == {3, 5, 10}
+        assert all(row["attribute"] for row in rows)
+        assert all(row["best_contribution"] >= 0.0 for row in rows)
+
+    def test_attribute_is_held_fixed(self, tiny_registry):
+        rows = sets_of_rows_sweep(tiny_registry, query_numbers=(7,), set_counts=(5, 10),
+                                  sample_size=1_000, seed=0)
+        attributes = {row["attribute"] for row in rows}
+        assert len(attributes) == 1
+
+    def test_explicit_attribute(self, tiny_registry):
+        rows = sets_of_rows_sweep(tiny_registry, query_numbers=(7,), set_counts=(5,),
+                                  attribute="decade", sample_size=1_000, seed=0)
+        assert all(row["attribute"] == "decade" for row in rows)

@@ -1,0 +1,86 @@
+"""Unit tests for the one-line explanation wrapper (ExplainableDataFrame)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExplainableDataFrame, FedexConfig, explain_dataframe
+from repro.dataframe import Comparison
+from repro.errors import ExplanationError
+
+
+@pytest.fixture
+def songs(spotify_small):
+    return ExplainableDataFrame(spotify_small)
+
+
+class TestOperations:
+    def test_filter_records_step(self, songs):
+        popular = songs.filter(Comparison("popularity", ">", 65), label="popular")
+        assert len(popular.history) == 1
+        assert popular.last_step.label == "popular"
+        assert popular.shape[0] < songs.shape[0]
+
+    def test_groupby_records_step(self, songs):
+        by_decade = songs.groupby("decade", {"loudness": ["mean"]})
+        assert by_decade.last_step.operation.kind == "groupby"
+        assert "mean_loudness" in by_decade.column_names
+
+    def test_join_records_step(self, products_and_sales_small):
+        products, sales = products_and_sales_small
+        joined = ExplainableDataFrame(products).join(sales, on="item")
+        assert joined.last_step.operation.kind == "join"
+        assert joined.last_step.is_multi_input
+
+    def test_union_records_step(self, songs, spotify_small):
+        merged = songs.union(spotify_small)
+        assert merged.shape[0] == 2 * spotify_small.num_rows
+
+    def test_history_accumulates(self, songs):
+        result = songs.filter(Comparison("popularity", ">", 65)).groupby("decade")
+        assert len(result.history) == 2
+
+    def test_original_wrapper_is_untouched(self, songs):
+        songs.filter(Comparison("popularity", ">", 65))
+        assert songs.history == []
+
+    def test_column_access_delegates(self, songs):
+        assert songs["popularity"].is_numeric
+        assert len(songs) == songs.frame.num_rows
+
+
+class TestExplain:
+    def test_explain_without_history_rejected(self, songs):
+        with pytest.raises(ExplanationError):
+            songs.explain()
+
+    def test_explain_last_step(self, songs):
+        popular = songs.filter(Comparison("popularity", ">", 65))
+        report = popular.explain()
+        assert report.explanations
+
+    def test_explain_earlier_step(self, songs):
+        result = songs.filter(Comparison("popularity", ">", 65)).groupby(
+            "decade", {"loudness": ["mean"]}
+        )
+        first = result.explain(step_index=0)
+        assert first.explanations
+        assert all(c.measure_name == "exceptionality" for c in first.all_candidates)
+
+    def test_explain_with_target_columns(self, songs):
+        popular = songs.filter(Comparison("popularity", ">", 65))
+        report = popular.explain(target_columns=["decade"])
+        assert {e.attribute for e in report.explanations} == {"decade"}
+
+    def test_explain_text_contains_caption(self, songs):
+        popular = songs.filter(Comparison("popularity", ">", 65))
+        assert "Explanation:" in popular.explain_text()
+
+    def test_config_is_propagated(self, spotify_small):
+        wrapped = ExplainableDataFrame(spotify_small, config=FedexConfig(top_k_explanations=1))
+        popular = wrapped.filter(Comparison("popularity", ">", 65))
+        assert len(popular.explain().explanations) == 1
+
+    def test_explain_dataframe_helper(self, spotify_small):
+        wrapped = explain_dataframe(spotify_small)
+        assert isinstance(wrapped, ExplainableDataFrame)

@@ -1,0 +1,102 @@
+"""Unit tests for EDA operation specifications."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Comparison, DataFrame
+from repro.errors import OperationError
+from repro.operators import Filter, GroupBy, Join, Project, Union
+from repro.operators.operations import MEASURE_DIVERSITY, MEASURE_EXCEPTIONALITY
+
+
+class TestFilter:
+    def test_apply(self, tiny_frame):
+        result = Filter(Comparison("popularity", ">", 65)).apply([tiny_frame])
+        assert result.num_rows == 4
+
+    def test_default_measure(self):
+        assert Filter(Comparison("x", ">", 1)).default_measure == MEASURE_EXCEPTIONALITY
+
+    def test_arity_enforced(self, tiny_frame):
+        with pytest.raises(OperationError):
+            Filter(Comparison("popularity", ">", 65)).apply([tiny_frame, tiny_frame])
+
+    def test_describe(self):
+        assert "popularity > 65" in Filter(Comparison("popularity", ">", 65)).describe()
+
+
+class TestGroupBy:
+    def test_apply_with_aggregations(self, tiny_frame):
+        operation = GroupBy("decade", {"loudness": ["mean"]})
+        result = operation.apply([tiny_frame])
+        assert result.num_rows == 3
+        assert "mean_loudness" in result
+
+    def test_pre_filter_applied_before_grouping(self, tiny_frame):
+        operation = GroupBy("year", {"loudness": ["mean"]},
+                            pre_filter=Comparison("year", ">=", 2010))
+        result = operation.apply([tiny_frame])
+        assert result.num_rows == 4
+
+    def test_count_only(self, tiny_frame):
+        operation = GroupBy("decade")
+        result = operation.apply([tiny_frame])
+        assert "count" in result
+
+    def test_default_measure(self):
+        assert GroupBy("decade").default_measure == MEASURE_DIVERSITY
+
+    def test_aggregated_output_columns(self):
+        operation = GroupBy("decade", {"loudness": ["mean", "max"]}, include_count=True)
+        assert operation.aggregated_output_columns() == ["mean_loudness", "max_loudness", "count"]
+
+    def test_empty_keys_rejected(self):
+        with pytest.raises(OperationError):
+            GroupBy([])
+
+    def test_describe_mentions_keys_and_aggregations(self):
+        operation = GroupBy(["decade"], {"loudness": ["mean"]})
+        text = operation.describe()
+        assert "decade" in text and "mean(loudness)" in text
+
+
+class TestJoinAndUnion:
+    def test_join_apply(self):
+        left = DataFrame({"k": np.asarray([1.0, 2.0]), "x": [1.0, 2.0]})
+        right = DataFrame({"k": np.asarray([2.0, 2.0]), "y": [5.0, 6.0]})
+        result = Join("k").apply([left, right])
+        assert result.num_rows == 2
+
+    def test_join_arity(self):
+        assert Join("k").arity == 2
+
+    def test_join_requires_key(self):
+        with pytest.raises(OperationError):
+            Join([])
+
+    def test_union_apply(self, tiny_frame):
+        result = Union().apply([tiny_frame, tiny_frame])
+        assert result.num_rows == 2 * tiny_frame.num_rows
+
+    def test_union_requires_two_inputs(self):
+        with pytest.raises(OperationError):
+            Union(n_inputs=1)
+
+    def test_union_default_measure(self):
+        assert Union().default_measure == MEASURE_EXCEPTIONALITY
+
+    def test_three_way_union(self, tiny_frame):
+        result = Union(n_inputs=3).apply([tiny_frame, tiny_frame, tiny_frame])
+        assert result.num_rows == 3 * tiny_frame.num_rows
+
+
+class TestProject:
+    def test_apply_keeps_existing_columns(self, tiny_frame):
+        result = Project(["decade", "missing"]).apply([tiny_frame])
+        assert result.column_names == ["decade"]
+
+    def test_requires_columns(self):
+        with pytest.raises(OperationError):
+            Project([])

@@ -1,0 +1,111 @@
+"""Unit tests for dispersion and shape statistics (cross-checked against SciPy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats import (
+    coefficient_of_variation,
+    fisher_pearson_skewness,
+    gini_coefficient,
+    mean_and_std,
+    standardize,
+    z_score,
+)
+
+
+class TestCoefficientOfVariation:
+    def test_matches_definition(self):
+        values = [2.0, 4.0, 6.0, 8.0]
+        expected = np.std(values, ddof=1) / np.mean(values)
+        assert coefficient_of_variation(values) == pytest.approx(expected)
+
+    def test_constant_values_score_zero(self):
+        assert coefficient_of_variation([5.0, 5.0, 5.0]) == 0.0
+
+    def test_single_value_scores_zero(self):
+        assert coefficient_of_variation([5.0]) == 0.0
+
+    def test_zero_mean_scores_zero(self):
+        assert coefficient_of_variation([-1.0, 1.0]) == 0.0
+
+    def test_negative_mean_gives_positive_cv(self):
+        assert coefficient_of_variation([-2.0, -4.0, -6.0]) > 0
+
+    def test_nan_values_ignored(self):
+        assert coefficient_of_variation([1.0, 2.0, np.nan]) == pytest.approx(
+            coefficient_of_variation([1.0, 2.0])
+        )
+
+    def test_paper_example_loudness_more_diverse_than_danceability(self):
+        loudness = [-11.07, -7.82, -10.69, -8.23, -9.4, -7.5]
+        danceability = [0.555, 0.586, 0.555, 0.594, 0.57, 0.58]
+        assert coefficient_of_variation(loudness) > coefficient_of_variation(danceability)
+
+
+class TestSkewness:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(0, 1, 500)
+        assert fisher_pearson_skewness(values) == pytest.approx(
+            scipy_stats.skew(values, bias=True), abs=1e-9
+        )
+
+    def test_symmetric_distribution_near_zero(self):
+        values = np.concatenate([np.arange(-50, 0), np.arange(1, 51)]).astype(float)
+        assert abs(fisher_pearson_skewness(values)) < 1e-9
+
+    def test_constant_values_score_zero(self):
+        assert fisher_pearson_skewness([3.0, 3.0, 3.0]) == 0.0
+
+    def test_too_few_values_score_zero(self):
+        assert fisher_pearson_skewness([1.0, 2.0]) == 0.0
+
+
+class TestStandardize:
+    def test_z_scores_have_zero_mean_unit_std(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        scores = standardize(values)
+        assert np.mean(scores) == pytest.approx(0.0, abs=1e-12)
+        assert np.std(scores, ddof=1) == pytest.approx(1.0)
+
+    def test_constant_values_give_zero_scores(self):
+        assert standardize([2.0, 2.0, 2.0]).tolist() == [0.0, 0.0, 0.0]
+
+    def test_single_value_gives_zero(self):
+        assert standardize([3.0]).tolist() == [0.0]
+
+    def test_z_score_single_value(self):
+        assert z_score(4.0, [1.0, 2.0, 3.0]) == pytest.approx((4.0 - 2.0) / 1.0)
+
+    def test_z_score_constant_population(self):
+        assert z_score(4.0, [1.0, 1.0]) == 0.0
+
+
+class TestMeanAndStd:
+    def test_values(self):
+        mean, std = mean_and_std([1.0, 2.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert mean_and_std([]) == (0.0, 0.0)
+
+
+class TestGini:
+    def test_uniform_values_near_zero(self):
+        assert gini_coefficient([1.0] * 10) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_values_near_one(self):
+        values = [0.0] * 99 + [100.0]
+        assert gini_coefficient(values) > 0.9
+
+    def test_empty_is_zero(self):
+        assert gini_coefficient([]) == 0.0
+
+    def test_bounded(self):
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(0, 2, 200)
+        assert 0.0 <= gini_coefficient(values) <= 1.0

@@ -1,0 +1,79 @@
+"""Unit tests for value distributions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Column
+from repro.stats import ValueDistribution, aligned_cdfs
+
+
+class TestConstruction:
+    def test_from_column_uses_relative_frequencies(self):
+        column = Column("x", np.asarray(["a", "a", "b", None], dtype=object))
+        distribution = ValueDistribution.from_column(column)
+        assert distribution.probability("a") == pytest.approx(2 / 3)
+        assert distribution.probability("b") == pytest.approx(1 / 3)
+
+    def test_from_values_skips_missing(self):
+        distribution = ValueDistribution.from_values([1.0, 1.0, np.nan, None, 2.0])
+        assert distribution.probability(1.0) == pytest.approx(2 / 3)
+
+    def test_probabilities_are_renormalised(self):
+        distribution = ValueDistribution({"a": 2.0, "b": 6.0})
+        assert distribution.probability("b") == pytest.approx(0.75)
+
+    def test_empty_distribution_is_falsy(self):
+        assert not ValueDistribution({})
+        assert len(ValueDistribution({})) == 0
+
+
+class TestQueries:
+    def test_support_is_sorted(self):
+        distribution = ValueDistribution({"b": 1.0, "a": 1.0})
+        assert distribution.support() == ["a", "b"]
+
+    def test_numbers_sort_before_strings(self):
+        distribution = ValueDistribution({"z": 1.0, 3.0: 1.0})
+        assert distribution.support()[0] == 3.0
+
+    def test_most_common(self):
+        distribution = ValueDistribution({"a": 1.0, "b": 3.0})
+        assert distribution.most_common(1)[0][0] == "b"
+
+    def test_unknown_value_has_zero_probability(self):
+        assert ValueDistribution({"a": 1.0}).probability("zzz") == 0.0
+
+    def test_entropy_uniform_is_log_n(self):
+        distribution = ValueDistribution({"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0})
+        assert distribution.entropy() == pytest.approx(np.log(4))
+
+    def test_entropy_degenerate_is_zero(self):
+        assert ValueDistribution({"a": 5.0}).entropy() == 0.0
+
+    def test_total_variation_distance(self):
+        first = ValueDistribution({"a": 1.0})
+        second = ValueDistribution({"b": 1.0})
+        assert first.total_variation_distance(second) == pytest.approx(1.0)
+        assert first.total_variation_distance(first) == 0.0
+
+
+class TestAlignedCdfs:
+    def test_shared_domain(self):
+        first = ValueDistribution({1.0: 0.5, 2.0: 0.5})
+        second = ValueDistribution({2.0: 1.0})
+        cdf_first, cdf_second = aligned_cdfs(first, second)
+        assert cdf_first.tolist() == pytest.approx([0.5, 1.0])
+        assert cdf_second.tolist() == pytest.approx([0.0, 1.0])
+
+    def test_both_end_at_one(self):
+        first = ValueDistribution({"a": 0.3, "b": 0.7})
+        second = ValueDistribution({"b": 0.2, "c": 0.8})
+        cdf_first, cdf_second = aligned_cdfs(first, second)
+        assert cdf_first[-1] == pytest.approx(1.0)
+        assert cdf_second[-1] == pytest.approx(1.0)
+
+    def test_empty_inputs(self):
+        cdf_first, cdf_second = aligned_cdfs(ValueDistribution({}), ValueDistribution({}))
+        assert cdf_first.size == 0 and cdf_second.size == 0

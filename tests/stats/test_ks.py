@@ -1,0 +1,100 @@
+"""Unit tests for the Kolmogorov–Smirnov statistic (cross-checked against SciPy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.dataframe import Column
+from repro.stats import ValueDistribution, ks_columns, ks_from_distributions, ks_two_sample
+
+
+class TestKsTwoSample:
+    def test_identical_samples_score_zero(self):
+        sample = np.asarray([1.0, 2.0, 3.0])
+        assert ks_two_sample(sample, sample) == 0.0
+
+    def test_disjoint_samples_score_one(self):
+        assert ks_two_sample([1.0, 2.0], [10.0, 11.0]) == pytest.approx(1.0)
+
+    def test_matches_scipy_on_random_data(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            a = rng.normal(0, 1, size=rng.integers(10, 200))
+            b = rng.normal(rng.uniform(-1, 1), 1, size=rng.integers(10, 200))
+            expected = scipy_stats.ks_2samp(a, b, method="asymp").statistic
+            assert ks_two_sample(a, b) == pytest.approx(expected, abs=1e-9)
+
+    def test_nan_values_ignored(self):
+        assert ks_two_sample([1.0, np.nan], [1.0]) == 0.0
+
+    def test_empty_sample_scores_zero(self):
+        assert ks_two_sample([], [1.0, 2.0]) == 0.0
+
+
+class TestKsFromDistributions:
+    def test_identical_distributions(self):
+        distribution = ValueDistribution({"a": 0.5, "b": 0.5})
+        assert ks_from_distributions(distribution, distribution) == 0.0
+
+    def test_disjoint_supports(self):
+        first = ValueDistribution({"a": 1.0})
+        second = ValueDistribution({"b": 1.0})
+        assert ks_from_distributions(first, second) == pytest.approx(1.0)
+
+    def test_empty_distribution_scores_zero(self):
+        assert ks_from_distributions(ValueDistribution({}), ValueDistribution({"a": 1.0})) == 0.0
+
+    def test_known_value(self):
+        first = ValueDistribution({1.0: 0.5, 2.0: 0.5})
+        second = ValueDistribution({1.0: 0.1, 2.0: 0.9})
+        assert ks_from_distributions(first, second) == pytest.approx(0.4)
+
+    def test_symmetry(self):
+        first = ValueDistribution({1.0: 0.3, 2.0: 0.7})
+        second = ValueDistribution({1.0: 0.8, 2.0: 0.2})
+        assert ks_from_distributions(first, second) == pytest.approx(
+            ks_from_distributions(second, first)
+        )
+
+
+class TestKsColumns:
+    def test_numeric_columns_match_dict_implementation(self):
+        rng = np.random.default_rng(1)
+        before = Column("x", rng.integers(0, 20, 500).astype(float))
+        after = Column("x", rng.integers(5, 20, 200).astype(float))
+        expected = ks_from_distributions(
+            ValueDistribution.from_column(before), ValueDistribution.from_column(after)
+        )
+        assert ks_columns(before, after) == pytest.approx(expected, abs=1e-9)
+
+    def test_categorical_columns_match_dict_implementation(self):
+        rng = np.random.default_rng(2)
+        labels = np.asarray(["a", "b", "c", "d"], dtype=object)
+        before = Column("x", labels[rng.integers(0, 4, 400)])
+        after = Column("x", labels[rng.integers(2, 4, 150)])
+        expected = ks_from_distributions(
+            ValueDistribution.from_column(before), ValueDistribution.from_column(after)
+        )
+        assert ks_columns(before, after) == pytest.approx(expected, abs=1e-9)
+
+    def test_filter_that_changes_nothing_scores_zero(self):
+        column = Column("x", np.asarray([1.0, 2.0, 3.0, 4.0]))
+        assert ks_columns(column, column) == 0.0
+
+    def test_range_is_zero_to_one(self):
+        before = Column("x", np.arange(100, dtype=float))
+        after = Column("x", np.arange(90, 100, dtype=float))
+        score = ks_columns(before, after)
+        assert 0.0 <= score <= 1.0
+
+    def test_running_example_shape(self):
+        """A popularity filter shifts the decade distribution towards recent decades."""
+        rng = np.random.default_rng(3)
+        years = rng.integers(1960, 2020, 2_000)
+        decades = np.asarray([f"{(y // 10) * 10}s" for y in years], dtype=object)
+        popularity = (years - 1960) + rng.normal(0, 10, size=years.size)
+        before = Column("decade", decades)
+        after = Column("decade", decades[popularity > 45])
+        assert ks_columns(before, after) > 0.2

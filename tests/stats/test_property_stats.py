@@ -1,0 +1,98 @@
+"""Property-based tests of the statistics substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats import (
+    ValueDistribution,
+    coefficient_of_variation,
+    kendall_tau_distance,
+    ks_from_distributions,
+    ks_two_sample,
+    ndcg,
+    precision_at_k,
+    standardize,
+)
+
+_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+_samples = st.lists(_floats, min_size=1, max_size=80)
+_rankings = st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=8, unique=True)
+
+
+@given(_samples, _samples)
+@settings(max_examples=60, deadline=None)
+def test_ks_is_bounded_and_symmetric(sample_a, sample_b):
+    statistic = ks_two_sample(sample_a, sample_b)
+    assert 0.0 <= statistic <= 1.0
+    assert statistic == ks_two_sample(sample_b, sample_a)
+
+
+@given(_samples)
+@settings(max_examples=60, deadline=None)
+def test_ks_of_sample_with_itself_is_zero(sample):
+    assert ks_two_sample(sample, sample) == 0.0
+
+
+@given(st.dictionaries(st.sampled_from("abcdef"), st.floats(min_value=0.01, max_value=10),
+                       min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_ks_distributions_identity_and_bounds(weights):
+    distribution = ValueDistribution(dict(weights))
+    assert ks_from_distributions(distribution, distribution) == 0.0
+    other = ValueDistribution({key: 1.0 for key in weights})
+    assert 0.0 <= ks_from_distributions(distribution, other) <= 1.0
+
+
+@given(_samples)
+@settings(max_examples=60, deadline=None)
+def test_cv_is_non_negative(sample):
+    assert coefficient_of_variation(sample) >= 0.0
+
+
+@given(_samples)
+@settings(max_examples=60, deadline=None)
+def test_cv_is_scale_invariant(sample):
+    scaled = [3.0 * value for value in sample]
+    assert abs(coefficient_of_variation(sample) - coefficient_of_variation(scaled)) < 1e-6
+
+
+@given(_samples)
+@settings(max_examples=60, deadline=None)
+def test_standardize_preserves_length_and_is_monotone(sample):
+    scores = standardize(sample)
+    assert scores.shape[0] == len(sample)
+    # Standardization is an affine transform with non-negative slope, so it
+    # must be (weakly) monotone: sorting the inputs sorts the z-scores.
+    ordered = np.sort(np.asarray(sample, dtype=float))
+    ordered_scores = standardize(ordered)
+    assert np.all(np.diff(ordered_scores) >= -1e-9)
+
+
+@given(_rankings, _rankings)
+@settings(max_examples=60, deadline=None)
+def test_kendall_tau_symmetry_and_identity(first, second):
+    assert kendall_tau_distance(first, first) == 0
+    assert kendall_tau_distance(first, second) == kendall_tau_distance(second, first)
+
+
+@given(_rankings, _rankings, st.integers(min_value=1, max_value=8))
+@settings(max_examples=60, deadline=None)
+def test_precision_at_k_is_bounded(predicted, relevant, k):
+    assert 0.0 <= precision_at_k(predicted, relevant, k) <= 1.0
+
+
+@given(_rankings)
+@settings(max_examples=60, deadline=None)
+def test_ndcg_of_ideal_ranking_is_one(items):
+    relevance = {item: float(len(items) - index) for index, item in enumerate(items)}
+    assert ndcg(items, relevance) == 1.0
+
+
+@given(_rankings)
+@settings(max_examples=60, deadline=None)
+def test_ndcg_is_bounded(items):
+    relevance = {item: 1.0 for item in items}
+    assert 0.0 <= ndcg(list(reversed(items)), relevance) <= 1.0

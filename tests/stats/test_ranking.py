@@ -1,0 +1,89 @@
+"""Unit tests for ranking-quality metrics (precision@k, Kendall-tau, nDCG)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats import (
+    dcg,
+    kendall_tau_distance,
+    ndcg,
+    normalized_kendall_tau_distance,
+    precision_at_k,
+    reciprocal_rank,
+)
+
+
+class TestPrecisionAtK:
+    def test_perfect_prediction(self):
+        assert precision_at_k(["a", "b", "c"], ["a", "b", "c"], k=3) == 1.0
+
+    def test_partial_overlap(self):
+        assert precision_at_k(["a", "x", "b"], ["a", "b"], k=3) == pytest.approx(2 / 3)
+
+    def test_k_smaller_than_prediction(self):
+        assert precision_at_k(["a", "x", "b"], ["a", "b"], k=1) == 1.0
+
+    def test_empty_prediction(self):
+        assert precision_at_k([], ["a"], k=3) == 0.0
+
+    def test_zero_k(self):
+        assert precision_at_k(["a"], ["a"], k=0) == 0.0
+
+
+class TestKendallTau:
+    def test_identical_rankings(self):
+        assert kendall_tau_distance(["a", "b", "c"], ["a", "b", "c"]) == 0
+
+    def test_reversed_rankings(self):
+        assert kendall_tau_distance(["a", "b", "c"], ["c", "b", "a"]) == 3
+
+    def test_single_swap(self):
+        assert kendall_tau_distance(["a", "b", "c"], ["a", "c", "b"]) == 1
+
+    def test_disjoint_items_still_defined(self):
+        distance = kendall_tau_distance(["a", "b"], ["c", "d"])
+        assert distance >= 0
+
+    def test_normalized_range(self):
+        assert normalized_kendall_tau_distance(["a", "b", "c"], ["c", "b", "a"]) == 1.0
+        assert normalized_kendall_tau_distance(["a", "b", "c"], ["a", "b", "c"]) == 0.0
+
+    def test_normalized_single_item(self):
+        assert normalized_kendall_tau_distance(["a"], ["a"]) == 0.0
+
+
+class TestNdcg:
+    def test_perfect_ranking_is_one(self):
+        relevance = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg(["a", "b", "c"], relevance) == pytest.approx(1.0)
+
+    def test_worst_ranking_below_one(self):
+        relevance = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert ndcg(["c", "b", "a"], relevance) < 1.0
+
+    def test_missing_items_count_as_zero(self):
+        relevance = {"a": 1.0}
+        assert ndcg(["x", "a"], relevance) < 1.0
+
+    def test_empty_relevance(self):
+        assert ndcg(["a"], {}) == 1.0
+
+    def test_k_truncation(self):
+        relevance = {"a": 3.0, "b": 2.0}
+        assert ndcg(["b", "a"], relevance, k=1) < 1.0
+
+    def test_dcg_values(self):
+        assert dcg([3.0, 2.0]) == pytest.approx(3.0 + 2.0 / 1.584962500721156)
+        assert dcg([]) == 0.0
+
+
+class TestReciprocalRank:
+    def test_first_hit(self):
+        assert reciprocal_rank(["a", "b"], ["a"]) == 1.0
+
+    def test_second_hit(self):
+        assert reciprocal_rank(["x", "a"], ["a"]) == 0.5
+
+    def test_no_hit(self):
+        assert reciprocal_rank(["x", "y"], ["a"]) == 0.0

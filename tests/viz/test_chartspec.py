@@ -1,0 +1,69 @@
+"""Unit tests for chart specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viz import BarChartWithReference, ChartSpecError, SideBySideBarChart
+
+
+class TestSideBySideBarChart:
+    def test_valid_spec(self):
+        chart = SideBySideBarChart(
+            title="t", x_label="decade", categories=["a", "b"], before=[1.0, 2.0],
+            after=[3.0, 4.0], highlight_index=1,
+        )
+        assert chart.highlighted_category == "b"
+        assert chart.kind == "side_by_side_bars"
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ChartSpecError):
+            SideBySideBarChart(title="t", x_label="x", categories=["a"], before=[1.0, 2.0],
+                               after=[1.0])
+
+    def test_out_of_range_highlight_rejected(self):
+        with pytest.raises(ChartSpecError):
+            SideBySideBarChart(title="t", x_label="x", categories=["a"], before=[1.0],
+                               after=[1.0], highlight_index=5)
+
+    def test_no_highlight(self):
+        chart = SideBySideBarChart(title="t", x_label="x", categories=["a"], before=[1.0],
+                                   after=[1.0])
+        assert chart.highlighted_category is None
+
+    def test_to_dict_round_trip(self):
+        chart = SideBySideBarChart(title="t", x_label="x", categories=["a", "b"],
+                                   before=[1.0, 2.0], after=[3.0, 4.0], highlight_index=0)
+        payload = chart.to_dict()
+        assert payload["kind"] == "side_by_side_bars"
+        assert payload["series"][0]["values"] == [1.0, 2.0]
+        assert payload["highlight_index"] == 0
+
+
+class TestBarChartWithReference:
+    def test_valid_spec(self):
+        chart = BarChartWithReference(title="t", x_label="x", y_label="y", categories=["a"],
+                                      values=[1.0], reference_value=0.5, highlight_index=0)
+        assert chart.highlighted_category == "a"
+        assert chart.kind == "bars_with_reference"
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ChartSpecError):
+            BarChartWithReference(title="t", x_label="x", y_label="y", categories=["a", "b"],
+                                  values=[1.0])
+
+    def test_out_of_range_highlight_rejected(self):
+        with pytest.raises(ChartSpecError):
+            BarChartWithReference(title="t", x_label="x", y_label="y", categories=["a"],
+                                  values=[1.0], highlight_index=2)
+
+    def test_to_dict_includes_reference(self):
+        chart = BarChartWithReference(title="t", x_label="x", y_label="y", categories=["a"],
+                                      values=[1.0], reference_value=2.0, reference_label="mean")
+        payload = chart.to_dict()
+        assert payload["reference"] == {"label": "mean", "value": 2.0}
+
+    def test_to_dict_without_reference(self):
+        chart = BarChartWithReference(title="t", x_label="x", y_label="y", categories=["a"],
+                                      values=[1.0])
+        assert chart.to_dict()["reference"] is None

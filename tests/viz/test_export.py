@@ -1,0 +1,47 @@
+"""Unit tests for chart export helpers."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.viz import (
+    BarChartWithReference,
+    SideBySideBarChart,
+    chart_to_dict,
+    chart_to_json,
+    charts_to_json,
+    save_charts,
+)
+
+
+def _chart() -> SideBySideBarChart:
+    return SideBySideBarChart(title="t", x_label="x", categories=["a"], before=[1.0], after=[2.0])
+
+
+class TestExport:
+    def test_chart_to_dict_matches_to_dict(self):
+        chart = _chart()
+        assert chart_to_dict(chart) == chart.to_dict()
+
+    def test_chart_to_json_is_valid_json(self):
+        payload = json.loads(chart_to_json(_chart()))
+        assert payload["kind"] == "side_by_side_bars"
+
+    def test_charts_to_json_is_a_list(self):
+        other = BarChartWithReference(title="t", x_label="x", y_label="y", categories=["a"],
+                                      values=[1.0])
+        payload = json.loads(charts_to_json([_chart(), other]))
+        assert len(payload) == 2
+
+    def test_numpy_values_serialised(self):
+        chart = BarChartWithReference(title="t", x_label="x", y_label="y", categories=["a"],
+                                      values=[np.float64(1.5)])
+        payload = json.loads(chart_to_json(chart))
+        assert payload["values"] == [1.5]
+
+    def test_save_charts_writes_file(self, tmp_path):
+        path = save_charts([_chart()], tmp_path / "charts" / "out.json")
+        assert path.exists()
+        assert json.loads(path.read_text())[0]["title"] == "t"

@@ -1,0 +1,87 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.viz import (
+    BarChartWithReference,
+    SideBySideBarChart,
+    render_bars_with_reference,
+    render_chart,
+    render_side_by_side,
+)
+
+
+@pytest.fixture
+def side_by_side() -> SideBySideBarChart:
+    return SideBySideBarChart(
+        title="Distribution change of 'decade'",
+        x_label="decade",
+        categories=["1990s", "2000s", "2010s"],
+        before=[20.0, 30.0, 3.5],
+        after=[10.0, 25.0, 61.0],
+        highlight_index=2,
+    )
+
+
+@pytest.fixture
+def bars() -> BarChartWithReference:
+    return BarChartWithReference(
+        title="Mean 'loudness' per decade",
+        x_label="decade",
+        y_label="Mean loudness",
+        categories=["1990s", "2000s", "2010s"],
+        values=[-10.8, -8.0, -7.2],
+        reference_value=-8.7,
+        highlight_index=0,
+    )
+
+
+class TestSideBySideRendering:
+    def test_contains_title_and_categories(self, side_by_side):
+        text = render_side_by_side(side_by_side)
+        assert "Distribution change of 'decade'" in text
+        assert "1990s" in text and "2010s" in text
+
+    def test_highlight_marker(self, side_by_side):
+        text = render_side_by_side(side_by_side)
+        highlighted_lines = [line for line in text.splitlines() if line.startswith("*")]
+        assert len(highlighted_lines) == 1
+        assert "2010s" in highlighted_lines[0]
+
+    def test_before_and_after_labels(self, side_by_side):
+        text = render_side_by_side(side_by_side)
+        assert "Before" in text and "After" in text
+
+    def test_bar_length_scales_with_value(self, side_by_side):
+        text = render_side_by_side(side_by_side, width=20)
+        lines = text.splitlines()
+        after_2010s = next(line for line in lines if "61" in line)
+        after_1990s = next(line for line in lines if "10" in line and "#" in line)
+        assert after_2010s.count("#") > after_1990s.count("#")
+
+
+class TestBarsRendering:
+    def test_contains_reference_line(self, bars):
+        text = render_bars_with_reference(bars)
+        assert "mean = -8.7" in text
+
+    def test_highlight_marker(self, bars):
+        text = render_bars_with_reference(bars)
+        assert any(line.startswith("*") and "1990s" in line for line in text.splitlines())
+
+    def test_missing_values_are_marked(self):
+        chart = BarChartWithReference(title="t", x_label="x", y_label="y",
+                                      categories=["a", "b"], values=[1.0, float("nan")])
+        assert "(missing)" in render_bars_with_reference(chart)
+
+
+class TestDispatch:
+    def test_render_chart_dispatches(self, side_by_side, bars):
+        assert "Before" in render_chart(side_by_side)
+        assert "mean" in render_chart(bars)
+
+    def test_unknown_spec_rejected(self):
+        with pytest.raises(TypeError):
+            render_chart(object())

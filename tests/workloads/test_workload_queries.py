@@ -1,0 +1,103 @@
+"""Tests of the 30-query evaluation workload (Appendix A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FedexConfig, FedexExplainer
+from repro.errors import ExperimentError
+from repro.workloads import (
+    NOTEBOOK_QUERIES,
+    WORKLOAD,
+    filter_join_queries,
+    get_query,
+    groupby_queries,
+    queries_for_dataset,
+)
+
+
+class TestWorkloadDefinition:
+    def test_thirty_queries(self):
+        assert len(WORKLOAD) == 30
+        assert [query.number for query in WORKLOAD] == list(range(1, 31))
+
+    def test_split_between_tables_2_and_3(self):
+        assert len(filter_join_queries()) == 15
+        assert len(groupby_queries()) == 15
+        assert all(q.number <= 15 for q in filter_join_queries())
+        assert all(q.number >= 16 for q in groupby_queries())
+
+    def test_measure_matches_kind(self):
+        for query in WORKLOAD:
+            expected = "diversity" if query.kind == "groupby" else "exceptionality"
+            assert query.measure == expected
+
+    def test_queries_per_dataset(self):
+        assert len(queries_for_dataset("spotify")) == 10
+        assert len(queries_for_dataset("bank")) == 10
+        assert len(queries_for_dataset("products")) == 10
+        assert len(queries_for_dataset("spotify", kinds=["filter"])) == 5
+
+    def test_get_query_bounds(self):
+        assert get_query(6).dataset == "spotify"
+        with pytest.raises(ExperimentError):
+            get_query(31)
+
+    def test_notebook_queries_reference_valid_numbers(self):
+        for numbers in NOTEBOOK_QUERIES.values():
+            for number in numbers:
+                assert 1 <= number <= 30
+
+    def test_sql_strings_present(self):
+        assert all("SELECT" in query.sql.upper() for query in WORKLOAD)
+
+
+class TestStepConstruction:
+    @pytest.mark.parametrize("number", [4, 6, 11, 12, 14, 15])
+    def test_filter_steps_reduce_rows(self, tiny_registry, number):
+        query = get_query(number)
+        step = query.build_step(tiny_registry)
+        assert step.output.num_rows < step.primary_input.num_rows
+        assert step.output.num_rows > 0
+
+    @pytest.mark.parametrize("number", [1, 2, 3])
+    def test_join_steps_produce_rows(self, tiny_registry, number):
+        step = get_query(number).build_step(tiny_registry)
+        assert step.is_multi_input
+        assert step.output.num_rows > 0
+
+    @pytest.mark.parametrize("number", [16, 18, 21, 24, 27, 28, 30])
+    def test_groupby_steps_produce_groups(self, tiny_registry, number):
+        step = get_query(number).build_step(tiny_registry)
+        assert 1 < step.output.num_rows < step.primary_input.num_rows
+
+    def test_query_12_is_nested(self, tiny_registry):
+        outer = get_query(12).build_step(tiny_registry)
+        inner = get_query(11).build_step(tiny_registry)
+        assert outer.primary_input.num_rows == inner.output.num_rows
+
+
+class TestWorkloadExplainability:
+    """Every workload query must yield a well-formed FEDEX report."""
+
+    @pytest.mark.parametrize("number", [5, 6, 9, 11, 13, 15])
+    def test_filter_queries_explainable(self, tiny_registry, number):
+        step = get_query(number).build_step(tiny_registry)
+        report = FedexExplainer(FedexConfig(sample_size=2_000, seed=0)).explain(step)
+        assert report.interestingness_scores
+        assert report.explanations, f"query {number} produced no explanation"
+
+    @pytest.mark.parametrize("number", [16, 19, 21, 23, 26, 29])
+    def test_groupby_queries_explainable(self, tiny_registry, number):
+        step = get_query(number).build_step(tiny_registry)
+        report = FedexExplainer(FedexConfig(sample_size=2_000, seed=0)).explain(step)
+        assert report.interestingness_scores
+        assert report.explanations, f"query {number} produced no explanation"
+
+    @pytest.mark.parametrize("number", [1, 2])
+    def test_join_queries_explainable(self, tiny_registry, number):
+        step = get_query(number).build_step(tiny_registry)
+        report = FedexExplainer(
+            FedexConfig(sample_size=2_000, top_k_columns=3, seed=0)
+        ).explain(step)
+        assert report.interestingness_scores
