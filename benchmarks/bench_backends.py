@@ -1,0 +1,78 @@
+"""Micro-benchmark: exact vs incremental contribution backends.
+
+Runs the contribution phase of representative steps with both backends and
+prints the timings plus the speedup, so future PRs can track the gain::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py [n_rows]
+
+The headline number is the contribution phase of a 10k-row group-by step,
+where the incremental backend must be at least ~3x faster than the rerun
+backend; filter/join/union steps are reported alongside.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import FedexConfig, FedexExplainer
+from repro.dataframe import Comparison
+from repro.datasets import load_spotify
+from repro.datasets.products import load_products_and_sales
+from repro.operators import ExploratoryStep, Filter, GroupBy, Join, Union
+
+
+def _steps(n_rows: int):
+    spotify = load_spotify(n_rows, seed=3)
+    products, sales = load_products_and_sales(
+        n_sales=n_rows, n_products=max(n_rows // 10, 100), seed=29
+    )
+    yield "groupby", ExploratoryStep([spotify], GroupBy(
+        "decade",
+        {"loudness": ["mean"], "popularity": ["mean", "max", "min", "sum"]},
+        include_count=True,
+    ))
+    yield "filter", ExploratoryStep([spotify], Filter(Comparison("popularity", ">", 65)))
+    yield "join", ExploratoryStep([products, sales], Join("item"))
+    yield "union", ExploratoryStep([
+        spotify.filter(Comparison("year", "<", 1990)),
+        spotify.filter(Comparison("year", ">=", 1990)),
+    ], Union())
+
+
+def run(n_rows: int = 10_000) -> list:
+    print(f"contribution-phase timings on {n_rows:,}-row steps "
+          f"(seconds, best-of-1, python {sys.version.split()[0]})")
+    print(f"{'step':10s} {'exact':>10s} {'incremental':>12s} {'speedup':>9s}")
+    results = []
+    for name, step in _steps(n_rows):
+        timings = {}
+        for backend in ("exact", "incremental"):
+            report = FedexExplainer(FedexConfig(backend=backend, seed=0)).explain(step)
+            timings[backend] = report.timings["contribution"]
+        speedup = timings["exact"] / max(timings["incremental"], 1e-9)
+        results.append((name, timings["exact"], timings["incremental"], speedup))
+        print(f"{name:10s} {timings['exact']:10.3f} {timings['incremental']:12.3f} "
+              f"{speedup:8.1f}x")
+    return results
+
+
+def main() -> int:
+    if len(sys.argv) > 1:
+        try:
+            n_rows = int(sys.argv[1])
+        except ValueError:
+            print(f"usage: bench_backends.py [n_rows]; got {sys.argv[1]!r}")
+            return 2
+    else:
+        n_rows = 10_000
+    results = run(n_rows)
+    groupby_speedup = next(speedup for name, _, _, speedup in results if name == "groupby")
+    if groupby_speedup < 3.0:
+        print(f"WARNING: group-by contribution speedup {groupby_speedup:.1f}x is below the "
+              f"3x acceptance bar")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

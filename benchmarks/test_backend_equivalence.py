@@ -1,0 +1,73 @@
+"""Backend equivalence + runtime over the full 30-query evaluation workload.
+
+The acceptance bar of the backend layer: on every workload query the
+incremental backend must reproduce the exact rerun backend — identical
+skyline keys and candidate pools, contribution scores within ``1e-9`` —
+while spending less wall-clock time in the contribution phase.  Prints a
+per-query comparison table with the exact/incremental contribution-phase
+timings and the speedup.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.core import FedexConfig, FedexExplainer
+from repro.experiments import print_table
+from repro.workloads import WORKLOAD
+
+
+def _compare_backends(registry):
+    rows = []
+    for query in WORKLOAD:
+        step = query.build_step(registry)
+        exact = FedexExplainer(FedexConfig(backend="exact", seed=0)).explain(step)
+        incremental = FedexExplainer(FedexConfig(backend="incremental", seed=0)).explain(step)
+
+        exact_scores = {
+            c.key(): (c.contribution, c.standardized_contribution)
+            for c in exact.all_candidates
+        }
+        incremental_scores = {
+            c.key(): (c.contribution, c.standardized_contribution)
+            for c in incremental.all_candidates
+        }
+        max_delta = 0.0
+        if set(exact_scores) == set(incremental_scores):
+            for key, (raw, std) in exact_scores.items():
+                raw_i, std_i = incremental_scores[key]
+                max_delta = max(max_delta, abs(raw - raw_i), abs(std - std_i))
+        else:
+            max_delta = float("inf")
+
+        exact_seconds = exact.timings.get("contribution", 0.0)
+        incremental_seconds = incremental.timings.get("contribution", 0.0)
+        rows.append({
+            "query": query.number,
+            "dataset": query.dataset,
+            "kind": query.kind,
+            "skyline_equal": exact.skyline_keys() == incremental.skyline_keys(),
+            "max_score_delta": max_delta,
+            "exact_s": exact_seconds,
+            "incremental_s": incremental_seconds,
+            "speedup": exact_seconds / max(incremental_seconds, 1e-9),
+        })
+    return rows
+
+
+def test_backend_equivalence_over_workload(benchmark, bench_registry):
+    rows = run_once(benchmark, _compare_backends, bench_registry)
+    print_table(rows, title="Exact vs incremental backend over the 30-query workload")
+    assert len(rows) == 30
+    mismatched = [row["query"] for row in rows if not row["skyline_equal"]]
+    assert not mismatched, f"queries with diverging skylines: {mismatched}"
+    drifted = [row["query"] for row in rows if not row["max_score_delta"] <= 1e-9]
+    assert not drifted, f"queries with score drift above 1e-9: {drifted}"
+    # The incremental backend should win in aggregate (per-query timings can
+    # be noisy for the smallest steps, the total must not be).
+    total_exact = sum(row["exact_s"] for row in rows)
+    total_incremental = sum(row["incremental_s"] for row in rows)
+    assert total_incremental < total_exact, (
+        f"incremental contribution phase slower in aggregate: "
+        f"{total_incremental:.2f}s vs {total_exact:.2f}s"
+    )

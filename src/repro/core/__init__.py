@@ -1,5 +1,12 @@
 """FEDEX core: interestingness, contribution, partitions, skyline, engine."""
 
+from .backends import (
+    ContributionBackend,
+    ExactRerunBackend,
+    IncrementalBackend,
+    available_backends,
+    make_backend,
+)
 from .candidates import ExplanationCandidate, build_candidates
 from .config import (
     DEFAULT_SAMPLE_SIZE,
@@ -41,11 +48,13 @@ from .skyline import is_dominated, rank_by_weighted_score, skyline, skyline_pair
 
 __all__ = [
     "CompactnessMeasure",
+    "ContributionBackend",
     "ContributionCalculator",
     "CoverageMeasure",
     "DEFAULT_SAMPLE_SIZE",
     "DEFAULT_SET_COUNTS",
     "DiversityMeasure",
+    "ExactRerunBackend",
     "ExceptionalityMeasure",
     "Explanation",
     "ExplanationCandidate",
@@ -54,6 +63,7 @@ __all__ = [
     "FedexExplainer",
     "FrequencyPartitioner",
     "FunctionMeasure",
+    "IncrementalBackend",
     "InterestingnessMeasure",
     "ManyToOnePartitioner",
     "MappingPartitioner",
@@ -63,6 +73,7 @@ __all__ = [
     "RowPartition",
     "RowSet",
     "SurprisingnessMeasure",
+    "available_backends",
     "build_candidates",
     "build_explanation",
     "build_partitions",
@@ -73,6 +84,7 @@ __all__ = [
     "explain_step",
     "extended_registry",
     "is_dominated",
+    "make_backend",
     "measure_for_step",
     "rank_by_weighted_score",
     "sampling_config",

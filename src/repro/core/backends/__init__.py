@@ -1,0 +1,24 @@
+"""Pluggable intervention-execution backends for the contribution phase.
+
+The engine front-end (:class:`~repro.core.engine.FedexExplainer`) stays
+stable while the execution strategy behind Definition 3.3 is swappable via
+``FedexConfig(backend=...)``:
+
+* ``"exact"`` — :class:`ExactRerunBackend`, remove → re-run → re-score (the
+  reference oracle);
+* ``"incremental"`` — :class:`IncrementalBackend`, batched derivation from
+  precomputed per-group partials, row provenance, and shared argsorts (the
+  default).
+"""
+
+from .base import ContributionBackend, available_backends, make_backend
+from .exact import ExactRerunBackend
+from .incremental import IncrementalBackend
+
+__all__ = [
+    "ContributionBackend",
+    "ExactRerunBackend",
+    "IncrementalBackend",
+    "available_backends",
+    "make_backend",
+]

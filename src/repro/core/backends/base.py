@@ -1,0 +1,110 @@
+"""The intervention-execution backend protocol.
+
+FEDEX's contribution phase (Definition 3.3) asks one question over and over:
+*what would the interestingness of column ``A`` be if the set-of-rows ``R``
+were removed from the input?*  A :class:`ContributionBackend` answers that
+question — it separates **what** the contribution phase computes (the reduced
+interestingness score ``I_A(D_in − R, q, d'_out)``) from **how** it is
+computed:
+
+* :class:`~repro.core.backends.exact.ExactRerunBackend` removes the rows,
+  re-runs the operation, and re-scores — the literal reading of the paper,
+  kept as the reference oracle;
+* :class:`~repro.core.backends.incremental.IncrementalBackend` exploits the
+  operation's structure (per-group partial aggregates, row-provenance
+  slicing, shared argsorts) to derive every intervention of a partition
+  without re-running anything.
+
+Backends are stateful per step: they are constructed once per
+``(step, measure)`` pair and may precompute and cache whatever sharable
+structure they like across row sets, attributes, and partitions.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Type, Union
+
+from ...errors import ExplanationError
+from ...operators.step import ExploratoryStep
+from ..interestingness import InterestingnessMeasure
+from ..partition import RowPartition, RowSet
+
+
+#: Backend used when the caller does not pick one explicitly.
+DEFAULT_BACKEND = "incremental"
+
+
+class ContributionBackend(ABC):
+    """Computes reduced interestingness scores for row-set interventions.
+
+    Subclasses implement :meth:`reduced_score`; the contribution itself is
+    always ``baseline − reduced_score`` (Definition 3.3), with the baseline
+    owned and cached by the calling
+    :class:`~repro.core.contribution.ContributionCalculator`.
+    """
+
+    #: Registry name of the backend (the value of ``FedexConfig.backend``).
+    name: str = "backend"
+
+    def __init__(self, step: ExploratoryStep, measure: InterestingnessMeasure) -> None:
+        self.step = step
+        self.measure = measure
+
+    @abstractmethod
+    def reduced_score(self, row_set: RowSet, attribute: str) -> float:
+        """``I_A(D_in − R, q, d'_out)`` — interestingness after removing ``row_set``."""
+
+    def contribution(self, row_set: RowSet, attribute: str, baseline: float) -> float:
+        """``C(R, A, Q) = I_A(Q) − I_A(D_in − R, q, d'_out)`` for one set-of-rows."""
+        return baseline - self.reduced_score(row_set, attribute)
+
+    def partition_contributions(self, partition: RowPartition, attribute: str,
+                                baseline: float) -> List[float]:
+        """Raw contributions of every candidate set-of-rows of a partition.
+
+        The default walks the sets one by one; backends that can batch a whole
+        partition (sharing precomputed structure between its sets) override
+        this.
+        """
+        return [self.contribution(row_set, attribute, baseline) for row_set in partition.sets]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.step.operation.describe()})"
+
+
+def available_backends() -> Dict[str, Type[ContributionBackend]]:
+    """Mapping from backend name to backend class."""
+    from .exact import ExactRerunBackend
+    from .incremental import IncrementalBackend
+
+    return {
+        ExactRerunBackend.name: ExactRerunBackend,
+        IncrementalBackend.name: IncrementalBackend,
+    }
+
+
+def resolve_backend_class(name: str) -> Type[ContributionBackend]:
+    """Look a backend class up by registered name, with a helpful error."""
+    registry = available_backends()
+    if name not in registry:
+        raise ExplanationError(
+            f"unknown contribution backend {name!r}; available: {sorted(registry)}"
+        )
+    return registry[name]
+
+
+def make_backend(backend: Union[str, ContributionBackend, Type[ContributionBackend]],
+                 step: ExploratoryStep,
+                 measure: InterestingnessMeasure) -> ContributionBackend:
+    """Resolve a backend specification into a backend instance for one step.
+
+    ``backend`` may be a registered name (``"exact"`` / ``"incremental"``), a
+    :class:`ContributionBackend` subclass, or an already-constructed instance
+    (returned as-is — useful for tests that want to inspect backend state).
+    """
+    if isinstance(backend, ContributionBackend):
+        return backend
+    if isinstance(backend, type) and issubclass(backend, ContributionBackend):
+        return backend(step, measure)
+    return resolve_backend_class(backend)(step, measure)

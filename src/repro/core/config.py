@@ -13,6 +13,7 @@ from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence
 
 from ..errors import ExplanationError
+from .backends.base import DEFAULT_BACKEND, resolve_backend_class
 
 #: Default numbers of sets-of-rows fedex tries (paper §4.3: "5 or 10").
 DEFAULT_SET_COUNTS = (5, 10)
@@ -68,6 +69,12 @@ class FedexConfig:
     min_group_values:
         Partitions whose source column has fewer distinct values than this
         are skipped (a one-value partition cannot separate contributions).
+    backend:
+        Intervention-execution backend of the contribution phase:
+        ``"incremental"`` (default) derives all row-set interventions of a
+        step from shared precomputed structure, ``"exact"`` re-runs the
+        operation per set-of-rows (the paper's literal semantics, kept as
+        the reference oracle).  See :mod:`repro.core.backends`.
     """
 
     sample_size: Optional[int] = None
@@ -84,6 +91,7 @@ class FedexConfig:
     positive_contribution_only: bool = True
     seed: Optional[int] = 0
     min_group_values: int = 2
+    backend: str = DEFAULT_BACKEND
 
     def __post_init__(self) -> None:
         if self.sample_size is not None and self.sample_size <= 0:
@@ -103,6 +111,11 @@ class FedexConfig:
             raise ExplanationError("weights must be non-negative")
         if self.interestingness_weight == 0 and self.contribution_weight == 0:
             raise ExplanationError("at least one of the weights must be positive")
+        resolve_backend_class(self.backend)
+
+    def with_backend(self, backend: str) -> "FedexConfig":
+        """A copy of this config using the given contribution backend."""
+        return replace(self, backend=backend)
 
     # ------------------------------------------------------------ conveniences
     def with_sampling(self, sample_size: int = DEFAULT_SAMPLE_SIZE) -> "FedexConfig":

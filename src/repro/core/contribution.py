@@ -9,15 +9,21 @@ re-score the interestingness of column ``A``, and take the drop.  A large
 positive contribution means the rows in ``R`` are responsible for much of the
 column's interestingness.  Contributions can be negative (removing the rows
 makes the column *more* interesting); Algorithm 1 drops those candidates.
+
+*How* the reduced scores are obtained is delegated to a pluggable
+:class:`~repro.core.backends.base.ContributionBackend`: the default
+``"incremental"`` backend derives all interventions of a step from shared
+precomputed structure, while the ``"exact"`` backend re-runs the operation
+per set-of-rows (the reference semantics).  See :mod:`repro.core.backends`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Tuple, Union
 
-from ..dataframe.frame import DataFrame
 from ..operators.step import ExploratoryStep
 from ..stats.dispersion import standardize
+from .backends.base import DEFAULT_BACKEND, ContributionBackend, make_backend
 from .interestingness import InterestingnessMeasure
 from .partition import RowPartition, RowSet
 
@@ -25,21 +31,28 @@ from .partition import RowPartition, RowSet
 class ContributionCalculator:
     """Computes (and caches) contribution scores for one exploratory step.
 
-    The calculator caches two things:
+    The calculator owns the *what* of the contribution phase and caches:
 
     * the baseline interestingness ``I_A(Q)`` per attribute (computed once),
-    * the reduced output dataframe per (input_index, row-set) pair, because
-      every output attribute reuses the same intervention result — this is
-      what makes scoring a whole partition against several interesting
-      columns affordable.
+    * the raw contribution list per (partition, attribute) pair, so that the
+      standardized contributions are derived from the cached raw list instead
+      of recomputing every intervention.
+
+    The *how* — rerun-per-row-set versus incremental derivation — lives in
+    the ``backend`` (a name like ``"exact"``/``"incremental"``, a backend
+    class, or an instance).
     """
 
     def __init__(self, step: ExploratoryStep, measure: InterestingnessMeasure,
-                 baseline_scores: Dict[str, float] | None = None) -> None:
+                 baseline_scores: Dict[str, float] | None = None,
+                 backend: Union[str, ContributionBackend, type] = DEFAULT_BACKEND) -> None:
         self.step = step
         self.measure = measure
+        self.backend = make_backend(backend, step, measure)
         self._baseline: Dict[str, float] = dict(baseline_scores or {})
-        self._reduced_cache: Dict[tuple, tuple] = {}
+        # Keyed by (id(partition), attribute); the partition object is kept in
+        # the value to pin its id for the cache's lifetime.
+        self._raw_cache: Dict[Tuple[int, str], Tuple[RowPartition, List[float]]] = {}
 
     # --------------------------------------------------------------- baselines
     def baseline(self, attribute: str) -> float:
@@ -51,15 +64,20 @@ class ContributionCalculator:
     # ------------------------------------------------------------ contribution
     def contribution(self, row_set: RowSet, attribute: str) -> float:
         """``C(R, A, Q)`` for one set-of-rows and one output attribute."""
-        reduced_inputs, reduced_output = self._reduced_step(row_set)
-        reduced_score = self.measure.score(
-            reduced_inputs, self.step, reduced_output, attribute
-        )
-        return self.baseline(attribute) - reduced_score
+        return self.backend.contribution(row_set, attribute, self.baseline(attribute))
 
     def partition_contributions(self, partition: RowPartition, attribute: str) -> List[float]:
-        """Raw contributions of every candidate set-of-rows in a partition."""
-        return [self.contribution(row_set, attribute) for row_set in partition.sets]
+        """Raw contributions of every candidate set-of-rows in a partition (cached)."""
+        key = (id(partition), attribute)
+        cached = self._raw_cache.get(key)
+        if cached is None:
+            raw = self.backend.partition_contributions(
+                partition, attribute, self.baseline(attribute)
+            )
+            self._raw_cache[key] = (partition, raw)
+        else:
+            raw = cached[1]
+        return list(raw)
 
     def standardized_contributions(self, partition: RowPartition, attribute: str) -> List[float]:
         """Standardized contributions ``C̄(R, A)`` within the partition (§3.6).
@@ -67,30 +85,16 @@ class ContributionCalculator:
         Each set's raw contribution is z-scored against the contributions of
         the *other* sets of the same partition (mean/std over all candidate
         sets), quantifying how exceptional the set's contribution is among
-        its peers.
+        its peers.  The raw contributions come from the per-partition cache,
+        so asking for both raw and standardized lists costs one intervention
+        pass, not two.
         """
         raw = self.partition_contributions(partition, attribute)
         return list(standardize(raw))
 
-    # ------------------------------------------------------------------ helpers
-    def _reduced_step(self, row_set: RowSet) -> tuple:
-        """Inputs and output of the step after removing ``row_set`` (cached)."""
-        cache_key = (row_set.input_index, row_set.method, row_set.source_attribute,
-                     row_set.label_attribute, row_set.label)
-        if cache_key in self._reduced_cache:
-            return self._reduced_cache[cache_key]
-        target_input = self.step.inputs[row_set.input_index]
-        reduced_input = target_input.remove_rows(row_set.indices)
-        reduced_inputs: Sequence[DataFrame] = self.step.with_inputs_replaced(
-            row_set.input_index, reduced_input
-        )
-        reduced_output = self.step.rerun(reduced_inputs)
-        result = (reduced_inputs, reduced_output)
-        self._reduced_cache[cache_key] = result
-        return result
-
 
 def contribution_of(step: ExploratoryStep, row_set: RowSet, attribute: str,
-                    measure: InterestingnessMeasure) -> float:
+                    measure: InterestingnessMeasure,
+                    backend: Union[str, ContributionBackend, type] = DEFAULT_BACKEND) -> float:
     """One-off contribution computation (convenience wrapper without caching)."""
-    return ContributionCalculator(step, measure).contribution(row_set, attribute)
+    return ContributionCalculator(step, measure, backend=backend).contribution(row_set, attribute)

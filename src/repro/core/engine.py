@@ -129,11 +129,14 @@ class FedexExplainer:
 
         # Phase 3: contributions and candidate construction
         start = time.perf_counter()
-        calculator = ContributionCalculator(step, chosen_measure)
+        calculator = ContributionCalculator(step, chosen_measure, backend=self.config.backend)
         all_candidates: List[ExplanationCandidate] = []
         candidate_partitions: Dict[Tuple, RowPartition] = {}
         for partition in partitions:
             for attribute in self._attributes_for_partition(step, partition, selected):
+                # One intervention pass: the raw contributions are computed
+                # once and cached, and the standardized list is derived from
+                # the cached raw list.
                 raw = calculator.partition_contributions(partition, attribute)
                 standardized = calculator.standardized_contributions(partition, attribute)
                 candidates = build_candidates(

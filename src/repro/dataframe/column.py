@@ -81,7 +81,7 @@ class Column:
         Optional logical kind override; inferred from the dtype when omitted.
     """
 
-    __slots__ = ("name", "values", "kind", "_factorized")
+    __slots__ = ("name", "values", "kind", "_factorized", "_sorted_order")
 
     def __init__(self, name: str, values: Any, kind: str | None = None) -> None:
         if not isinstance(name, str) or not name:
@@ -96,6 +96,7 @@ class Column:
         self.values = array
         self.kind = resolved_kind
         self._factorized = None
+        self._sorted_order = None
 
     @classmethod
     def _from_trusted(cls, name: str, values: np.ndarray, kind: str) -> "Column":
@@ -111,6 +112,7 @@ class Column:
         column.values = values
         column.kind = kind
         column._factorized = None
+        column._sorted_order = None
         return column
 
     # ------------------------------------------------------------------ dunder
@@ -236,6 +238,25 @@ class Column:
         uniques, inverse = np.unique(observed.astype(str), return_inverse=True)
         codes[present] = inverse
         return codes, [str(u) for u in uniques]
+
+    def sorted_order(self) -> np.ndarray:
+        """Stable argsort of the values, cached on the column.
+
+        Numeric and boolean columns sort by float value with NaN last (the
+        ``np.argsort`` convention); categorical columns sort by the string
+        rendering of each value.  The cache makes repeated order-dependent
+        computations — :meth:`DataFrame.sort_values` and the incremental
+        contribution backend's KS re-scoring, which derives the sorted values
+        of every row-set intervention from one shared argsort — pay the
+        ``O(n log n)`` sort exactly once per column.
+        """
+        if self._sorted_order is None:
+            if self.is_numeric or self.is_boolean:
+                self._sorted_order = np.argsort(self.values.astype(float), kind="stable")
+            else:
+                keys = np.asarray([str(v) for v in self.values])
+                self._sorted_order = np.argsort(keys, kind="stable")
+        return self._sorted_order
 
     def unique(self) -> list:
         """Distinct non-missing values (sorted)."""

@@ -129,7 +129,11 @@ class DataFrame:
     def from_rows(cls, rows: Sequence[Mapping[str, Any]], column_order: Sequence[str] | None = None) -> "DataFrame":
         """Build a dataframe from a list of row dictionaries."""
         if not rows:
-            return cls({name: [] for name in (column_order or [])})
+            # No rows carry no type evidence: empty columns are object-kind,
+            # consistent with _guess_dtype on an empty value list.
+            return cls({
+                name: np.asarray([], dtype=object) for name in (column_order or [])
+            })
         names = list(column_order) if column_order else list(rows[0].keys())
         data = {name: [row.get(name) for row in rows] for name in names}
         return cls({name: np.asarray(values, dtype=_guess_dtype(values)) for name, values in data.items()})
@@ -210,11 +214,7 @@ class DataFrame:
 
     def sort_values(self, by: str, ascending: bool = True) -> "DataFrame":
         """Rows sorted by the given column."""
-        column = self[by]
-        if column.is_numeric or column.is_boolean:
-            order = np.argsort(column.values.astype(float), kind="stable")
-        else:
-            order = np.argsort(np.asarray([str(v) for v in column.values]), kind="stable")
+        order = self[by].sorted_order()
         if not ascending:
             order = order[::-1]
         return self.take(order)
@@ -280,13 +280,22 @@ class DataFrame:
 
 
 def _guess_dtype(values: Sequence[Any]):
-    """Pick a numpy dtype for a list of python values (object for mixed/str)."""
+    """Pick a numpy dtype for a list of python values (object for mixed/str).
+
+    An empty list carries no type evidence, so it stays ``object`` rather than
+    defaulting to a numeric dtype.  Because ``bool`` is a subclass of ``int``
+    in python, a bool/int mix must be caught explicitly: coercing it to
+    ``int64`` would silently turn ``True``/``False`` into ``1``/``0``.
+    """
+    if not values:
+        return object
     has_str = any(isinstance(v, str) for v in values)
     has_none = any(v is None for v in values)
     if has_str or has_none:
         return object
-    if all(isinstance(v, bool) for v in values):
-        return bool
+    has_bool = any(isinstance(v, bool) for v in values)
+    if has_bool:
+        return bool if all(isinstance(v, bool) for v in values) else object
     if all(isinstance(v, int) for v in values):
         return np.int64
     return float

@@ -33,6 +33,26 @@ def aggregation_column_name(agg: str, column: str) -> str:
     return f"{agg}_{column}"
 
 
+def composite_key_codes(frame: DataFrame, by: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
+    """Mixed-radix composite code per row plus a mask of rows with a missing key.
+
+    Each key column is factorised to integer codes (cached on the column) and
+    the codes are combined into one ``int64`` composite code; two rows share
+    a composite code exactly when they agree on every key column.  Shared by
+    :func:`group_indices` and the incremental contribution backend's group
+    structure so the two grouping paths cannot drift apart.
+    """
+    n_rows = frame.num_rows
+    combined = np.zeros(n_rows, dtype=np.int64)
+    any_null = np.zeros(n_rows, dtype=bool)
+    for name in by:
+        codes, uniques = frame[name].factorize()
+        any_null |= codes < 0
+        cardinality = max(len(uniques), 1)
+        combined = combined * cardinality + np.where(codes < 0, 0, codes)
+    return combined, any_null
+
+
 def group_indices(frame: DataFrame, by: Sequence[str]) -> Dict[Tuple, np.ndarray]:
     """Map each distinct key tuple to the array of row indices holding it.
 
@@ -50,16 +70,7 @@ def group_indices(frame: DataFrame, by: Sequence[str]) -> Dict[Tuple, np.ndarray
     if n_rows == 0:
         return {}
 
-    key_values: List[list] = []
-    combined = np.zeros(n_rows, dtype=np.int64)
-    any_null = np.zeros(n_rows, dtype=bool)
-    for name in by:
-        codes, uniques = frame[name].factorize()
-        key_values.append(uniques)
-        any_null |= codes < 0
-        cardinality = max(len(uniques), 1)
-        combined = combined * cardinality + np.where(codes < 0, 0, codes)
-
+    combined, any_null = composite_key_codes(frame, by)
     valid = np.flatnonzero(~any_null)
     if valid.size == 0:
         return {}

@@ -18,7 +18,9 @@ Every operation knows:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..dataframe.frame import DataFrame
 from ..dataframe.predicates import Predicate
@@ -27,6 +29,11 @@ from ..errors import OperationError
 #: Interestingness families (see :mod:`repro.core.interestingness`).
 MEASURE_EXCEPTIONALITY = "exceptionality"
 MEASURE_DIVERSITY = "diversity"
+
+#: Aggregations whose reduced value is derivable from per-group partials
+#: (sum/count/mean by subtraction, min/max by a per-group rescan) without
+#: re-running the group-by.  ``median`` and ``std`` are not decomposable.
+DECOMPOSABLE_AGGREGATIONS = ("mean", "sum", "min", "max", "count")
 
 
 class Operation(ABC):
@@ -60,6 +67,38 @@ class Operation(ABC):
                 f"{self.kind} operation expects {self.arity} input dataframe(s), got {len(inputs)}"
             )
 
+    # ------------------------------------------------- incremental-backend hooks
+    def decomposable_aggregates(self) -> Optional[Dict[str, Tuple[str, Optional[str]]]]:
+        """Structure of the output aggregates, when every one is decomposable.
+
+        Group-by style operations return a mapping ``output column ->
+        (aggregation name, source column)`` (source column ``None`` for pure
+        row counts) that lets the incremental contribution backend derive
+        every reduced aggregate from precomputed per-group partials instead
+        of re-grouping (see :mod:`repro.core.backends.incremental`).  ``None``
+        — the default — means the hook does not apply: either the operation
+        is not an aggregation, or some aggregate (``median``, ``std``) cannot
+        be updated incrementally.
+        """
+        return None
+
+    def row_mask(self, inputs: Sequence[DataFrame]) -> Optional[List[Optional[np.ndarray]]]:
+        """Row-level provenance of the output: which input row made each output row.
+
+        Operations whose output rows are copies of input rows (filter, join,
+        union, project) return one entry per input dataframe: an ``int64``
+        array of length ``n_output_rows`` whose ``j``-th element is the
+        positional index of the input row that produced output row ``j``
+        (``-1`` when the output row does not derive from that input, as in a
+        union), or ``None`` when removing rows of that input is *not*
+        equivalent to slicing the output (e.g. the right side of a left
+        join, where removals resurrect unmatched left rows).  Returning
+        ``None`` altogether — the default — means the output is not a row
+        selection of the inputs (e.g. group-by) and the incremental backend
+        must use another strategy or fall back to re-running.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.describe()})"
 
@@ -75,6 +114,10 @@ class Filter(Operation):
     def apply(self, inputs: Sequence[DataFrame]) -> DataFrame:
         self.validate_inputs(inputs)
         return inputs[0].filter(self.predicate)
+
+    def row_mask(self, inputs: Sequence[DataFrame]) -> List[Optional[np.ndarray]]:
+        self.validate_inputs(inputs)
+        return [np.flatnonzero(self.predicate.mask(inputs[0])).astype(np.int64)]
 
     def describe(self) -> str:
         return f"filter {self.predicate.describe()}"
@@ -137,6 +180,19 @@ class GroupBy(Operation):
             names.append("count")
         return names
 
+    def decomposable_aggregates(self) -> Optional[Dict[str, Tuple[str, Optional[str]]]]:
+        from ..dataframe.groupby import aggregation_column_name
+
+        specs: Dict[str, Tuple[str, Optional[str]]] = {}
+        for column, aggs in self.aggregations.items():
+            for agg in aggs:
+                if agg not in DECOMPOSABLE_AGGREGATIONS:
+                    return None
+                specs[aggregation_column_name(agg, column)] = (agg, column)
+        if self.include_count:
+            specs["count"] = ("count", None)
+        return specs
+
     def describe(self) -> str:
         agg_text = ", ".join(
             f"{agg}({column})" for column, aggs in self.aggregations.items() for agg in aggs
@@ -166,6 +222,20 @@ class Join(Operation):
         self.validate_inputs(inputs)
         return inputs[0].join(inputs[1], on=self.on, how=self.how)
 
+    def row_mask(self, inputs: Sequence[DataFrame]) -> Optional[List[Optional[np.ndarray]]]:
+        from ..dataframe.join import _match_rows
+
+        self.validate_inputs(inputs)
+        left_idx, right_idx, unmatched_left = _match_rows(inputs[0], inputs[1], self.on)
+        if self.how == "inner":
+            return [left_idx, right_idx]
+        if self.how == "left":
+            # Output rows are the matched pairs followed by the unmatched left
+            # rows.  Removing a right row is not a slice of the output (its
+            # matched left rows would resurface as unmatched), hence ``None``.
+            return [np.concatenate([left_idx, unmatched_left]).astype(np.int64), None]
+        return None
+
     def describe(self) -> str:
         return f"{self.how} join on {', '.join(self.on)}"
 
@@ -191,6 +261,18 @@ class Union(Operation):
             result = result.union(frame)
         return result
 
+    def row_mask(self, inputs: Sequence[DataFrame]) -> List[Optional[np.ndarray]]:
+        self.validate_inputs(inputs)
+        total = sum(frame.num_rows for frame in inputs)
+        sources: List[Optional[np.ndarray]] = []
+        offset = 0
+        for frame in inputs:
+            mapping = np.full(total, -1, dtype=np.int64)
+            mapping[offset:offset + frame.num_rows] = np.arange(frame.num_rows, dtype=np.int64)
+            sources.append(mapping)
+            offset += frame.num_rows
+        return sources
+
     def describe(self) -> str:
         return f"union of {self.n_inputs} dataframes"
 
@@ -215,6 +297,10 @@ class Project(Operation):
         self.validate_inputs(inputs)
         present = [name for name in self.columns if name in inputs[0]]
         return inputs[0].select(present)
+
+    def row_mask(self, inputs: Sequence[DataFrame]) -> List[Optional[np.ndarray]]:
+        self.validate_inputs(inputs)
+        return [np.arange(inputs[0].num_rows, dtype=np.int64)]
 
     def describe(self) -> str:
         return f"project onto {', '.join(self.columns)}"

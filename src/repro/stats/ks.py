@@ -50,11 +50,24 @@ def ks_two_sample(sample_a: Sequence[float], sample_b: Sequence[float]) -> float
     b = np.sort(np.asarray(sample_b, dtype=float))
     a = a[~np.isnan(a)]
     b = b[~np.isnan(b)]
-    if a.size == 0 or b.size == 0:
+    return ks_two_sample_sorted(a, b)
+
+
+def ks_two_sample_sorted(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
+    """Two-sample KS statistic for already-sorted, NaN-free float arrays.
+
+    Numerically identical to :func:`ks_two_sample` minus the ``O(n log n)``
+    sort and NaN scrub.  This is the workhorse of the incremental
+    contribution backend, which derives the sorted values of every row-set
+    intervention from one cached argsort of the full column (dropping rows
+    from a sorted array leaves it sorted) and therefore must not pay a fresh
+    sort per intervention.
+    """
+    if sample_a.size == 0 or sample_b.size == 0:
         return 0.0
-    pooled = np.concatenate([a, b])
-    cdf_a = np.searchsorted(a, pooled, side="right") / a.size
-    cdf_b = np.searchsorted(b, pooled, side="right") / b.size
+    pooled = np.concatenate([sample_a, sample_b])
+    cdf_a = np.searchsorted(sample_a, pooled, side="right") / sample_a.size
+    cdf_b = np.searchsorted(sample_b, pooled, side="right") / sample_b.size
     return float(np.max(np.abs(cdf_a - cdf_b)))
 
 
@@ -80,6 +93,30 @@ def ks_columns(before: Column, after: Column) -> float:
     )
 
 
+def ks_from_value_counts(counts_before: np.ndarray, positions_before: np.ndarray,
+                         counts_after: np.ndarray, positions_after: np.ndarray,
+                         support_size: int) -> float:
+    """Categorical KS from value counts scattered onto a shared, sorted support.
+
+    ``positions_*`` place each count onto the support (values absent from one
+    side keep zero mass).  An empty side scores 0 — no distribution to
+    deviate from.  Shared by :func:`_ks_categorical` and the incremental
+    contribution backend, which derives per-intervention counts by
+    subtraction and must reproduce the exact computation bit-for-bit;
+    scoring over a superset support is safe because values with zero mass on
+    both sides cannot change the supremum.
+    """
+    total_before = counts_before.sum()
+    total_after = counts_after.sum()
+    if total_before <= 0 or total_after <= 0:
+        return 0.0
+    pmf_before = np.zeros(support_size)
+    pmf_after = np.zeros(support_size)
+    pmf_before[positions_before] = counts_before / total_before
+    pmf_after[positions_after] = counts_after / total_after
+    return float(np.max(np.abs(np.cumsum(pmf_before) - np.cumsum(pmf_after))))
+
+
 def _ks_categorical(before: Column, after: Column) -> float:
     """Vectorised KS distance for two categorical columns (shared string support)."""
     codes_before, uniques_before = before.factorize()
@@ -92,9 +129,6 @@ def _ks_categorical(before: Column, after: Column) -> float:
     counts_after = np.bincount(codes_after[codes_after >= 0], minlength=len(uniques_after))
     positions_before = np.searchsorted(support, np.asarray(uniques_before, dtype=str))
     positions_after = np.searchsorted(support, np.asarray(uniques_after, dtype=str))
-
-    pmf_before = np.zeros(support.size)
-    pmf_after = np.zeros(support.size)
-    pmf_before[positions_before] = counts_before / max(counts_before.sum(), 1)
-    pmf_after[positions_after] = counts_after / max(counts_after.sum(), 1)
-    return float(np.max(np.abs(np.cumsum(pmf_before) - np.cumsum(pmf_after))))
+    return ks_from_value_counts(
+        counts_before, positions_before, counts_after, positions_after, support.size
+    )

@@ -97,11 +97,11 @@ class TestCalculator:
 
     def test_reduced_step_is_cached_across_attributes(self, tiny_frame):
         step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", 65)))
-        calculator = ContributionCalculator(step, ExceptionalityMeasure())
+        calculator = ContributionCalculator(step, ExceptionalityMeasure(), backend="exact")
         row_set = _row_set(tiny_frame, "decade", "2010s")
         calculator.contribution(row_set, "decade")
         calculator.contribution(row_set, "year")
-        assert len(calculator._reduced_cache) == 1
+        assert len(calculator.backend._reduced_cache) == 1
 
     def test_join_contribution_removes_rows_from_the_right_input(self):
         products = DataFrame({

@@ -41,6 +41,40 @@ class TestConstruction:
         assert frame.column_names == ["a"]
 
 
+class TestGuessDtype:
+    """Regressions for :func:`repro.dataframe.frame._guess_dtype`."""
+
+    def test_empty_values_stay_object(self):
+        from repro.dataframe.frame import _guess_dtype
+
+        assert _guess_dtype([]) is object
+
+    def test_all_columns_of_empty_from_rows_are_categorical(self):
+        frame = DataFrame.from_rows([], column_order=["a", "b"])
+        assert frame["a"].is_categorical
+        assert frame["b"].is_categorical
+
+    def test_bool_int_mix_not_silently_coerced(self):
+        from repro.dataframe.frame import _guess_dtype
+
+        assert _guess_dtype([True, 1, 2]) is object
+        frame = DataFrame.from_rows([{"a": True}, {"a": 2}])
+        assert frame["a"].tolist() == [True, 2]
+
+    def test_pure_bool_stays_boolean(self):
+        frame = DataFrame.from_rows([{"a": True}, {"a": False}])
+        assert frame["a"].is_boolean
+
+    def test_pure_int_stays_numeric(self):
+        frame = DataFrame.from_rows([{"a": 1}, {"a": 2}])
+        assert frame["a"].is_numeric
+        assert frame["a"].values.dtype == np.int64
+
+    def test_float_mix_stays_numeric(self):
+        frame = DataFrame.from_rows([{"a": 1}, {"a": 2.5}])
+        assert frame["a"].is_numeric
+
+
 class TestAccess:
     def test_getitem_unknown_column(self, tiny_frame):
         with pytest.raises(ColumnError):
