@@ -3,12 +3,20 @@
 The acceptance bar of the backend layer: on every workload query the
 incremental backend must reproduce the exact rerun backend — identical
 skyline keys and candidate pools, contribution scores within ``1e-9`` —
-while spending less wall-clock time in the contribution phase.  Prints a
-per-query comparison table with the exact/incremental contribution-phase
-timings and the speedup.
+while spending less wall-clock time in the contribution phase, and the
+parallel backend must be deterministic: identical skylines and scores
+within ``1e-9`` of the serial incremental backend regardless of worker
+count.  Prints a per-query comparison table with the per-backend
+contribution-phase timings and the speedup.
+
+The parallel worker count defaults to 2 and can be overridden with the
+``REPRO_WORKERS`` environment variable (the CI matrix runs this suite with
+``REPRO_WORKERS=2`` on every python version).
 """
 
 from __future__ import annotations
+
+import os
 
 from conftest import run_once
 
@@ -17,52 +25,73 @@ from repro.experiments import print_table
 from repro.workloads import WORKLOAD
 
 
+def _workers() -> int:
+    return int(os.environ.get("REPRO_WORKERS", "2"))
+
+
+def _scores(report):
+    return {
+        c.key(): (c.contribution, c.standardized_contribution)
+        for c in report.all_candidates
+    }
+
+
+def _max_delta(reference, other):
+    """Max absolute score difference, inf when the candidate pools differ."""
+    if set(reference) != set(other):
+        return float("inf")
+    deltas = [
+        max(abs(raw - other[key][0]), abs(std - other[key][1]))
+        for key, (raw, std) in reference.items()
+    ]
+    return max(deltas, default=0.0)
+
+
 def _compare_backends(registry):
     rows = []
     for query in WORKLOAD:
         step = query.build_step(registry)
         exact = FedexExplainer(FedexConfig(backend="exact", seed=0)).explain(step)
         incremental = FedexExplainer(FedexConfig(backend="incremental", seed=0)).explain(step)
+        parallel = FedexExplainer(
+            FedexConfig(backend="parallel", workers=_workers(), seed=0)
+        ).explain(step)
 
-        exact_scores = {
-            c.key(): (c.contribution, c.standardized_contribution)
-            for c in exact.all_candidates
-        }
-        incremental_scores = {
-            c.key(): (c.contribution, c.standardized_contribution)
-            for c in incremental.all_candidates
-        }
-        max_delta = 0.0
-        if set(exact_scores) == set(incremental_scores):
-            for key, (raw, std) in exact_scores.items():
-                raw_i, std_i = incremental_scores[key]
-                max_delta = max(max_delta, abs(raw - raw_i), abs(std - std_i))
-        else:
-            max_delta = float("inf")
-
-        exact_seconds = exact.timings.get("contribution", 0.0)
-        incremental_seconds = incremental.timings.get("contribution", 0.0)
+        incremental_scores = _scores(incremental)
         rows.append({
             "query": query.number,
             "dataset": query.dataset,
             "kind": query.kind,
             "skyline_equal": exact.skyline_keys() == incremental.skyline_keys(),
-            "max_score_delta": max_delta,
-            "exact_s": exact_seconds,
-            "incremental_s": incremental_seconds,
-            "speedup": exact_seconds / max(incremental_seconds, 1e-9),
+            "parallel_skyline_equal": incremental.skyline_keys() == parallel.skyline_keys(),
+            "max_score_delta": _max_delta(_scores(exact), incremental_scores),
+            "parallel_delta": _max_delta(incremental_scores, _scores(parallel)),
+            "exact_s": exact.timings.get("contribution", 0.0),
+            "incremental_s": incremental.timings.get("contribution", 0.0),
+            "parallel_s": parallel.timings.get("contribution", 0.0),
         })
+    for row in rows:
+        row["speedup"] = row["exact_s"] / max(row["incremental_s"], 1e-9)
     return rows
 
 
 def test_backend_equivalence_over_workload(benchmark, bench_registry):
     rows = run_once(benchmark, _compare_backends, bench_registry)
-    print_table(rows, title="Exact vs incremental backend over the 30-query workload")
+    print_table(rows, title="Exact vs incremental vs parallel over the 30-query workload")
     assert len(rows) == 30
     mismatched = [row["query"] for row in rows if not row["skyline_equal"]]
     assert not mismatched, f"queries with diverging skylines: {mismatched}"
     drifted = [row["query"] for row in rows if not row["max_score_delta"] <= 1e-9]
     assert not drifted, f"queries with score drift above 1e-9: {drifted}"
+    # Determinism of the parallel backend against its serial counterpart.
+    parallel_mismatched = [row["query"] for row in rows if not row["parallel_skyline_equal"]]
+    assert not parallel_mismatched, (
+        f"queries where parallel skylines diverge: {parallel_mismatched}"
+    )
+    parallel_drifted = [row["query"] for row in rows if not row["parallel_delta"] <= 1e-9]
+    assert not parallel_drifted, (
+        f"queries with parallel score drift above 1e-9: {parallel_drifted}"
+    )
     # The incremental backend should win in aggregate (per-query timings can
     # be noisy for the smallest steps, the total must not be).
     total_exact = sum(row["exact_s"] for row in rows)

@@ -22,6 +22,7 @@ Subpackages
 ``repro.core``        the FEDEX algorithms (Algorithm 1)
 ``repro.viz``         chart specs, ASCII rendering, JSON export
 ``repro.explain``     one-line explanation wrapper
+``repro.session``     exploration-session service layer (cross-step caching)
 ``repro.baselines``   SeeDB, RATH-style, Interestingness-Only baselines
 ``repro.datasets``    synthetic Spotify / Bank / Products+Sales generators
 ``repro.workloads``   the paper's 30 evaluation queries
@@ -34,6 +35,7 @@ from .core.explanation import Explanation
 from .dataframe import Between, Column, Comparison, DataFrame, IsIn
 from .explain.explainable import ExplainableDataFrame, explain_dataframe
 from .operators import ExploratoryStep, Filter, GroupBy, Join, Union, parse_query
+from .session import ExplanationSession, SessionCache
 
 __version__ = "1.0.0"
 
@@ -45,6 +47,7 @@ __all__ = [
     "ExplainableDataFrame",
     "Explanation",
     "ExplanationReport",
+    "ExplanationSession",
     "ExploratoryStep",
     "FedexConfig",
     "FedexExplainer",
@@ -52,6 +55,7 @@ __all__ = [
     "GroupBy",
     "IsIn",
     "Join",
+    "SessionCache",
     "Union",
     "__version__",
     "exact_config",

@@ -4,6 +4,7 @@ from .backends import (
     ContributionBackend,
     ExactRerunBackend,
     IncrementalBackend,
+    ParallelBackend,
     available_backends,
     make_backend,
 )
@@ -16,7 +17,7 @@ from .config import (
     sampling_config,
 )
 from .contribution import ContributionCalculator, contribution_of
-from .engine import ExplanationReport, FedexExplainer, explain_step
+from .engine import ExplainerPool, ExplanationReport, FedexExplainer, explain_step
 from .explanation import Explanation, build_explanation
 from .interestingness import (
     DiversityMeasure,
@@ -44,6 +45,7 @@ from .partition import (
     build_partitions,
     default_partitioners,
 )
+from .signatures import config_signature, step_signature
 from .skyline import is_dominated, rank_by_weighted_score, skyline, skyline_pairs
 
 __all__ = [
@@ -56,6 +58,7 @@ __all__ = [
     "DiversityMeasure",
     "ExactRerunBackend",
     "ExceptionalityMeasure",
+    "ExplainerPool",
     "Explanation",
     "ExplanationCandidate",
     "ExplanationReport",
@@ -69,6 +72,7 @@ __all__ = [
     "MappingPartitioner",
     "MeasureRegistry",
     "NumericBinningPartitioner",
+    "ParallelBackend",
     "Partitioner",
     "RowPartition",
     "RowSet",
@@ -77,6 +81,7 @@ __all__ = [
     "build_candidates",
     "build_explanation",
     "build_partitions",
+    "config_signature",
     "contribution_of",
     "default_partitioners",
     "default_registry",
@@ -90,4 +95,5 @@ __all__ = [
     "sampling_config",
     "skyline",
     "skyline_pairs",
+    "step_signature",
 ]

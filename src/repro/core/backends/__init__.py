@@ -8,17 +8,22 @@ stable while the execution strategy behind Definition 3.3 is swappable via
   reference oracle);
 * ``"incremental"`` — :class:`IncrementalBackend`, batched derivation from
   precomputed per-group partials, row provenance, and shared argsorts (the
-  default).
+  default);
+* ``"parallel"`` — :class:`ParallelBackend`, shards the partition ×
+  attribute grid across a thread pool, each shard served by an embedded
+  incremental backend (``FedexConfig(workers=...)`` picks the pool size).
 """
 
 from .base import ContributionBackend, available_backends, make_backend
 from .exact import ExactRerunBackend
 from .incremental import IncrementalBackend
+from .parallel import ParallelBackend
 
 __all__ = [
     "ContributionBackend",
     "ExactRerunBackend",
     "IncrementalBackend",
+    "ParallelBackend",
     "available_backends",
     "make_backend",
 ]

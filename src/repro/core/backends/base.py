@@ -12,8 +12,11 @@ computed:
   kept as the reference oracle;
 * :class:`~repro.core.backends.incremental.IncrementalBackend` exploits the
   operation's structure (per-group partial aggregates, row-provenance
-  slicing, shared argsorts) to derive every intervention of a partition
-  without re-running anything.
+  slicing, shared argsorts, batched KS) to derive every intervention of a
+  partition without re-running anything;
+* :class:`~repro.core.backends.parallel.ParallelBackend` shards the
+  partition × attribute grid across a thread pool, delegating each shard to
+  an embedded incremental backend.
 
 Backends are stateful per step: they are constructed once per
 ``(step, measure)`` pair and may precompute and cache whatever sharable
@@ -22,8 +25,9 @@ structure they like across row sets, attributes, and partitions.
 
 from __future__ import annotations
 
+import inspect
 from abc import ABC, abstractmethod
-from typing import Dict, List, Type, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
 
 from ...errors import ExplanationError
 from ...operators.step import ExploratoryStep
@@ -69,6 +73,19 @@ class ContributionBackend(ABC):
         """
         return [self.contribution(row_set, attribute, baseline) for row_set in partition.sets]
 
+    def prefetch(self, grid: Sequence[Tuple[RowPartition, str]],
+                 baselines: Dict[str, float]) -> None:
+        """Announce the full partition × attribute grid of the contribution phase.
+
+        The engine calls this once, before asking for any
+        :meth:`partition_contributions`, with every ``(partition, attribute)``
+        pair it is about to request and the per-attribute baselines.  The
+        default is a no-op; backends that shard work across an executor (the
+        parallel backend) override it to start computing the whole grid
+        concurrently so the subsequent per-pair calls become waits on
+        already-running work.
+        """
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.step.operation.describe()})"
 
@@ -77,10 +94,12 @@ def available_backends() -> Dict[str, Type[ContributionBackend]]:
     """Mapping from backend name to backend class."""
     from .exact import ExactRerunBackend
     from .incremental import IncrementalBackend
+    from .parallel import ParallelBackend
 
     return {
         ExactRerunBackend.name: ExactRerunBackend,
         IncrementalBackend.name: IncrementalBackend,
+        ParallelBackend.name: ParallelBackend,
     }
 
 
@@ -96,15 +115,32 @@ def resolve_backend_class(name: str) -> Type[ContributionBackend]:
 
 def make_backend(backend: Union[str, ContributionBackend, Type[ContributionBackend]],
                  step: ExploratoryStep,
-                 measure: InterestingnessMeasure) -> ContributionBackend:
+                 measure: InterestingnessMeasure,
+                 options: Optional[Dict[str, object]] = None) -> ContributionBackend:
     """Resolve a backend specification into a backend instance for one step.
 
-    ``backend`` may be a registered name (``"exact"`` / ``"incremental"``), a
-    :class:`ContributionBackend` subclass, or an already-constructed instance
-    (returned as-is — useful for tests that want to inspect backend state).
+    ``backend`` may be a registered name (``"exact"`` / ``"incremental"`` /
+    ``"parallel"``), a :class:`ContributionBackend` subclass, or an
+    already-constructed instance (returned as-is — useful for tests that want
+    to inspect backend state).  ``options`` carries optional keyword
+    arguments (``workers``, ``context``, ...); each is forwarded only to
+    backends whose constructor accepts a parameter of that name, so callers
+    can pass one option dict regardless of the backend chosen.
     """
     if isinstance(backend, ContributionBackend):
         return backend
     if isinstance(backend, type) and issubclass(backend, ContributionBackend):
-        return backend(step, measure)
-    return resolve_backend_class(backend)(step, measure)
+        cls = backend
+    else:
+        cls = resolve_backend_class(backend)
+    return cls(step, measure, **_supported_options(cls, options))
+
+
+def _supported_options(cls: Type[ContributionBackend],
+                       options: Optional[Dict[str, object]]) -> Dict[str, object]:
+    """The subset of ``options`` the backend class constructor understands."""
+    if not options:
+        return {}
+    parameters = inspect.signature(cls.__init__).parameters
+    return {name: value for name, value in options.items()
+            if name in parameters and value is not None}

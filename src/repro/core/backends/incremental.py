@@ -7,11 +7,13 @@ precomputed **once per (step, attribute)** and shared across all
 interventions:
 
 * **Group-by with decomposable aggregates** (sum / count / mean / min /
-  max): one pass over the input assigns every row a group id; per-group
-  counts and sums are precomputed, and each intervention's reduced
-  aggregates follow by subtracting the removed rows' per-group partials
-  (min/max use a per-group scatter over the surviving rows) — no
-  re-grouping, no per-group python loop.
+  max / median / std): one pass over the input assigns every row a group
+  id; per-group counts and sums are precomputed, and each intervention's
+  reduced aggregates follow by subtracting the removed rows' per-group
+  partials (min/max use a per-group scatter over the surviving rows,
+  median reads order statistics off one shared group-major sort, std
+  subtracts centered first/second moments) — no re-grouping, no per-group
+  python loop.
 * **Filter / inner join / union / project**: the operation's row-level
   provenance (:meth:`~repro.operators.operations.Operation.row_mask`) is
   computed once; every intervention's reduced output is a boolean slice of
@@ -23,10 +25,13 @@ interventions:
   from a sorted array leaves it sorted.  Categorical columns go through
   cached factorisation codes and count subtraction instead.
 
+* **KS re-scoring, batched**: a whole partition's row sets are re-scored
+  in one vectorised 2-D pass (:func:`repro.stats.ks.ks_sorted_masked_batch`)
+  instead of one 1-D pass per set.
+
 Whenever the (operation, measure, attribute) combination falls outside the
-structures above — non-decomposable aggregates such as ``median``/``std``,
-custom measures, removals from the right side of a left join, OLAP
-operations — the backend transparently delegates to an embedded
+structures above — custom measures, removals from the right side of a left
+join, OLAP operations — the backend transparently delegates to an embedded
 :class:`ExactRerunBackend`, so it is *always* safe to use.
 
 The slicing and KS paths reproduce the exact backend bit-for-bit (they apply
@@ -46,7 +51,13 @@ from ...dataframe.frame import DataFrame
 from ...dataframe.groupby import composite_key_codes
 from ...operators.operations import GroupBy
 from ...stats.dispersion import coefficient_of_variation
-from ...stats.ks import ks_columns, ks_from_value_counts, ks_two_sample_sorted
+from ...stats.ks import (
+    ks_columns,
+    ks_from_value_counts,
+    ks_from_value_counts_batch,
+    ks_sorted_masked_batch,
+    ks_two_sample_sorted,
+)
 from ..interestingness import DiversityMeasure, ExceptionalityMeasure
 from ..partition import RowSet
 from .base import ContributionBackend
@@ -56,12 +67,19 @@ _UNSET = object()
 
 
 class IncrementalBackend(ContributionBackend):
-    """Derives all interventions of a step from shared precomputed structure."""
+    """Derives all interventions of a step from shared precomputed structure.
+
+    An optional ``context`` (a :class:`~repro.session.cache.SessionCache` or
+    anything with the same ``groupby_structure`` / ``row_sources`` hooks)
+    memoizes the per-step shared structure across steps of an exploration
+    session, keyed by content fingerprints of the inputs.
+    """
 
     name = "incremental"
 
-    def __init__(self, step, measure) -> None:
+    def __init__(self, step, measure, context=None) -> None:
         super().__init__(step, measure)
+        self._context = context
         self._fallback = ExactRerunBackend(step, measure)
         self._plans: Dict[Tuple[int, str], object] = {}
         self._row_sources = _UNSET
@@ -73,6 +91,22 @@ class IncrementalBackend(ContributionBackend):
         if plan is None:
             return self._fallback.reduced_score(row_set, attribute)
         return plan.reduced_score(row_set)
+
+    def partition_contributions(self, partition, attribute: str,
+                                baseline: float) -> List[float]:
+        """Raw contributions of a whole partition, batched when possible.
+
+        Plans exposing ``reduced_scores_batch`` (the KS-based exceptionality
+        plan) re-score every set-of-rows of the partition in one vectorised
+        2-D pass instead of one 1-D pass per set; other plans and the exact
+        fallback keep the per-set walk of the base class.
+        """
+        plan = self._plan_for(partition.input_index, attribute)
+        batch = getattr(plan, "reduced_scores_batch", None)
+        if batch is not None and partition.sets:
+            scores = batch(partition.sets)
+            return [baseline - float(score) for score in scores]
+        return super().partition_contributions(partition, attribute, baseline)
 
     # ------------------------------------------------------------------- plans
     def _plan_for(self, input_index: int, attribute: str):
@@ -122,12 +156,22 @@ class IncrementalBackend(ContributionBackend):
 
     def _sources(self) -> Optional[List[Optional[np.ndarray]]]:
         if self._row_sources is _UNSET:
-            self._row_sources = self.step.operation.row_mask(self.step.inputs)
+            if self._context is not None:
+                self._row_sources = self._context.row_sources(
+                    self.step, lambda step: step.operation.row_mask(step.inputs)
+                )
+            else:
+                self._row_sources = self.step.operation.row_mask(self.step.inputs)
         return self._row_sources
 
     def _groupby(self) -> Optional["_GroupByStructure"]:
         if self._groupby_structure is _UNSET:
-            self._groupby_structure = _GroupByStructure.build(self.step)
+            if self._context is not None:
+                self._groupby_structure = self._context.groupby_structure(
+                    self.step, _GroupByStructure.build
+                )
+            else:
+                self._groupby_structure = _GroupByStructure.build(self.step)
         return self._groupby_structure
 
 
@@ -148,6 +192,17 @@ def _removal_mask(row_set: RowSet, n_rows: int) -> np.ndarray:
     if indices.size:
         indices = indices[(indices >= 0) & (indices < n_rows)]
         removed[indices] = True
+    return removed
+
+
+def _removal_matrix(row_sets: Sequence[RowSet], n_rows: int) -> np.ndarray:
+    """Stacked removal masks — row ``i`` marks the rows removed by set ``i``."""
+    removed = np.zeros((len(row_sets), n_rows), dtype=bool)
+    for position, row_set in enumerate(row_sets):
+        indices = np.asarray(row_set.indices, dtype=np.int64)
+        if indices.size:
+            indices = indices[(indices >= 0) & (indices < n_rows)]
+            removed[position, indices] = True
     return removed
 
 
@@ -195,10 +250,16 @@ class _GroupByAggregatePlan:
 
     ``sum``/``count``/``mean`` subtract the removed rows' per-group partial
     count and sum from the precomputed totals; ``min``/``max`` rescan the
-    surviving values with one vectorised scatter.  Groups whose rows are all
-    removed vanish from the reduced output (as re-grouping would make them);
-    surviving groups whose aggregated values are all missing yield NaN, which
-    the coefficient of variation ignores — both matching the exact group-by.
+    surviving values with one vectorised scatter; ``median`` reads the
+    middle order statistics of each group off one shared group-major value
+    sort (dropping rows keeps the per-group runs sorted); ``std`` subtracts
+    partial first and second moments of the values *centered on the full
+    per-group means* (centering keeps the moment subtraction numerically
+    stable where raw sums-of-squares would cancel catastrophically).  Groups
+    whose rows are all removed vanish from the reduced output (as
+    re-grouping would make them); surviving groups whose aggregated values
+    are all missing yield NaN, which the coefficient of variation ignores —
+    both matching the exact group-by.
     """
 
     def __init__(self, step, attribute: str, structure: _GroupByStructure, agg: str,
@@ -225,6 +286,24 @@ class _GroupByAggregatePlan:
             self._count_g = np.bincount(self._value_gids, minlength=structure.n_groups)
             self._sum_g = np.bincount(self._value_gids, weights=self._values,
                                       minlength=structure.n_groups)
+        if agg == "median":
+            # Group-major, value-ascending order of the usable rows: group
+            # ``g`` occupies one contiguous sorted run, and any row removal
+            # leaves every run sorted.
+            order = np.lexsort((self._values, self._value_gids))
+            self._median_rows = self._value_rows[order]
+            self._median_gids = self._value_gids[order]
+            self._median_values = self._values[order]
+        elif agg == "std":
+            with np.errstate(invalid="ignore", divide="ignore"):
+                means = self._sum_g / self._count_g
+            means = np.where(self._count_g > 0, means, 0.0)
+            self._centered = self._values - means[self._value_gids]
+            self._centered_sq = self._centered * self._centered
+            self._csum_g = np.bincount(self._value_gids, weights=self._centered,
+                                       minlength=structure.n_groups)
+            self._csumsq_g = np.bincount(self._value_gids, weights=self._centered_sq,
+                                         minlength=structure.n_groups)
 
     def reduced_score(self, row_set: RowSet) -> float:
         structure = self._structure
@@ -241,7 +320,12 @@ class _GroupByAggregatePlan:
             values = reduced_sizes[alive].astype(float)
             return coefficient_of_variation(values)
 
+        if self._agg == "median":
+            return self._reduced_median(removed, alive)
+
         removed_values = removed[self._value_rows]
+        if self._agg == "std":
+            return self._reduced_std(removed_values, alive)
         if self._agg in ("sum", "mean"):
             count_rem = np.bincount(self._value_gids[removed_values],
                                     minlength=structure.n_groups)
@@ -267,6 +351,56 @@ class _GroupByAggregatePlan:
         values = np.where(kept_counts > 0, per_group, np.nan)
         return coefficient_of_variation(values[alive])
 
+    def _reduced_median(self, removed: np.ndarray, alive: np.ndarray) -> float:
+        """Per-group medians of the surviving values via shared order statistics.
+
+        ``self._median_values`` is group-major and value-ascending, so after
+        masking out the removed rows group ``g`` holds the kept-value run
+        ``[offset_g, offset_g + count_g)`` and its median is the mean of the
+        (up to two) middle elements — the exact floats ``np.median`` produces
+        on the re-grouped values.
+        """
+        n_groups = self._structure.n_groups
+        kept = ~removed[self._median_rows]
+        kept_values = self._median_values[kept]
+        counts = np.bincount(self._median_gids[kept], minlength=n_groups)
+        offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        top = max(kept_values.size - 1, 0)
+        low = np.minimum(offsets + (counts - 1) // 2, top)
+        high = np.minimum(offsets + counts // 2, top)
+        if kept_values.size:
+            medians = 0.5 * (kept_values[low] + kept_values[high])
+        else:
+            medians = np.zeros(n_groups)
+        values = np.where(counts > 0, medians, np.nan)
+        return coefficient_of_variation(values[alive])
+
+    def _reduced_std(self, removed_values: np.ndarray, alive: np.ndarray) -> float:
+        """Per-group sample std via subtraction of centered moment partials.
+
+        With values centered on the full per-group mean, the surviving sum of
+        squared deviations about the *surviving* mean is ``S2 − S1²/n`` (the
+        shift identity), so no rescan is needed.  Tiny negative residues from
+        float cancellation are clipped to zero before the square root.
+        """
+        n_groups = self._structure.n_groups
+        count_rem = np.bincount(self._value_gids[removed_values], minlength=n_groups)
+        csum_rem = np.bincount(self._value_gids[removed_values],
+                               weights=self._centered[removed_values], minlength=n_groups)
+        csumsq_rem = np.bincount(self._value_gids[removed_values],
+                                 weights=self._centered_sq[removed_values],
+                                 minlength=n_groups)
+        counts = self._count_g - count_rem
+        s1 = self._csum_g - csum_rem
+        s2 = self._csumsq_g - csumsq_rem
+        with np.errstate(invalid="ignore", divide="ignore"):
+            variance = (s2 - s1 * s1 / counts) / (counts - 1)
+        deviations = np.sqrt(np.maximum(variance, 0.0))
+        # Matching the exact group-by: one usable value -> std 0.0, no usable
+        # value (but surviving rows) -> NaN.
+        values = np.where(counts > 1, deviations, np.where(counts == 1, 0.0, np.nan))
+        return coefficient_of_variation(values[alive])
+
 
 # ---------------------------------------------------------------------- slicing
 def _keep_output_rows(sources: np.ndarray, removed: np.ndarray) -> np.ndarray:
@@ -274,6 +408,14 @@ def _keep_output_rows(sources: np.ndarray, removed: np.ndarray) -> np.ndarray:
     keep = np.ones(sources.size, dtype=bool)
     derived = sources >= 0
     keep[derived] = ~removed[sources[derived]]
+    return keep
+
+
+def _keep_output_rows_batch(sources: np.ndarray, removed: np.ndarray) -> np.ndarray:
+    """Batched :func:`_keep_output_rows`: one surviving-output mask per removal row."""
+    keep = np.ones((removed.shape[0], sources.size), dtype=bool)
+    derived = sources >= 0
+    keep[:, derived] = ~removed[:, sources[derived]]
     return keep
 
 
@@ -324,6 +466,17 @@ class _SliceExceptionalityPlan:
         removed = _removal_mask(row_set, self._n_rows)
         keep = _keep_output_rows(self._sources, removed)
         return max(pair.reduced_ks(removed, keep) for pair in self._pairs)
+
+    def reduced_scores_batch(self, row_sets: Sequence[RowSet]) -> np.ndarray:
+        """Reduced exceptionality of every set-of-rows in one 2-D KS pass."""
+        if not self._pairs:
+            return np.zeros(len(row_sets))
+        removed = _removal_matrix(row_sets, self._n_rows)
+        keep = _keep_output_rows_batch(self._sources, removed)
+        scores = self._pairs[0].reduced_ks_batch(removed, keep)
+        for pair in self._pairs[1:]:
+            scores = np.maximum(scores, pair.reduced_ks_batch(removed, keep))
+        return scores
 
 
 class _KSPair:
@@ -394,6 +547,60 @@ class _KSPair:
             self._after.name, self._after.values[keep_output], self._after.kind
         )
         return ks_columns(before, after)
+
+    def reduced_ks_batch(self, removed: np.ndarray, keep_output: np.ndarray) -> np.ndarray:
+        """Batched :meth:`reduced_ks` over stacked removal / keep masks.
+
+        The numeric and categorical regimes run as single vectorised 2-D
+        passes (:func:`ks_sorted_masked_batch` /
+        :func:`ks_from_value_counts_batch`) and reproduce the per-set path
+        bit-for-bit: the per-set counts are the same integers and the
+        divisions/cumsums apply the same float operations row-wise.  The
+        mixed regime has no batched form and walks the sets.
+        """
+        n_sets = removed.shape[0]
+        if self._mode == "numeric":
+            keep_before = None
+            if self._before_is_reduced:
+                keep_before = ~removed[:, self._before_rows]
+            keep_after = keep_output[:, self._after_rows]
+            return ks_sorted_masked_batch(self._sorted_before, keep_before,
+                                          self._sorted_after, keep_after)
+        if self._mode == "categorical":
+            if self._before_is_reduced:
+                counts_before = self._counts_before[None, :] - _scatter_counts(
+                    removed, self._codes_before, self._counts_before.size
+                )
+            else:
+                counts_before = np.broadcast_to(
+                    self._counts_before, (n_sets, self._counts_before.size)
+                )
+            counts_after = self._counts_after[None, :] - _scatter_counts(
+                ~keep_output, self._codes_after, self._counts_after.size
+            )
+            return ks_from_value_counts_batch(
+                counts_before, self._positions_before,
+                counts_after, self._positions_after, self._support_size,
+            )
+        return np.asarray([
+            self.reduced_ks(removed[position], keep_output[position])
+            for position in range(n_sets)
+        ])
+
+
+def _scatter_counts(selected: np.ndarray, codes: np.ndarray, size: int) -> np.ndarray:
+    """Per-set value counts of the selected rows of a factorised column.
+
+    ``selected`` is an ``(n_sets, n_rows)`` boolean matrix; rows with code
+    ``< 0`` (missing values) never count.  One flat ``bincount`` over
+    ``set * size + code`` replaces a per-set bincount loop.
+    """
+    n_sets = selected.shape[0]
+    valid = codes >= 0
+    valid_codes = codes[valid]
+    set_index, position_index = np.nonzero(selected[:, valid])
+    flat = set_index * size + valid_codes[position_index]
+    return np.bincount(flat, minlength=n_sets * size).reshape(n_sets, size).astype(float)
 
 
 def _sorted_clean(column: Column) -> Tuple[np.ndarray, np.ndarray]:

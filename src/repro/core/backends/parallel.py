@@ -1,0 +1,112 @@
+"""The parallel intervention backend: grid sharding over a worker pool.
+
+The contribution phase of Algorithm 1 evaluates a *grid* of independent
+units of work — one ``(partition, attribute)`` pair at a time, each pair an
+intervention pass over all the partition's sets-of-rows.  The pairs share
+read-only precomputed structure (argsorts, factorizations, group partials,
+row provenance) but never each other's results, which makes the grid
+embarrassingly parallel.
+
+:class:`ParallelBackend` exploits that: the engine announces the full grid
+up front via :meth:`~repro.core.backends.base.ContributionBackend.prefetch`,
+the backend resolves all shared structure *serially* (so no two workers race
+to build the same lazily-cached plan), then submits one job per grid pair to
+a thread pool.  Each job delegates to an embedded
+:class:`~repro.core.backends.incremental.IncrementalBackend`, so every shard
+enjoys the incremental derivations and the batched KS pass; the per-pair
+results are keyed by pair identity, which makes the output bit-identical to
+running the incremental backend serially regardless of worker count or
+completion order.
+
+Threads (not processes) are the right pool here: the heavy lifting is NumPy
+slicing, sorting-order gathers, ``bincount`` and ``cumsum`` calls that
+release the GIL, and threads share the precomputed structure for free where
+processes would have to pickle dataframes per shard.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..partition import RowPartition, RowSet
+from .base import ContributionBackend
+from .incremental import IncrementalBackend
+
+#: Worker count used when the caller does not pick one explicitly.
+DEFAULT_WORKERS = min(4, os.cpu_count() or 1)
+
+
+class ParallelBackend(ContributionBackend):
+    """Computes the contribution grid concurrently on a thread pool.
+
+    Parameters
+    ----------
+    step / measure:
+        As for every backend: the exploratory step being explained and the
+        interestingness measure of its contribution phase.
+    workers:
+        Number of pool threads; defaults to ``min(4, cpu_count)``.  ``1``
+        degenerates to the serial incremental backend plus pool overhead.
+    context:
+        Optional session cache forwarded to the embedded incremental
+        backend, so parallel execution composes with cross-step structure
+        reuse (:mod:`repro.session`).
+    """
+
+    name = "parallel"
+
+    def __init__(self, step, measure, workers: Optional[int] = None, context=None) -> None:
+        super().__init__(step, measure)
+        self.workers = int(workers) if workers else DEFAULT_WORKERS
+        if self.workers < 1:
+            self.workers = 1
+        self._inner = IncrementalBackend(step, measure, context=context)
+        # The partition object is kept in the value to pin its id for the
+        # entry's lifetime (mirrors ContributionCalculator._raw_cache): a
+        # garbage-collected partition could otherwise donate its reused id
+        # to a new partition and hand it a stale future.
+        self._futures: Dict[Tuple[int, str], Tuple[RowPartition, Future]] = {}
+
+    # ------------------------------------------------------------------ public
+    def prefetch(self, grid: Sequence[Tuple[RowPartition, str]],
+                 baselines: Dict[str, float]) -> None:
+        """Shard the partition × attribute grid across the worker pool.
+
+        Shared structure (row provenance, group partials, per-attribute
+        plans) is materialised serially first — afterwards the per-pair jobs
+        only *read* backend state, so they are safe to run concurrently.
+        """
+        if not grid:
+            return
+        inner = self._inner
+        for partition, attribute in grid:
+            inner._plan_for(partition.input_index, attribute)
+        executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="fedex-contribution"
+        )
+        try:
+            for partition, attribute in grid:
+                key = (id(partition), attribute)
+                if key in self._futures:
+                    continue
+                self._futures[key] = (partition, executor.submit(
+                    inner.partition_contributions, partition, attribute,
+                    baselines[attribute],
+                ))
+        finally:
+            # Pending jobs still run to completion; the pool threads simply
+            # retire once the queue drains, so no explicit lifecycle
+            # management is needed downstream.
+            executor.shutdown(wait=False)
+
+    def partition_contributions(self, partition: RowPartition, attribute: str,
+                                baseline: float) -> List[float]:
+        entry = self._futures.pop((id(partition), attribute), None)
+        if entry is not None:
+            return entry[1].result()
+        return self._inner.partition_contributions(partition, attribute, baseline)
+
+    def reduced_score(self, row_set: RowSet, attribute: str) -> float:
+        return self._inner.reduced_score(row_set, attribute)

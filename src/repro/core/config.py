@@ -21,6 +21,8 @@ DEFAULT_SET_COUNTS = (5, 10)
 #: Default sample size of fedex-Sampling (paper §4.2/§4.3: 5K rows).
 DEFAULT_SAMPLE_SIZE = 5_000
 
+_UNSET = object()
+
 
 @dataclass(frozen=True)
 class FedexConfig:
@@ -74,7 +76,23 @@ class FedexConfig:
         ``"incremental"`` (default) derives all row-set interventions of a
         step from shared precomputed structure, ``"exact"`` re-runs the
         operation per set-of-rows (the paper's literal semantics, kept as
-        the reference oracle).  See :mod:`repro.core.backends`.
+        the reference oracle), ``"parallel"`` shards the partition ×
+        attribute grid across a thread pool of incremental workers.  See
+        :mod:`repro.core.backends`.
+    workers:
+        Worker-pool size of the ``"parallel"`` backend.  ``None`` lets the
+        backend pick (``min(4, cpu_count)``); ignored by the serial
+        backends.
+    cache_reports:
+        Let an :class:`~repro.session.ExplanationSession` memoize whole
+        explanation reports keyed by (step signature, config signature) —
+        re-explaining an already-seen step becomes a dictionary lookup.
+        Only consulted when explaining through a session.
+    cache_structures:
+        Let a session reuse cross-step intervention structure (column
+        argsorts / factorizations, row partitions, per-group partial
+        aggregates, row provenance) keyed by content fingerprints.  Only
+        consulted when explaining through a session.
     """
 
     sample_size: Optional[int] = None
@@ -92,6 +110,9 @@ class FedexConfig:
     seed: Optional[int] = 0
     min_group_values: int = 2
     backend: str = DEFAULT_BACKEND
+    workers: Optional[int] = None
+    cache_reports: bool = True
+    cache_structures: bool = True
 
     def __post_init__(self) -> None:
         if self.sample_size is not None and self.sample_size <= 0:
@@ -112,10 +133,18 @@ class FedexConfig:
         if self.interestingness_weight == 0 and self.contribution_weight == 0:
             raise ExplanationError("at least one of the weights must be positive")
         resolve_backend_class(self.backend)
+        if self.workers is not None and self.workers < 1:
+            raise ExplanationError(f"workers must be positive, got {self.workers}")
 
-    def with_backend(self, backend: str) -> "FedexConfig":
-        """A copy of this config using the given contribution backend."""
-        return replace(self, backend=backend)
+    def with_backend(self, backend: str, workers=_UNSET) -> "FedexConfig":
+        """A copy of this config using the given contribution backend.
+
+        ``workers`` is only replaced when passed explicitly; omitting it
+        preserves the config's existing worker count.
+        """
+        if workers is _UNSET:
+            return replace(self, backend=backend)
+        return replace(self, backend=backend, workers=workers)
 
     # ------------------------------------------------------------ conveniences
     def with_sampling(self, sample_size: int = DEFAULT_SAMPLE_SIZE) -> "FedexConfig":

@@ -19,7 +19,7 @@ per set-of-rows (the reference semantics).  See :mod:`repro.core.backends`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..operators.step import ExploratoryStep
 from ..stats.dispersion import standardize
@@ -45,10 +45,11 @@ class ContributionCalculator:
 
     def __init__(self, step: ExploratoryStep, measure: InterestingnessMeasure,
                  baseline_scores: Dict[str, float] | None = None,
-                 backend: Union[str, ContributionBackend, type] = DEFAULT_BACKEND) -> None:
+                 backend: Union[str, ContributionBackend, type] = DEFAULT_BACKEND,
+                 backend_options: Optional[Dict[str, object]] = None) -> None:
         self.step = step
         self.measure = measure
-        self.backend = make_backend(backend, step, measure)
+        self.backend = make_backend(backend, step, measure, options=backend_options)
         self._baseline: Dict[str, float] = dict(baseline_scores or {})
         # Keyed by (id(partition), attribute); the partition object is kept in
         # the value to pin its id for the cache's lifetime.
@@ -62,6 +63,18 @@ class ContributionCalculator:
         return self._baseline[attribute]
 
     # ------------------------------------------------------------ contribution
+    def prefetch(self, grid: Sequence[Tuple[RowPartition, str]]) -> None:
+        """Announce the full contribution grid so the backend can parallelise.
+
+        Baselines of every attribute in the grid are computed (and cached)
+        up front — serially, before any worker starts — then the backend's
+        :meth:`~repro.core.backends.base.ContributionBackend.prefetch` hook
+        receives the grid.  A no-op for the serial backends.
+        """
+        for _, attribute in grid:
+            self.baseline(attribute)
+        self.backend.prefetch(grid, self._baseline)
+
     def contribution(self, row_set: RowSet, attribute: str) -> float:
         """``C(R, A, Q)`` for one set-of-rows and one output attribute."""
         return self.backend.contribution(row_set, attribute, self.baseline(attribute))

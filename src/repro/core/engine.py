@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..dataframe.frame import DataFrame
 from ..errors import ExplanationError
@@ -101,20 +101,34 @@ class FedexExplainer:
     extra_partitioners:
         Additional user-defined partitioners appended to the configured
         built-in families (§3.8).
+    context:
+        Optional session cache (:class:`repro.session.SessionCache`, or any
+        object with the same ``adopt_step`` / ``partitions`` /
+        ``groupby_structure`` / ``row_sources`` hooks) that memoizes
+        cross-step intervention structure keyed by content fingerprints.
+        ``None`` — the default — keeps the engine fully stateless across
+        :meth:`explain` calls, exactly as before the session layer existed.
     """
 
     def __init__(self, config: FedexConfig | None = None,
                  registry: MeasureRegistry | None = None,
-                 extra_partitioners: Sequence[Partitioner] | None = None) -> None:
+                 extra_partitioners: Sequence[Partitioner] | None = None,
+                 context=None) -> None:
         self.config = config or FedexConfig()
         self.registry = registry or default_registry()
         self.extra_partitioners = list(extra_partitioners or [])
+        self.context = context
 
     # ------------------------------------------------------------------ public
     def explain(self, step: ExploratoryStep, measure: str | None = None) -> ExplanationReport:
         """Run Algorithm 1 on an exploratory step and return the full report."""
         timings: Dict[str, float] = {}
         chosen_measure = measure_for_step(step, self.registry, override=measure)
+        if self.context is not None:
+            # Seed the step's column-level caches (argsorts, factorizations)
+            # from structure harvested off content-identical columns of
+            # earlier steps, and register this step's columns for harvesting.
+            self.context.adopt_step(step)
 
         # Phase 1: interestingness of every applicable output column
         start = time.perf_counter()
@@ -129,24 +143,35 @@ class FedexExplainer:
 
         # Phase 3: contributions and candidate construction
         start = time.perf_counter()
-        calculator = ContributionCalculator(step, chosen_measure, backend=self.config.backend)
+        calculator = ContributionCalculator(
+            step, chosen_measure, backend=self.config.backend,
+            backend_options={"workers": self.config.workers, "context": self.context},
+        )
+        # The full partition × attribute grid is known before any
+        # contribution is computed; announcing it lets the parallel backend
+        # shard the grid across its worker pool up front.
+        grid: List[Tuple[RowPartition, str]] = [
+            (partition, attribute)
+            for partition in partitions
+            for attribute in self._attributes_for_partition(step, partition, selected)
+        ]
+        calculator.prefetch(grid)
         all_candidates: List[ExplanationCandidate] = []
         candidate_partitions: Dict[Tuple, RowPartition] = {}
-        for partition in partitions:
-            for attribute in self._attributes_for_partition(step, partition, selected):
-                # One intervention pass: the raw contributions are computed
-                # once and cached, and the standardized list is derived from
-                # the cached raw list.
-                raw = calculator.partition_contributions(partition, attribute)
-                standardized = calculator.standardized_contributions(partition, attribute)
-                candidates = build_candidates(
-                    partition, attribute, scores[attribute], raw, standardized,
-                    chosen_measure.name,
-                    positive_only=self.config.positive_contribution_only,
-                )
-                for candidate in candidates:
-                    candidate_partitions[candidate.key()] = partition
-                all_candidates.extend(candidates)
+        for partition, attribute in grid:
+            # One intervention pass: the raw contributions are computed
+            # once and cached, and the standardized list is derived from
+            # the cached raw list.
+            raw = calculator.partition_contributions(partition, attribute)
+            standardized = calculator.standardized_contributions(partition, attribute)
+            candidates = build_candidates(
+                partition, attribute, scores[attribute], raw, standardized,
+                chosen_measure.name,
+                positive_only=self.config.positive_contribution_only,
+            )
+            for candidate in candidates:
+                candidate_partitions[candidate.key()] = partition
+            all_candidates.extend(candidates)
         timings["contribution"] = time.perf_counter() - start
 
         # Phase 4: skyline + weighted ranking
@@ -241,23 +266,54 @@ class FedexExplainer:
     def _build_partitions(self, step: ExploratoryStep,
                           selected_columns: Sequence[str]) -> List[RowPartition]:
         """Lines 3–6: row partitions of each input dataframe."""
-        partitioners = default_partitioners(self.config.partition_methods) + self.extra_partitioners
         partitions: List[RowPartition] = []
         for input_index, frame in enumerate(step.inputs):
             attributes = self._partition_attributes(step, frame, selected_columns)
-            partitions.extend(build_partitions(
-                frame, attributes, self.config.set_counts, partitioners,
-                input_index=input_index,
-                min_group_values=self.config.min_group_values,
-            ))
+            partitions.extend(self._partitions_for_frame(frame, attributes, input_index))
         if not partitions:
             # Fall back to partitioning on every input attribute before giving up.
             for input_index, frame in enumerate(step.inputs):
-                partitions.extend(build_partitions(
-                    frame, frame.column_names, self.config.set_counts, partitioners,
-                    input_index=input_index,
-                    min_group_values=self.config.min_group_values,
-                ))
+                partitions.extend(
+                    self._partitions_for_frame(frame, frame.column_names, input_index)
+                )
+        return partitions
+
+    def _partitions_for_frame(self, frame: DataFrame, attributes: Sequence[str],
+                              input_index: int) -> List[RowPartition]:
+        """Partitions of one input frame, memoized by the session context.
+
+        Partitions depend only on the frame's *content* and the partitioning
+        configuration, never on the step's operation, so a session can reuse
+        them across steps (two different filters refined over the same input
+        share every partition).  Caching is per attribute — the partitions
+        of one attribute are independent of which other attributes were
+        requested alongside it (the dedup signature embeds the attribute) —
+        so steps selecting overlapping column sets still share the overlap.
+        User-supplied partitioners are excluded from caching, since their
+        identity is not captured by the key.
+        """
+        partitioners = default_partitioners(self.config.partition_methods) + self.extra_partitioners
+
+        def build(subset: Sequence[str]) -> List[RowPartition]:
+            return build_partitions(
+                frame, subset, self.config.set_counts, partitioners,
+                input_index=input_index,
+                min_group_values=self.config.min_group_values,
+            )
+
+        if self.context is None or self.extra_partitioners:
+            return build(attributes)
+        fingerprint = self.context.frame_fingerprint(frame)
+        partitions: List[RowPartition] = []
+        for attribute in attributes:
+            key = (
+                fingerprint, attribute, tuple(self.config.set_counts),
+                tuple(self.config.partition_methods), input_index,
+                self.config.min_group_values,
+            )
+            partitions.extend(self.context.partitions(
+                key, lambda attribute=attribute: build([attribute])
+            ))
         return partitions
 
     def _attributes_for_partition(self, step: ExploratoryStep, partition: RowPartition,
@@ -315,6 +371,46 @@ def _deduplicate(candidates: List[ExplanationCandidate]) -> List[ExplanationCand
         seen.add(identity)
         unique.append(candidate)
     return unique
+
+
+class ExplainerPool:
+    """One :class:`FedexExplainer` per distinct configuration, built lazily.
+
+    The memo key is the configuration's content signature, so two equal
+    configs (by value, not identity) share one engine.  Both the plain
+    :class:`~repro.explain.explainable.ExplainableDataFrame` wrapper and the
+    :class:`~repro.session.ExplanationSession` reuse engines through this
+    pool, keeping the two paths from drifting in how engines are memoized.
+
+    ``factory`` builds the engine for a config; the default builds a bare
+    :class:`FedexExplainer` (sessions inject registry/partitioners/context).
+    """
+
+    def __init__(self, factory: Optional[Callable[[FedexConfig], FedexExplainer]] = None) -> None:
+        self._factory = factory or (lambda config: FedexExplainer(config=config))
+        self._explainers: Dict[Tuple, FedexExplainer] = {}
+
+    def for_config(self, config: FedexConfig) -> FedexExplainer:
+        """The pooled engine for a configuration, constructed on first use."""
+        from .signatures import config_signature
+
+        key = config_signature(config)
+        explainer = self._explainers.get(key)
+        if explainer is None:
+            explainer = self._factory(config)
+            self._explainers[key] = explainer
+        return explainer
+
+    def clear(self) -> None:
+        """Drop every pooled engine."""
+        self._explainers.clear()
+
+    def __len__(self) -> int:
+        return len(self._explainers)
+
+    def values(self):
+        """The pooled engines (inspection/tests)."""
+        return self._explainers.values()
 
 
 def explain_step(step: ExploratoryStep, config: FedexConfig | None = None,

@@ -13,6 +13,7 @@ keys, aggregations, and distribution comparisons.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
@@ -238,6 +239,53 @@ class Column:
         uniques, inverse = np.unique(observed.astype(str), return_inverse=True)
         codes[present] = inverse
         return codes, [str(u) for u in uniques]
+
+    def fingerprint(self) -> str:
+        """Stable content fingerprint of the column (name, kind, and values).
+
+        Two columns carry the same fingerprint exactly when they hold equal
+        values under the same name and kind, regardless of object identity —
+        the keying primitive of the session-level caches
+        (:mod:`repro.session`).  The hash is recomputed from the raw values on
+        every call (it is *not* cached on the column), so an in-place
+        mutation of the backing array changes the fingerprint and session
+        caches treat the mutated column as new content.
+        """
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(f"{len(self.name)}:".encode())
+        digest.update(self.name.encode())
+        digest.update(self.kind.encode())
+        values = self.values
+        digest.update(f"{values.size}:".encode())
+        if self.is_numeric or self.is_boolean:
+            # The dtype tag keeps byte-identical arrays of different dtypes
+            # (e.g. int64 vs float64 zeros) from colliding.
+            digest.update(values.dtype.str.encode())
+            digest.update(np.ascontiguousarray(values).tobytes())
+        elif values.size:
+            # Object arrays: hash a canonical string rendering, vectorised
+            # (a python-level loop here dominates warm-path session costs).
+            # ``astype("U")`` renders every value through ``str()`` into a
+            # fixed-width UCS-4 array whose raw buffer is hashed directly.
+            # The combination hashed — the dtype tag (width + byte order),
+            # the fixed-width records, the per-value character lengths, and
+            # the missing-value mask — decodes uniquely: a record pins every
+            # codepoint up to trailing-NUL padding, the character length
+            # disambiguates genuine trailing NUL characters from padding,
+            # and the mask separates None from any string (including "").
+            # No splitting ambiguity is possible, so ["a\x00b"] can never
+            # collide with ["a", "b"].
+            null = self.null_mask()
+            cleaned = values
+            if null.any():
+                cleaned = values.copy()
+                cleaned[null] = ""
+            rendered = cleaned.astype("U")
+            digest.update(rendered.dtype.str.encode())
+            digest.update(rendered.tobytes())
+            digest.update(np.char.str_len(rendered).astype(np.int64).tobytes())
+            digest.update(null.tobytes())
+        return digest.hexdigest()
 
     def sorted_order(self) -> np.ndarray:
         """Stable argsort of the values, cached on the column.

@@ -19,6 +19,7 @@ Dataframes are treated as immutable: every operation returns a new frame.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Dict, Iterable, List, Mapping, Sequence
 
 import numpy as np
@@ -111,6 +112,23 @@ class DataFrame:
     def columns(self) -> List[Column]:
         """The column objects, in schema order."""
         return [self._columns[name] for name in self._order]
+
+    def fingerprint(self, column_fingerprint=None) -> str:
+        """Stable content fingerprint of the dataframe.
+
+        Combines the per-column fingerprints in schema order, so two frames
+        match exactly when they have the same schema and equal values — the
+        identity the session caches (:mod:`repro.session`) key dataframes by.
+        Recomputed on every call; see :meth:`Column.fingerprint`.
+        ``column_fingerprint`` optionally replaces the per-column hashing
+        (the session cache passes its request-scoped memoized variant).
+        """
+        hash_column = column_fingerprint or (lambda column: column.fingerprint())
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(str(self.num_rows).encode())
+        for column in self.columns():
+            digest.update(hash_column(column).encode())
+        return digest.hexdigest()
 
     def column_kinds(self) -> Dict[str, str]:
         """Mapping from column name to its logical kind."""

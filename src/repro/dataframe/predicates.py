@@ -10,6 +10,7 @@ re-runs the *same* operation).
 
 from __future__ import annotations
 
+import hashlib
 from abc import ABC, abstractmethod
 from typing import Any, Sequence
 
@@ -31,6 +32,18 @@ class Predicate(ABC):
     @abstractmethod
     def describe(self) -> str:
         """Human-readable rendering used in captions and reprs."""
+
+    def signature(self) -> str:
+        """Faithful content identity of the predicate, for cache keys.
+
+        Unlike :meth:`describe` — which may summarise for readability —
+        the signature must distinguish any two predicates that can select
+        different rows.  The default delegates to :meth:`describe`, which
+        is faithful for the scalar predicates; predicates whose description
+        is lossy (:class:`RowIndexPredicate`) and the combinators (whose
+        children may be lossy) override it.
+        """
+        return self.describe()
 
     # Combinators -----------------------------------------------------------
     def __and__(self, other: "Predicate") -> "Predicate":
@@ -147,6 +160,9 @@ class And(Predicate):
     def describe(self) -> str:
         return " and ".join(f"({p.describe()})" for p in self.predicates)
 
+    def signature(self) -> str:
+        return " and ".join(f"({p.signature()})" for p in self.predicates)
+
 
 class Or(Predicate):
     """Disjunction of predicates."""
@@ -165,6 +181,9 @@ class Or(Predicate):
     def describe(self) -> str:
         return " or ".join(f"({p.describe()})" for p in self.predicates)
 
+    def signature(self) -> str:
+        return " or ".join(f"({p.signature()})" for p in self.predicates)
+
 
 class Not(Predicate):
     """Negation of a predicate."""
@@ -177,6 +196,9 @@ class Not(Predicate):
 
     def describe(self) -> str:
         return f"not ({self.predicate.describe()})"
+
+    def signature(self) -> str:
+        return f"not ({self.predicate.signature()})"
 
 
 class RowIndexPredicate(Predicate):
@@ -193,3 +215,9 @@ class RowIndexPredicate(Predicate):
 
     def describe(self) -> str:
         return f"rows in explicit index set of size {len(self.indices)}"
+
+    def signature(self) -> str:
+        # The description summarises (index sets can be huge); the cache
+        # identity must pin the exact rows selected.
+        digest = hashlib.blake2b(self.indices.tobytes(), digest_size=16).hexdigest()
+        return f"rows in explicit index set #{digest}"

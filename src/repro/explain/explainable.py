@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import List, Mapping, Optional, Sequence
 
 from ..core.config import FedexConfig
-from ..core.engine import ExplanationReport, FedexExplainer
+from ..core.engine import ExplainerPool, ExplanationReport, FedexExplainer
 from ..dataframe.frame import DataFrame
 from ..dataframe.predicates import Predicate
 from ..errors import ExplanationError
@@ -27,13 +27,29 @@ from ..operators.step import ExploratoryStep
 
 
 class ExplainableDataFrame:
-    """A dataframe that remembers how it was produced and can explain it."""
+    """A dataframe that remembers how it was produced and can explain it.
+
+    Wrappers derived through operations share one pool of
+    :class:`~repro.core.engine.FedexExplainer` instances (one per distinct
+    configuration), so repeated ``explain()`` calls never rebuild the engine
+    or its measure registry.  A wrapper opened from an
+    :class:`~repro.session.ExplanationSession` (via ``session.open(frame)``)
+    additionally routes every ``explain()`` through that session, making
+    repeated explains of the same step cross-step cache hits.
+    """
 
     def __init__(self, frame: DataFrame, history: Optional[List[ExploratoryStep]] = None,
-                 config: FedexConfig | None = None) -> None:
+                 config: FedexConfig | None = None, session=None,
+                 _explainers: Optional[ExplainerPool] = None) -> None:
         self._frame = frame
         self._history: List[ExploratoryStep] = list(history or [])
         self._config = config or FedexConfig()
+        self._session = session
+        # One engine per config signature, shared (by reference) with every
+        # wrapper derived from this one.
+        self._explainers: ExplainerPool = (
+            _explainers if _explainers is not None else ExplainerPool()
+        )
 
     # ------------------------------------------------------------------ access
     @property
@@ -90,7 +106,7 @@ class ExplainableDataFrame:
         right = other.frame if isinstance(other, ExplainableDataFrame) else other
         operation = Join(on=on, how=how)
         step = ExploratoryStep([self._frame, right], operation, label=label)
-        return ExplainableDataFrame(step.output, self._history + [step], config=self._config)
+        return self._derive(step)
 
     def union(self, other: "ExplainableDataFrame | DataFrame",
               label: str | None = None) -> "ExplainableDataFrame":
@@ -98,7 +114,7 @@ class ExplainableDataFrame:
         right = other.frame if isinstance(other, ExplainableDataFrame) else other
         operation = Union(n_inputs=2)
         step = ExploratoryStep([self._frame, right], operation, label=label)
-        return ExplainableDataFrame(step.output, self._history + [step], config=self._config)
+        return self._derive(step)
 
     # ------------------------------------------------------------- explanation
     def explain(self, step_index: int = -1, config: FedexConfig | None = None,
@@ -113,7 +129,9 @@ class ExplainableDataFrame:
         effective_config = config or self._config
         if target_columns is not None:
             effective_config = effective_config.restricted_to(target_columns)
-        return FedexExplainer(config=effective_config).explain(step, measure=measure)
+        if self._session is not None:
+            return self._session.explain(step, measure=measure, config=effective_config)
+        return self._explainers.for_config(effective_config).explain(step, measure=measure)
 
     def explain_text(self, step_index: int = -1, width: int = 40, **kwargs) -> str:
         """Shorthand: explanations of a recorded step rendered as text."""
@@ -122,7 +140,14 @@ class ExplainableDataFrame:
     # ---------------------------------------------------------------- internals
     def _apply(self, operation, label: str | None) -> "ExplainableDataFrame":
         step = ExploratoryStep([self._frame], operation, label=label)
-        return ExplainableDataFrame(step.output, self._history + [step], config=self._config)
+        return self._derive(step)
+
+    def _derive(self, step: ExploratoryStep) -> "ExplainableDataFrame":
+        """A new wrapper extending this one's history, sharing session and engines."""
+        return ExplainableDataFrame(
+            step.output, self._history + [step], config=self._config,
+            session=self._session, _explainers=self._explainers,
+        )
 
 
 def explain_dataframe(frame: DataFrame, config: FedexConfig | None = None) -> ExplainableDataFrame:

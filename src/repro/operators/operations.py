@@ -31,9 +31,10 @@ MEASURE_EXCEPTIONALITY = "exceptionality"
 MEASURE_DIVERSITY = "diversity"
 
 #: Aggregations whose reduced value is derivable from per-group partials
-#: (sum/count/mean by subtraction, min/max by a per-group rescan) without
-#: re-running the group-by.  ``median`` and ``std`` are not decomposable.
-DECOMPOSABLE_AGGREGATIONS = ("mean", "sum", "min", "max", "count")
+#: without re-running the group-by: sum/count/mean by subtraction, min/max
+#: by a per-group rescan, median by order-statistic lookups on a shared
+#: group-major sort, std by subtraction of centered first/second moments.
+DECOMPOSABLE_AGGREGATIONS = ("mean", "sum", "min", "max", "count", "median", "std")
 
 
 class Operation(ABC):
@@ -49,6 +50,17 @@ class Operation(ABC):
     @abstractmethod
     def describe(self) -> str:
         """Short human-readable description used in captions and logs."""
+
+    def signature(self) -> str:
+        """Faithful content identity of the operation, for cache keys.
+
+        Must distinguish any two operations that can behave differently on
+        the same inputs.  The default delegates to :meth:`describe`, which
+        is faithful for key/column-driven operations (group-by, join, union,
+        project); operations embedding predicates override it so lossy
+        predicate descriptions (:class:`RowIndexPredicate`) cannot collide.
+        """
+        return self.describe()
 
     @property
     def default_measure(self) -> str:
@@ -122,6 +134,9 @@ class Filter(Operation):
     def describe(self) -> str:
         return f"filter {self.predicate.describe()}"
 
+    def signature(self) -> str:
+        return f"filter {self.predicate.signature()}"
+
 
 class GroupBy(Operation):
     """Group-by-and-aggregate operation.
@@ -194,12 +209,19 @@ class GroupBy(Operation):
         return specs
 
     def describe(self) -> str:
+        prefix = f"where {self.pre_filter.describe()} " if self.pre_filter is not None else ""
+        return self._render(prefix)
+
+    def signature(self) -> str:
+        prefix = f"where {self.pre_filter.signature()} " if self.pre_filter is not None else ""
+        return self._render(prefix)
+
+    def _render(self, prefix: str) -> str:
         agg_text = ", ".join(
             f"{agg}({column})" for column, aggs in self.aggregations.items() for agg in aggs
         )
         if self.include_count:
             agg_text = f"{agg_text}, count" if agg_text else "count"
-        prefix = f"where {self.pre_filter.describe()} " if self.pre_filter is not None else ""
         return f"{prefix}group by {', '.join(self.keys)} computing {agg_text}"
 
 

@@ -1,0 +1,25 @@
+"""Exploration-session service layer: cross-step caching + stateful serving.
+
+FEDEX explains *sequences* of exploration steps, but the core engine is
+stateless.  This subsystem adds the session layer on top:
+
+* :class:`ExplanationSession` — the stateful façade serving explanation
+  requests for one exploration session (one notebook, one user);
+* :class:`SessionCache` — the cross-step cache of full reports, row
+  partitions, operation structure, and column argsorts/factorizations,
+  keyed by content fingerprints;
+* signatures (re-exported from :mod:`repro.core.signatures`) — the
+  value-based step/config identities the memoization keys are built from.
+"""
+
+from ..core.signatures import config_signature, step_signature
+from .cache import SessionCache, SessionCacheStats
+from .session import ExplanationSession
+
+__all__ = [
+    "ExplanationSession",
+    "SessionCache",
+    "SessionCacheStats",
+    "config_signature",
+    "step_signature",
+]

@@ -1,0 +1,298 @@
+"""The cross-step cache of an exploration session.
+
+A notebook exploration session revisits the same data over and over: a
+filter is refined three times over the same dataframe, a group-by is
+re-aggregated with a different function, a cell is simply re-run.  The
+stateless engine rebuilds column argsorts, factorizations, row partitions,
+and group structure from scratch every time.  :class:`SessionCache` owns all
+of that cross-step state, keyed by **content fingerprints**
+(:meth:`repro.dataframe.column.Column.fingerprint`), so any step touching
+content-identical data reuses the intervention structure of earlier steps —
+regardless of whether the dataframe objects are literally the same.
+
+Four layers, from coarse to fine:
+
+* **full reports** — ``(step signature, config signature, measure)`` →
+  :class:`~repro.core.engine.ExplanationReport`, LRU-bounded; re-explaining
+  an already-seen step is a dictionary lookup;
+* **row partitions** — ``(frame fingerprint, partition config)`` → built
+  :class:`~repro.core.partition.RowPartition` lists; two different filters
+  over the same input share every partition;
+* **operation structure** — per-group row assignment of group-by steps and
+  row-level provenance of sliceable steps, keyed by input fingerprints plus
+  the operation's declarative description;
+* **column structure** — cached argsorts / factorizations are *adopted*
+  across content-identical :class:`Column` objects, so the ``O(n log n)``
+  sort behind every KS re-scoring is paid once per content, not once per
+  step.
+
+Because every key embeds content fingerprints that are recomputed from the
+raw values on each lookup, mutated data can never produce a stale hit: the
+mutation changes the fingerprint and the lookup misses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.engine import ExplanationReport
+from ..core.partition import RowPartition
+from ..dataframe.column import Column
+from ..dataframe.frame import DataFrame
+from ..operators.step import ExploratoryStep
+
+
+@dataclass
+class SessionCacheStats:
+    """Hit/miss counters of every cache layer (observability + tests)."""
+
+    report_hits: int = 0
+    report_misses: int = 0
+    partition_hits: int = 0
+    partition_misses: int = 0
+    structure_hits: int = 0
+    structure_misses: int = 0
+    column_structure_hits: int = 0
+    columns_adopted: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dictionary (for logging/rendering)."""
+        return {name: getattr(self, name) for name in (
+            "report_hits", "report_misses", "partition_hits", "partition_misses",
+            "structure_hits", "structure_misses", "column_structure_hits",
+            "columns_adopted",
+        )}
+
+
+class SessionCache:
+    """All cross-step memoized state of one exploration session.
+
+    The cache doubles as the engine's *context* object: it implements the
+    ``adopt_step`` / ``partitions`` / ``groupby_structure`` / ``row_sources``
+    hooks that :class:`~repro.core.engine.FedexExplainer` and the
+    incremental backend consult when one is injected.
+
+    Every layer is bounded (caps below, least-recently-used eviction), so a
+    long-lived session serving many requests over changing data reaches a
+    steady-state memory footprint instead of growing without limit.
+
+    Parameters
+    ----------
+    max_reports:
+        Upper bound on memoized full reports.
+    max_columns:
+        Upper bound on retained canonical columns.  Columns dominate the
+        cache's memory footprint because each keeps its values plus cached
+        argsort/factorization alive.
+    max_partitions:
+        Upper bound on memoized per-attribute partition lists (each holds
+        row-index arrays proportional to its frame's row count).
+    max_structures:
+        Upper bound on memoized operation structures (group-by row
+        assignments, row-provenance arrays).
+    """
+
+    def __init__(self, max_reports: int = 256, max_columns: int = 4_096,
+                 max_partitions: int = 1_024, max_structures: int = 512) -> None:
+        self.max_reports = max_reports
+        self.max_columns = max_columns
+        self.max_partitions = max_partitions
+        self.max_structures = max_structures
+        self.stats = SessionCacheStats()
+        self._reports: "OrderedDict[Tuple, ExplanationReport]" = OrderedDict()
+        self._partitions: "OrderedDict[Tuple, List[RowPartition]]" = OrderedDict()
+        self._structures: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._columns: "OrderedDict[str, Column]" = OrderedDict()
+        # Request-scoped fingerprint memos (id -> (object, fingerprint)); the
+        # kept object reference pins the id for the memo's lifetime.  Active
+        # only inside a `request()` scope, so the mutation-invalidation
+        # contract (recompute per request) is preserved.
+        self._request_columns: Optional[Dict[int, Tuple[Column, str]]] = None
+        self._request_frames: Optional[Dict[int, Tuple[DataFrame, str]]] = None
+
+    # ------------------------------------------------------- fingerprint memo
+    @contextmanager
+    def request(self):
+        """Scope one explanation request: fingerprints are hashed at most once.
+
+        A single cold explain needs the same frame/column fingerprints in
+        several places (step signature, column adoption, partition keys,
+        structure keys); inside a ``request()`` scope those are computed once
+        per object and reused.  The memo dies with the scope, so the next
+        request re-hashes and in-place mutations are still detected.
+        """
+        outer = (self._request_columns, self._request_frames)
+        if self._request_columns is None:
+            self._request_columns = {}
+            self._request_frames = {}
+        try:
+            yield self
+        finally:
+            self._request_columns, self._request_frames = outer
+
+    def column_fingerprint(self, column: Column) -> str:
+        """The column's content fingerprint, memoized within a request scope."""
+        memo = self._request_columns
+        if memo is None:
+            return column.fingerprint()
+        entry = memo.get(id(column))
+        if entry is None or entry[0] is not column:
+            entry = (column, column.fingerprint())
+            memo[id(column)] = entry
+        return entry[1]
+
+    def frame_fingerprint(self, frame: DataFrame) -> str:
+        """The frame's content fingerprint, memoized within a request scope."""
+        memo = self._request_frames
+        if memo is None:
+            return frame.fingerprint(column_fingerprint=self.column_fingerprint)
+        entry = memo.get(id(frame))
+        if entry is None or entry[0] is not frame:
+            entry = (frame, frame.fingerprint(column_fingerprint=self.column_fingerprint))
+            memo[id(frame)] = entry
+        return entry[1]
+
+    # ------------------------------------------------------------ full reports
+    def get_report(self, key: Tuple) -> Optional[ExplanationReport]:
+        """The memoized report for a (step, config, measure) signature, if any."""
+        report = self._reports.get(key)
+        if report is None:
+            self.stats.report_misses += 1
+            return None
+        self._reports.move_to_end(key)
+        self.stats.report_hits += 1
+        return report
+
+    def store_report(self, key: Tuple, report: ExplanationReport) -> None:
+        """Memoize a full report, evicting the least recently used beyond the cap."""
+        self._reports[key] = report
+        self._reports.move_to_end(key)
+        while len(self._reports) > self.max_reports:
+            self._reports.popitem(last=False)
+
+    # -------------------------------------------------------------- partitions
+    def partitions(self, key: Tuple,
+                   build: Callable[[], List[RowPartition]]) -> List[RowPartition]:
+        """Partitions of one frame under one partition configuration, memoized.
+
+        ``key`` carries the frame's content fingerprint plus the partition
+        configuration (attribute, set counts, methods, input index, minimum
+        group values) — the caller hashes the frame once and reuses the
+        fingerprint across its per-attribute keys.
+        """
+        cached = self._partitions.get(key)
+        if cached is not None:
+            self._partitions.move_to_end(key)
+            self.stats.partition_hits += 1
+            return cached
+        self.stats.partition_misses += 1
+        built = build()
+        self._partitions[key] = built
+        while len(self._partitions) > self.max_partitions:
+            self._partitions.popitem(last=False)
+        return built
+
+    # ----------------------------------------------------- operation structure
+    def groupby_structure(self, step: ExploratoryStep, build: Callable) -> object:
+        """Per-group row assignment of a group-by step, memoized by content.
+
+        The structure depends on the (pre-filtered) input content, the key
+        columns, and the pre-filter — all captured by the key — and not on
+        the aggregations, so re-aggregating the same grouping reuses it.
+        """
+        operation = step.operation
+        key = (
+            "groupby",
+            self.frame_fingerprint(step.inputs[0]),
+            tuple(getattr(operation, "keys", ())),
+            operation.pre_filter.signature() if getattr(operation, "pre_filter", None) is not None
+            else None,
+        )
+        return self._structure(key, lambda: build(step))
+
+    def row_sources(self, step: ExploratoryStep, build: Callable) -> object:
+        """Row-level provenance of a sliceable step, memoized by content."""
+        key = (
+            "sources",
+            step.operation.kind,
+            step.operation.signature(),
+            tuple(self.frame_fingerprint(frame) for frame in step.inputs),
+        )
+        return self._structure(key, lambda: build(step))
+
+    def _structure(self, key: Tuple, build: Callable[[], object]) -> object:
+        if key in self._structures:
+            self._structures.move_to_end(key)
+            self.stats.structure_hits += 1
+            return self._structures[key]
+        self.stats.structure_misses += 1
+        built = build()
+        self._structures[key] = built
+        while len(self._structures) > self.max_structures:
+            self._structures.popitem(last=False)
+        return built
+
+    # --------------------------------------------------------- column adoption
+    def adopt_step(self, step: ExploratoryStep) -> None:
+        """Adopt every column of the step's inputs and output."""
+        for frame in list(step.inputs) + [step.output]:
+            self.adopt_frame(frame)
+
+    def adopt_frame(self, frame: DataFrame) -> None:
+        """Adopt every column of one dataframe."""
+        for column in frame.columns():
+            self.adopt_column(column)
+
+    def adopt_column(self, column: Column) -> Column:
+        """Share cached argsort/factorization across content-identical columns.
+
+        The newest adopted column becomes the canonical holder of its
+        fingerprint: it inherits whatever structure the previous canonical
+        column already computed, and — being the object the engine is about
+        to work on — it accumulates any structure computed during the coming
+        explain call, ready for the *next* adoption of the same content.
+
+        Because the canonical column computes its structure lazily *after*
+        its fingerprint was recorded, its backing array could have been
+        mutated in between; the canonical's fingerprint is therefore
+        re-verified before any structure is shared, so a stale canonical is
+        dropped rather than poisoning a fresh content-identical column.
+        """
+        fingerprint = self.column_fingerprint(column)
+        previous = self._columns.get(fingerprint)
+        if previous is not None and previous is not column:
+            if self.column_fingerprint(previous) != fingerprint:
+                previous = None  # canonical mutated since adoption: treat as new content
+        if previous is not None and previous is not column:
+            if column._sorted_order is None and previous._sorted_order is not None:
+                column._sorted_order = previous._sorted_order
+                self.stats.column_structure_hits += 1
+            if column._factorized is None and previous._factorized is not None:
+                column._factorized = previous._factorized
+                self.stats.column_structure_hits += 1
+        self.stats.columns_adopted += 1
+        self._columns[fingerprint] = column
+        self._columns.move_to_end(fingerprint)
+        while len(self._columns) > self.max_columns:
+            self._columns.popitem(last=False)
+        return column
+
+    # ------------------------------------------------------------ housekeeping
+    def clear(self) -> None:
+        """Drop every cached entry and reset the counters."""
+        self._reports.clear()
+        self._partitions.clear()
+        self._structures.clear()
+        self._columns.clear()
+        if self._request_columns is not None:
+            self._request_columns.clear()
+            self._request_frames.clear()
+        self.stats = SessionCacheStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"SessionCache(reports={len(self._reports)}, "
+                f"partitions={len(self._partitions)}, "
+                f"structures={len(self._structures)}, columns={len(self._columns)})")

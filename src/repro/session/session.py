@@ -1,0 +1,168 @@
+"""The exploration-session service layer.
+
+:class:`ExplanationSession` is the stateful front door for explaining a
+*sequence* of exploration steps — the unit FEDEX was designed around
+(explaining data exploration *steps*, plural) and the shape a production
+explanation service takes: one session per user/notebook, many explanation
+requests against overlapping data.
+
+The session owns everything that outlives a single ``explain()`` call:
+
+* a :class:`~repro.session.cache.SessionCache` holding full-report memos,
+  row partitions, operation structure, and adopted column
+  argsorts/factorizations — all keyed by content fingerprints;
+* one :class:`~repro.core.engine.FedexExplainer` per distinct configuration
+  (constructed once, reused across requests) with the cache injected as its
+  context;
+* the measure registry and any user partitioners, shared by those engines.
+
+Usage::
+
+    from repro.session import ExplanationSession
+
+    session = ExplanationSession()
+    report = session.explain(step)            # cold: full Algorithm 1
+    report = session.explain(step)            # warm: dictionary lookup
+
+    songs = session.open(load_spotify())      # ExplainableDataFrame routed
+    popular = songs.filter(...)               # through this session
+    print(popular.explain().render_text())
+
+Caching is governed by the request's config: ``cache_reports=False``
+disables the full-report memo, ``cache_structures=False`` detaches the
+engine from the structure cache (each toggle independently).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.config import FedexConfig
+from ..core.engine import ExplainerPool, ExplanationReport, FedexExplainer
+from ..core.interestingness import MeasureRegistry, default_registry
+from ..core.partition import Partitioner
+from ..core.signatures import config_signature, step_signature
+from ..dataframe.frame import DataFrame
+from ..explain.explainable import ExplainableDataFrame
+from ..operators.step import ExploratoryStep
+from .cache import SessionCache, SessionCacheStats
+
+
+class _EnvironmentToken:
+    """Identity-hashed marker for one session's custom measure environment."""
+
+    __slots__ = ()
+
+
+class ExplanationSession:
+    """Serves explanation requests for one exploration session, statefully.
+
+    Parameters
+    ----------
+    config:
+        Default engine configuration of the session; individual
+        :meth:`explain` calls may override it per request.
+    registry:
+        Interestingness measure registry shared by all the session's
+        engines; defaults to the paper's two measures.
+    extra_partitioners:
+        User-defined partitioners appended to the built-in families (§3.8).
+        Their presence disables partition caching (the cache key cannot
+        capture arbitrary partitioner identity) but leaves every other
+        layer active.
+    cache:
+        The cross-step cache; injectable for sharing across sessions or for
+        inspection in tests.  A fresh bounded cache by default.
+    max_history:
+        Number of recent steps retained in :attr:`history`.  Bounded because
+        each retained step pins its input/output dataframes in memory — a
+        long-lived session must not grow with the number of requests served.
+    """
+
+    def __init__(self, config: FedexConfig | None = None,
+                 registry: MeasureRegistry | None = None,
+                 extra_partitioners: Sequence[Partitioner] | None = None,
+                 cache: SessionCache | None = None,
+                 max_history: int = 256) -> None:
+        self.config = config or FedexConfig()
+        self.registry = registry or default_registry()
+        self.extra_partitioners = list(extra_partitioners or [])
+        self.cache = cache if cache is not None else SessionCache()
+        self._explainers = ExplainerPool(self._build_explainer)
+        self._history: "deque[ExploratoryStep]" = deque(maxlen=max_history)
+        # Report-memo key component identifying the session's measure/
+        # partitioner environment.  Sessions with the default environment
+        # share memoized reports through a shared cache; a custom registry
+        # or custom partitioners cannot be identified by content, so such a
+        # session keys its reports privately — under an owned sentinel
+        # object rather than a raw id(), so the keys themselves keep the
+        # sentinel alive and a dead session's identity can never be reused
+        # by a later one against the same cache.
+        if registry is None and not self.extra_partitioners:
+            self._environment_token: Tuple = ("default",)
+        else:
+            self._environment_token = ("custom", _EnvironmentToken())
+
+    # ------------------------------------------------------------------ public
+    def explain(self, step: ExploratoryStep, measure: str | None = None,
+                config: FedexConfig | None = None) -> ExplanationReport:
+        """Explain one exploratory step through the session's caches.
+
+        Behaviourally identical to ``FedexExplainer(config).explain(step)``
+        — same report, same scores — but warm requests reuse cross-step
+        state: a step already explained under the same configuration (by
+        content, not object identity) returns its memoized report, and a
+        merely *overlapping* step reuses partitions, operation structure,
+        and column argsorts of its predecessors.
+        """
+        effective = config or self.config
+        self._history.append(step)
+        # One request scope: every fingerprint needed below (step signature,
+        # column adoption, partition/structure keys) is hashed at most once.
+        with self.cache.request():
+            report_key: Optional[Tuple] = None
+            if effective.cache_reports:
+                report_key = (
+                    step_signature(step, frame_fingerprint=self.cache.frame_fingerprint),
+                    config_signature(effective), measure, self._environment_token,
+                )
+                cached = self.cache.get_report(report_key)
+                if cached is not None:
+                    return cached
+            report = self._explainers.for_config(effective).explain(step, measure=measure)
+            if report_key is not None:
+                self.cache.store_report(report_key, report)
+            return report
+
+    def open(self, frame: DataFrame, config: FedexConfig | None = None) -> ExplainableDataFrame:
+        """Wrap a dataframe so every ``explain()`` on it routes through this session."""
+        return ExplainableDataFrame(frame, config=config or self.config, session=self)
+
+    @property
+    def history(self) -> List[ExploratoryStep]:
+        """Every step this session was asked to explain (oldest first)."""
+        return list(self._history)
+
+    @property
+    def stats(self) -> SessionCacheStats:
+        """Hit/miss counters of the session's cache layers."""
+        return self.cache.stats
+
+    def clear(self) -> None:
+        """Drop all cached state (reports, partitions, structure, columns)."""
+        self.cache.clear()
+        self._explainers.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ExplanationSession(steps={len(self._history)}, "
+                f"engines={len(self._explainers)}, cache={self.cache!r})")
+
+    # ---------------------------------------------------------------- internals
+    def _build_explainer(self, config: FedexConfig) -> FedexExplainer:
+        """Engine factory for the pool: session registry/partitioners/context."""
+        context = self.cache if config.cache_structures else None
+        return FedexExplainer(
+            config=config, registry=self.registry,
+            extra_partitioners=self.extra_partitioners, context=context,
+        )

@@ -9,7 +9,13 @@ from .dispersion import (
     z_score,
 )
 from .distributions import ValueDistribution, aligned_cdfs
-from .ks import ks_columns, ks_from_distributions, ks_two_sample
+from .ks import (
+    ks_columns,
+    ks_from_distributions,
+    ks_from_value_counts_batch,
+    ks_sorted_masked_batch,
+    ks_two_sample,
+)
 from .ranking import (
     dcg,
     kendall_tau_distance,
@@ -29,6 +35,8 @@ __all__ = [
     "kendall_tau_distance",
     "ks_columns",
     "ks_from_distributions",
+    "ks_from_value_counts_batch",
+    "ks_sorted_masked_batch",
     "ks_two_sample",
     "mean_and_std",
     "ndcg",

@@ -16,7 +16,7 @@ before and after the EDA operation.  We implement two flavours:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -69,6 +69,91 @@ def ks_two_sample_sorted(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
     cdf_a = np.searchsorted(sample_a, pooled, side="right") / sample_a.size
     cdf_b = np.searchsorted(sample_b, pooled, side="right") / sample_b.size
     return float(np.max(np.abs(cdf_a - cdf_b)))
+
+
+def ks_sorted_masked_batch(sorted_a: np.ndarray, keep_a: Optional[np.ndarray],
+                           sorted_b: np.ndarray, keep_b: Optional[np.ndarray]) -> np.ndarray:
+    """KS statistics of many masked sub-samples of two sorted arrays at once.
+
+    ``sorted_a`` / ``sorted_b`` are the full sorted, NaN-free samples;
+    ``keep_a`` / ``keep_b`` are boolean matrices of shape ``(n_sets, n)``
+    whose row ``i`` selects the sub-sample of set ``i`` (``None`` means every
+    set keeps the full array).  Returns one KS statistic per row — the same
+    floats :func:`ks_two_sample_sorted` produces on the masked arrays,
+    computed in a single vectorised 2-D pass.
+
+    Dropping rows from a sorted array leaves it sorted, so the number of
+    kept values ``<= x`` is a prefix-sum of the keep mask evaluated at
+    ``searchsorted(full, x)`` — the searchsorted positions are shared by all
+    sets and computed once.  The per-set statistic is evaluated over *all*
+    pooled points of the full arrays; that is a superset of each sub-sample's
+    own pooled points, which is harmless (an empirical CDF difference is a
+    step function, so values between a sub-sample's jump points repeat values
+    already attained at the jump points) and keeps the evaluation grid
+    shared.  Rows whose sub-sample is empty on either side score 0, matching
+    the serial convention.  At least one mask must be given — with both
+    sides full there is no per-set variation to batch over, and the number
+    of sets cannot be inferred.
+    """
+    if keep_a is None and keep_b is None:
+        raise ValueError(
+            "at least one of keep_a/keep_b must be a mask matrix "
+            "(use ks_two_sample_sorted for a single full-array statistic)"
+        )
+    n_sets = keep_a.shape[0] if keep_a is not None else keep_b.shape[0]
+    pooled = np.concatenate([sorted_a, sorted_b])
+    positions_a = np.searchsorted(sorted_a, pooled, side="right")
+    positions_b = np.searchsorted(sorted_b, pooled, side="right")
+    counts_a, totals_a = _masked_prefix_counts(sorted_a.size, keep_a, n_sets, positions_a)
+    counts_b, totals_b = _masked_prefix_counts(sorted_b.size, keep_b, n_sets, positions_b)
+    valid = (totals_a > 0) & (totals_b > 0)
+    safe_a = np.where(totals_a > 0, totals_a, 1).astype(float)
+    safe_b = np.where(totals_b > 0, totals_b, 1).astype(float)
+    diff = counts_a / safe_a[:, None]
+    diff -= counts_b / safe_b[:, None]
+    np.abs(diff, out=diff)
+    statistics = diff.max(axis=1) if pooled.size else np.zeros(n_sets)
+    return np.where(valid, statistics, 0.0)
+
+
+def _masked_prefix_counts(n_values: int, keep: Optional[np.ndarray], n_sets: int,
+                          positions: np.ndarray) -> tuple:
+    """Per-set counts of kept values at each searchsorted position, plus totals."""
+    if keep is None:
+        counts = np.broadcast_to(positions.astype(float), (n_sets, positions.size))
+        totals = np.full(n_sets, n_values, dtype=np.int64)
+        return counts, totals
+    prefix = np.zeros((n_sets, n_values + 1))
+    np.cumsum(keep, axis=1, out=prefix[:, 1:])
+    totals = prefix[:, -1].astype(np.int64)
+    return prefix[:, positions], totals
+
+
+def ks_from_value_counts_batch(counts_before: np.ndarray, positions_before: np.ndarray,
+                               counts_after: np.ndarray, positions_after: np.ndarray,
+                               support_size: int) -> np.ndarray:
+    """Batched :func:`ks_from_value_counts`: one statistic per row of counts.
+
+    ``counts_before`` / ``counts_after`` are ``(n_sets, n_uniques)`` matrices
+    of per-set value counts; the positions scatter each count column onto the
+    shared sorted support exactly as in the serial function.  Rows with zero
+    total mass on either side score 0.
+    """
+    totals_before = counts_before.sum(axis=1)
+    totals_after = counts_after.sum(axis=1)
+    valid = (totals_before > 0) & (totals_after > 0)
+    safe_before = np.where(totals_before > 0, totals_before, 1.0)
+    safe_after = np.where(totals_after > 0, totals_after, 1.0)
+    n_sets = counts_before.shape[0]
+    pmf_before = np.zeros((n_sets, support_size))
+    pmf_after = np.zeros((n_sets, support_size))
+    pmf_before[:, positions_before] = counts_before / safe_before[:, None]
+    pmf_after[:, positions_after] = counts_after / safe_after[:, None]
+    diff = np.cumsum(pmf_before, axis=1)
+    diff -= np.cumsum(pmf_after, axis=1)
+    np.abs(diff, out=diff)
+    statistics = diff.max(axis=1) if support_size else np.zeros(n_sets)
+    return np.where(valid, statistics, 0.0)
 
 
 def ks_columns(before: Column, after: Column) -> float:

@@ -25,6 +25,7 @@ from repro.core import (
     FrequencyPartitioner,
     IncrementalBackend,
     NumericBinningPartitioner,
+    ParallelBackend,
     available_backends,
     make_backend,
 )
@@ -72,6 +73,17 @@ class TestBackendSelection:
         registry = available_backends()
         assert registry["exact"] is ExactRerunBackend
         assert registry["incremental"] is IncrementalBackend
+        assert registry["parallel"] is ParallelBackend
+
+    def test_make_backend_forwards_supported_options_only(self, tiny_frame):
+        step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", 65)))
+        measure = ExceptionalityMeasure()
+        options = {"workers": 2, "context": None}
+        parallel = make_backend("parallel", step, measure, options=options)
+        assert parallel.workers == 2
+        # The exact backend accepts neither option; they must be dropped, not crash.
+        exact = make_backend("exact", step, measure, options=options)
+        assert isinstance(exact, ExactRerunBackend)
 
     def test_make_backend_by_name_class_and_instance(self, tiny_frame):
         step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", 65)))
@@ -173,9 +185,9 @@ class TestOperationHooks:
         specs = GroupBy("g", {"v": ["mean", "max"]}, include_count=True).decomposable_aggregates()
         assert specs == {"mean_v": ("mean", "v"), "max_v": ("max", "v"), "count": ("count", None)}
 
-    def test_groupby_median_not_decomposable(self):
-        assert GroupBy("g", {"v": ["median"]}).decomposable_aggregates() is None
-        assert GroupBy("g", {"v": ["std"]}).decomposable_aggregates() is None
+    def test_groupby_median_and_std_decomposable(self):
+        specs = GroupBy("g", {"v": ["median", "std"]}).decomposable_aggregates()
+        assert specs == {"median_v": ("median", "v"), "std_v": ("std", "v")}
 
     def test_base_operation_hooks_default_to_none(self, tiny_frame):
         operation = GroupBy("decade")
@@ -198,12 +210,12 @@ class TestBackendEquivalenceSpotify:
         ))
         _assert_reports_equivalent(step)
 
-    def test_groupby_non_decomposable_falls_back(self, spotify_small):
+    def test_groupby_median_and_std_aggregates(self, spotify_small):
         step = ExploratoryStep([spotify_small], GroupBy(
             "decade", {"loudness": ["median", "std"]}
         ))
         exact, incremental = _assert_reports_equivalent(step)
-        assert exact.skyline_candidates  # the fallback still finds explanations
+        assert exact.skyline_candidates  # the incremental paths find explanations too
 
     def test_filter_step(self, spotify_small):
         step = ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
@@ -279,6 +291,17 @@ class TestIncrementalInternals:
         calculator.partition_contributions(partition, "mean_loudness")
         assert not backend._fallback._reduced_cache
 
+    def test_groupby_median_std_paths_never_rerun(self, spotify_small):
+        step = ExploratoryStep([spotify_small], GroupBy(
+            "decade", {"loudness": ["median", "std"]}
+        ))
+        backend = IncrementalBackend(step, DiversityMeasure())
+        calculator = ContributionCalculator(step, DiversityMeasure(), backend=backend)
+        partition = NumericBinningPartitioner().partition(spotify_small, "year", 5)
+        calculator.partition_contributions(partition, "median_loudness")
+        calculator.partition_contributions(partition, "std_loudness")
+        assert not backend._fallback._reduced_cache
+
     def test_infinite_aggregate_values_survive_min_max(self):
         """Genuine +/-inf values must not be mistaken for the empty-group sentinel."""
         frame = DataFrame({
@@ -333,13 +356,14 @@ def test_property_groupby_backends_agree(values, labels):
     if frame["label"].n_unique() < 2:
         return
     step = ExploratoryStep([frame], GroupBy(
-        "label", {"value": ["mean", "min", "max", "sum"]}, include_count=True
+        "label", {"value": ["mean", "min", "max", "sum", "median", "std"]}, include_count=True
     ))
     partition = FrequencyPartitioner().partition(frame, "label", 3)
     if partition is None:
         return
     measure = DiversityMeasure()
-    for attribute in ("mean_value", "min_value", "max_value", "sum_value", "count"):
+    for attribute in ("mean_value", "min_value", "max_value", "sum_value",
+                      "median_value", "std_value", "count"):
         exact = ContributionCalculator(step, measure, backend="exact")
         incremental = ContributionCalculator(step, measure, backend="incremental")
         raw_e = exact.partition_contributions(partition, attribute)

@@ -68,3 +68,16 @@ class TestConveniences:
         assert exact_config().sample_size is None
         assert sampling_config().sample_size == DEFAULT_SAMPLE_SIZE
         assert sampling_config(1_000).sample_size == 1_000
+
+    def test_with_backend_switches_backend(self):
+        config = FedexConfig().with_backend("parallel", workers=4)
+        assert config.backend == "parallel"
+        assert config.workers == 4
+
+    def test_with_backend_preserves_workers_when_omitted(self):
+        config = FedexConfig(workers=8).with_backend("parallel")
+        assert config.workers == 8
+
+    def test_cache_toggles_default_on(self):
+        config = FedexConfig()
+        assert config.cache_reports and config.cache_structures

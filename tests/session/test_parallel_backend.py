@@ -1,0 +1,120 @@
+"""Tests of the parallel contribution backend.
+
+The contract: for any worker count, :class:`ParallelBackend` produces the
+same candidate pools, skylines, and scores as the serial incremental
+backend — grid sharding may reorder *execution*, never results.  (The full
+30-query determinism sweep lives in ``benchmarks/test_backend_equivalence``;
+these tests cover the mechanism on small steps.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ContributionCalculator,
+    ExceptionalityMeasure,
+    FedexConfig,
+    FedexExplainer,
+    FrequencyPartitioner,
+    NumericBinningPartitioner,
+    ParallelBackend,
+)
+from repro.dataframe import Comparison
+from repro.errors import ExplanationError
+from repro.operators import ExploratoryStep, Filter, GroupBy, Join, Union
+
+
+def _steps(spotify_small, products_and_sales_small):
+    products, sales = products_and_sales_small
+    yield ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+    yield ExploratoryStep([spotify_small], GroupBy(
+        "decade", {"loudness": ["mean", "median", "std"]}, include_count=True
+    ))
+    yield ExploratoryStep([products, sales], Join("item"))
+    yield ExploratoryStep([
+        spotify_small.filter(Comparison("year", "<", 1990)),
+        spotify_small.filter(Comparison("year", ">=", 1990)),
+    ], Union())
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_parallel_matches_serial_incremental(workers, spotify_small,
+                                             products_and_sales_small):
+    for step in _steps(spotify_small, products_and_sales_small):
+        serial = FedexExplainer(FedexConfig(backend="incremental")).explain(step)
+        parallel = FedexExplainer(
+            FedexConfig(backend="parallel", workers=workers)
+        ).explain(step)
+        assert serial.skyline_keys() == parallel.skyline_keys()
+        serial_scores = {
+            c.key(): (c.contribution, c.standardized_contribution)
+            for c in serial.all_candidates
+        }
+        parallel_scores = {
+            c.key(): (c.contribution, c.standardized_contribution)
+            for c in parallel.all_candidates
+        }
+        assert set(serial_scores) == set(parallel_scores)
+        for key, (raw, std) in serial_scores.items():
+            raw_p, std_p = parallel_scores[key]
+            assert raw == pytest.approx(raw_p, abs=1e-9)
+            assert std == pytest.approx(std_p, abs=1e-9)
+
+
+def test_prefetch_computes_grid_concurrently(spotify_small):
+    """After prefetch, per-pair calls consume futures instead of recomputing."""
+    step = ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+    measure = ExceptionalityMeasure()
+    backend = ParallelBackend(step, measure, workers=2)
+    calculator = ContributionCalculator(step, measure, backend=backend)
+    partitions = [
+        FrequencyPartitioner().partition(spotify_small, "decade", 5),
+        NumericBinningPartitioner().partition(spotify_small, "popularity", 5),
+    ]
+    grid = [(partition, partition.source_attribute) for partition in partitions]
+    calculator.prefetch(grid)
+    assert len(backend._futures) == len(grid)
+    for partition, attribute in grid:
+        contributions = calculator.partition_contributions(partition, attribute)
+        assert len(contributions) == len(partition.sets)
+    assert not backend._futures
+
+
+def test_parallel_without_prefetch_still_works(spotify_small):
+    """Direct per-pair use (no grid announcement) degrades to the inner backend."""
+    step = ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+    measure = ExceptionalityMeasure()
+    backend = ParallelBackend(step, measure, workers=2)
+    calculator = ContributionCalculator(step, measure, backend=backend)
+    partition = FrequencyPartitioner().partition(spotify_small, "decade", 5)
+    serial = ContributionCalculator(step, measure, backend="incremental")
+    assert calculator.partition_contributions(partition, "decade") == pytest.approx(
+        serial.partition_contributions(partition, "decade"), abs=1e-12
+    )
+
+
+def test_prefetched_futures_pin_their_partitions(spotify_small):
+    """Entries keep the partition alive so a reused id cannot hit a stale future."""
+    import gc
+
+    step = ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+    measure = ExceptionalityMeasure()
+    backend = ParallelBackend(step, measure, workers=2)
+    calculator = ContributionCalculator(step, measure, backend=backend)
+    partition = FrequencyPartitioner().partition(spotify_small, "decade", 5)
+    calculator.prefetch([(partition, "decade")])
+    pinned_id = id(partition)
+    del partition
+    gc.collect()
+    # The future's entry still holds the partition, so its id stays reserved
+    # and no new object can collide with the pending entry.
+    entry = backend._futures[(pinned_id, "decade")]
+    assert id(entry[0]) == pinned_id
+
+
+def test_worker_count_defaults_and_validation():
+    assert ParallelBackend(None, None, workers=None).workers >= 1
+    with pytest.raises(ExplanationError):
+        FedexConfig(workers=0)
+    assert FedexConfig(workers=3).workers == 3

@@ -7,7 +7,15 @@ import pytest
 from scipy import stats as scipy_stats
 
 from repro.dataframe import Column
-from repro.stats import ValueDistribution, ks_columns, ks_from_distributions, ks_two_sample
+from repro.stats import (
+    ValueDistribution,
+    ks_columns,
+    ks_from_distributions,
+    ks_from_value_counts_batch,
+    ks_sorted_masked_batch,
+    ks_two_sample,
+)
+from repro.stats.ks import ks_from_value_counts, ks_two_sample_sorted
 
 
 class TestKsTwoSample:
@@ -83,6 +91,17 @@ class TestKsColumns:
         column = Column("x", np.asarray([1.0, 2.0, 3.0, 4.0]))
         assert ks_columns(column, column) == 0.0
 
+    def test_empty_side_scores_zero_for_both_regimes(self):
+        """An empty column scores 0 (no distribution to deviate from) —
+        the shared convention of the numeric and categorical paths, which
+        the incremental backend's subtraction-based re-scoring relies on."""
+        numeric = Column("x", np.asarray([1.0, 2.0]))
+        empty_numeric = Column("x", np.asarray([], dtype=float))
+        assert ks_columns(numeric, empty_numeric) == 0.0
+        categorical = Column("c", np.asarray(["a", "b"], dtype=object))
+        empty_categorical = Column("c", np.asarray([], dtype=object))
+        assert ks_columns(categorical, empty_categorical) == 0.0
+
     def test_range_is_zero_to_one(self):
         before = Column("x", np.arange(100, dtype=float))
         after = Column("x", np.arange(90, 100, dtype=float))
@@ -98,3 +117,66 @@ class TestKsColumns:
         before = Column("decade", decades)
         after = Column("decade", decades[popularity > 45])
         assert ks_columns(before, after) > 0.2
+
+
+class TestBatchedKs:
+    """The batched 2-D passes must reproduce the serial statistics bit-for-bit."""
+
+    def test_sorted_masked_batch_matches_serial(self):
+        rng = np.random.default_rng(7)
+        sample_a = np.sort(rng.normal(0, 1, 300))
+        sample_b = np.sort(rng.normal(0.3, 1.2, 200))
+        keep_a = rng.random((8, sample_a.size)) > 0.3
+        keep_b = rng.random((8, sample_b.size)) > 0.2
+        batch = ks_sorted_masked_batch(sample_a, keep_a, sample_b, keep_b)
+        for row in range(8):
+            serial = ks_two_sample_sorted(sample_a[keep_a[row]], sample_b[keep_b[row]])
+            assert batch[row] == serial
+
+    def test_sorted_masked_batch_full_side(self):
+        """keep=None means every set keeps the whole array on that side."""
+        rng = np.random.default_rng(8)
+        sample_a = np.sort(rng.normal(0, 1, 150))
+        sample_b = np.sort(rng.normal(0.5, 1, 120))
+        keep_b = rng.random((5, sample_b.size)) > 0.4
+        batch = ks_sorted_masked_batch(sample_a, None, sample_b, keep_b)
+        for row in range(5):
+            serial = ks_two_sample_sorted(sample_a, sample_b[keep_b[row]])
+            assert batch[row] == serial
+
+    def test_sorted_masked_batch_empty_subsample_scores_zero(self):
+        sample = np.asarray([1.0, 2.0, 3.0])
+        keep_a = np.asarray([[False, False, False], [True, True, True]])
+        keep_b = np.ones((2, 3), dtype=bool)
+        batch = ks_sorted_masked_batch(sample, keep_a, sample, keep_b)
+        assert batch[0] == 0.0
+        assert batch[1] == 0.0  # identical samples
+
+    def test_value_counts_batch_matches_serial(self):
+        rng = np.random.default_rng(9)
+        support_size = 6
+        positions_before = np.asarray([0, 2, 3, 5])
+        positions_after = np.asarray([1, 2, 4, 5])
+        counts_before = rng.integers(0, 30, (7, 4)).astype(float)
+        counts_after = rng.integers(0, 30, (7, 4)).astype(float)
+        batch = ks_from_value_counts_batch(
+            counts_before, positions_before, counts_after, positions_after, support_size
+        )
+        for row in range(7):
+            serial = ks_from_value_counts(
+                counts_before[row], positions_before,
+                counts_after[row], positions_after, support_size,
+            )
+            assert batch[row] == serial
+
+    def test_sorted_masked_batch_rejects_double_none(self):
+        sample = np.asarray([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            ks_sorted_masked_batch(sample, None, sample, None)
+
+    def test_value_counts_batch_zero_mass_scores_zero(self):
+        positions = np.asarray([0, 1])
+        counts = np.asarray([[0.0, 0.0], [3.0, 1.0]])
+        other = np.asarray([[2.0, 2.0], [2.0, 2.0]])
+        batch = ks_from_value_counts_batch(counts, positions, other, positions, 2)
+        assert batch[0] == 0.0
