@@ -22,7 +22,8 @@ Subpackages
 ``repro.core``        the FEDEX algorithms (Algorithm 1)
 ``repro.viz``         chart specs, ASCII rendering, JSON export
 ``repro.explain``     one-line explanation wrapper
-``repro.session``     exploration-session service layer (cross-step caching)
+``repro.session``     session layer: shared cache store + per-tenant views
+``repro.service``     multi-tenant serving front end (workers, admission)
 ``repro.baselines``   SeeDB, RATH-style, Interestingness-Only baselines
 ``repro.datasets``    synthetic Spotify / Bank / Products+Sales generators
 ``repro.workloads``   the paper's 30 evaluation queries
@@ -35,18 +36,21 @@ from .core.explanation import Explanation
 from .dataframe import Between, Column, Comparison, DataFrame, IsIn
 from .explain.explainable import ExplainableDataFrame, explain_dataframe
 from .operators import ExploratoryStep, Filter, GroupBy, Join, Union, parse_query
-from .session import ExplanationSession, SessionCache
+from .service import ExplanationService, ServiceConfig
+from .session import CacheStore, ExplanationSession, SessionCache
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Between",
+    "CacheStore",
     "Column",
     "Comparison",
     "DataFrame",
     "ExplainableDataFrame",
     "Explanation",
     "ExplanationReport",
+    "ExplanationService",
     "ExplanationSession",
     "ExploratoryStep",
     "FedexConfig",
@@ -55,6 +59,7 @@ __all__ = [
     "GroupBy",
     "IsIn",
     "Join",
+    "ServiceConfig",
     "SessionCache",
     "Union",
     "__version__",

@@ -10,9 +10,12 @@ from .backends import (
 )
 from .candidates import ExplanationCandidate, build_candidates
 from .config import (
+    DEFAULT_CACHE_BUDGET_BYTES,
     DEFAULT_SAMPLE_SIZE,
+    DEFAULT_SERVICE_WORKERS,
     DEFAULT_SET_COUNTS,
     FedexConfig,
+    ServiceConfig,
     exact_config,
     sampling_config,
 )
@@ -64,6 +67,7 @@ __all__ = [
     "ExplanationReport",
     "FedexConfig",
     "FedexExplainer",
+    "ServiceConfig",
     "FrequencyPartitioner",
     "FunctionMeasure",
     "IncrementalBackend",

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Sequence, Tuple
 
+import numpy as np
+
 from ...dataframe.frame import DataFrame
 from ..partition import RowSet
 from .base import ContributionBackend
@@ -34,9 +36,17 @@ class ExactRerunBackend(ContributionBackend):
         return self.measure.score(reduced_inputs, self.step, reduced_output, attribute)
 
     def reduced_step(self, row_set: RowSet) -> Tuple[Sequence[DataFrame], DataFrame]:
-        """Inputs and output of the step after removing ``row_set`` (cached)."""
-        cache_key = (row_set.input_index, row_set.method, row_set.source_attribute,
-                     row_set.label_attribute, row_set.label)
+        """Inputs and output of the step after removing ``row_set`` (cached).
+
+        The memo key is the *actual removed-row content* — the input index
+        plus the raw index bytes — never the set's display label: rendered
+        labels round (binning intervals keep three significant digits), so
+        two different sets of different partition granularities can share a
+        label, and a label-based key would serve one set the other's stale
+        materialisation.
+        """
+        indices = np.asarray(row_set.indices, dtype=np.int64)
+        cache_key = (row_set.input_index, indices.tobytes())
         if cache_key in self._reduced_cache:
             return self._reduced_cache[cache_key]
         target_input = self.step.inputs[row_set.input_index]

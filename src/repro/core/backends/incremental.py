@@ -29,10 +29,16 @@ interventions:
   in one vectorised 2-D pass (:func:`repro.stats.ks.ks_sorted_masked_batch`)
   instead of one 1-D pass per set.
 
+* **Right side of a left join**: removing right rows is *not* a slice of
+  the output (left rows whose matches all disappear resurface as
+  unmatched), but the join's match structure — pairs plus per-left-row
+  match counts, computed once — determines every reduced output exactly,
+  so no re-join is ever run.
+
 Whenever the (operation, measure, attribute) combination falls outside the
-structures above — custom measures, removals from the right side of a left
-join, OLAP operations — the backend transparently delegates to an embedded
-:class:`ExactRerunBackend`, so it is *always* safe to use.
+structures above — custom measures, OLAP operations — the backend
+transparently delegates to an embedded :class:`ExactRerunBackend`, so it is
+*always* safe to use.
 
 The slicing and KS paths reproduce the exact backend bit-for-bit (they apply
 the same numpy operations to the same value multisets); the group-by path
@@ -49,7 +55,7 @@ import numpy as np
 from ...dataframe.column import Column
 from ...dataframe.frame import DataFrame
 from ...dataframe.groupby import composite_key_codes
-from ...operators.operations import GroupBy
+from ...operators.operations import GroupBy, Join
 from ...stats.dispersion import coefficient_of_variation
 from ...stats.ks import (
     ks_columns,
@@ -77,13 +83,16 @@ class IncrementalBackend(ContributionBackend):
 
     name = "incremental"
 
-    def __init__(self, step, measure, context=None) -> None:
+    def __init__(self, step, measure, context=None,
+                 ks_budget_bytes: Optional[int] = None) -> None:
         super().__init__(step, measure)
         self._context = context
+        self._ks_budget_bytes = ks_budget_bytes
         self._fallback = ExactRerunBackend(step, measure)
         self._plans: Dict[Tuple[int, str], object] = {}
         self._row_sources = _UNSET
         self._groupby_structure = _UNSET
+        self._left_join_structure = _UNSET
 
     # ------------------------------------------------------------------ public
     def reduced_score(self, row_set: RowSet, attribute: str) -> float:
@@ -145,10 +154,21 @@ class IncrementalBackend(ContributionBackend):
 
         sources = self._sources()
         if sources is None or input_index >= len(sources) or sources[input_index] is None:
+            if (measure_type in (ExceptionalityMeasure, DiversityMeasure)
+                    and isinstance(operation, Join) and operation.how == "left"
+                    and input_index == 1):
+                # The right side of a left join is not a slice of the output
+                # (removals resurrect unmatched left rows), but the match
+                # structure determines the reduced output exactly.
+                structure = self._left_join()
+                if structure is not None:
+                    return _left_join_right_plan(self.step, attribute, structure,
+                                                 measure_type is DiversityMeasure)
             return None
         if measure_type is ExceptionalityMeasure:
             return _SliceExceptionalityPlan(self.step, attribute, input_index,
-                                            sources[input_index])
+                                            sources[input_index],
+                                            ks_budget_bytes=self._ks_budget_bytes)
         if measure_type is DiversityMeasure:
             return _SliceDiversityPlan(self.step, attribute, input_index,
                                        sources[input_index])
@@ -173,6 +193,15 @@ class IncrementalBackend(ContributionBackend):
             else:
                 self._groupby_structure = _GroupByStructure.build(self.step)
         return self._groupby_structure
+
+    def _left_join(self) -> Optional["_LeftJoinStructure"]:
+        if self._left_join_structure is _UNSET:
+            hook = getattr(self._context, "left_join_structure", None)
+            if hook is not None:
+                self._left_join_structure = hook(self.step, _LeftJoinStructure.build)
+            else:
+                self._left_join_structure = _LeftJoinStructure.build(self.step)
+        return self._left_join_structure
 
 
 class _ConstantScorePlan:
@@ -447,7 +476,8 @@ class _SliceExceptionalityPlan:
     Eq. 1, join → the input holding the attribute, union → the paper's max).
     """
 
-    def __init__(self, step, attribute: str, input_index: int, sources: np.ndarray) -> None:
+    def __init__(self, step, attribute: str, input_index: int, sources: np.ndarray,
+                 ks_budget_bytes: Optional[int] = None) -> None:
         self._n_rows = step.inputs[input_index].num_rows
         self._sources = sources
         self._pairs: List[_KSPair] = []
@@ -458,6 +488,7 @@ class _SliceExceptionalityPlan:
                     self._pairs.append(_KSPair(
                         frame[attribute], output_column,
                         before_is_reduced=(position == input_index),
+                        ks_budget_bytes=ks_budget_bytes,
                     ))
 
     def reduced_score(self, row_set: RowSet) -> float:
@@ -491,10 +522,12 @@ class _KSPair:
     * mixed — reduced :class:`Column` views fed to :func:`ks_columns`.
     """
 
-    def __init__(self, before: Column, after: Column, before_is_reduced: bool) -> None:
+    def __init__(self, before: Column, after: Column, before_is_reduced: bool,
+                 ks_budget_bytes: Optional[int] = None) -> None:
         self._before = before
         self._after = after
         self._before_is_reduced = before_is_reduced
+        self._ks_budget_bytes = ks_budget_bytes
         numeric_before = before.is_numeric or before.is_boolean
         numeric_after = after.is_numeric or after.is_boolean
         if numeric_before and numeric_after:
@@ -565,7 +598,8 @@ class _KSPair:
                 keep_before = ~removed[:, self._before_rows]
             keep_after = keep_output[:, self._after_rows]
             return ks_sorted_masked_batch(self._sorted_before, keep_before,
-                                          self._sorted_after, keep_after)
+                                          self._sorted_after, keep_after,
+                                          budget_bytes=self._ks_budget_bytes)
         if self._mode == "categorical":
             if self._before_is_reduced:
                 counts_before = self._counts_before[None, :] - _scatter_counts(
@@ -581,6 +615,7 @@ class _KSPair:
             return ks_from_value_counts_batch(
                 counts_before, self._positions_before,
                 counts_after, self._positions_after, self._support_size,
+                budget_bytes=self._ks_budget_bytes,
             )
         return np.asarray([
             self.reduced_ks(removed[position], keep_output[position])
@@ -601,6 +636,182 @@ def _scatter_counts(selected: np.ndarray, codes: np.ndarray, size: int) -> np.nd
     set_index, position_index = np.nonzero(selected[:, valid])
     flat = set_index * size + valid_codes[position_index]
     return np.bincount(flat, minlength=n_sets * size).reshape(n_sets, size).astype(float)
+
+
+# -------------------------------------------------------------------- left join
+class _LeftJoinStructure:
+    """Match structure of a left join, shared by all right-side interventions.
+
+    ``left_idx`` / ``right_idx`` are the input rows of every matched output
+    pair (in output order), ``unmatched_left`` the sorted left rows the join
+    appends after the pairs, and ``match_counts`` how many pairs each left
+    row participates in — enough to derive, for any removal of right rows,
+    exactly which pairs survive and which left rows resurface as unmatched.
+    """
+
+    def __init__(self, left_idx: np.ndarray, right_idx: np.ndarray,
+                 unmatched_left: np.ndarray, n_left: int) -> None:
+        self.left_idx = left_idx
+        self.right_idx = right_idx
+        self.unmatched_left = unmatched_left
+        self.n_left = n_left
+        self.match_counts = np.bincount(left_idx, minlength=n_left)
+
+    @classmethod
+    def build(cls, step) -> Optional["_LeftJoinStructure"]:
+        operation = step.operation
+        if any(key not in frame for frame in step.inputs for key in operation.on):
+            return None
+        left_idx, right_idx, unmatched_left = operation.match_rows(step.inputs)
+        return cls(left_idx, right_idx, unmatched_left, step.inputs[0].num_rows)
+
+
+def _left_join_right_plan(step, attribute: str, structure: _LeftJoinStructure,
+                          diversity: bool) -> Optional["_LeftJoinRightPlan"]:
+    """Build the right-side plan, or ``None`` when the attribute's source
+    column in the output cannot be resolved (fall back to exact rerun)."""
+    plan = _LeftJoinRightPlan(step, attribute, structure, diversity)
+    return plan if plan.supported else None
+
+
+class _LeftJoinRightPlan:
+    """Reduced score of a left-join step under right-side row removals.
+
+    Removing a set of right rows removes their matched pairs from the
+    output and *resurrects* every left row whose matches are all gone as an
+    unmatched row (left values, null right values) — so the reduced output
+    is not a slice of the materialised output, but it is fully determined
+    by the match structure:
+
+    * surviving pairs — mask the pair arrays with ``~removed[right_idx]``
+      (subsequence order equals the rerun's pair order, because removing
+      rows preserves the stable sort order of the survivors);
+    * unmatched tail — the original unmatched left rows merged (sorted)
+      with the newly resurfaced ones, exactly as the rerun would emit them.
+
+    The reduced output column for the scored attribute is assembled from
+    these pieces with the same concatenation the join materialisation uses
+    (bit-identical values, same order), then scored with the same measure
+    primitives — KS against the untouched left column and/or the reduced
+    right column for exceptionality, coefficient of variation for
+    diversity.
+    """
+
+    def __init__(self, step, attribute: str, structure: _LeftJoinStructure,
+                 diversity: bool) -> None:
+        left, right = step.inputs[0], step.inputs[1]
+        operation = step.operation
+        self._attribute = attribute
+        self._structure = structure
+        self._diversity = diversity
+        self._n_right = right.num_rows
+        self.supported = True
+        self._out_kind = None
+        self._pair_values: Optional[np.ndarray] = None
+        self._left_tail_values: Optional[np.ndarray] = None
+        self._filler_numeric = False
+        self._before_left: Optional[Column] = None
+        self._before_right: Optional[Column] = None
+
+        if attribute in step.output:
+            # Which input column materialises this output column, mirroring
+            # the join's collision-suffix naming.
+            keys = list(operation.on)
+            collisions = (set(left.column_names) & set(right.column_names)) - set(keys)
+            source = None
+            for name in left.column_names:
+                out_name = name + "_left" if name in collisions else name
+                if out_name == attribute:
+                    source = ("left", name)
+                    break
+            if source is None:
+                for name in right.column_names:
+                    if name in keys:
+                        continue
+                    out_name = name + "_right" if name in collisions else name
+                    if out_name == attribute:
+                        source = ("right", name)
+                        break
+            if source is None:
+                self.supported = False
+                return
+            side, src_name = source
+            self._out_kind = step.output[attribute].kind
+            if side == "left":
+                src = left[src_name]
+                self._pair_values = src.values[structure.left_idx]
+                self._left_tail_values = src.values
+            else:
+                src = right[src_name]
+                self._pair_values = src.values[structure.right_idx]
+                self._filler_numeric = src.is_numeric
+
+        if not diversity:
+            # The exceptionality measure compares the reduced output against
+            # every *input* column named like the attribute: the untouched
+            # left column, and/or the right column minus the removed rows.
+            if attribute in left:
+                self._before_left = left[attribute]
+            if attribute in right:
+                self._before_right = right[attribute]
+
+    # ------------------------------------------------------------------ scoring
+    def reduced_score(self, row_set: RowSet) -> float:
+        structure = self._structure
+        removed = _removal_mask(row_set, self._n_right)
+        keep_pairs = ~removed[structure.right_idx]
+        surviving = np.bincount(structure.left_idx[keep_pairs],
+                                minlength=structure.n_left)
+        newly_unmatched = np.flatnonzero(
+            (structure.match_counts > 0) & (surviving == 0)
+        )
+        if newly_unmatched.size:
+            unmatched = np.sort(np.concatenate([structure.unmatched_left,
+                                                newly_unmatched]))
+        else:
+            unmatched = structure.unmatched_left
+
+        if self._diversity:
+            if self._out_kind != "numeric":
+                # Absent or non-numeric output column: diversity scores 0
+                # regardless of the intervention, as the measure would.
+                return 0.0
+            values = self._reduced_output_values(keep_pairs, unmatched)
+            return coefficient_of_variation(values.astype(float))
+
+        if self._pair_values is None:
+            return 0.0  # attribute absent from the (schema-stable) output
+        after = Column._from_trusted(
+            self._attribute, self._reduced_output_values(keep_pairs, unmatched),
+            self._out_kind,
+        )
+        scores = []
+        if self._before_left is not None:
+            scores.append(ks_columns(self._before_left, after))
+        if self._before_right is not None:
+            before = Column._from_trusted(
+                self._attribute, self._before_right.values[~removed],
+                self._before_right.kind,
+            )
+            scores.append(ks_columns(before, after))
+        return max(scores) if scores else 0.0
+
+    def _reduced_output_values(self, keep_pairs: np.ndarray,
+                               unmatched: np.ndarray) -> np.ndarray:
+        """The reduced output column's values, in the rerun's exact order."""
+        pair_values = self._pair_values[keep_pairs]
+        if unmatched.size == 0:
+            # The materialisation concatenates the unmatched tail only when
+            # it is non-empty; mirroring that keeps dtype promotion (e.g.
+            # int64 pairs + NaN filler -> float64) identical.
+            return pair_values
+        if self._left_tail_values is not None:
+            tail = self._left_tail_values[unmatched]
+        elif self._filler_numeric:
+            tail = np.full(unmatched.size, np.nan, dtype=float)
+        else:
+            tail = np.asarray([None] * unmatched.size, dtype=object)
+        return np.concatenate([pair_values, tail])
 
 
 def _sorted_clean(column: Column) -> Tuple[np.ndarray, np.ndarray]:

@@ -57,12 +57,14 @@ class ParallelBackend(ContributionBackend):
 
     name = "parallel"
 
-    def __init__(self, step, measure, workers: Optional[int] = None, context=None) -> None:
+    def __init__(self, step, measure, workers: Optional[int] = None, context=None,
+                 ks_budget_bytes: Optional[int] = None) -> None:
         super().__init__(step, measure)
         self.workers = int(workers) if workers else DEFAULT_WORKERS
         if self.workers < 1:
             self.workers = 1
-        self._inner = IncrementalBackend(step, measure, context=context)
+        self._inner = IncrementalBackend(step, measure, context=context,
+                                         ks_budget_bytes=ks_budget_bytes)
         # The partition object is kept in the value to pin its id for the
         # entry's lifetime (mirrors ContributionCalculator._raw_cache): a
         # garbage-collected partition could otherwise donate its reused id

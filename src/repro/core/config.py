@@ -93,6 +93,12 @@ class FedexConfig:
         argsorts / factorizations, row partitions, per-group partial
         aggregates, row provenance) keyed by content fingerprints.  Only
         consulted when explaining through a session.
+    ks_budget_bytes:
+        Memory budget of the batched 2-D KS pass
+        (:func:`repro.stats.ks.ks_sorted_masked_batch`): partitions whose
+        ``n_sets × n_rows`` working set would exceed the budget are
+        re-scored in set-chunks instead of one allocation.  ``None`` uses
+        the module default (:data:`repro.stats.ks.DEFAULT_KS_BUDGET_BYTES`).
     """
 
     sample_size: Optional[int] = None
@@ -113,6 +119,7 @@ class FedexConfig:
     workers: Optional[int] = None
     cache_reports: bool = True
     cache_structures: bool = True
+    ks_budget_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.sample_size is not None and self.sample_size <= 0:
@@ -135,6 +142,10 @@ class FedexConfig:
         resolve_backend_class(self.backend)
         if self.workers is not None and self.workers < 1:
             raise ExplanationError(f"workers must be positive, got {self.workers}")
+        if self.ks_budget_bytes is not None and self.ks_budget_bytes < 1:
+            raise ExplanationError(
+                f"ks_budget_bytes must be positive, got {self.ks_budget_bytes}"
+            )
 
     def with_backend(self, backend: str, workers=_UNSET) -> "FedexConfig":
         """A copy of this config using the given contribution backend.
@@ -163,6 +174,72 @@ class FedexConfig:
     def weighted_score_denominator(self) -> float:
         """``W_I + W_C`` — the denominator of the weighted explanation score."""
         return self.interestingness_weight + self.contribution_weight
+
+
+#: Default global byte budget of a service's shared cache store (256 MiB).
+DEFAULT_CACHE_BUDGET_BYTES = 256 * 1024 * 1024
+
+#: Default worker-pool size of an :class:`~repro.service.ExplanationService`.
+DEFAULT_SERVICE_WORKERS = 4
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Parameters of the multi-tenant explanation service front end.
+
+    Kept separate from :class:`FedexConfig` on purpose: these knobs govern
+    *serving* (shared memory, concurrency, admission) while ``FedexConfig``
+    governs what one explanation computes — a service holds one of each.
+
+    Parameters
+    ----------
+    cache_budget_bytes:
+        Global byte budget of the shared
+        :class:`~repro.session.store.CacheStore`; least-recently-used
+        entries (across all tenants and cache layers) are evicted beyond
+        it.  ``None`` disables byte-based eviction.
+    tenant_quota_bytes:
+        Per-tenant byte quota within the shared store: a tenant exceeding
+        it evicts *its own* least-recently-used entries first.  ``None``
+        leaves tenants bounded only by the global budget.
+    workers:
+        Size of the service's worker thread pool — the number of
+        explanation requests executing concurrently.
+    max_inflight_per_tenant:
+        Admission bound: how many requests one tenant may have admitted
+        (queued or executing) at once.  ``None`` admits everything.
+    admission:
+        What happens to a request beyond the tenant's in-flight bound:
+        ``"block"`` (default) waits for a slot, ``"reject"`` raises
+        :class:`~repro.errors.ServiceOverloadError` immediately (shed load).
+    """
+
+    cache_budget_bytes: Optional[int] = DEFAULT_CACHE_BUDGET_BYTES
+    tenant_quota_bytes: Optional[int] = None
+    workers: int = DEFAULT_SERVICE_WORKERS
+    max_inflight_per_tenant: Optional[int] = None
+    admission: str = "block"
+
+    def __post_init__(self) -> None:
+        if self.cache_budget_bytes is not None and self.cache_budget_bytes < 1:
+            raise ExplanationError(
+                f"cache_budget_bytes must be positive, got {self.cache_budget_bytes}"
+            )
+        if self.tenant_quota_bytes is not None and self.tenant_quota_bytes < 1:
+            raise ExplanationError(
+                f"tenant_quota_bytes must be positive, got {self.tenant_quota_bytes}"
+            )
+        if self.workers < 1:
+            raise ExplanationError(f"workers must be positive, got {self.workers}")
+        if self.max_inflight_per_tenant is not None and self.max_inflight_per_tenant < 1:
+            raise ExplanationError(
+                "max_inflight_per_tenant must be positive, got "
+                f"{self.max_inflight_per_tenant}"
+            )
+        if self.admission not in ("block", "reject"):
+            raise ExplanationError(
+                f"admission must be 'block' or 'reject', got {self.admission!r}"
+            )
 
 
 def exact_config(**overrides) -> FedexConfig:

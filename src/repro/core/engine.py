@@ -21,6 +21,7 @@ explanations plus all the intermediate artefacts the experiments need
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -34,6 +35,8 @@ from .config import FedexConfig
 from .contribution import ContributionCalculator
 from .explanation import Explanation, build_explanation
 from .interestingness import (
+    DiversityMeasure,
+    ExceptionalityMeasure,
     InterestingnessMeasure,
     MeasureRegistry,
     default_registry,
@@ -145,7 +148,8 @@ class FedexExplainer:
         start = time.perf_counter()
         calculator = ContributionCalculator(
             step, chosen_measure, backend=self.config.backend,
-            backend_options={"workers": self.config.workers, "context": self.context},
+            backend_options={"workers": self.config.workers, "context": self.context,
+                             "ks_budget_bytes": self.config.ks_budget_bytes},
         )
         # The full partition × attribute grid is known before any
         # contribution is computed; announcing it lets the parallel backend
@@ -217,10 +221,41 @@ class FedexExplainer:
         optimization); the contribution phase still uses all rows.
         """
         chosen_measure = measure or measure_for_step(step, self.registry)
-        scoring_inputs, scoring_output = self._scoring_materialisation(step)
         columns = self._candidate_columns(step, chosen_measure)
+        context = self.context
+        if context is None or not hasattr(context, "score") or \
+                type(chosen_measure) not in (ExceptionalityMeasure, DiversityMeasure):
+            # No cache, or a custom measure whose identity cannot be captured
+            # by a content key: score directly.
+            scoring_inputs, scoring_output = self._scoring_materialisation(step)
+            return {
+                attribute: chosen_measure.score(scoring_inputs, step, scoring_output, attribute)
+                for attribute in columns
+            }
+        # Phase-1 scores depend only on the step's content, the measure, and
+        # the sampling configuration — not on top-k cuts, weights, or the
+        # contribution backend — so steps re-explained under a *different*
+        # engine configuration (where the full-report memo misses) still
+        # reuse every per-attribute score.  The scoring materialisation is
+        # built lazily: a fully warm request never samples or re-runs.
+        base_key = (
+            "phase1", chosen_measure.name,
+            step.operation.kind, step.operation.signature(),
+            tuple(context.frame_fingerprint(frame) for frame in step.inputs),
+            context.frame_fingerprint(step.output),
+            self.config.sample_size, self.config.seed,
+        )
+        materialisation: List[Tuple] = []
+
+        def scored(attribute: str) -> float:
+            if not materialisation:
+                materialisation.append(self._scoring_materialisation(step))
+            scoring_inputs, scoring_output = materialisation[0]
+            return chosen_measure.score(scoring_inputs, step, scoring_output, attribute)
+
         return {
-            attribute: chosen_measure.score(scoring_inputs, step, scoring_output, attribute)
+            attribute: context.score(base_key + (attribute,),
+                                     lambda attribute=attribute: scored(attribute))
             for attribute in columns
         }
 
@@ -384,11 +419,19 @@ class ExplainerPool:
 
     ``factory`` builds the engine for a config; the default builds a bare
     :class:`FedexExplainer` (sessions inject registry/partitioners/context).
+
+    The pool is thread-safe: concurrent service workers asking for the same
+    configuration receive the same engine, built exactly once (the factory
+    runs under the pool lock).  Sharing one engine across workers is sound
+    because :meth:`FedexExplainer.explain` keeps all per-request state in
+    locals — the engine object itself only holds immutable configuration
+    plus the (independently thread-safe) session context.
     """
 
     def __init__(self, factory: Optional[Callable[[FedexConfig], FedexExplainer]] = None) -> None:
         self._factory = factory or (lambda config: FedexExplainer(config=config))
         self._explainers: Dict[Tuple, FedexExplainer] = {}
+        self._lock = threading.Lock()
 
     def for_config(self, config: FedexConfig) -> FedexExplainer:
         """The pooled engine for a configuration, constructed on first use."""
@@ -397,13 +440,17 @@ class ExplainerPool:
         key = config_signature(config)
         explainer = self._explainers.get(key)
         if explainer is None:
-            explainer = self._factory(config)
-            self._explainers[key] = explainer
+            with self._lock:
+                explainer = self._explainers.get(key)
+                if explainer is None:
+                    explainer = self._factory(config)
+                    self._explainers[key] = explainer
         return explainer
 
     def clear(self) -> None:
         """Drop every pooled engine."""
-        self._explainers.clear()
+        with self._lock:
+            self._explainers.clear()
 
     def __len__(self) -> int:
         return len(self._explainers)

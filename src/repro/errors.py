@@ -48,6 +48,14 @@ class MeasureError(ExplanationError):
     """An interestingness measure is unknown or not applicable to a step."""
 
 
+class ServiceError(ReproError):
+    """The multi-tenant explanation service was misused or is unavailable."""
+
+
+class ServiceOverloadError(ServiceError):
+    """A request was shed by per-tenant admission control (``admission="reject"``)."""
+
+
 class DatasetError(ReproError):
     """A synthetic dataset generator received invalid parameters."""
 

@@ -35,7 +35,12 @@ class ExplainableDataFrame:
     or its measure registry.  A wrapper opened from an
     :class:`~repro.session.ExplanationSession` (via ``session.open(frame)``)
     additionally routes every ``explain()`` through that session, making
-    repeated explains of the same step cross-step cache hits.
+    repeated explains of the same step cross-step cache hits; one opened
+    from an :class:`~repro.service.ExplanationService` (via
+    ``service.open(tenant, frame)``) further carries the tenant identity, so
+    its explains pass admission control, are charged to the tenant's store
+    quota, and appear in the service metrics.  ``session`` is duck-typed:
+    anything with ``explain(step, measure=..., config=...)`` works.
     """
 
     def __init__(self, frame: DataFrame, history: Optional[List[ExploratoryStep]] = None,

@@ -244,17 +244,33 @@ class Join(Operation):
         self.validate_inputs(inputs)
         return inputs[0].join(inputs[1], on=self.on, how=self.how)
 
-    def row_mask(self, inputs: Sequence[DataFrame]) -> Optional[List[Optional[np.ndarray]]]:
+    def match_rows(self, inputs: Sequence[DataFrame]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The join's match structure: paired row indices plus unmatched lefts.
+
+        Returns ``(left_idx, right_idx, unmatched_left)`` exactly as the
+        hash-join materialisation computes them: ``left_idx[i]`` /
+        ``right_idx[i]`` are the input rows of output pair ``i`` (in output
+        order), and ``unmatched_left`` lists (sorted) the left rows a left
+        join appends after the pairs.  The incremental backend derives
+        right-side interventions of a *left* join from this — removing
+        right rows drops pairs and resurrects fully-unmatched left rows,
+        which is not a slice of the output but is fully determined here.
+        """
         from ..dataframe.join import _match_rows
 
         self.validate_inputs(inputs)
-        left_idx, right_idx, unmatched_left = _match_rows(inputs[0], inputs[1], self.on)
+        return _match_rows(inputs[0], inputs[1], self.on)
+
+    def row_mask(self, inputs: Sequence[DataFrame]) -> Optional[List[Optional[np.ndarray]]]:
+        left_idx, right_idx, unmatched_left = self.match_rows(inputs)
         if self.how == "inner":
             return [left_idx, right_idx]
         if self.how == "left":
             # Output rows are the matched pairs followed by the unmatched left
             # rows.  Removing a right row is not a slice of the output (its
-            # matched left rows would resurface as unmatched), hence ``None``.
+            # matched left rows would resurface as unmatched), hence ``None``
+            # — the dedicated left-join plan of the incremental backend
+            # handles that side through :meth:`match_rows` instead.
             return [np.concatenate([left_idx, unmatched_left]).astype(np.int64), None]
         return None
 

@@ -1,0 +1,97 @@
+"""Request/latency metrics of the explanation service.
+
+One :class:`ServiceMetrics` per service, updated by every request from
+whichever worker thread ran it.  Counters are guarded by one lock — the
+update is a handful of integer additions per request, invisible next to an
+explanation's cost — and snapshots are taken under the same lock, so a
+scraper always sees a consistent set.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+
+class _TenantCounters:
+    __slots__ = ("requests", "completed", "errors", "rejected", "total_seconds")
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.completed = 0
+        self.errors = 0
+        self.rejected = 0
+        self.total_seconds = 0.0
+
+
+class ServiceMetrics:
+    """Thread-safe request counters and latency aggregates, global and per tenant."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._global = _TenantCounters()
+        self._tenants: Dict[str, _TenantCounters] = {}
+        self._max_latency = 0.0
+
+    # ------------------------------------------------------------------ updates
+    def record_admitted(self, tenant: str) -> None:
+        """Count a request entering the service (admitted, not yet finished)."""
+        with self._lock:
+            self._global.requests += 1
+            self._tenant(tenant).requests += 1
+
+    def record_rejected(self, tenant: str) -> None:
+        """Count a request shed by per-tenant admission control."""
+        with self._lock:
+            self._global.rejected += 1
+            self._tenant(tenant).rejected += 1
+
+    def record_completed(self, tenant: str, seconds: float,
+                         error: bool = False) -> None:
+        """Count a finished request and fold its latency into the aggregates."""
+        with self._lock:
+            for counters in (self._global, self._tenant(tenant)):
+                if error:
+                    counters.errors += 1
+                else:
+                    counters.completed += 1
+                counters.total_seconds += seconds
+            if seconds > self._max_latency:
+                self._max_latency = seconds
+
+    # ---------------------------------------------------------------- snapshots
+    def snapshot(self, tenant: Optional[str] = None) -> Dict[str, float]:
+        """A consistent snapshot of the counters (global, or one tenant's).
+
+        Includes the derived mean latency over finished requests; the
+        service layers the store's hit rate on top (the store owns cache
+        counters, the metrics own request counters).
+        """
+        with self._lock:
+            counters = self._global if tenant is None else self._tenants.get(tenant)
+            if counters is None:
+                counters = _TenantCounters()
+            finished = counters.completed + counters.errors
+            payload = {
+                "requests": counters.requests,
+                "completed": counters.completed,
+                "errors": counters.errors,
+                "rejected": counters.rejected,
+                "total_seconds": counters.total_seconds,
+                "mean_seconds": counters.total_seconds / finished if finished else 0.0,
+            }
+            if tenant is None:
+                payload["max_seconds"] = self._max_latency
+            return payload
+
+    def tenants(self) -> list:
+        """Tenants that have issued at least one request."""
+        with self._lock:
+            return sorted(self._tenants)
+
+    # ---------------------------------------------------------------- internals
+    def _tenant(self, tenant: str) -> _TenantCounters:
+        counters = self._tenants.get(tenant)
+        if counters is None:
+            counters = self._tenants[tenant] = _TenantCounters()
+        return counters

@@ -1,0 +1,246 @@
+"""The multi-tenant explanation service front end.
+
+:class:`ExplanationService` is the ROADMAP's serving shape: **one process,
+many tenants, one shared cache, bounded memory**.  It composes the pieces
+the lower layers provide —
+
+* a shared :class:`~repro.session.store.CacheStore` (byte-budgeted,
+  RW-locked, per-tenant quotas, request coalescing),
+* one lightweight :class:`~repro.session.ExplanationSession` view per
+  tenant (lazy, engine pool shared per configuration, thread-safe),
+* a worker thread pool executing explanation requests,
+
+— and adds what only the front end can know: per-tenant admission control
+(bound the number of requests one tenant may have in flight; block or shed
+the excess) and request/latency metrics.
+
+Usage::
+
+    from repro.service import ExplanationService
+
+    service = ExplanationService()                   # defaults: 4 workers
+    songs = service.open("alice", load_spotify())    # tenant-routed wrapper
+    popular = songs.filter(Comparison("popularity", ">", 65))
+    print(popular.explain().render_text())           # admission -> pool -> cache
+
+    future = service.submit("bob", step)             # async request
+    report = future.result()
+
+    service.stats()                                  # requests, latency, hit rate
+    service.close()
+
+Threads, not processes: the hot paths are NumPy kernels that release the
+GIL, and every worker shares the store's memoized structure for free.  Do
+not call :meth:`explain` from *inside* a worker (it would wait on its own
+pool); compose steps first, then submit.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Dict, Optional
+
+from ..core.config import FedexConfig, ServiceConfig
+from ..core.engine import ExplanationReport
+from ..core.interestingness import MeasureRegistry
+from ..dataframe.frame import DataFrame
+from ..errors import ServiceError, ServiceOverloadError
+from ..explain.explainable import ExplainableDataFrame
+from ..operators.step import ExploratoryStep
+from ..session import CacheStore, ExplanationSession
+from .metrics import ServiceMetrics
+
+
+class _TenantBinding:
+    """Session-shaped handle routing a tenant's explains through the service.
+
+    :class:`~repro.explain.explainable.ExplainableDataFrame` only needs an
+    object with ``explain(step, measure=..., config=...)``; binding the
+    tenant here keeps the wrapper API identical whether it was opened from
+    a plain session or from a service — but service-opened wrappers pass
+    through admission control and metrics.
+    """
+
+    __slots__ = ("_service", "_tenant")
+
+    def __init__(self, service: "ExplanationService", tenant: str) -> None:
+        self._service = service
+        self._tenant = tenant
+
+    def explain(self, step: ExploratoryStep, measure: str | None = None,
+                config: FedexConfig | None = None) -> ExplanationReport:
+        return self._service.explain(self._tenant, step, measure=measure, config=config)
+
+
+class ExplanationService:
+    """Serves explanation requests for many concurrent tenants.
+
+    Parameters
+    ----------
+    config:
+        Default :class:`~repro.core.config.FedexConfig` of every tenant
+        session (individual requests may override it).
+    service_config:
+        The serving knobs (:class:`~repro.core.config.ServiceConfig`):
+        cache budget, per-tenant quotas, worker count, admission policy.
+    store:
+        An existing shared store — e.g. one rebuilt from a
+        :meth:`~repro.session.store.CacheStore.save` snapshot so the
+        service starts warm.  Built from ``service_config`` by default.
+    registry:
+        Optional measure registry shared by every tenant session.  Note
+        that a custom registry keys reports under a process-local
+        environment token, which disables cross-restart report reuse.
+    """
+
+    def __init__(self, config: FedexConfig | None = None,
+                 service_config: ServiceConfig | None = None,
+                 store: CacheStore | None = None,
+                 registry: MeasureRegistry | None = None) -> None:
+        self.config = config or FedexConfig()
+        self.service_config = service_config or ServiceConfig()
+        if store is None:
+            store = CacheStore(
+                budget_bytes=self.service_config.cache_budget_bytes,
+                tenant_quota_bytes=self.service_config.tenant_quota_bytes,
+            )
+        self.store = store
+        self.metrics = ServiceMetrics()
+        self._registry = registry
+        self._sessions: Dict[str, ExplanationSession] = {}
+        self._admission: Dict[str, threading.Semaphore] = {}
+        self._state_lock = threading.Lock()
+        self._closed = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.service_config.workers,
+            thread_name_prefix="fedex-service",
+        )
+
+    # ------------------------------------------------------------------ public
+    def open(self, tenant: str, frame: DataFrame,
+             config: FedexConfig | None = None) -> ExplainableDataFrame:
+        """Wrap a dataframe so every ``explain()`` routes through this service.
+
+        The returned wrapper records operations exactly like
+        ``session.open(...)``; its explains carry the tenant identity, so
+        they pass admission control, are charged to the tenant's quota, and
+        appear in the tenant's metrics.
+        """
+        return ExplainableDataFrame(
+            frame, config=config or self.config, session=_TenantBinding(self, tenant)
+        )
+
+    def submit(self, tenant: str, step: ExploratoryStep, measure: str | None = None,
+               config: FedexConfig | None = None) -> "Future[ExplanationReport]":
+        """Enqueue one explanation request; returns a future for the report.
+
+        The request first passes the tenant's admission bound
+        (``max_inflight_per_tenant``): beyond it, ``admission="block"``
+        waits for one of the tenant's slots, ``admission="reject"`` raises
+        :class:`~repro.errors.ServiceOverloadError` immediately.
+        """
+        if self._closed:
+            raise ServiceError("the explanation service has been closed")
+        gate = self._admission_gate(tenant)
+        if gate is not None:
+            blocking = self.service_config.admission == "block"
+            if not gate.acquire(blocking=blocking):
+                self.metrics.record_rejected(tenant)
+                raise ServiceOverloadError(
+                    f"tenant {tenant!r} exceeded its in-flight bound of "
+                    f"{self.service_config.max_inflight_per_tenant} requests"
+                )
+        self.metrics.record_admitted(tenant)
+        session = self.session(tenant)
+
+        def run() -> ExplanationReport:
+            start = time.perf_counter()
+            try:
+                report = session.explain(step, measure=measure, config=config)
+            except Exception:
+                self.metrics.record_completed(tenant, time.perf_counter() - start,
+                                              error=True)
+                raise
+            self.metrics.record_completed(tenant, time.perf_counter() - start)
+            return report
+
+        try:
+            future = self._executor.submit(run)
+        except BaseException:
+            # E.g. the pool was shut down between the closed check and the
+            # submit; the admission slot must not leak with it.
+            if gate is not None:
+                gate.release()
+            raise
+        if gate is not None:
+            future.add_done_callback(lambda _future: gate.release())
+        return future
+
+    def explain(self, tenant: str, step: ExploratoryStep, measure: str | None = None,
+                config: FedexConfig | None = None) -> ExplanationReport:
+        """Synchronous :meth:`submit` — admission, pool, metrics included."""
+        return self.submit(tenant, step, measure=measure, config=config).result()
+
+    def session(self, tenant: str) -> ExplanationSession:
+        """The tenant's session view over the shared store (created lazily)."""
+        session = self._sessions.get(tenant)
+        if session is None:
+            with self._state_lock:
+                session = self._sessions.get(tenant)
+                if session is None:
+                    session = ExplanationSession(
+                        config=self.config, registry=self._registry,
+                        store=self.store, tenant=tenant,
+                    )
+                    self._sessions[tenant] = session
+        return session
+
+    def tenants(self) -> list:
+        """Tenants with an instantiated session."""
+        with self._state_lock:
+            return sorted(self._sessions)
+
+    def stats(self, tenant: Optional[str] = None) -> Dict[str, object]:
+        """Requests/latency metrics plus shared-store usage and hit rate."""
+        payload: Dict[str, object] = dict(self.metrics.snapshot(tenant))
+        if tenant is None:
+            payload["store"] = self.store.metrics.as_dict()
+            payload["store_bytes"] = self.store.usage_bytes
+        else:
+            payload["store_bytes"] = self.store.tenant_usage(tenant)
+        return payload
+
+    def save_cache(self, path: str) -> int:
+        """Snapshot the shared store (see :meth:`CacheStore.save`)."""
+        return self.store.save(path)
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests and shut the worker pool down."""
+        self._closed = True
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "ExplanationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ExplanationService(tenants={len(self._sessions)}, "
+                f"workers={self.service_config.workers}, store={self.store!r})")
+
+    # ---------------------------------------------------------------- internals
+    def _admission_gate(self, tenant: str) -> Optional[threading.Semaphore]:
+        bound = self.service_config.max_inflight_per_tenant
+        if bound is None:
+            return None
+        gate = self._admission.get(tenant)
+        if gate is None:
+            with self._state_lock:
+                gate = self._admission.get(tenant)
+                if gate is None:
+                    gate = threading.Semaphore(bound)
+                    self._admission[tenant] = gate
+        return gate

@@ -5,9 +5,12 @@ stateless.  This subsystem adds the session layer on top:
 
 * :class:`ExplanationSession` — the stateful façade serving explanation
   requests for one exploration session (one notebook, one user);
-* :class:`SessionCache` — the cross-step cache of full reports, row
-  partitions, operation structure, and column argsorts/factorizations,
-  keyed by content fingerprints;
+* :class:`CacheStore` — the shared, thread-safe, byte-budgeted LRU store
+  holding the entries (reports, scores, partitions, structure, columns)
+  with per-tenant quotas, in-flight request coalescing, and
+  ``save()``/``load()`` snapshot persistence;
+* :class:`SessionCache` — one session's lightweight view over a store:
+  tenant identity, per-view statistics, request-scoped fingerprint memo;
 * signatures (re-exported from :mod:`repro.core.signatures`) — the
   value-based step/config identities the memoization keys are built from.
 """
@@ -15,11 +18,17 @@ stateless.  This subsystem adds the session layer on top:
 from ..core.signatures import config_signature, step_signature
 from .cache import SessionCache, SessionCacheStats
 from .session import ExplanationSession
+from .store import DEFAULT_BUDGET_BYTES, CacheStore, RWLock, StoreMetrics, measured_bytes
 
 __all__ = [
+    "CacheStore",
+    "DEFAULT_BUDGET_BYTES",
     "ExplanationSession",
+    "RWLock",
     "SessionCache",
     "SessionCacheStats",
+    "StoreMetrics",
     "config_signature",
     "step_signature",
+    "measured_bytes",
 ]

@@ -1,4 +1,4 @@
-"""The cross-step cache of an exploration session.
+"""The per-tenant cache view of an exploration session.
 
 A notebook exploration session revisits the same data over and over: a
 filter is refined three times over the same dataframe, a group-by is
@@ -10,17 +10,29 @@ of that cross-step state, keyed by **content fingerprints**
 content-identical data reuses the intervention structure of earlier steps —
 regardless of whether the dataframe objects are literally the same.
 
-Four layers, from coarse to fine:
+Since the multi-tenant refactor the entries themselves live in a shared,
+thread-safe, byte-budgeted :class:`~repro.session.store.CacheStore`;
+``SessionCache`` is the lightweight *view* one session holds over it: it
+contributes the tenant identity every insert is charged to, the per-view
+hit/miss statistics, and the request-scoped fingerprint memo (thread-local,
+so concurrent workers serving one tenant never share a memo).  A private
+store is created when none is injected, which preserves the original
+one-session-one-cache behaviour exactly.
+
+Five layers, from coarse to fine:
 
 * **full reports** — ``(step signature, config signature, measure)`` →
-  :class:`~repro.core.engine.ExplanationReport`, LRU-bounded; re-explaining
-  an already-seen step is a dictionary lookup;
+  :class:`~repro.core.engine.ExplanationReport`; re-explaining an
+  already-seen step is a dictionary lookup;
+* **interestingness scores** — phase-1 per-attribute scores keyed by step
+  content + scoring config, reused across *different* engine
+  configurations of the same step;
 * **row partitions** — ``(frame fingerprint, partition config)`` → built
   :class:`~repro.core.partition.RowPartition` lists; two different filters
   over the same input share every partition;
-* **operation structure** — per-group row assignment of group-by steps and
-  row-level provenance of sliceable steps, keyed by input fingerprints plus
-  the operation's declarative description;
+* **operation structure** — per-group row assignment of group-by steps,
+  row-level provenance of sliceable steps, and left-join match structure,
+  keyed by input fingerprints plus the operation's declarative description;
 * **column structure** — cached argsorts / factorizations are *adopted*
   across content-identical :class:`Column` objects, so the ``O(n log n)``
   sort behind every KS re-scoring is paid once per content, not once per
@@ -33,7 +45,7 @@ mutation changes the fingerprint and the lookup misses.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
@@ -43,6 +55,7 @@ from ..core.partition import RowPartition
 from ..dataframe.column import Column
 from ..dataframe.frame import DataFrame
 from ..operators.step import ExploratoryStep
+from .store import CacheStore, _MISSING
 
 
 @dataclass
@@ -51,6 +64,8 @@ class SessionCacheStats:
 
     report_hits: int = 0
     report_misses: int = 0
+    score_hits: int = 0
+    score_misses: int = 0
     partition_hits: int = 0
     partition_misses: int = 0
     structure_hits: int = 0
@@ -61,59 +76,68 @@ class SessionCacheStats:
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dictionary (for logging/rendering)."""
         return {name: getattr(self, name) for name in (
-            "report_hits", "report_misses", "partition_hits", "partition_misses",
+            "report_hits", "report_misses", "score_hits", "score_misses",
+            "partition_hits", "partition_misses",
             "structure_hits", "structure_misses", "column_structure_hits",
             "columns_adopted",
         )}
 
 
 class SessionCache:
-    """All cross-step memoized state of one exploration session.
+    """One session's view over a (possibly shared) explanation cache store.
 
     The cache doubles as the engine's *context* object: it implements the
-    ``adopt_step`` / ``partitions`` / ``groupby_structure`` / ``row_sources``
-    hooks that :class:`~repro.core.engine.FedexExplainer` and the
-    incremental backend consult when one is injected.
-
-    Every layer is bounded (caps below, least-recently-used eviction), so a
-    long-lived session serving many requests over changing data reaches a
-    steady-state memory footprint instead of growing without limit.
+    ``adopt_step`` / ``partitions`` / ``score`` / ``groupby_structure`` /
+    ``row_sources`` / ``left_join_structure`` hooks that
+    :class:`~repro.core.engine.FedexExplainer` and the incremental backend
+    consult when one is injected.
 
     Parameters
     ----------
-    max_reports:
-        Upper bound on memoized full reports.
-    max_columns:
-        Upper bound on retained canonical columns.  Columns dominate the
-        cache's memory footprint because each keeps its values plus cached
-        argsort/factorization alive.
-    max_partitions:
-        Upper bound on memoized per-attribute partition lists (each holds
-        row-index arrays proportional to its frame's row count).
-    max_structures:
-        Upper bound on memoized operation structures (group-by row
-        assignments, row-provenance arrays).
+    max_reports / max_columns / max_partitions / max_structures:
+        Per-layer entry caps applied to a *privately created* store (the
+        original single-session bounds).  Ignored when ``store`` is
+        injected — a shared store is governed by its own byte budget.
+    store:
+        The shared :class:`~repro.session.store.CacheStore` holding the
+        entries.  ``None`` creates a private store bounded by the entry
+        caps plus the default byte budget.
+    tenant:
+        Tenant identity every insert through this view is charged to.
     """
 
     def __init__(self, max_reports: int = 256, max_columns: int = 4_096,
-                 max_partitions: int = 1_024, max_structures: int = 512) -> None:
+                 max_partitions: int = 1_024, max_structures: int = 512,
+                 store: Optional[CacheStore] = None, tenant: str = "default") -> None:
         self.max_reports = max_reports
         self.max_columns = max_columns
         self.max_partitions = max_partitions
         self.max_structures = max_structures
+        self.tenant = tenant
+        if store is None:
+            store = CacheStore(max_entries={
+                "reports": max_reports, "columns": max_columns,
+                "partitions": max_partitions, "structures": max_structures,
+                "scores": max_reports,
+            })
+        self.store = store
         self.stats = SessionCacheStats()
-        self._reports: "OrderedDict[Tuple, ExplanationReport]" = OrderedDict()
-        self._partitions: "OrderedDict[Tuple, List[RowPartition]]" = OrderedDict()
-        self._structures: "OrderedDict[Tuple, object]" = OrderedDict()
-        self._columns: "OrderedDict[str, Column]" = OrderedDict()
         # Request-scoped fingerprint memos (id -> (object, fingerprint)); the
         # kept object reference pins the id for the memo's lifetime.  Active
-        # only inside a `request()` scope, so the mutation-invalidation
-        # contract (recompute per request) is preserved.
-        self._request_columns: Optional[Dict[int, Tuple[Column, str]]] = None
-        self._request_frames: Optional[Dict[int, Tuple[DataFrame, str]]] = None
+        # only inside a `request()` scope and thread-local, so concurrent
+        # workers sharing one view keep independent memos and the
+        # mutation-invalidation contract (recompute per request) holds.
+        self._local = threading.local()
 
     # ------------------------------------------------------- fingerprint memo
+    @property
+    def _request_columns(self) -> Optional[Dict[int, Tuple[Column, str]]]:
+        return getattr(self._local, "columns", None)
+
+    @property
+    def _request_frames(self) -> Optional[Dict[int, Tuple[DataFrame, str]]]:
+        return getattr(self._local, "frames", None)
+
     @contextmanager
     def request(self):
         """Scope one explanation request: fingerprints are hashed at most once.
@@ -124,14 +148,15 @@ class SessionCache:
         per object and reused.  The memo dies with the scope, so the next
         request re-hashes and in-place mutations are still detected.
         """
-        outer = (self._request_columns, self._request_frames)
-        if self._request_columns is None:
-            self._request_columns = {}
-            self._request_frames = {}
+        local = self._local
+        outer = (getattr(local, "columns", None), getattr(local, "frames", None))
+        if outer[0] is None:
+            local.columns = {}
+            local.frames = {}
         try:
             yield self
         finally:
-            self._request_columns, self._request_frames = outer
+            local.columns, local.frames = outer
 
     def column_fingerprint(self, column: Column) -> str:
         """The column's content fingerprint, memoized within a request scope."""
@@ -158,20 +183,47 @@ class SessionCache:
     # ------------------------------------------------------------ full reports
     def get_report(self, key: Tuple) -> Optional[ExplanationReport]:
         """The memoized report for a (step, config, measure) signature, if any."""
-        report = self._reports.get(key)
+        report = self.store.get("reports", key)
         if report is None:
             self.stats.report_misses += 1
             return None
-        self._reports.move_to_end(key)
         self.stats.report_hits += 1
         return report
 
     def store_report(self, key: Tuple, report: ExplanationReport) -> None:
-        """Memoize a full report, evicting the least recently used beyond the cap."""
-        self._reports[key] = report
-        self._reports.move_to_end(key)
-        while len(self._reports) > self.max_reports:
-            self._reports.popitem(last=False)
+        """Memoize a full report (byte-budget eviction owned by the store)."""
+        self.store.put("reports", key, report, tenant=self.tenant)
+
+    def report_singleflight(self, key: Tuple,
+                            build: Callable[[], ExplanationReport]) -> ExplanationReport:
+        """Memoized report with in-flight coalescing of concurrent misses.
+
+        Counts a hit when the store (or a concurrent leader) already holds
+        the report, a miss when this caller computes it.
+        """
+        cached = self.store.get("reports", key, default=_MISSING)
+        if cached is not _MISSING:
+            self.stats.report_hits += 1
+            return cached
+
+        def counted_build() -> ExplanationReport:
+            self.stats.report_misses += 1
+            return build()
+
+        return self.store.singleflight("reports", key, counted_build,
+                                       tenant=self.tenant)
+
+    # ------------------------------------------------------------------ scores
+    def score(self, key: Tuple, build: Callable[[], float]) -> float:
+        """A phase-1 interestingness score, memoized by content key."""
+        cached = self.store.get("scores", key, default=_MISSING)
+        if cached is not _MISSING:
+            self.stats.score_hits += 1
+            return cached
+        self.stats.score_misses += 1
+        value = build()
+        self.store.put("scores", key, value, tenant=self.tenant)
+        return value
 
     # -------------------------------------------------------------- partitions
     def partitions(self, key: Tuple,
@@ -183,16 +235,13 @@ class SessionCache:
         group values) — the caller hashes the frame once and reuses the
         fingerprint across its per-attribute keys.
         """
-        cached = self._partitions.get(key)
-        if cached is not None:
-            self._partitions.move_to_end(key)
+        cached = self.store.get("partitions", key, default=_MISSING)
+        if cached is not _MISSING:
             self.stats.partition_hits += 1
             return cached
         self.stats.partition_misses += 1
         built = build()
-        self._partitions[key] = built
-        while len(self._partitions) > self.max_partitions:
-            self._partitions.popitem(last=False)
+        self.store.put("partitions", key, built, tenant=self.tenant)
         return built
 
     # ----------------------------------------------------- operation structure
@@ -223,16 +272,23 @@ class SessionCache:
         )
         return self._structure(key, lambda: build(step))
 
+    def left_join_structure(self, step: ExploratoryStep, build: Callable) -> object:
+        """Match structure of a left join (for right-side interventions)."""
+        key = (
+            "leftjoin",
+            step.operation.signature(),
+            tuple(self.frame_fingerprint(frame) for frame in step.inputs),
+        )
+        return self._structure(key, lambda: build(step))
+
     def _structure(self, key: Tuple, build: Callable[[], object]) -> object:
-        if key in self._structures:
-            self._structures.move_to_end(key)
+        cached = self.store.get("structures", key, default=_MISSING)
+        if cached is not _MISSING:
             self.stats.structure_hits += 1
-            return self._structures[key]
+            return cached
         self.stats.structure_misses += 1
         built = build()
-        self._structures[key] = built
-        while len(self._structures) > self.max_structures:
-            self._structures.popitem(last=False)
+        self.store.put("structures", key, built, tenant=self.tenant)
         return built
 
     # --------------------------------------------------------- column adoption
@@ -262,7 +318,7 @@ class SessionCache:
         dropped rather than poisoning a fresh content-identical column.
         """
         fingerprint = self.column_fingerprint(column)
-        previous = self._columns.get(fingerprint)
+        previous = self.store.get("columns", fingerprint)
         if previous is not None and previous is not column:
             if self.column_fingerprint(previous) != fingerprint:
                 previous = None  # canonical mutated since adoption: treat as new content
@@ -274,25 +330,50 @@ class SessionCache:
                 column._factorized = previous._factorized
                 self.stats.column_structure_hits += 1
         self.stats.columns_adopted += 1
-        self._columns[fingerprint] = column
-        self._columns.move_to_end(fingerprint)
-        while len(self._columns) > self.max_columns:
-            self._columns.popitem(last=False)
+        self.store.put("columns", fingerprint, column, tenant=self.tenant)
         return column
+
+    # --------------------------------------------------------------- inspection
+    @property
+    def _reports(self) -> Dict:
+        """Snapshot of the reports layer (tests/debugging)."""
+        return self.store.layer_items("reports")
+
+    @property
+    def _partitions(self) -> Dict:
+        """Snapshot of the partitions layer (tests/debugging)."""
+        return self.store.layer_items("partitions")
+
+    @property
+    def _structures(self) -> Dict:
+        """Snapshot of the structures layer (tests/debugging)."""
+        return self.store.layer_items("structures")
+
+    @property
+    def _columns(self) -> Dict:
+        """Snapshot of the columns layer (tests/debugging)."""
+        return self.store.layer_items("columns")
 
     # ------------------------------------------------------------ housekeeping
     def clear(self) -> None:
-        """Drop every cached entry and reset the counters."""
-        self._reports.clear()
-        self._partitions.clear()
-        self._structures.clear()
-        self._columns.clear()
-        if self._request_columns is not None:
-            self._request_columns.clear()
+        """Drop every cached entry and reset the counters.
+
+        Clears the *store* — when the store is shared this clears it for
+        every view, which is what an operator flushing a poisoned cache
+        wants; per-tenant trimming is the store's quota eviction's job.
+        """
+        self.store.clear()
+        memo = self._request_columns
+        if memo is not None:
+            memo.clear()
             self._request_frames.clear()
         self.stats = SessionCacheStats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"SessionCache(reports={len(self._reports)}, "
-                f"partitions={len(self._partitions)}, "
-                f"structures={len(self._structures)}, columns={len(self._columns)})")
+        store = self.store
+        return (f"SessionCache(tenant={self.tenant!r}, "
+                f"reports={store.layer_count('reports')}, "
+                f"scores={store.layer_count('scores')}, "
+                f"partitions={store.layer_count('partitions')}, "
+                f"structures={store.layer_count('structures')}, "
+                f"columns={store.layer_count('columns')})")

@@ -47,6 +47,7 @@ from ..dataframe.frame import DataFrame
 from ..explain.explainable import ExplainableDataFrame
 from ..operators.step import ExploratoryStep
 from .cache import SessionCache, SessionCacheStats
+from .store import CacheStore
 
 
 class _EnvironmentToken:
@@ -72,8 +73,15 @@ class ExplanationSession:
         capture arbitrary partitioner identity) but leaves every other
         layer active.
     cache:
-        The cross-step cache; injectable for sharing across sessions or for
-        inspection in tests.  A fresh bounded cache by default.
+        The cross-step cache view; injectable for sharing across sessions or
+        for inspection in tests.  A fresh bounded cache by default.
+    store:
+        Alternatively, a shared :class:`~repro.session.store.CacheStore`:
+        the session builds its own lightweight :class:`SessionCache` view
+        over it, charged to ``tenant``.  Ignored when ``cache`` is given.
+    tenant:
+        Tenant identity for store accounting (per-tenant byte quotas) when
+        the session shares a store with other sessions.
     max_history:
         Number of recent steps retained in :attr:`history`.  Bounded because
         each retained step pins its input/output dataframes in memory — a
@@ -84,11 +92,16 @@ class ExplanationSession:
                  registry: MeasureRegistry | None = None,
                  extra_partitioners: Sequence[Partitioner] | None = None,
                  cache: SessionCache | None = None,
+                 store: "CacheStore | None" = None,
+                 tenant: str = "default",
                  max_history: int = 256) -> None:
         self.config = config or FedexConfig()
         self.registry = registry or default_registry()
         self.extra_partitioners = list(extra_partitioners or [])
-        self.cache = cache if cache is not None else SessionCache()
+        if cache is None:
+            cache = SessionCache(store=store, tenant=tenant)
+        self.cache = cache
+        self.tenant = cache.tenant
         self._explainers = ExplainerPool(self._build_explainer)
         self._history: "deque[ExploratoryStep]" = deque(maxlen=max_history)
         # Report-memo key component identifying the session's measure/
@@ -121,19 +134,19 @@ class ExplanationSession:
         # One request scope: every fingerprint needed below (step signature,
         # column adoption, partition/structure keys) is hashed at most once.
         with self.cache.request():
-            report_key: Optional[Tuple] = None
-            if effective.cache_reports:
-                report_key = (
-                    step_signature(step, frame_fingerprint=self.cache.frame_fingerprint),
-                    config_signature(effective), measure, self._environment_token,
-                )
-                cached = self.cache.get_report(report_key)
-                if cached is not None:
-                    return cached
-            report = self._explainers.for_config(effective).explain(step, measure=measure)
-            if report_key is not None:
-                self.cache.store_report(report_key, report)
-            return report
+            compute = lambda: self._explainers.for_config(effective).explain(
+                step, measure=measure
+            )
+            if not effective.cache_reports:
+                return compute()
+            report_key = (
+                step_signature(step, frame_fingerprint=self.cache.frame_fingerprint),
+                config_signature(effective), measure, self._environment_token,
+            )
+            # Coalesced through the shared store: concurrent misses on the
+            # same key (four tenants replaying one workload) share a single
+            # computation instead of racing four identical ones.
+            return self.cache.report_singleflight(report_key, compute)
 
     def open(self, frame: DataFrame, config: FedexConfig | None = None) -> ExplainableDataFrame:
         """Wrap a dataframe so every ``explain()`` on it routes through this session."""

@@ -1,0 +1,535 @@
+"""The shared, byte-budgeted explanation cache store.
+
+:class:`CacheStore` is the multi-tenant heart of the serving architecture:
+one process-wide store of memoized explanation state — full reports,
+phase-1 interestingness scores, row partitions, operation structure,
+canonical columns — shared by every
+:class:`~repro.session.cache.SessionCache` view (and thus every tenant) of
+an :class:`~repro.service.ExplanationService`.
+
+Design points, in the order they matter:
+
+* **Bounded by measured bytes, not entry counts.**  A memoized report over
+  a 1M-row frame and one over a 100-row frame are wildly different costs;
+  the store sizes every value with :func:`measured_bytes` (a recursive
+  walk that prices NumPy buffers at ``nbytes``) and evicts
+  least-recently-used entries — across *all* layers, in one global LRU —
+  until usage fits ``budget_bytes``.  A value that alone exceeds the
+  budget is rejected outright instead of wiping the store.
+* **Per-tenant byte quotas.**  Every entry is charged to the tenant that
+  inserted it.  When a tenant exceeds its quota, *that tenant's*
+  least-recently-used entries are evicted first, so one analyst replaying
+  a giant notebook cannot evict everyone else's warm state.  Reads are
+  shared: any tenant may hit any entry (the whole point of a shared
+  store); quotas bound what each tenant can pin, not what it can see.
+* **Reader/writer locking.**  Lookups take a shared read lock; inserts and
+  evictions take the exclusive write lock.  Because an LRU *read* must
+  eventually bump recency (a write), reads record their touches in a
+  lock-free queue that the next writer drains — recency is batched, never
+  blocking the read path.
+* **Snapshot persistence.**  :meth:`save` pickles the entries to a file and
+  :meth:`load` rebuilds a store from one, so a warmed cache survives a
+  process restart (or ships to another serving process).  Entries that
+  cannot be pickled (custom environment tokens hold process-local
+  identity on purpose) are skipped, never fatal.
+* **In-flight request coalescing.**  :meth:`singleflight` lets concurrent
+  misses on the same key share one computation: the first caller becomes
+  the leader and computes, followers block on an event and read the
+  stored result.  Under concurrent tenants replaying overlapping
+  workloads this — not thread parallelism — is where the throughput
+  multiplier comes from.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+import threading
+import types
+from collections import OrderedDict, deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.config import DEFAULT_CACHE_BUDGET_BYTES
+
+#: Default global byte budget of a shared store (one source of truth with
+#: :data:`repro.core.config.DEFAULT_CACHE_BUDGET_BYTES`, which services use).
+DEFAULT_BUDGET_BYTES = DEFAULT_CACHE_BUDGET_BYTES
+
+#: Read-side recency records are drained opportunistically once the queue
+#: grows past this; a pure-hit workload must not accumulate touches forever.
+_TOUCH_DRAIN_THRESHOLD = 4_096
+
+#: Layers a store distinguishes (used for per-layer entry caps and stats).
+STORE_LAYERS = ("reports", "scores", "partitions", "structures", "columns")
+
+#: Fallback object size when ``sys.getsizeof`` is unavailable for a value.
+_DEFAULT_OBJECT_SIZE = 64
+
+_MISSING = object()
+
+
+# ------------------------------------------------------------------ sizing
+def measured_bytes(value: object) -> int:
+    """Approximate deep size of a cached value, in bytes.
+
+    An iterative graph walk (cycle-safe via an ``id`` set) that prices
+    NumPy arrays at their buffer size — the dominant cost of every cached
+    artefact (reports pin row-set index arrays, partitions pin row
+    indices, columns pin values plus cached argsorts) — and everything
+    else at ``sys.getsizeof``.  Shared sub-objects are counted once per
+    call, so the result is the marginal footprint of pinning the value.
+
+    The walk descends into containers, ``__dict__``/``__slots__`` state,
+    but never into classes, modules, or functions (shared process state is
+    not attributable to one cache entry).
+    """
+    seen: set = set()
+    total = 0
+    stack: List[object] = [value]
+    while stack:
+        obj = stack.pop()
+        identity = id(obj)
+        if identity in seen:
+            continue
+        seen.add(identity)
+        if isinstance(obj, np.ndarray):
+            total += int(obj.nbytes) + _DEFAULT_OBJECT_SIZE
+            if obj.dtype == np.object_:
+                stack.extend(obj.tolist())
+            continue
+        if isinstance(obj, (type, types.ModuleType, types.FunctionType,
+                            types.MethodType, types.BuiltinFunctionType)):
+            continue
+        try:
+            total += sys.getsizeof(obj)
+        except TypeError:  # pragma: no cover - exotic C extension types
+            total += _DEFAULT_OBJECT_SIZE
+        if isinstance(obj, (str, bytes, bytearray, int, float, complex, bool)) or obj is None:
+            continue
+        if isinstance(obj, dict):
+            stack.extend(obj.keys())
+            stack.extend(obj.values())
+            continue
+        if isinstance(obj, (list, tuple, set, frozenset, deque)):
+            stack.extend(obj)
+            continue
+        state = getattr(obj, "__dict__", None)
+        if state:
+            stack.extend(state.values())
+        for klass in type(obj).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                attr = getattr(obj, slot, None)
+                if attr is not None:
+                    stack.append(attr)
+    return total
+
+
+# ------------------------------------------------------------------ locking
+class RWLock:
+    """A readers/writer lock with writer preference.
+
+    Any number of readers may hold the lock concurrently; a writer holds it
+    exclusively.  Arriving writers block *new* readers (writer preference),
+    so a steady read stream cannot starve eviction or insertion.  Not
+    reentrant — the store never nests acquisitions.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        """Hold the shared read lock for the duration of the block."""
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def write(self):
+        """Hold the exclusive write lock for the duration of the block."""
+        with self._condition:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._condition.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writer = False
+                self._condition.notify_all()
+
+
+# ------------------------------------------------------------------ metrics
+class StoreMetrics:
+    """Aggregate counters of one shared store (all tenants, all layers).
+
+    Increments go through :meth:`bump` under a dedicated lock — ``+=`` on a
+    shared attribute is a racy read-modify-write that silently loses counts
+    under concurrent workers, which would make exact-count assertions (and
+    hit-rate dashboards) flaky.
+    """
+
+    _FIELDS = ("hits", "misses", "insertions", "evictions", "quota_evictions",
+               "oversize_rejections", "coalesced_requests")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Atomically increment one counter."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit, over the store's lifetime."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """The counters (plus the derived hit rate) as a plain dictionary."""
+        with self._lock:
+            payload: Dict[str, float] = {
+                name: getattr(self, name) for name in self._FIELDS
+            }
+        total = payload["hits"] + payload["misses"]
+        payload["hit_rate"] = payload["hits"] / total if total else 0.0
+        return payload
+
+
+class _Entry:
+    __slots__ = ("value", "nbytes", "tenant")
+
+    def __init__(self, value: object, nbytes: int, tenant: str) -> None:
+        self.value = value
+        self.nbytes = nbytes
+        self.tenant = tenant
+
+
+@dataclass
+class _Inflight:
+    """One in-flight computation being coalesced across callers."""
+
+    event: threading.Event = field(default_factory=threading.Event)
+
+
+# -------------------------------------------------------------------- store
+class CacheStore:
+    """Shared, thread-safe, byte-budgeted LRU store of explanation state.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Global cap on the measured bytes of all entries.  ``None`` disables
+        byte-based eviction (entry caps, when given, still apply).
+    tenant_quota_bytes:
+        Per-tenant byte cap.  Either one integer applied to every tenant or
+        a mapping ``tenant -> quota``; tenants absent from the mapping are
+        unbounded (up to the global budget).  ``None`` disables quotas.
+    max_entries:
+        Optional per-layer entry caps, ``{layer: count}`` — retained for
+        the single-session :class:`~repro.session.cache.SessionCache`
+        compatibility surface; byte budgets are the primary bound.
+    """
+
+    def __init__(self, budget_bytes: Optional[int] = DEFAULT_BUDGET_BYTES,
+                 tenant_quota_bytes: Optional[object] = None,
+                 max_entries: Optional[Dict[str, int]] = None) -> None:
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._tenant_quotas = tenant_quota_bytes
+        self._max_entries = dict(max_entries or {})
+        self._entries: "OrderedDict[Tuple[str, object], _Entry]" = OrderedDict()
+        self._layer_counts: Dict[str, int] = {}
+        self._usage = 0
+        self._tenant_usage: Dict[str, int] = {}
+        self._lock = RWLock()
+        self._touches: "deque[Tuple[str, object]]" = deque()
+        self._inflight: Dict[Tuple[str, object], _Inflight] = {}
+        self._inflight_lock = threading.Lock()
+        self.metrics = StoreMetrics()
+
+    # ----------------------------------------------------------------- lookups
+    def get(self, layer: str, key: object, default: object = None) -> object:
+        """The cached value of ``(layer, key)``, bumping its recency on a hit."""
+        composite = (layer, key)
+        with self._lock.read():
+            entry = self._entries.get(composite)
+        if entry is None:
+            self.metrics.bump("misses")
+            return default
+        # Recency is recorded lock-free and applied by the next writer;
+        # deque.append is atomic under the GIL.  A pure-hit workload never
+        # writes, so drain opportunistically once the queue grows — both to
+        # bound its memory and to keep LRU order honest between writes.
+        self._touches.append(composite)
+        if len(self._touches) > _TOUCH_DRAIN_THRESHOLD:
+            with self._lock.write():
+                self._drain_touches_locked()
+        self.metrics.bump("hits")
+        return entry.value
+
+    def __contains__(self, composite: Tuple[str, object]) -> bool:
+        with self._lock.read():
+            return composite in self._entries
+
+    # ----------------------------------------------------------------- inserts
+    def put(self, layer: str, key: object, value: object, tenant: str = "default",
+            nbytes: Optional[int] = None) -> bool:
+        """Insert (or replace) an entry, evicting beyond budgets.
+
+        Returns ``False`` when the value alone exceeds the global budget or
+        the tenant's quota — such a value is *not* stored (storing it would
+        evict the whole store and still not fit).
+        """
+        size = measured_bytes(value) if nbytes is None else int(nbytes)
+        quota = self._quota_for(tenant)
+        if (self.budget_bytes is not None and size > self.budget_bytes) or \
+                (quota is not None and size > quota):
+            self.metrics.bump("oversize_rejections")
+            return False
+        composite = (layer, key)
+        with self._lock.write():
+            self._drain_touches_locked()
+            previous = self._entries.pop(composite, None)
+            if previous is not None:
+                self._account_removal_locked(layer, previous)
+            self._entries[composite] = _Entry(value, size, tenant)
+            self._layer_counts[layer] = self._layer_counts.get(layer, 0) + 1
+            self._usage += size
+            self._tenant_usage[tenant] = self._tenant_usage.get(tenant, 0) + size
+            self.metrics.bump("insertions")
+            self._evict_locked(tenant)
+        return True
+
+    def memoize(self, layer: str, key: object, build: Callable[[], object],
+                tenant: str = "default") -> object:
+        """``get`` or build-and-``put`` — the common read-through pattern."""
+        value = self.get(layer, key, default=_MISSING)
+        if value is not _MISSING:
+            return value
+        value = build()
+        self.put(layer, key, value, tenant=tenant)
+        return value
+
+    # ------------------------------------------------------------ coalescing
+    def singleflight(self, layer: str, key: object, build: Callable[[], object],
+                     tenant: str = "default") -> object:
+        """Compute-once semantics for concurrent misses on one key.
+
+        The first caller of a missing key becomes the *leader*: it runs
+        ``build()``, stores the result, and wakes the followers, which
+        return the stored value without recomputing.  If the leader fails
+        (or the result is evicted before a follower wakes), followers fall
+        back to computing for themselves — coalescing is an optimization,
+        never a correctness dependency.
+        """
+        value = self.get(layer, key, default=_MISSING)
+        if value is not _MISSING:
+            return value
+        composite = (layer, key)
+        with self._inflight_lock:
+            flight = self._inflight.get(composite)
+            leader = flight is None
+            if leader:
+                flight = _Inflight()
+                self._inflight[composite] = flight
+        if not leader:
+            flight.event.wait()
+            self.metrics.bump("coalesced_requests")
+            value = self.get(layer, key, default=_MISSING)
+            if value is not _MISSING:
+                return value
+            return build()
+        try:
+            value = build()
+            self.put(layer, key, value, tenant=tenant)
+            return value
+        finally:
+            with self._inflight_lock:
+                self._inflight.pop(composite, None)
+            flight.event.set()
+
+    # ------------------------------------------------------------- accounting
+    @property
+    def usage_bytes(self) -> int:
+        """Measured bytes of every stored entry (consistent snapshot)."""
+        with self._lock.read():
+            return self._usage
+
+    def tenant_usage(self, tenant: str) -> int:
+        """Measured bytes currently charged to one tenant."""
+        with self._lock.read():
+            return self._tenant_usage.get(tenant, 0)
+
+    def tenants(self) -> List[str]:
+        """Tenants with at least one charged byte."""
+        with self._lock.read():
+            return sorted(t for t, used in self._tenant_usage.items() if used > 0)
+
+    def layer_count(self, layer: str) -> int:
+        """Number of entries currently stored in one layer."""
+        with self._lock.read():
+            return self._layer_counts.get(layer, 0)
+
+    def layer_items(self, layer: str) -> "OrderedDict[object, object]":
+        """Snapshot of one layer's ``key -> value`` mapping (LRU order)."""
+        with self._lock.read():
+            return OrderedDict(
+                (key, entry.value) for (entry_layer, key), entry in self._entries.items()
+                if entry_layer == layer
+            )
+
+    def clear(self) -> None:
+        """Drop every entry (metrics are retained; they are lifetime counters)."""
+        with self._lock.write():
+            self._entries.clear()
+            self._layer_counts.clear()
+            self._tenant_usage.clear()
+            self._usage = 0
+            self._touches.clear()
+
+    # ------------------------------------------------------------- persistence
+    def save(self, path: str) -> int:
+        """Snapshot the store to ``path``; returns the number of saved entries.
+
+        Entries are pickled individually so one unpicklable value (e.g. a
+        report keyed under a process-local environment token, or a custom
+        structure holding a lambda) skips that entry instead of failing the
+        snapshot.  Recency order is preserved: oldest first, so a loaded
+        store evicts in the same order the live one would have.
+        """
+        with self._lock.read():
+            snapshot = [
+                (layer, key, entry.tenant, entry.nbytes, entry.value)
+                for (layer, key), entry in self._entries.items()
+            ]
+        records: List[bytes] = []
+        for record in snapshot:
+            try:
+                records.append(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+            except Exception:
+                continue
+        payload = {"version": 1, "records": records}
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        return len(records)
+
+    @classmethod
+    def load(cls, path: str, budget_bytes: Optional[int] = DEFAULT_BUDGET_BYTES,
+             tenant_quota_bytes: Optional[object] = None,
+             max_entries: Optional[Dict[str, int]] = None) -> "CacheStore":
+        """Rebuild a store from a :meth:`save` snapshot.
+
+        Entries are re-inserted oldest-first under the *new* budgets, so a
+        snapshot taken under a larger budget is trimmed to the most
+        recently used entries that fit.  Corrupt individual records are
+        skipped.
+        """
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        if not isinstance(payload, dict) or payload.get("version") != 1:
+            raise ValueError(f"unrecognised cache snapshot format in {path!r}")
+        store = cls(budget_bytes=budget_bytes, tenant_quota_bytes=tenant_quota_bytes,
+                    max_entries=max_entries)
+        for blob in payload["records"]:
+            try:
+                layer, key, tenant, nbytes, value = pickle.loads(blob)
+            except Exception:
+                continue
+            store.put(layer, key, value, tenant=tenant, nbytes=nbytes)
+        return store
+
+    # --------------------------------------------------------------- internals
+    def _quota_for(self, tenant: str) -> Optional[int]:
+        quotas = self._tenant_quotas
+        if quotas is None:
+            return None
+        if isinstance(quotas, dict):
+            return quotas.get(tenant)
+        return int(quotas)
+
+    def _drain_touches_locked(self) -> None:
+        """Apply batched read-side recency bumps (write lock held)."""
+        while True:
+            try:
+                composite = self._touches.popleft()
+            except IndexError:
+                return
+            if composite in self._entries:
+                self._entries.move_to_end(composite)
+
+    def _account_removal_locked(self, layer: str, entry: _Entry) -> None:
+        self._layer_counts[layer] = self._layer_counts.get(layer, 1) - 1
+        self._usage -= entry.nbytes
+        remaining = self._tenant_usage.get(entry.tenant, entry.nbytes) - entry.nbytes
+        self._tenant_usage[entry.tenant] = max(remaining, 0)
+
+    def _evict_locked(self, inserted_tenant: str) -> None:
+        # Per-tenant quota first: the inserting tenant pays for its own
+        # overflow before anyone else's entries are considered.
+        quota = self._quota_for(inserted_tenant)
+        if quota is not None:
+            while self._tenant_usage.get(inserted_tenant, 0) > quota:
+                if not self._evict_one_locked(tenant=inserted_tenant):
+                    break
+                self.metrics.bump("quota_evictions")
+        # Per-layer entry caps (compatibility bound for private stores).
+        for layer, cap in self._max_entries.items():
+            while self._layer_counts.get(layer, 0) > cap:
+                if not self._evict_one_locked(layer=layer):
+                    break
+        # Global byte budget last, across all layers and tenants.
+        if self.budget_bytes is not None:
+            while self._usage > self.budget_bytes and self._entries:
+                self._evict_one_locked()
+
+    def _evict_one_locked(self, tenant: Optional[str] = None,
+                          layer: Optional[str] = None) -> bool:
+        """Evict the least-recently-used entry (optionally of one tenant/layer)."""
+        victim: Optional[Tuple[str, object]] = None
+        if tenant is None and layer is None:
+            if self._entries:
+                victim = next(iter(self._entries))
+        else:
+            for composite, entry in self._entries.items():
+                if tenant is not None and entry.tenant != tenant:
+                    continue
+                if layer is not None and composite[0] != layer:
+                    continue
+                victim = composite
+                break
+        if victim is None:
+            return False
+        entry = self._entries.pop(victim)
+        self._account_removal_locked(victim[0], entry)
+        self.metrics.bump("evictions")
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock.read():
+            counts = ", ".join(
+                f"{layer}={count}" for layer, count in sorted(self._layer_counts.items())
+                if count
+            )
+            return (f"CacheStore({counts or 'empty'}, usage={self._usage}B, "
+                    f"budget={self.budget_bytes}B)")

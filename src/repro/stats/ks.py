@@ -71,8 +71,29 @@ def ks_two_sample_sorted(sample_a: np.ndarray, sample_b: np.ndarray) -> float:
     return float(np.max(np.abs(cdf_a - cdf_b)))
 
 
+#: Default working-set budget of the batched 2-D KS passes (128 MiB).  At
+#: paper-full scale the ``n_sets × n_rows`` matrices of one partition can
+#: otherwise grow without bound; sets are processed in chunks that fit.
+DEFAULT_KS_BUDGET_BYTES = 128 * 1024 * 1024
+
+
+def _batch_chunk_size(n_sets: int, words_per_set: int,
+                      budget_bytes: Optional[int]) -> int:
+    """How many sets fit in one chunk of the batched pass.
+
+    ``words_per_set`` counts the float64 elements each set contributes to
+    the pass's transient matrices; the chunk is sized so the chunk's
+    working set stays within ``budget_bytes`` (``None`` → the module
+    default).  Always at least 1 — a single set is the irreducible unit.
+    """
+    budget = DEFAULT_KS_BUDGET_BYTES if budget_bytes is None else int(budget_bytes)
+    per_set = max(words_per_set, 1) * 8
+    return max(1, min(n_sets, budget // per_set))
+
+
 def ks_sorted_masked_batch(sorted_a: np.ndarray, keep_a: Optional[np.ndarray],
-                           sorted_b: np.ndarray, keep_b: Optional[np.ndarray]) -> np.ndarray:
+                           sorted_b: np.ndarray, keep_b: Optional[np.ndarray],
+                           budget_bytes: Optional[int] = None) -> np.ndarray:
     """KS statistics of many masked sub-samples of two sorted arrays at once.
 
     ``sorted_a`` / ``sorted_b`` are the full sorted, NaN-free samples;
@@ -80,7 +101,7 @@ def ks_sorted_masked_batch(sorted_a: np.ndarray, keep_a: Optional[np.ndarray],
     whose row ``i`` selects the sub-sample of set ``i`` (``None`` means every
     set keeps the full array).  Returns one KS statistic per row — the same
     floats :func:`ks_two_sample_sorted` produces on the masked arrays,
-    computed in a single vectorised 2-D pass.
+    computed in a vectorised 2-D pass.
 
     Dropping rows from a sorted array leaves it sorted, so the number of
     kept values ``<= x`` is a prefix-sum of the keep mask evaluated at
@@ -94,6 +115,11 @@ def ks_sorted_masked_batch(sorted_a: np.ndarray, keep_a: Optional[np.ndarray],
     the serial convention.  At least one mask must be given — with both
     sides full there is no per-set variation to batch over, and the number
     of sets cannot be inferred.
+
+    When the pass's per-set transient matrices would exceed ``budget_bytes``
+    (default :data:`DEFAULT_KS_BUDGET_BYTES`), the sets are processed in
+    chunks.  Every set's statistic involves only its own mask row plus the
+    shared positions, so chunking is bit-identical to the single pass.
     """
     if keep_a is None and keep_b is None:
         raise ValueError(
@@ -104,6 +130,34 @@ def ks_sorted_masked_batch(sorted_a: np.ndarray, keep_a: Optional[np.ndarray],
     pooled = np.concatenate([sorted_a, sorted_b])
     positions_a = np.searchsorted(sorted_a, pooled, side="right")
     positions_b = np.searchsorted(sorted_b, pooled, side="right")
+    # Transient float64 words per set: a prefix row + a gathered counts row
+    # per masked side, plus the shared-grid difference row.
+    words_per_set = pooled.size
+    if keep_a is not None:
+        words_per_set += sorted_a.size + 1 + pooled.size
+    if keep_b is not None:
+        words_per_set += sorted_b.size + 1 + pooled.size
+    chunk = _batch_chunk_size(n_sets, words_per_set, budget_bytes)
+    if chunk >= n_sets:
+        return _ks_sorted_masked_block(sorted_a, keep_a, sorted_b, keep_b,
+                                       n_sets, pooled, positions_a, positions_b)
+    statistics = np.empty(n_sets)
+    for start in range(0, n_sets, chunk):
+        stop = min(start + chunk, n_sets)
+        statistics[start:stop] = _ks_sorted_masked_block(
+            sorted_a, None if keep_a is None else keep_a[start:stop],
+            sorted_b, None if keep_b is None else keep_b[start:stop],
+            stop - start, pooled, positions_a, positions_b,
+        )
+    return statistics
+
+
+def _ks_sorted_masked_block(sorted_a: np.ndarray, keep_a: Optional[np.ndarray],
+                            sorted_b: np.ndarray, keep_b: Optional[np.ndarray],
+                            n_sets: int, pooled: np.ndarray,
+                            positions_a: np.ndarray,
+                            positions_b: np.ndarray) -> np.ndarray:
+    """One chunk of :func:`ks_sorted_masked_batch` (shared grid precomputed)."""
     counts_a, totals_a = _masked_prefix_counts(sorted_a.size, keep_a, n_sets, positions_a)
     counts_b, totals_b = _masked_prefix_counts(sorted_b.size, keep_b, n_sets, positions_b)
     valid = (totals_a > 0) & (totals_b > 0)
@@ -131,14 +185,41 @@ def _masked_prefix_counts(n_values: int, keep: Optional[np.ndarray], n_sets: int
 
 def ks_from_value_counts_batch(counts_before: np.ndarray, positions_before: np.ndarray,
                                counts_after: np.ndarray, positions_after: np.ndarray,
-                               support_size: int) -> np.ndarray:
+                               support_size: int,
+                               budget_bytes: Optional[int] = None) -> np.ndarray:
     """Batched :func:`ks_from_value_counts`: one statistic per row of counts.
 
     ``counts_before`` / ``counts_after`` are ``(n_sets, n_uniques)`` matrices
     of per-set value counts; the positions scatter each count column onto the
     shared sorted support exactly as in the serial function.  Rows with zero
     total mass on either side score 0.
+
+    Like :func:`ks_sorted_masked_batch`, the sets are processed in chunks
+    when the per-set PMF matrices would exceed ``budget_bytes`` (default
+    :data:`DEFAULT_KS_BUDGET_BYTES`); rows are independent, so chunking is
+    bit-identical to the single pass.
     """
+    n_sets = counts_before.shape[0]
+    # Two scattered PMF matrices over the full support per set (the
+    # difference reuses one of them in place).
+    chunk = _batch_chunk_size(n_sets, 2 * support_size, budget_bytes)
+    if chunk >= n_sets:
+        return _ks_from_value_counts_block(counts_before, positions_before,
+                                           counts_after, positions_after, support_size)
+    statistics = np.empty(n_sets)
+    for start in range(0, n_sets, chunk):
+        stop = min(start + chunk, n_sets)
+        statistics[start:stop] = _ks_from_value_counts_block(
+            counts_before[start:stop], positions_before,
+            counts_after[start:stop], positions_after, support_size,
+        )
+    return statistics
+
+
+def _ks_from_value_counts_block(counts_before: np.ndarray, positions_before: np.ndarray,
+                                counts_after: np.ndarray, positions_after: np.ndarray,
+                                support_size: int) -> np.ndarray:
+    """One chunk of :func:`ks_from_value_counts_batch`."""
     totals_before = counts_before.sum(axis=1)
     totals_after = counts_after.sum(axis=1)
     valid = (totals_before > 0) & (totals_after > 0)

@@ -258,7 +258,7 @@ class TestBackendEquivalenceProducts:
         step = ExploratoryStep([products, sales], Join("item"))
         _assert_reports_equivalent(step)
 
-    def test_left_join_falls_back_for_right_input(self, products_and_sales_small):
+    def test_left_join_right_input_incremental(self, products_and_sales_small):
         products, sales = products_and_sales_small
         step = ExploratoryStep([products, sales], Join("item", how="left"))
         _assert_reports_equivalent(step)
@@ -331,6 +331,130 @@ class TestIncrementalInternals:
         partition = FrequencyPartitioner().partition(spotify_small, "decade", 3)
         raw = calculator.partition_contributions(partition, "mean_loudness")
         assert raw == [0.0] * len(partition.sets)
+
+
+# -------------------------------------------------------- left join, right side
+class TestLeftJoinRightSide:
+    """Right-side removals of a left join: the incremental plan vs the oracle.
+
+    Removing right rows is not a slice of the output — left rows whose
+    matches all disappear resurface as unmatched — so this family has its
+    own plan (:class:`_LeftJoinRightPlan`) built on the join's match
+    structure.  Every test compares against :class:`ExactRerunBackend`
+    bit-for-bit (the plan assembles the same value arrays in the same
+    order) and asserts the plan actually engaged (no fallback rerun).
+    """
+
+    def _tiny_join(self):
+        # k=2 has two matches, k=3 one, k=4 none; removing both k=2 right
+        # rows resurrects the k=2 left rows as unmatched.
+        left = DataFrame({
+            "k": np.asarray([1.0, 2.0, 2.0, 3.0, 4.0]),
+            "a": np.asarray([10.0, 20.0, 21.0, 30.0, 40.0]),
+            "c": np.asarray(["p", "q", "q", "r", "s"], dtype=object),
+        })
+        right = DataFrame({
+            "k": np.asarray([1.0, 2.0, 2.0, 3.0, 9.0]),
+            "b": np.asarray([1.5, 2.5, 2.6, 3.5, 9.5]),
+            "d": np.asarray(["x", "y", "y", "z", "w"], dtype=object),
+        })
+        return left, right, ExploratoryStep([left, right], Join("k", how="left"))
+
+    def _right_sets(self, right, attribute):
+        from repro.core.partition import RowSet
+
+        combos = [np.asarray([1, 2]), np.asarray([0]), np.asarray([3, 4]),
+                  np.asarray([0, 1, 2, 3, 4]), np.asarray([], dtype=np.int64)]
+        return [
+            RowSet(label=f"s{i}", indices=idx.astype(np.int64), source_attribute=attribute,
+                   label_attribute=attribute, method="frequency", input_index=1)
+            for i, idx in enumerate(combos)
+        ]
+
+    @pytest.mark.parametrize("attribute", ["a", "b", "c", "d", "k"])
+    def test_exceptionality_matches_oracle_bitwise(self, attribute):
+        left, right, step = self._tiny_join()
+        measure = ExceptionalityMeasure()
+        exact = ExactRerunBackend(step, measure)
+        incremental = IncrementalBackend(step, measure)
+        for row_set in self._right_sets(right, attribute):
+            assert incremental.reduced_score(row_set, attribute) == \
+                exact.reduced_score(row_set, attribute)
+        assert not incremental._fallback._reduced_cache
+
+    @pytest.mark.parametrize("attribute", ["a", "b", "k"])
+    def test_diversity_matches_oracle_bitwise(self, attribute):
+        left, right, step = self._tiny_join()
+        measure = DiversityMeasure()
+        exact = ExactRerunBackend(step, measure)
+        incremental = IncrementalBackend(step, measure)
+        for row_set in self._right_sets(right, attribute):
+            assert incremental.reduced_score(row_set, attribute) == \
+                exact.reduced_score(row_set, attribute)
+        assert not incremental._fallback._reduced_cache
+
+    def test_collision_suffixed_columns(self):
+        """Shared non-key column names resolve through the suffix mapping."""
+        left = DataFrame({"k": np.asarray([1.0, 2.0, 3.0]),
+                          "v": np.asarray([5.0, 6.0, 7.0])})
+        right = DataFrame({"k": np.asarray([2.0, 3.0, 3.0]),
+                           "v": np.asarray([1.0, 2.0, 3.0])})
+        step = ExploratoryStep([left, right], Join("k", how="left"))
+        assert "v_left" in step.output and "v_right" in step.output
+        measure = DiversityMeasure()
+        exact = ExactRerunBackend(step, measure)
+        incremental = IncrementalBackend(step, measure)
+        for attribute in ("v_left", "v_right"):
+            for row_set in self._right_sets(right, attribute)[:4]:
+                row_set.indices = row_set.indices[row_set.indices < right.num_rows]
+                assert incremental.reduced_score(row_set, attribute) == \
+                    exact.reduced_score(row_set, attribute)
+        assert not incremental._fallback._reduced_cache
+
+    def test_right_side_partition_never_reruns(self, products_and_sales_small):
+        products, sales = products_and_sales_small
+        step = ExploratoryStep([products, sales], Join("item", how="left"))
+        backend = IncrementalBackend(step, ExceptionalityMeasure())
+        calculator = ContributionCalculator(step, ExceptionalityMeasure(), backend=backend)
+        partition = FrequencyPartitioner().partition(sales, "county", 5, input_index=1)
+        calculator.partition_contributions(partition, "county")
+        assert not backend._fallback._reduced_cache
+
+    def test_right_side_partition_matches_oracle(self, products_and_sales_small):
+        products, sales = products_and_sales_small
+        step = ExploratoryStep([products, sales], Join("item", how="left"))
+        partition = FrequencyPartitioner().partition(sales, "county", 5, input_index=1)
+        _assert_partition_contributions_match(
+            step, ExceptionalityMeasure(), partition, ["county", "total"], tol=0.0
+        )
+
+    def test_sales_side_full_engine(self, products_and_sales_small):
+        """Left join with the dimension table on the right (the lookup shape)."""
+        products, sales = products_and_sales_small
+        step = ExploratoryStep([sales, products], Join("item", how="left"))
+        _assert_reports_equivalent(step, tol=0.0)
+
+
+class TestExactBackendKeying:
+    def test_label_collisions_never_share_materialisations(self, tiny_frame):
+        """Two sets with equal display labels but different rows must not collide.
+
+        Binning labels keep three significant digits, so different intervals
+        of different granularities can render identically — the exact
+        backend keys its memo on the removed-row content, never the label.
+        """
+        from repro.core.partition import RowSet
+
+        step = ExploratoryStep([tiny_frame], Filter(Comparison("popularity", ">", 65)))
+        backend = ExactRerunBackend(step, ExceptionalityMeasure())
+        first = RowSet(label="[1.0, 2.0)", indices=np.asarray([0, 1], dtype=np.int64),
+                       source_attribute="year", label_attribute="year", method="binning")
+        second = RowSet(label="[1.0, 2.0)", indices=np.asarray([2, 3], dtype=np.int64),
+                        source_attribute="year", label_attribute="year", method="binning")
+        _, output_first = backend.reduced_step(first)
+        _, output_second = backend.reduced_step(second)
+        assert output_first is not output_second
+        assert len(backend._reduced_cache) == 2
 
 
 # -------------------------------------------------------------- property-style

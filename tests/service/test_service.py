@@ -1,0 +1,272 @@
+"""Tests of the multi-tenant explanation service front end.
+
+Families: request routing (open/submit/explain produce engine-identical
+reports), concurrency stress (many tenants, shared store, budget invariants
+under a live worker pool), admission control (block vs reject), and
+metrics.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import (
+    Comparison,
+    ExplanationService,
+    ExploratoryStep,
+    FedexConfig,
+    Filter,
+    GroupBy,
+    ServiceConfig,
+)
+from repro.core import FedexExplainer
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.session import CacheStore
+
+#: Worker count of the stress tests; the CI service-concurrency job sets 4.
+STRESS_WORKERS = int(os.environ.get("REPRO_SERVICE_WORKERS", "4"))
+
+
+@pytest.fixture
+def service():
+    svc = ExplanationService(
+        config=FedexConfig(seed=0),
+        service_config=ServiceConfig(workers=STRESS_WORKERS),
+    )
+    yield svc
+    svc.close()
+
+
+def _steps(frame, thresholds=(60, 65, 70)):
+    return [
+        ExploratoryStep([frame], Filter(Comparison("popularity", ">", threshold)))
+        for threshold in thresholds
+    ]
+
+
+class TestRouting:
+    def test_explain_matches_stateless_engine(self, service, spotify_small):
+        step = _steps(spotify_small)[0]
+        reference = FedexExplainer(FedexConfig(seed=0)).explain(step)
+        report = service.explain("alice", step)
+        assert report.skyline_keys() == reference.skyline_keys()
+
+    def test_open_routes_wrapper_through_service(self, service, spotify_small):
+        songs = service.open("alice", spotify_small)
+        popular = songs.filter(Comparison("popularity", ">", 65))
+        first = popular.explain()
+        second = popular.explain()
+        assert second is first  # memo hit through the shared store
+        assert service.metrics.snapshot("alice")["requests"] == 2
+
+    def test_derived_wrappers_keep_the_tenant_binding(self, service, spotify_small):
+        songs = service.open("alice", spotify_small)
+        recent = songs.filter(Comparison("year", ">=", 1990))
+        popular = recent.filter(Comparison("popularity", ">", 65))
+        popular.explain()
+        assert service.metrics.snapshot("alice")["requests"] == 1
+        assert service.store.tenant_usage("alice") > 0
+
+    def test_submit_returns_future(self, service, spotify_small):
+        step = _steps(spotify_small)[0]
+        future = service.submit("alice", step)
+        report = future.result(timeout=60)
+        assert report.config.seed == 0
+
+    def test_tenants_share_reports_across_sessions(self, service, spotify_small):
+        step = _steps(spotify_small)[0]
+        first = service.explain("alice", step)
+        second = service.explain("bob", step)
+        assert second is first
+
+    def test_closed_service_rejects_requests(self, spotify_small):
+        svc = ExplanationService()
+        svc.close()
+        with pytest.raises(ServiceError):
+            svc.submit("alice", _steps(spotify_small)[0])
+
+    def test_per_request_config_override(self, service, spotify_small):
+        step = _steps(spotify_small)[0]
+        report = service.explain("alice", step, config=FedexConfig(top_k_columns=1))
+        assert len(report.selected_columns) <= 1
+
+
+class TestConcurrencyStress:
+    def test_four_tenants_hammering_shared_store(self, spotify_small):
+        """The acceptance stress shape: concurrent tenants, bounded store."""
+        budget = 48 * 1024 * 1024
+        svc = ExplanationService(
+            config=FedexConfig(seed=0),
+            service_config=ServiceConfig(workers=STRESS_WORKERS,
+                                         cache_budget_bytes=budget,
+                                         tenant_quota_bytes=budget // 2),
+        )
+        steps = _steps(spotify_small, thresholds=(55, 60, 65, 70, 75))
+        reference = [FedexExplainer(FedexConfig(seed=0)).explain(step) for step in steps]
+        failures = []
+        max_usage = [0]
+
+        def client(tenant: str) -> None:
+            try:
+                for step, expected in zip(steps, reference):
+                    report = svc.explain(tenant, step)
+                    if report.skyline_keys() != expected.skyline_keys():
+                        failures.append((tenant, "skyline mismatch"))
+                    max_usage[0] = max(max_usage[0], svc.store.usage_bytes)
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append((tenant, exc))
+
+        threads = [threading.Thread(target=client, args=(f"tenant-{i}",))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        svc.close()
+        assert not failures
+        assert max_usage[0] <= budget
+        snapshot = svc.stats()
+        assert snapshot["requests"] == 20
+        assert snapshot["completed"] == 20
+        assert snapshot["errors"] == 0
+
+    def test_mixed_workload_with_quota_pressure(self, spotify_small):
+        """Tiny per-tenant quotas force constant eviction; results stay right."""
+        svc = ExplanationService(
+            config=FedexConfig(seed=0),
+            service_config=ServiceConfig(workers=STRESS_WORKERS,
+                                         cache_budget_bytes=8 * 1024 * 1024,
+                                         tenant_quota_bytes=2 * 1024 * 1024),
+        )
+        steps = _steps(spotify_small) + [
+            ExploratoryStep([spotify_small], GroupBy("decade", {"loudness": ["mean"]}))
+        ]
+        reference = [FedexExplainer(FedexConfig(seed=0)).explain(step) for step in steps]
+        failures = []
+
+        def client(tenant: str) -> None:
+            try:
+                for _ in range(2):
+                    for step, expected in zip(steps, reference):
+                        report = svc.explain(tenant, step)
+                        if report.skyline_keys() != expected.skyline_keys():
+                            failures.append((tenant, "mismatch"))
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append((tenant, exc))
+
+        threads = [threading.Thread(target=client, args=(f"tenant-{i}",))
+                   for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        svc.close()
+        assert not failures
+        assert svc.store.usage_bytes <= 8 * 1024 * 1024
+        for tenant in svc.store.tenants():
+            assert svc.store.tenant_usage(tenant) <= 2 * 1024 * 1024
+
+
+class TestAdmission:
+    def _blocking_service(self, admission: str):
+        svc = ExplanationService(
+            service_config=ServiceConfig(workers=1, max_inflight_per_tenant=1,
+                                         admission=admission),
+        )
+        release = threading.Event()
+        started = threading.Event()
+        session = svc.session("alice")
+
+        def slow_explain(step, measure=None, config=None):
+            started.set()
+            release.wait(timeout=10)
+            return "done"
+
+        session.explain = slow_explain
+        return svc, release, started
+
+    def test_reject_sheds_excess_load(self, spotify_small):
+        svc, release, started = self._blocking_service("reject")
+        step = _steps(spotify_small)[0]
+        try:
+            first = svc.submit("alice", step)
+            assert started.wait(timeout=10)
+            with pytest.raises(ServiceOverloadError):
+                svc.submit("alice", step)
+            assert svc.metrics.snapshot("alice")["rejected"] == 1
+            # Other tenants have their own admission slots (per-tenant bound).
+            release.set()
+            assert first.result(timeout=10) == "done"
+        finally:
+            release.set()
+            svc.close()
+
+    def test_block_waits_for_a_slot(self, spotify_small):
+        svc, release, started = self._blocking_service("block")
+        step = _steps(spotify_small)[0]
+        try:
+            first = svc.submit("alice", step)
+            assert started.wait(timeout=10)
+            outcome = {}
+
+            def second_caller():
+                outcome["report"] = svc.explain("alice", step)
+
+            blocked = threading.Thread(target=second_caller)
+            blocked.start()
+            time.sleep(0.1)
+            assert "report" not in outcome  # still waiting on the slot
+            release.set()
+            blocked.join(timeout=10)
+            assert outcome["report"] == "done"
+            assert first.result(timeout=10) == "done"
+        finally:
+            release.set()
+            svc.close()
+
+    def test_slot_released_after_completion(self, spotify_small):
+        svc = ExplanationService(
+            config=FedexConfig(seed=0),
+            service_config=ServiceConfig(workers=1, max_inflight_per_tenant=1,
+                                         admission="reject"),
+        )
+        step = _steps(spotify_small)[0]
+        try:
+            for _ in range(3):  # sequential requests never trip the bound
+                svc.explain("alice", step)
+        finally:
+            svc.close()
+
+
+class TestMetrics:
+    def test_latency_and_counts_recorded(self, service, spotify_small):
+        step = _steps(spotify_small)[0]
+        service.explain("alice", step)
+        service.explain("alice", step)
+        snapshot = service.stats("alice")
+        assert snapshot["requests"] == 2
+        assert snapshot["completed"] == 2
+        assert snapshot["mean_seconds"] > 0
+        overall = service.stats()
+        assert overall["max_seconds"] >= overall["mean_seconds"] > 0
+        assert overall["store"]["hit_rate"] > 0  # the second explain hit
+
+    def test_errors_counted(self, service):
+        bad_step = ExploratoryStep(
+            [__import__("repro").DataFrame({"x": np.asarray([1.0, 2.0])})],
+            Filter(Comparison("x", ">", 1.0)),
+        )
+        with pytest.raises(Exception):
+            # Interestingness has no applicable column -> ExplanationError.
+            service.explain("alice", bad_step, config=FedexConfig(target_columns=["nope"]))
+        assert service.stats("alice")["errors"] == 1
+
+    def test_store_usage_visible_per_tenant(self, service, spotify_small):
+        service.explain("alice", _steps(spotify_small)[0])
+        assert service.stats("alice")["store_bytes"] > 0
+        assert service.stats()["store_bytes"] >= service.stats("alice")["store_bytes"]

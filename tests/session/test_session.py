@@ -160,6 +160,75 @@ class TestLossyDescriptions:
             _assert_same_report(stateless, session.explain(step))
 
 
+class TestScoreCache:
+    """Phase-1 interestingness scores are memoized by content, not by config."""
+
+    def test_scores_reused_across_different_configs(self, spotify_small):
+        """A config change misses the report memo but hits the score cache."""
+        session = ExplanationSession()
+        step = ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+        session.explain(step)
+        assert session.stats.score_misses > 0
+        misses_after_cold = session.stats.score_misses
+        report = session.explain(step, config=FedexConfig(top_k_explanations=1))
+        assert session.stats.report_hits == 0  # different config signature
+        assert session.stats.score_hits > 0
+        assert session.stats.score_misses == misses_after_cold
+        stateless = FedexExplainer(FedexConfig(top_k_explanations=1)).explain(step)
+        assert report.interestingness_scores == stateless.interestingness_scores
+        _assert_same_report(stateless, report)
+
+    def test_scores_keyed_by_measure(self, spotify_small):
+        session = ExplanationSession()
+        step = ExploratoryStep([spotify_small], GroupBy("decade", {"loudness": ["mean"]}))
+        session.explain(step)
+        misses = session.stats.score_misses
+        session.explain(step, measure="exceptionality")
+        assert session.stats.score_misses > misses  # different measure, new keys
+
+    def test_mutated_frame_misses_score_cache(self, spotify_small):
+        session = ExplanationSession()
+        mutable = spotify_small.copy()
+        step = ExploratoryStep([mutable], Filter(Comparison("popularity", ">", 65)))
+        session.explain(step)
+        misses = session.stats.score_misses
+        mutable["loudness"].values[0] += 1.0
+        session.explain(ExploratoryStep([mutable], Filter(Comparison("popularity", ">", 65))),
+                        config=FedexConfig(top_k_explanations=1))
+        assert session.stats.score_hits == 0
+        assert session.stats.score_misses > misses
+
+    def test_sampling_config_participates_in_the_key(self, spotify_small):
+        session = ExplanationSession()
+        step = ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+        session.explain(step, config=FedexConfig(sample_size=1_000, seed=1))
+        misses = session.stats.score_misses
+        session.explain(step, config=FedexConfig(sample_size=1_000, seed=2))
+        assert session.stats.score_hits == 0  # different seed -> different sample
+        assert session.stats.score_misses > misses
+
+    def test_custom_measures_never_score_cached(self, spotify_small):
+        """A FunctionMeasure's identity is not content-addressable; skip caching."""
+        from repro.core import FunctionMeasure, default_registry
+
+        registry = default_registry()
+        registry.register(FunctionMeasure("constant", lambda i, s, o, a: 1.0))
+        session = ExplanationSession(registry=registry)
+        step = ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+        session.explain(step, measure="constant")
+        assert session.stats.score_misses == 0
+        assert session.stats.score_hits == 0
+
+    def test_overlapping_target_columns_share_scores(self, spotify_small):
+        """Per-attribute keys: a narrowed column set reuses the overlap."""
+        session = ExplanationSession()
+        step = ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+        session.explain(step, config=FedexConfig(target_columns=["popularity", "loudness"]))
+        hits = session.stats.score_hits
+        session.explain(step, config=FedexConfig(target_columns=["popularity"]))
+        assert session.stats.score_hits > hits
+
+
 class TestStructureToggle:
     def test_cache_structures_false_keeps_engine_stateless(self, spotify_small):
         session = ExplanationSession(

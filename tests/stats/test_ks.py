@@ -180,3 +180,75 @@ class TestBatchedKs:
         other = np.asarray([[2.0, 2.0], [2.0, 2.0]])
         batch = ks_from_value_counts_batch(counts, positions, other, positions, 2)
         assert batch[0] == 0.0
+
+
+class TestChunkedBatchedKs:
+    """A memory budget must chunk the 2-D passes without changing one bit.
+
+    Rows of the batched passes are independent, so processing the sets in
+    chunks (down to one set per chunk under a 1-byte budget) must reproduce
+    the unchunked statistics exactly — this is the equivalence contract of
+    the paper-full-scale memory bound.
+    """
+
+    @pytest.mark.parametrize("budget_bytes", [1, 1_000, 50_000])
+    def test_sorted_masked_batch_chunked_is_bit_identical(self, budget_bytes):
+        rng = np.random.default_rng(11)
+        sample_a = np.sort(rng.normal(0, 1, 250))
+        sample_b = np.sort(rng.normal(0.2, 1.1, 180))
+        keep_a = rng.random((13, sample_a.size)) > 0.35
+        keep_b = rng.random((13, sample_b.size)) > 0.25
+        unchunked = ks_sorted_masked_batch(sample_a, keep_a, sample_b, keep_b,
+                                           budget_bytes=1 << 40)
+        chunked = ks_sorted_masked_batch(sample_a, keep_a, sample_b, keep_b,
+                                         budget_bytes=budget_bytes)
+        assert np.array_equal(chunked, unchunked)
+
+    @pytest.mark.parametrize("budget_bytes", [1, 2_000])
+    def test_sorted_masked_batch_chunked_with_full_side(self, budget_bytes):
+        rng = np.random.default_rng(12)
+        sample_a = np.sort(rng.normal(0, 1, 90))
+        sample_b = np.sort(rng.normal(0.4, 0.9, 140))
+        keep_b = rng.random((9, sample_b.size)) > 0.5
+        unchunked = ks_sorted_masked_batch(sample_a, None, sample_b, keep_b,
+                                           budget_bytes=1 << 40)
+        chunked = ks_sorted_masked_batch(sample_a, None, sample_b, keep_b,
+                                         budget_bytes=budget_bytes)
+        assert np.array_equal(chunked, unchunked)
+
+    @pytest.mark.parametrize("budget_bytes", [1, 500])
+    def test_value_counts_batch_chunked_is_bit_identical(self, budget_bytes):
+        rng = np.random.default_rng(13)
+        support_size = 9
+        positions_before = np.asarray([0, 2, 3, 5, 8])
+        positions_after = np.asarray([1, 2, 4, 6, 7])
+        counts_before = rng.integers(0, 25, (11, 5)).astype(float)
+        counts_after = rng.integers(0, 25, (11, 5)).astype(float)
+        unchunked = ks_from_value_counts_batch(
+            counts_before, positions_before, counts_after, positions_after,
+            support_size, budget_bytes=1 << 40,
+        )
+        chunked = ks_from_value_counts_batch(
+            counts_before, positions_before, counts_after, positions_after,
+            support_size, budget_bytes=budget_bytes,
+        )
+        assert np.array_equal(chunked, unchunked)
+
+    def test_engine_results_identical_under_tiny_ks_budget(self):
+        """End-to-end: a 1-byte KS budget must not change any explanation."""
+        from repro.core import FedexConfig, FedexExplainer
+        from repro.dataframe import Comparison, DataFrame
+        from repro.operators import ExploratoryStep, Filter
+
+        rng = np.random.default_rng(14)
+        frame = DataFrame({
+            "value": rng.normal(50, 20, 600),
+            "group": np.asarray(rng.choice(["a", "b", "c", "d"], 600), dtype=object),
+        })
+        step = ExploratoryStep([frame], Filter(Comparison("value", ">", 55)))
+        default = FedexExplainer(FedexConfig()).explain(step)
+        budgeted = FedexExplainer(FedexConfig(ks_budget_bytes=1)).explain(step)
+        assert default.skyline_keys() == budgeted.skyline_keys()
+        for mine, theirs in zip(default.all_candidates, budgeted.all_candidates):
+            assert mine.contribution == theirs.contribution
+            assert mine.standardized_contribution == theirs.standardized_contribution
