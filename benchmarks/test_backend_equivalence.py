@@ -9,6 +9,12 @@ within ``1e-9`` of the serial incremental backend regardless of worker
 count.  Prints a per-query comparison table with the per-backend
 contribution-phase timings and the speedup.
 
+The storage layer's acceptance bar rides in the same harness: every query
+re-run against tables opened from a :class:`~repro.storage.DatasetStore`
+(mmap-backed frames, scan pushdown active) must produce **bit-identical**
+reports — identical skylines, score deltas of exactly zero — versus the
+in-memory frames.
+
 The parallel worker count defaults to 2 and can be overridden with the
 ``REPRO_WORKERS`` environment variable (the CI matrix runs this suite with
 ``REPRO_WORKERS=2`` on every python version).
@@ -18,10 +24,12 @@ from __future__ import annotations
 
 import os
 
-from conftest import run_once
+from conftest import run_once, scale_sizes
 
 from repro.core import FedexConfig, FedexExplainer
+from repro.datasets import DatasetRegistry
 from repro.experiments import print_table
+from repro.storage import DatasetStore
 from repro.workloads import WORKLOAD
 
 
@@ -100,3 +108,34 @@ def test_backend_equivalence_over_workload(benchmark, bench_registry):
         f"incremental contribution phase slower in aggregate: "
         f"{total_incremental:.2f}s vs {total_exact:.2f}s"
     )
+
+
+def _compare_store_backed(memory_registry, store_registry):
+    rows = []
+    for query in WORKLOAD:
+        config = FedexConfig(seed=0)
+        memory = FedexExplainer(config).explain(query.build_step(memory_registry))
+        stored = FedexExplainer(config).explain(query.build_step(store_registry))
+        rows.append({
+            "query": query.number,
+            "dataset": query.dataset,
+            "kind": query.kind,
+            "skyline_equal": memory.skyline_keys() == stored.skyline_keys(),
+            "max_score_delta": _max_delta(_scores(memory), _scores(stored)),
+        })
+    return rows
+
+
+def test_store_backed_equivalence_over_workload(benchmark, bench_registry,
+                                                tmp_path_factory):
+    """All 30 queries are bit-identical on DatasetStore-opened (mmap) frames."""
+    store = DatasetStore(tmp_path_factory.mktemp("equivalence-store"))
+    store_registry = DatasetRegistry(seed=0, store=store, **scale_sizes())
+    rows = run_once(benchmark, _compare_store_backed, bench_registry, store_registry)
+    print_table(rows, title="In-memory vs DatasetStore-backed over the 30-query workload")
+    assert len(rows) == 30
+    mismatched = [row["query"] for row in rows if not row["skyline_equal"]]
+    assert not mismatched, f"queries with diverging skylines: {mismatched}"
+    # Bit-identical is the bar: same values in, same floats out — zero delta.
+    drifted = [row["query"] for row in rows if row["max_score_delta"] != 0.0]
+    assert not drifted, f"queries with non-identical scores: {drifted}"

@@ -24,6 +24,7 @@ Subpackages
 ``repro.explain``     one-line explanation wrapper
 ``repro.session``     session layer: shared cache store + per-tenant views
 ``repro.service``     multi-tenant serving front end (workers, admission)
+``repro.storage``     chunked columnar dataset store (mmap frames, pushdown)
 ``repro.baselines``   SeeDB, RATH-style, Interestingness-Only baselines
 ``repro.datasets``    synthetic Spotify / Bank / Products+Sales generators
 ``repro.workloads``   the paper's 30 evaluation queries
@@ -38,6 +39,7 @@ from .explain.explainable import ExplainableDataFrame, explain_dataframe
 from .operators import ExploratoryStep, Filter, GroupBy, Join, Union, parse_query
 from .service import ExplanationService, ServiceConfig
 from .session import CacheStore, ExplanationSession, SessionCache
+from .storage import DatasetStore
 
 __version__ = "1.0.0"
 
@@ -47,6 +49,7 @@ __all__ = [
     "Column",
     "Comparison",
     "DataFrame",
+    "DatasetStore",
     "ExplainableDataFrame",
     "Explanation",
     "ExplanationReport",

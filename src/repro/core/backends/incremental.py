@@ -259,7 +259,8 @@ class _GroupByStructure:
         if any(key not in frame for key in operation.keys):
             return None
         if operation.pre_filter is not None:
-            active = np.asarray(operation.pre_filter.mask(frame), dtype=bool)
+            # predicate_mask so stored (mmap) inputs get chunk pruning here too.
+            active = frame.predicate_mask(operation.pre_filter)
         else:
             active = np.ones(n_rows, dtype=bool)
         combined, any_null = composite_key_codes(frame, operation.keys)

@@ -14,7 +14,7 @@ keys, aggregations, and distribution comparisons.
 from __future__ import annotations
 
 import hashlib
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +26,39 @@ KIND_CATEGORICAL = "categorical"
 KIND_BOOLEAN = "boolean"
 
 _VALID_KINDS = (KIND_NUMERIC, KIND_CATEGORICAL, KIND_BOOLEAN)
+
+
+class FingerprintStats:
+    """Process-wide counters of column fingerprint work (observability).
+
+    ``full_hashes`` counts fingerprints computed by hashing the raw values;
+    ``full_hash_max_rows`` tracks the largest column fully hashed since the
+    last :meth:`reset`; ``persisted_hits`` counts fingerprints answered from
+    a persisted storage fingerprint without touching the values.  The
+    storage benchmarks use these to prove that the warm mmap explain path
+    never re-hashes a stored column.
+    """
+
+    __slots__ = ("full_hashes", "full_hash_max_rows", "persisted_hits")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.full_hashes = 0
+        self.full_hash_max_rows = 0
+        self.persisted_hits = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "full_hashes": self.full_hashes,
+            "full_hash_max_rows": self.full_hash_max_rows,
+            "persisted_hits": self.persisted_hits,
+        }
+
+
+#: Global fingerprint counters (reset freely in tests/benchmarks).
+FINGERPRINT_STATS = FingerprintStats()
 
 
 def infer_kind(values: np.ndarray) -> str:
@@ -82,7 +115,8 @@ class Column:
         Optional logical kind override; inferred from the dtype when omitted.
     """
 
-    __slots__ = ("name", "values", "kind", "_factorized", "_sorted_order")
+    __slots__ = ("name", "kind", "_data", "_loader", "_length",
+                 "_persisted_fingerprint", "_factorized", "_sorted_order")
 
     def __init__(self, name: str, values: Any, kind: str | None = None) -> None:
         if not isinstance(name, str) or not name:
@@ -94,8 +128,11 @@ class Column:
                 f"unknown column kind {resolved_kind!r}; expected one of {_VALID_KINDS}"
             )
         self.name = name
-        self.values = array
         self.kind = resolved_kind
+        self._data = array
+        self._loader = None
+        self._length = None
+        self._persisted_fingerprint = None
         self._factorized = None
         self._sorted_order = None
 
@@ -110,15 +147,61 @@ class Column:
         """
         column = cls.__new__(cls)
         column.name = name
-        column.values = values
         column.kind = kind
+        column._data = values
+        column._loader = None
+        column._length = None
+        column._persisted_fingerprint = None
         column._factorized = None
         column._sorted_order = None
         return column
 
+    @classmethod
+    def from_storage(cls, name: str, kind: str, length: int, *,
+                     values: Optional[np.ndarray] = None,
+                     loader: Optional[Callable[[], np.ndarray]] = None,
+                     fingerprint: Optional[str] = None,
+                     factorized: Optional[Tuple] = None) -> "Column":
+        """Build a storage-backed column (see :mod:`repro.storage`).
+
+        Exactly one of ``values`` (an already memory-mapped, read-only
+        array) or ``loader`` (a zero-argument callable materialising the
+        values on first touch; it must return a *read-only* array) is
+        required.  ``fingerprint`` is the persisted content fingerprint
+        recorded when the column was written: because the backing array is
+        read-only, the content cannot drift, so :meth:`fingerprint` returns
+        it without re-hashing the values.  ``factorized`` optionally seeds
+        the factorization cache from persisted dictionary codes.
+        """
+        if (values is None) == (loader is None):
+            raise ColumnError("from_storage needs exactly one of values/loader")
+        if values is not None and values.flags.writeable:
+            raise ColumnError("storage-backed columns must wrap read-only arrays")
+        column = cls.__new__(cls)
+        column.name = name
+        column.kind = kind
+        column._data = values
+        column._loader = loader
+        column._length = int(length)
+        column._persisted_fingerprint = fingerprint
+        column._factorized = factorized
+        column._sorted_order = None
+        return column
+
     # ------------------------------------------------------------------ dunder
+    @property
+    def values(self) -> np.ndarray:
+        """The backing array; storage-backed columns materialise on first touch."""
+        data = self._data
+        if data is None:
+            data = self._loader()
+            self._data = data
+        return data
+
     def __len__(self) -> int:
-        return int(self.values.shape[0])
+        if self._data is None:
+            return self._length
+        return int(self._data.shape[0])
 
     def __iter__(self):
         return iter(self.values.tolist())
@@ -250,7 +333,25 @@ class Column:
         every call (it is *not* cached on the column), so an in-place
         mutation of the backing array changes the fingerprint and session
         caches treat the mutated column as new content.
+
+        Storage-backed columns (:meth:`from_storage`) are the exception:
+        their backing buffer is a read-only mmap (or a read-only
+        materialisation of one), so the content provably cannot have
+        drifted and the fingerprint persisted at write time is returned
+        without touching the data.  The shortcut deactivates itself the
+        moment the backing array is writeable again (e.g. a caller flipped
+        the flag), falling back to a full hash.
         """
+        persisted = self._persisted_fingerprint
+        if persisted is not None:
+            data = self._data
+            if data is None or not data.flags.writeable:
+                FINGERPRINT_STATS.persisted_hits += 1
+                return persisted
+        FINGERPRINT_STATS.full_hashes += 1
+        FINGERPRINT_STATS.full_hash_max_rows = max(
+            FINGERPRINT_STATS.full_hash_max_rows, len(self)
+        )
         digest = hashlib.blake2b(digest_size=16)
         digest.update(f"{len(self.name)}:".encode())
         digest.update(self.name.encode())

@@ -39,11 +39,16 @@ class DataFrame:
         iterable of :class:`Column` objects.  Column order is preserved.
     """
 
-    __slots__ = ("_columns", "_order")
+    __slots__ = ("_columns", "_order", "_scan")
 
     def __init__(self, columns: Mapping[str, Any] | Iterable[Column] | None = None) -> None:
         self._columns: Dict[str, Column] = {}
         self._order: List[str] = []
+        # Optional chunk-statistics scan attached by repro.storage when the
+        # frame is opened from an on-disk dataset; every derived frame is a
+        # plain in-memory frame again (row positions change), so the scan is
+        # never inherited.
+        self._scan = None
         if columns is None:
             return
         if isinstance(columns, Mapping):
@@ -189,9 +194,32 @@ class DataFrame:
         return DataFrame([self._columns[name] for name in self._order if name not in to_drop])
 
     # ------------------------------------------------------------ row selection
+    def attach_scan(self, scan) -> "DataFrame":
+        """Attach a dataset scan (chunk-statistics pushdown) to this frame.
+
+        Called by :mod:`repro.storage` when the frame is opened from an
+        on-disk dataset; :meth:`predicate_mask` then prunes whole chunks via
+        the persisted footer statistics before evaluating a predicate.
+        """
+        self._scan = scan
+        return self
+
+    def predicate_mask(self, predicate: Predicate) -> np.ndarray:
+        """Boolean row mask of ``predicate``, with chunk pruning when possible.
+
+        Identical to ``predicate.mask(self)`` bit for bit; when the frame is
+        backed by an on-disk dataset (:mod:`repro.storage`), chunks whose
+        footer statistics prove no row can match are skipped without being
+        materialised or evaluated.
+        """
+        scan = self._scan
+        if scan is not None:
+            return scan.mask(self, predicate)
+        return np.asarray(predicate.mask(self), dtype=bool)
+
     def filter(self, predicate: Predicate) -> "DataFrame":
         """Rows satisfying ``predicate`` (the relational selection operator)."""
-        keep = predicate.mask(self)
+        keep = self.predicate_mask(predicate)
         return self.mask(keep)
 
     def mask(self, keep: np.ndarray) -> "DataFrame":

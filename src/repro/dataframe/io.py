@@ -3,18 +3,36 @@
 The paper's datasets are distributed as Kaggle CSV files; users of this
 reproduction can load their own CSVs through :func:`read_csv` and persist
 generated synthetic datasets with :func:`write_csv`.
+
+Ingest is vectorised: the file is tokenised by the C-accelerated ``csv``
+module (which also understands quoted fields, so delimiters, quotes, and
+newlines embedded in values survive), and each column is type-inferred and
+converted with one bulk ``astype`` instead of a python-level loop per cell.
+Round-trip fidelity rules:
+
+* values containing the delimiter, quotes, or newlines are quoted on write
+  and re-assembled on read;
+* missing values (numeric NaN, categorical ``None``) are written as empty
+  fields and read back as missing — an *empty or whitespace-only* field is
+  always missing;
+* floats round-trip exactly (``repr`` precision, ``-0.0`` and ``±inf``
+  included); integral floats are still written without a decimal point.
+
+For bulk/repeated loading, convert once to the columnar dataset format
+instead: :func:`repro.storage.csv_to_dataset`.
 """
 
 from __future__ import annotations
 
 import csv
+import math
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
 from ..errors import DataFrameError
-from .column import Column
+from .column import KIND_CATEGORICAL, Column
 from .frame import DataFrame
 
 
@@ -48,67 +66,106 @@ def read_csv(path: str | Path, delimiter: str = ",", numeric_columns: Sequence[s
             header = next(reader)
         except StopIteration:
             raise DataFrameError(f"CSV file {path} is empty") from None
-        raw: Dict[str, List[str]] = {name: [] for name in header}
-        for row_number, row in enumerate(reader):
-            if max_rows is not None and row_number >= max_rows:
-                break
-            for position, name in enumerate(header):
-                raw[name].append(row[position] if position < len(row) else "")
+        if max_rows is None:
+            rows = list(reader)
+        else:
+            rows = []
+            for row in reader:
+                if len(rows) >= max_rows:
+                    break
+                rows.append(row)
 
-    columns = []
-    for name in header:
-        columns.append(_build_column(name, raw[name], force_numeric=name in forced_numeric))
+    width = len(header)
+    padded = [row + [""] * (width - len(row)) if len(row) < width else row for row in rows]
+    transposed = list(zip(*padded)) if padded else [()] * width
+    columns = [
+        _build_column(name, transposed[position], force_numeric=name in forced_numeric)
+        for position, name in enumerate(header)
+    ]
     return DataFrame(columns)
 
 
 def write_csv(frame: DataFrame, path: str | Path, delimiter: str = ",") -> Path:
-    """Write a dataframe to a CSV file and return the path."""
+    """Write a dataframe to a CSV file and return the path.
+
+    Fields containing the delimiter, quotes, or newlines are quoted (the
+    ``csv`` module's minimal quoting), so :func:`read_csv` reconstructs
+    them exactly; missing values are written as empty fields.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    rows = frame.to_rows()
+    names = frame.column_names
+    lists = [frame[name].tolist() for name in names]
     with path.open("w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle, delimiter=delimiter)
-        writer.writerow(frame.column_names)
-        for row in rows:
-            writer.writerow([_format_value(row[name]) for name in frame.column_names])
+        writer.writerow(names)
+        for index in range(frame.num_rows):
+            writer.writerow([_format_value(values[index]) for values in lists])
     return path
 
 
-def _build_column(name: str, raw_values: List[str], force_numeric: bool) -> Column:
-    """Infer a column type from its raw string values and build the Column."""
-    parsed: List[float | None] = []
-    numeric = True
-    for value in raw_values:
-        stripped = value.strip()
-        if stripped == "":
-            parsed.append(None)
+def _build_column(name: str, raw_values: Sequence[str], force_numeric: bool) -> Column:
+    """Infer a column's type from its raw string fields and build the Column.
+
+    The fast path converts the whole column with one ``astype(float)`` over
+    the stripped fields (empties standing in as NaN).  When the bulk cast
+    rejects something numpy cannot parse but ``float()`` can (underscored
+    literals, "Infinity"), a python-level pass settles it, preserving the
+    original cell-by-cell inference semantics.
+    """
+    if not raw_values:
+        if force_numeric:
+            return Column(name, np.asarray([], dtype=float))
+        # No rows carry no type evidence; historical behaviour is numeric.
+        return Column(name, np.asarray([], dtype=float))
+    cells = np.asarray(raw_values, dtype=object)
+    stripped = np.char.strip(cells.astype(str))
+    empty = stripped == ""
+    try:
+        numeric = np.where(empty, "nan", stripped).astype(np.float64)
+        return Column(name, numeric)
+    except ValueError:
+        pass
+
+    slow = _python_float_column(stripped, empty, force_numeric)
+    if slow is not None:
+        return Column(name, slow)
+
+    # Categorical: keep the original (unstripped) text of non-empty fields;
+    # whitespace-only fields are missing.
+    values = cells.copy()
+    values[empty] = None
+    return Column._from_trusted(name, values, KIND_CATEGORICAL)
+
+
+def _python_float_column(stripped: np.ndarray, empty: np.ndarray,
+                         force_numeric: bool) -> np.ndarray | None:
+    """Cell-by-cell ``float()`` fallback; None when the column is not numeric."""
+    parsed = np.full(stripped.shape[0], np.nan, dtype=float)
+    for index, value in enumerate(stripped.tolist()):
+        if empty[index]:
             continue
         try:
-            parsed.append(float(stripped))
+            parsed[index] = float(value)
         except ValueError:
-            numeric = False
             if not force_numeric:
-                break
-            parsed.append(None)
-
-    if numeric or force_numeric:
-        filled = [np.nan if v is None else v for v in parsed]
-        # Pad in case inference bailed out early (cannot happen when numeric).
-        while len(filled) < len(raw_values):
-            filled.append(np.nan)
-        return Column(name, np.asarray(filled, dtype=float))
-
-    values = [value.strip() if value.strip() != "" else None for value in raw_values]
-    return Column(name, np.asarray(values, dtype=object))
+                return None
+    return parsed
 
 
 def _format_value(value) -> str:
     if value is None:
         return ""
     if isinstance(value, float):
-        if np.isnan(value):
+        if math.isnan(value):
             return ""
-        if value == int(value):
+        # Integral floats print without the decimal point — except -0.0
+        # (whose sign would be lost) and magnitudes beyond exact integer
+        # representation (repr round-trips those precisely).
+        if (
+            math.isfinite(value) and value == int(value)
+            and abs(value) < 1e16 and not (value == 0 and math.copysign(1.0, value) < 0)
+        ):
             return str(int(value))
         return repr(value)
     return str(value)

@@ -7,10 +7,13 @@ in smaller instances of the same datasets for fast sweeps.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..dataframe.frame import DataFrame
 from ..errors import DatasetError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (storage imports io)
+    from ..storage.store import DatasetStore
 from .credit import FULL_CREDIT_ROWS, load_credit
 from .products import (
     FULL_PRODUCTS_ROWS,
@@ -39,17 +42,32 @@ class DatasetRegistry:
         reductions; pass the ``FULL_*_ROWS`` constants for paper-scale data.
     seed:
         Base seed; each table derives its own seed from it.
+    store:
+        Optional :class:`~repro.storage.store.DatasetStore` (or a path to
+        create one at).  Tables are then persisted in the columnar format
+        under a name encoding their size/seed identity, and every later
+        build of the same table — in this process or the next — opens the
+        stored mmap-backed frame instead of regenerating the data.
     """
 
     def __init__(self, spotify_rows: int = 40_000, bank_rows: int = FULL_CREDIT_ROWS,
                  sales_rows: int = 120_000, products_rows: int = FULL_PRODUCTS_ROWS,
-                 seed: int = 0) -> None:
+                 seed: int = 0, store: "DatasetStore | str | None" = None) -> None:
         self.spotify_rows = spotify_rows
         self.bank_rows = bank_rows
         self.sales_rows = sales_rows
         self.products_rows = products_rows
         self.seed = seed
+        if isinstance(store, str) or hasattr(store, "__fspath__"):
+            from ..storage.store import DatasetStore
+
+            store = DatasetStore(store)
+        self.store: "Optional[DatasetStore]" = store
         self._cache: Dict[str, DataFrame] = {}
+        # Names overridden via register(): those are served from their
+        # builder, never from the store — a registered frame has no
+        # (sizes, seed) identity a store key could safely encode.
+        self._custom: set = set()
         self._builders: Dict[str, Callable[[], DataFrame]] = {
             "spotify": lambda: load_spotify(self.spotify_rows, seed=self.seed + 7),
             "bank": lambda: load_credit(self.bank_rows, seed=self.seed + 11),
@@ -65,20 +83,52 @@ class DatasetRegistry:
         }
 
     def table(self, name: str) -> DataFrame:
-        """The table registered under ``name`` (built lazily, then cached)."""
+        """The table registered under ``name`` (built lazily, then cached).
+
+        With a :attr:`store` attached, a table is generated at most once per
+        store: later requests (including ones from a fresh process) open
+        the persisted columnar dataset as an mmap-backed frame.
+        """
         key = name.lower()
         if key not in self._builders:
             raise DatasetError(
                 f"unknown table {name!r}; available: {sorted(self._builders)}"
             )
         if key not in self._cache:
-            self._cache[key] = self._builders[key]()
+            self._cache[key] = self._materialize(key)
         return self._cache[key]
 
+    def _materialize(self, key: str) -> DataFrame:
+        if self.store is None or key in self._custom:
+            return self._builders[key]()
+        store_key = self._store_key(key)
+        if not self.store.contains(store_key):
+            self.store.put(store_key, self._builders[key]())
+        return self.store.open(store_key)
+
+    def _store_key(self, key: str) -> str:
+        """Store name pinning the table's full build identity (sizes + seed)."""
+        sizes = {
+            "spotify": (self.spotify_rows,),
+            "bank": (self.bank_rows,),
+            "products": (self.products_rows,),
+            "sales": (self.sales_rows, self.products_rows),
+            "products_sales": (self.sales_rows, self.products_rows),
+            "counties": (),
+            "stores": (),
+        }.get(key, ())
+        suffix = "".join(f".r{count}" for count in sizes)
+        return f"{key}{suffix}.s{self.seed}"
+
     def register(self, name: str, frame: DataFrame) -> None:
-        """Register (or replace) a table under a custom name."""
+        """Register (or replace) a table under a custom name.
+
+        Registered tables are always served as given — a registry store
+        never shadows them with (or persists them as) generated datasets.
+        """
         self._cache[name.lower()] = frame
         self._builders[name.lower()] = lambda: frame
+        self._custom.add(name.lower())
 
     def table_names(self) -> List[str]:
         """Names of all registered tables."""

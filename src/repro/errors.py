@@ -60,6 +60,10 @@ class DatasetError(ReproError):
     """A synthetic dataset generator received invalid parameters."""
 
 
+class StorageError(ReproError):
+    """An on-disk dataset (``repro.storage``) is malformed or cannot be used."""
+
+
 class BaselineError(ReproError):
     """A baseline system (SeeDB / RATH / IO) was misconfigured."""
 

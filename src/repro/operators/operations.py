@@ -116,7 +116,13 @@ class Operation(ABC):
 
 
 class Filter(Operation):
-    """Row-selection operation: keep rows satisfying a predicate."""
+    """Row-selection operation: keep rows satisfying a predicate.
+
+    Both application and row-level provenance evaluate the predicate via
+    :meth:`DataFrame.predicate_mask`, so explaining a filter over a stored
+    dataset (:mod:`repro.storage`) prunes whole chunks through the
+    persisted footer statistics instead of touching every row.
+    """
 
     kind = "filter"
 
@@ -129,7 +135,7 @@ class Filter(Operation):
 
     def row_mask(self, inputs: Sequence[DataFrame]) -> List[Optional[np.ndarray]]:
         self.validate_inputs(inputs)
-        return [np.flatnonzero(self.predicate.mask(inputs[0])).astype(np.int64)]
+        return [np.flatnonzero(inputs[0].predicate_mask(self.predicate)).astype(np.int64)]
 
     def describe(self) -> str:
         return f"filter {self.predicate.describe()}"

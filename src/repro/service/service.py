@@ -93,12 +93,19 @@ class ExplanationService:
         Optional measure registry shared by every tenant session.  Note
         that a custom registry keys reports under a process-local
         environment token, which disables cross-restart report reuse.
+    dataset_store:
+        Optional :class:`~repro.storage.store.DatasetStore` (or a path to
+        one) of named on-disk datasets.  :meth:`open_dataset` then serves
+        any stored dataset to any tenant as an mmap-backed frame — one
+        physical copy of the data per process, however many tenants
+        explore it.
     """
 
     def __init__(self, config: FedexConfig | None = None,
                  service_config: ServiceConfig | None = None,
                  store: CacheStore | None = None,
-                 registry: MeasureRegistry | None = None) -> None:
+                 registry: MeasureRegistry | None = None,
+                 dataset_store=None) -> None:
         self.config = config or FedexConfig()
         self.service_config = service_config or ServiceConfig()
         if store is None:
@@ -107,6 +114,11 @@ class ExplanationService:
                 tenant_quota_bytes=self.service_config.tenant_quota_bytes,
             )
         self.store = store
+        if isinstance(dataset_store, str) or hasattr(dataset_store, "__fspath__"):
+            from ..storage.store import DatasetStore
+
+            dataset_store = DatasetStore(dataset_store)
+        self.dataset_store = dataset_store
         self.metrics = ServiceMetrics()
         self._registry = registry
         self._sessions: Dict[str, ExplanationSession] = {}
@@ -131,6 +143,24 @@ class ExplanationService:
         return ExplainableDataFrame(
             frame, config=config or self.config, session=_TenantBinding(self, tenant)
         )
+
+    def open_dataset(self, tenant: str, name: str,
+                     config: FedexConfig | None = None) -> ExplainableDataFrame:
+        """Open a *named* stored dataset for a tenant (see ``dataset_store``).
+
+        Every tenant opening the same name shares the dataset's mmap-backed
+        buffers and column structure caches — the per-process single copy
+        the multi-tenant story needs — while the returned wrapper routes
+        that tenant's explains through admission control and metrics like
+        :meth:`open`.  Because stored columns carry persisted fingerprints,
+        the shared cache keys of the frame cost no hashing at all.
+        """
+        if self.dataset_store is None:
+            raise ServiceError(
+                "this service has no dataset store; pass dataset_store= to "
+                "ExplanationService to serve named datasets"
+            )
+        return self.open(tenant, self.dataset_store.open(name), config=config)
 
     def submit(self, tenant: str, step: ExploratoryStep, measure: str | None = None,
                config: FedexConfig | None = None) -> "Future[ExplanationReport]":

@@ -1,0 +1,50 @@
+"""Chunked columnar dataset storage with mmap-backed frames.
+
+The subsystem between raw files and the serving layer::
+
+    from repro.storage import write_dataset, read_dataset, DatasetStore
+
+    write_dataset(frame, "data/spotify")          # chunked columnar layout
+    frame = read_dataset("data/spotify")          # mmap-backed, lazy, read-only
+
+    store = DatasetStore("data")                  # named datasets
+    store.put("spotify", frame)
+    warm = store.open("spotify")                  # shared buffers per process
+
+Highlights:
+
+* **Format** (:mod:`~repro.storage.format`) — fixed-size row chunks, raw
+  little-endian numeric buffers, dictionary-encoded categoricals, per-chunk
+  footer statistics (min/max/nulls/distinct) and blake2b fingerprints, a
+  versioned JSON manifest.
+* **Mmap frames** (:mod:`~repro.storage.mmap`) — numeric buffers map
+  read-only and categoricals materialise lazily; read-only buffers make the
+  persisted per-column fingerprints trustworthy, so
+  ``Column.fingerprint()`` on a stored column never re-hashes the values.
+* **Scan pushdown** (:mod:`~repro.storage.scan`) — filters prune whole
+  chunks via the footer statistics before touching data, bit-identically.
+* **Store** (:mod:`~repro.storage.store`) — named datasets served as
+  shared mmap frames; the registry and the explanation service build on it.
+"""
+
+from .format import DEFAULT_CHUNK_ROWS, FORMAT_VERSION, DatasetManifest
+from .mmap import map_buffer
+from .reader import Dataset, open_dataset, read_dataset
+from .scan import DatasetScan, ScanStats
+from .store import DatasetStore
+from .writer import csv_to_dataset, write_dataset
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "FORMAT_VERSION",
+    "Dataset",
+    "DatasetManifest",
+    "DatasetScan",
+    "DatasetStore",
+    "ScanStats",
+    "csv_to_dataset",
+    "map_buffer",
+    "open_dataset",
+    "read_dataset",
+    "write_dataset",
+]

@@ -1,0 +1,264 @@
+"""The on-disk columnar dataset format.
+
+A *dataset* is a directory::
+
+    <name>/
+        manifest.json      schema + chunk geometry + footer statistics +
+                           persisted fingerprints (versioned, magic-tagged)
+        c0.bin, c1.bin …   one binary buffer per column: a 16-byte header
+                           (8-byte magic + little-endian uint32 version +
+                           4 reserved bytes) followed by the raw values
+
+Columns are stored in one of two encodings:
+
+* ``raw`` — numeric / boolean columns: the values as one contiguous
+  little-endian buffer in their original dtype (float64/int64/bool).  The
+  buffer is memory-mappable: opening the dataset maps it read-only and no
+  byte is read until a computation touches it.
+* ``dict`` — categorical (object) columns: ``int64`` dictionary codes in
+  the binary file (``-1`` = missing) plus the dictionary itself in the
+  manifest as UTF-8 JSON.  Dictionary entries are *typed* (``["s", …]`` /
+  ``["i", …]`` / ``["f", …]`` / ``["b", …]``) so non-string values survive
+  the round trip exactly; non-finite floats are spelled out ("nan",
+  "inf", "-inf").  When the dictionary happens to be the column's sorted
+  factorization (every value a string — the common case), the reader seeds
+  :meth:`Column.factorize` straight from the persisted codes.
+
+Rows are split into fixed-size *chunks* (:data:`DEFAULT_CHUNK_ROWS`); the
+manifest carries per-chunk footer statistics — row/null counts, a distinct
+estimate, min/max (values for ``raw`` columns, dictionary codes for
+``dict`` columns) and a blake2b fingerprint of the chunk's bytes — which
+:mod:`repro.storage.scan` uses to prune whole chunks from filter
+evaluation.  Each column additionally records the full
+:meth:`Column.fingerprint` computed at write time; because the mapped
+buffers are read-only, the reader hands that persisted fingerprint back
+without ever re-hashing the values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import StorageError
+
+#: Magic tag of every binary column file (8 bytes).
+MAGIC = b"RPRDSET1"
+
+#: Version of the format written by this code.
+FORMAT_VERSION = 1
+
+#: Size of the binary file header: magic (8) + version (4, LE) + reserved (4).
+HEADER_SIZE = 16
+
+#: Default number of rows per chunk.
+DEFAULT_CHUNK_ROWS = 65_536
+
+#: Column encodings.
+ENCODING_RAW = "raw"
+ENCODING_DICT = "dict"
+
+#: File name of the JSON manifest inside a dataset directory.
+MANIFEST_NAME = "manifest.json"
+
+#: dtype of the dictionary codes of a ``dict``-encoded column.
+CODES_DTYPE = "<i8"
+
+
+def binary_header(version: int = FORMAT_VERSION) -> bytes:
+    """The 16-byte header prefixed to every binary column file."""
+    return MAGIC + int(version).to_bytes(4, "little") + b"\x00\x00\x00\x00"
+
+
+def check_binary_header(header: bytes, path) -> int:
+    """Validate a binary file header; returns the version it declares."""
+    if len(header) < HEADER_SIZE or header[:8] != MAGIC:
+        raise StorageError(f"{path} is not a repro.storage column file (bad magic)")
+    version = int.from_bytes(header[8:12], "little")
+    if version > FORMAT_VERSION:
+        raise StorageError(
+            f"{path} uses format version {version}, this reader supports <= {FORMAT_VERSION}"
+        )
+    return version
+
+
+def chunk_ranges(num_rows: int, chunk_rows: int) -> List[Tuple[int, int]]:
+    """The ``[start, stop)`` row ranges of every chunk."""
+    if chunk_rows < 1:
+        raise StorageError(f"chunk_rows must be positive, got {chunk_rows}")
+    return [
+        (start, min(start + chunk_rows, num_rows))
+        for start in range(0, num_rows, chunk_rows)
+    ]
+
+
+# ------------------------------------------------------------- scalar coding
+def encode_scalar(value: Any) -> Optional[list]:
+    """Encode one dictionary/stat value as a JSON-safe typed pair."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return ["b", value]
+    if isinstance(value, int):
+        return ["i", value]
+    if isinstance(value, float):
+        if math.isnan(value):
+            return ["f", "nan"]
+        if math.isinf(value):
+            return ["f", "inf" if value > 0 else "-inf"]
+        return ["f", value]
+    if isinstance(value, str):
+        return ["s", value]
+    raise StorageError(f"cannot encode dictionary value of type {type(value).__name__}")
+
+
+def decode_scalar(encoded: Optional[list]) -> Any:
+    """Inverse of :func:`encode_scalar`."""
+    if encoded is None:
+        return None
+    tag, payload = encoded
+    if tag == "s":
+        return str(payload)
+    if tag == "i":
+        return int(payload)
+    if tag == "f":
+        return float(payload)
+    if tag == "b":
+        return bool(payload)
+    raise StorageError(f"unknown dictionary value tag {tag!r}")
+
+
+# ----------------------------------------------------------------- manifest
+@dataclass
+class ChunkStats:
+    """Footer statistics of one chunk of one column."""
+
+    rows: int
+    nulls: int
+    distinct: int
+    #: Min/max of the present values (raw) or of the dictionary codes (dict);
+    #: ``None`` when the chunk holds no present value.
+    min: Any = None
+    max: Any = None
+    #: blake2b hex digest of the chunk's bytes in the binary file.
+    fingerprint: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "rows": self.rows, "nulls": self.nulls, "distinct": self.distinct,
+            "min": encode_scalar(self.min), "max": encode_scalar(self.max),
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ChunkStats":
+        return cls(
+            rows=int(payload["rows"]), nulls=int(payload["nulls"]),
+            distinct=int(payload["distinct"]),
+            min=decode_scalar(payload.get("min")),
+            max=decode_scalar(payload.get("max")),
+            fingerprint=str(payload.get("fingerprint", "")),
+        )
+
+
+@dataclass
+class ColumnMeta:
+    """Manifest entry describing one stored column."""
+
+    name: str
+    kind: str
+    encoding: str
+    #: numpy dtype string of the stored buffer ("<f8", "<i8", "|b1", …);
+    #: for ``dict`` encoding this is the codes dtype.
+    dtype: str
+    file: str
+    #: Persisted :meth:`Column.fingerprint` of the whole column.
+    fingerprint: str
+    #: Dictionary of a ``dict``-encoded column (typed scalars, code order).
+    dictionary: Optional[List[Any]] = None
+    #: True when the dictionary equals ``Column.factorize()``'s uniques
+    #: (all strings, sorted) so the reader can seed the factorization cache.
+    dictionary_is_factorization: bool = False
+    chunks: List[ChunkStats] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        payload = {
+            "name": self.name, "kind": self.kind, "encoding": self.encoding,
+            "dtype": self.dtype, "file": self.file, "fingerprint": self.fingerprint,
+            "chunks": [chunk.to_json() for chunk in self.chunks],
+        }
+        if self.encoding == ENCODING_DICT:
+            payload["dictionary"] = [encode_scalar(v) for v in self.dictionary or []]
+            payload["dictionary_is_factorization"] = self.dictionary_is_factorization
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ColumnMeta":
+        dictionary = None
+        if payload.get("encoding") == ENCODING_DICT:
+            dictionary = [decode_scalar(v) for v in payload.get("dictionary", [])]
+        return cls(
+            name=str(payload["name"]), kind=str(payload["kind"]),
+            encoding=str(payload["encoding"]), dtype=str(payload["dtype"]),
+            file=str(payload["file"]), fingerprint=str(payload["fingerprint"]),
+            dictionary=dictionary,
+            dictionary_is_factorization=bool(payload.get("dictionary_is_factorization", False)),
+            chunks=[ChunkStats.from_json(chunk) for chunk in payload.get("chunks", [])],
+        )
+
+
+@dataclass
+class DatasetManifest:
+    """The JSON manifest of one dataset directory."""
+
+    num_rows: int
+    chunk_rows: int
+    #: Persisted :meth:`DataFrame.fingerprint` of the whole frame.
+    fingerprint: str
+    columns: List[ColumnMeta] = field(default_factory=list)
+    version: int = FORMAT_VERSION
+
+    def to_json(self) -> dict:
+        return {
+            "magic": MAGIC.decode("ascii"),
+            "version": self.version,
+            "num_rows": self.num_rows,
+            "chunk_rows": self.chunk_rows,
+            "fingerprint": self.fingerprint,
+            "columns": [column.to_json() for column in self.columns],
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict, path) -> "DatasetManifest":
+        if payload.get("magic") != MAGIC.decode("ascii"):
+            raise StorageError(f"{path} is not a repro.storage manifest (bad magic)")
+        version = int(payload.get("version", 0))
+        if version > FORMAT_VERSION:
+            raise StorageError(
+                f"{path} uses format version {version}, this reader supports <= {FORMAT_VERSION}"
+            )
+        return cls(
+            num_rows=int(payload["num_rows"]),
+            chunk_rows=int(payload["chunk_rows"]),
+            fingerprint=str(payload["fingerprint"]),
+            columns=[ColumnMeta.from_json(column) for column in payload.get("columns", [])],
+            version=version,
+        )
+
+    def column(self, name: str) -> ColumnMeta:
+        for meta in self.columns:
+            if meta.name == name:
+                return meta
+        raise StorageError(f"dataset has no column {name!r}")
+
+    def chunk_ranges(self) -> List[Tuple[int, int]]:
+        return chunk_ranges(self.num_rows, self.chunk_rows)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunk_ranges())
+
+
+#: Per-column metadata index type used by readers.
+ColumnIndex = Dict[str, ColumnMeta]

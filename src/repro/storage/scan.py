@@ -1,0 +1,309 @@
+"""Scan pushdown: pruning chunks with persisted footer statistics.
+
+:class:`DatasetScan` answers predicate masks over a stored dataset.  For
+every chunk it first decides — from the manifest's per-chunk statistics
+alone, without touching the data — whether *any* row of the chunk can
+satisfy the predicate.  Chunks that provably cannot match are skipped:
+their mask region is ``False`` without a byte of theirs being faulted in
+or an element evaluated.  The remaining chunks are evaluated exactly, so
+the produced mask is bit-identical to ``predicate.mask(frame)``.
+
+Soundness rules:
+
+* Pruning decisions are *conservative*: a leaf that cannot be analysed
+  answers "may match".  Only row-local predicates (``Comparison``,
+  ``IsIn``, ``Between``, ``IsNull`` and their ``And``/``Or``/``Not``
+  combinations) are evaluated chunk-wise at all — anything positional
+  (:class:`~repro.dataframe.predicates.RowIndexPredicate`) or unknown
+  makes the scan fall back to one whole-frame evaluation.
+* Chunk evaluation reads the *dataset's* columns; if the frame being
+  filtered does not hold those exact column objects (someone attached the
+  scan to an unrelated frame), the scan falls back as well.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Set
+
+import numpy as np
+
+from ..dataframe.frame import DataFrame
+from ..dataframe.predicates import (
+    And,
+    Between,
+    Comparison,
+    IsIn,
+    IsNull,
+    Not,
+    Or,
+    Predicate,
+)
+from .format import ENCODING_DICT, ChunkStats, ColumnMeta
+
+
+@dataclass
+class ScanStats:
+    """Counters of the pushdown's effect (observability + tests)."""
+
+    masks: int = 0
+    masks_fallback: int = 0
+    chunks_scanned: int = 0
+    chunks_pruned: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "masks": self.masks, "masks_fallback": self.masks_fallback,
+            "chunks_scanned": self.chunks_scanned, "chunks_pruned": self.chunks_pruned,
+        }
+
+
+class DatasetScan:
+    """Chunk-statistics predicate pushdown over one opened dataset."""
+
+    def __init__(self, dataset) -> None:
+        self._dataset = dataset
+        self.stats = ScanStats()
+
+    # ------------------------------------------------------------------ public
+    def mask(self, frame: DataFrame, predicate: Predicate) -> np.ndarray:
+        """``predicate.mask(frame)``, bit for bit, with chunk pruning."""
+        self.stats.masks += 1
+        dataset = self._dataset
+        decisions = self._chunk_decisions(frame, predicate)
+        if decisions is None:
+            self.stats.masks_fallback += 1
+            return np.asarray(predicate.mask(frame), dtype=bool)
+
+        ranges = dataset.chunk_ranges()
+        kept = sum(decisions)
+        self.stats.chunks_scanned += kept
+        self.stats.chunks_pruned += len(decisions) - kept
+        if kept == len(decisions) and kept:
+            # Nothing prunable: one whole-frame evaluation beats per-chunk
+            # slicing (and reuses the shared columns' cached materialisation).
+            return np.asarray(predicate.mask(frame), dtype=bool)
+        mask = np.zeros(dataset.num_rows, dtype=bool)
+        if kept == 0:
+            return mask
+        names = sorted(_row_local_columns(predicate))
+        for index, may_match in enumerate(decisions):
+            if not may_match:
+                continue
+            start, stop = ranges[index]
+            chunk_frame = DataFrame([
+                dataset.chunk_column(name, index) for name in names
+            ])
+            mask[start:stop] = np.asarray(predicate.mask(chunk_frame), dtype=bool)
+        return mask
+
+    def filter(self, predicate: Predicate) -> DataFrame:
+        """The dataset's rows satisfying ``predicate`` (pruned scan)."""
+        frame = self._dataset.frame()
+        return frame.mask(self.mask(frame, predicate))
+
+    # ---------------------------------------------------------------- internals
+    def _chunk_decisions(self, frame: DataFrame,
+                         predicate: Predicate) -> Optional[List[bool]]:
+        """Per-chunk may-match decisions, or ``None`` to force a fallback."""
+        dataset = self._dataset
+        if frame.num_rows != dataset.num_rows:
+            return None
+        names = _row_local_columns(predicate)
+        if names is None:
+            return None
+        for name in names:
+            meta = dataset.column_meta(name)
+            if meta is None or name not in frame:
+                return None
+            # Chunk evaluation reads the dataset's buffers; it is only a
+            # faithful stand-in when the frame serves those same columns.
+            if frame[name] is not dataset.column(name):
+                return None
+        num_chunks = dataset.manifest.num_chunks
+        try:
+            return [
+                _may_match(predicate, dataset, index) for index in range(num_chunks)
+            ]
+        except _Unanalysable:
+            return None
+
+
+class _Unanalysable(Exception):
+    """Raised when a leaf cannot be analysed soundly (forces a fallback)."""
+
+
+def _row_local_columns(predicate: Predicate) -> Optional[Set[str]]:
+    """Columns referenced by a row-local predicate tree; None when not row-local.
+
+    Row-local means each row's verdict depends only on that row's values —
+    the property that makes chunk-wise evaluation equal whole-frame
+    evaluation.  ``RowIndexPredicate`` (positional) and unknown predicate
+    classes are not row-local.
+    """
+    if isinstance(predicate, (Comparison, Between, IsNull)):
+        return {predicate.column}
+    if isinstance(predicate, IsIn):
+        return {predicate.column}
+    if isinstance(predicate, (And, Or)):
+        names: Set[str] = set()
+        for child in predicate.predicates:
+            child_names = _row_local_columns(child)
+            if child_names is None:
+                return None
+            names |= child_names
+        return names
+    if isinstance(predicate, Not):
+        return _row_local_columns(predicate.predicate)
+    return None
+
+
+# --------------------------------------------------------- may-match analysis
+def _may_match(predicate: Predicate, dataset, chunk_index: int) -> bool:
+    """Conservative: False only when *no* row of the chunk can match."""
+    if isinstance(predicate, And):
+        return all(_may_match(child, dataset, chunk_index) for child in predicate.predicates)
+    if isinstance(predicate, Or):
+        return any(_may_match(child, dataset, chunk_index) for child in predicate.predicates)
+    if isinstance(predicate, Not):
+        # Refuting "not p" needs must-match analysis, which the stats do not
+        # carry; never prune through a negation.
+        return True
+    if isinstance(predicate, Comparison):
+        return _comparison_may_match(predicate, dataset, chunk_index)
+    if isinstance(predicate, Between):
+        return _between_may_match(predicate, dataset, chunk_index)
+    if isinstance(predicate, IsNull):
+        meta = dataset.column_meta(predicate.column)
+        return _stats(meta, chunk_index).nulls > 0
+    if isinstance(predicate, IsIn):
+        return _isin_may_match(predicate, dataset, chunk_index)
+    return True
+
+
+def _stats(meta: ColumnMeta, chunk_index: int) -> ChunkStats:
+    return meta.chunks[chunk_index]
+
+
+def _comparison_may_match(predicate: Comparison, dataset, chunk_index: int) -> bool:
+    meta = dataset.column_meta(predicate.column)
+    stats = _stats(meta, chunk_index)
+    if stats.rows == 0:
+        return False
+    if meta.encoding == ENCODING_DICT:
+        return _dict_comparison_may_match(predicate, meta, stats)
+
+    # Raw columns: stats carry value min/max of the present (non-NaN) rows.
+    # NaN rows never satisfy a float comparison except "!=", which they
+    # always satisfy.
+    op = predicate.op
+    try:
+        value = float(predicate.value)
+    except (TypeError, ValueError):
+        raise _Unanalysable from None
+    present = stats.rows - stats.nulls
+    if op == "!=":
+        if stats.nulls > 0:
+            return True
+        return present > 0 and not (stats.min == value == stats.max)
+    if present == 0 or stats.min is None:
+        return False
+    low, high = float(stats.min), float(stats.max)
+    if math.isnan(value):
+        return False  # NaN compares False to everything under ==, <, >, …
+    if op == "==":
+        return low <= value <= high
+    if op == ">":
+        return high > value
+    if op == ">=":
+        return high >= value
+    if op == "<":
+        return low < value
+    return low <= value  # "<="
+
+
+def _dict_comparison_may_match(predicate: Comparison, meta: ColumnMeta,
+                               stats: ChunkStats) -> bool:
+    if predicate.op not in ("==", "!="):
+        # Ordering comparisons on a categorical column fail at evaluation
+        # time; surface the identical error through the fallback path.
+        raise _Unanalysable
+    value = predicate.value
+    candidates = _candidate_codes(meta, [value])
+    if predicate.op == "==":
+        if value is None and stats.nulls > 0:
+            return True  # elementwise object equality: None == None is True
+        return _any_code_in_range(candidates, stats)
+    # "!=": only a chunk uniformly equal to the value cannot match.
+    if value is None:
+        return stats.nulls < stats.rows
+    uniform = (
+        stats.nulls == 0 and stats.min is not None
+        and stats.min == stats.max and stats.min in candidates
+    )
+    return not uniform
+
+
+def _between_may_match(predicate: Between, dataset, chunk_index: int) -> bool:
+    meta = dataset.column_meta(predicate.column)
+    if meta.encoding == ENCODING_DICT:
+        raise _Unanalysable  # to_float() raises; fall back for the real error
+    stats = _stats(meta, chunk_index)
+    present = stats.rows - stats.nulls
+    if present == 0 or stats.min is None:
+        return False
+    low, high = float(stats.min), float(stats.max)
+    if high < predicate.low:
+        return False
+    if predicate.inclusive_high:
+        return low <= predicate.high
+    return low < predicate.high
+
+
+def _isin_may_match(predicate: IsIn, dataset, chunk_index: int) -> bool:
+    meta = dataset.column_meta(predicate.column)
+    stats = _stats(meta, chunk_index)
+    if stats.rows == 0:
+        return False
+    values = list(predicate.values)
+    if any(value is None for value in values) and stats.nulls > 0:
+        return True
+    if meta.encoding == ENCODING_DICT:
+        return _any_code_in_range(_candidate_codes(meta, values), stats)
+    # Raw columns: IsIn compares python values by equality; only finite
+    # numeric candidates can be bounded by min/max, anything else keeps the
+    # chunk conservatively.
+    present = stats.rows - stats.nulls
+    if present == 0 or stats.min is None:
+        return False
+    low, high = float(stats.min), float(stats.max)
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            candidate = float(value)
+        elif isinstance(value, (int, float)):
+            candidate = float(value)
+            if math.isnan(candidate):
+                continue  # tolist() floats never equal NaN under ==
+        else:
+            return True  # non-numeric candidate: cannot bound, keep the chunk
+        if low <= candidate <= high:
+            return True
+    return False
+
+
+def _candidate_codes(meta: ColumnMeta, values) -> Set[int]:
+    """Dictionary codes whose value equals any of ``values`` (python ==)."""
+    return {
+        code
+        for code, entry in enumerate(meta.dictionary or [])
+        if any(entry == value for value in values if value is not None)
+    }
+
+
+def _any_code_in_range(candidates: Set[int], stats: ChunkStats) -> bool:
+    if not candidates or stats.min is None:
+        return False
+    return any(stats.min <= code <= stats.max for code in candidates)

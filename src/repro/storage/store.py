@@ -1,0 +1,123 @@
+"""A named, directory-backed store of columnar datasets.
+
+:class:`DatasetStore` gives datasets *names*: ``store.put(name, frame)``
+persists a dataframe under ``<root>/<name>/`` in the columnar format and
+``store.open(name)`` serves it back as an mmap-backed frame.  Opened
+datasets are cached per store instance, so every frame handed out for one
+name shares the same mapped buffers and column objects — one physical copy
+per process no matter how many tenants, sessions, or threads hold it.
+
+This is the process-crossing half of the serving story: a service restarts
+warm by re-opening named datasets instead of re-ingesting CSVs, and
+multiple replicas on one machine share the page cache.
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import threading
+from pathlib import Path
+from typing import Dict, List
+
+from ..dataframe.frame import DataFrame
+from ..errors import StorageError
+from .format import DEFAULT_CHUNK_ROWS, MANIFEST_NAME
+from .reader import Dataset
+from .writer import write_dataset
+
+#: Dataset names must be usable as directory names everywhere.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class DatasetStore:
+    """Named datasets under one root directory (thread-safe)."""
+
+    def __init__(self, root: str | Path, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.chunk_rows = chunk_rows
+        self._datasets: Dict[str, Dataset] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ public
+    def put(self, name: str, frame: DataFrame, overwrite: bool = True) -> Dataset:
+        """Persist ``frame`` under ``name``; returns the opened dataset."""
+        path = self._path(name)
+        write_dataset(frame, path, chunk_rows=self.chunk_rows, overwrite=overwrite)
+        with self._lock:
+            dataset = Dataset(path)
+            self._datasets[name] = dataset
+        return dataset
+
+    def open(self, name: str) -> DataFrame:
+        """The mmap-backed frame of dataset ``name`` (shared buffers)."""
+        return self.dataset(name).frame()
+
+    def dataset(self, name: str) -> Dataset:
+        """The opened (cached) :class:`Dataset` handle of ``name``."""
+        dataset = self._datasets.get(name)
+        if dataset is None:
+            with self._lock:
+                dataset = self._datasets.get(name)
+                if dataset is None:
+                    path = self._path(name)
+                    if not (path / MANIFEST_NAME).exists():
+                        raise StorageError(
+                            f"dataset {name!r} not found in store {self.root}"
+                        )
+                    dataset = Dataset(path)
+                    self._datasets[name] = dataset
+        return dataset
+
+    def contains(self, name: str) -> bool:
+        """True when ``name`` is stored (or already opened)."""
+        if name in self._datasets:
+            return True
+        try:
+            path = self._path(name)
+        except StorageError:
+            return False
+        return (path / MANIFEST_NAME).exists()
+
+    def __contains__(self, name: str) -> bool:
+        return self.contains(name)
+
+    def names(self) -> List[str]:
+        """Names of every stored dataset (sorted)."""
+        found = {
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and (entry / MANIFEST_NAME).exists()
+        }
+        return sorted(found | set(self._datasets))
+
+    def delete(self, name: str) -> bool:
+        """Drop dataset ``name``; returns whether anything was removed.
+
+        Frames already handed out keep working — their buffers stay mapped
+        until the last reference dies (POSIX unlink semantics).
+        """
+        path = self._path(name)
+        with self._lock:
+            existed = self._datasets.pop(name, None) is not None
+        if path.exists():
+            shutil.rmtree(path)
+            existed = True
+        return existed
+
+    def close(self) -> None:
+        """Drop every cached dataset handle (buffers unmap with the GC)."""
+        with self._lock:
+            self._datasets.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DatasetStore({str(self.root)!r}, datasets={len(self.names())})"
+
+    # ---------------------------------------------------------------- internals
+    def _path(self, name: str) -> Path:
+        if not _NAME_PATTERN.match(name or ""):
+            raise StorageError(
+                f"invalid dataset name {name!r}; use letters, digits, '.', '_', '-'"
+            )
+        return self.root / name

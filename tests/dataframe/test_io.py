@@ -36,6 +36,64 @@ class TestRoundTrip:
         assert "3\n" in text or ",3" in text
 
 
+class TestRoundTripFidelity:
+    """Regression tests: quoting, embedded structure, NaN, and sign edge cases."""
+
+    def _round_trip(self, frame, tmp_path):
+        return read_csv(write_csv(frame, tmp_path / "fidelity.csv"))
+
+    def test_delimiter_inside_value(self, tmp_path):
+        frame = DataFrame({"t": np.asarray(["a,b", "c", ",lead", "trail,"], dtype=object)})
+        assert self._round_trip(frame, tmp_path)["t"].tolist() == frame["t"].tolist()
+
+    def test_newline_inside_value(self, tmp_path):
+        frame = DataFrame({"t": np.asarray(["line\nbreak", "two\r\nlines", "plain"],
+                                           dtype=object),
+                           "v": np.asarray([1.0, 2.0, 3.0])})
+        loaded = self._round_trip(frame, tmp_path)
+        assert loaded.num_rows == 3
+        assert loaded["t"].tolist() == frame["t"].tolist()
+        assert loaded["v"].tolist() == frame["v"].tolist()
+
+    def test_quotes_inside_value(self, tmp_path):
+        frame = DataFrame({"t": np.asarray(['say "hi"', '"quoted"', 'a""b'], dtype=object)})
+        assert self._round_trip(frame, tmp_path)["t"].tolist() == frame["t"].tolist()
+
+    def test_whitespace_preserved_in_categorical(self, tmp_path):
+        frame = DataFrame({"t": np.asarray([" padded ", "x", "\ttabbed"], dtype=object)})
+        assert self._round_trip(frame, tmp_path)["t"].tolist() == frame["t"].tolist()
+
+    def test_nan_and_none_round_trip_as_missing(self, tmp_path):
+        frame = DataFrame({
+            "v": np.asarray([1.5, np.nan, 3.0]),
+            "t": np.asarray(["a", None, "b"], dtype=object),
+        })
+        loaded = self._round_trip(frame, tmp_path)
+        assert np.isnan(loaded["v"].tolist()[1])
+        assert loaded["t"].tolist() == ["a", None, "b"]
+
+    def test_negative_zero_keeps_sign(self, tmp_path):
+        frame = DataFrame({"v": np.asarray([-0.0, 0.0, 1.0])})
+        loaded = self._round_trip(frame, tmp_path)
+        assert np.signbit(loaded["v"].values[0])
+        assert not np.signbit(loaded["v"].values[1])
+        assert loaded["v"].fingerprint() == frame["v"].fingerprint()
+
+    def test_infinities_round_trip(self, tmp_path):
+        frame = DataFrame({"v": np.asarray([float("inf"), float("-inf"), 2.0])})
+        assert self._round_trip(frame, tmp_path)["v"].tolist() == frame["v"].tolist()
+
+    def test_full_float_precision(self, tmp_path):
+        frame = DataFrame({"v": np.asarray([0.1, 1 / 3, 1e-300, 1e20, 12345.6789])})
+        loaded = self._round_trip(frame, tmp_path)
+        assert loaded["v"].fingerprint() == frame["v"].fingerprint()
+
+    def test_numeric_looking_text_with_custom_delimiter(self, tmp_path):
+        frame = DataFrame({"t": np.asarray(["1;2", "3", "4;"], dtype=object)})
+        path = write_csv(frame, tmp_path / "semi.csv", delimiter=";")
+        assert read_csv(path, delimiter=";")["t"].tolist() == frame["t"].tolist()
+
+
 class TestReadCsv:
     def test_type_inference(self, tmp_path):
         path = tmp_path / "mixed.csv"

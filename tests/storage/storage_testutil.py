@@ -1,0 +1,35 @@
+"""Shared helpers for the storage-subsystem tests.
+
+Not a ``conftest.py`` on purpose: these are imported by name, and pytest's
+rootdir import mode maps every ``conftest`` basename to one module.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataframe import DataFrame
+
+
+def values_equal(left, right) -> bool:
+    """Element equality with NaN == NaN and exact type agreement."""
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if isinstance(a, float) and isinstance(b, float) and np.isnan(a) and np.isnan(b):
+            continue
+        if type(a) is not type(b) or a != b:
+            return False
+    return True
+
+
+def assert_round_trip(original: DataFrame, loaded: DataFrame) -> None:
+    """The loaded frame equals the original: schema, kinds, values, fingerprints."""
+    assert loaded.column_names == original.column_names
+    assert loaded.num_rows == original.num_rows
+    for name in original.column_names:
+        a, b = original[name], loaded[name]
+        assert a.kind == b.kind, name
+        assert values_equal(a.tolist(), b.tolist()), name
+        assert a.fingerprint() == b.fingerprint(), name
+    assert loaded.fingerprint() == original.fingerprint()

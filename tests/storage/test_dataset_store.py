@@ -1,0 +1,155 @@
+"""DatasetStore + registry and service integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from storage_testutil import assert_round_trip
+from repro.dataframe import Comparison, DataFrame
+from repro.datasets import DatasetRegistry
+from repro.errors import ServiceError, StorageError
+from repro.service import ExplanationService
+from repro.storage import DatasetStore, write_dataset
+
+
+@pytest.fixture
+def frame() -> DataFrame:
+    return DataFrame({
+        "x": np.asarray([1.0, 2.0, np.nan, 4.0]),
+        "g": np.asarray(["a", "b", "a", None], dtype=object),
+    })
+
+
+@pytest.fixture
+def store(tmp_path) -> DatasetStore:
+    return DatasetStore(tmp_path / "store")
+
+
+class TestDatasetStore:
+    def test_put_then_open(self, store, frame):
+        store.put("demo", frame)
+        assert_round_trip(frame, store.open("demo"))
+
+    def test_contains_and_names(self, store, frame):
+        assert "demo" not in store
+        store.put("demo", frame)
+        store.put("other.v2", frame)
+        assert "demo" in store and store.contains("other.v2")
+        assert store.names() == ["demo", "other.v2"]
+
+    def test_open_missing_raises(self, store):
+        with pytest.raises(StorageError, match="not found"):
+            store.open("nope")
+
+    def test_invalid_names_rejected(self, store, frame):
+        for bad in ("", "../escape", "a/b", ".hidden"):
+            with pytest.raises(StorageError, match="invalid dataset name"):
+                store.put(bad, frame)
+
+    def test_opens_share_buffers(self, store, frame):
+        store.put("demo", frame)
+        first, second = store.open("demo"), store.open("demo")
+        assert first["x"] is second["x"]
+
+    def test_survives_new_store_instance(self, store, frame):
+        store.put("demo", frame)
+        fresh = DatasetStore(store.root)
+        assert_round_trip(frame, fresh.open("demo"))
+
+    def test_delete(self, store, frame):
+        store.put("demo", frame)
+        assert store.delete("demo")
+        assert "demo" not in store
+        assert not store.delete("demo")
+
+    def test_put_overwrites_by_default(self, store, frame):
+        store.put("demo", frame)
+        store.put("demo", frame.head(2))
+        assert store.open("demo").num_rows == 2
+
+    def test_external_dataset_visible(self, store, frame):
+        write_dataset(frame, store.root / "direct")
+        assert "direct" in store
+        assert_round_trip(frame, store.open("direct"))
+
+
+class TestRegistryIntegration:
+    _SIZES = dict(spotify_rows=500, bank_rows=400, sales_rows=800, products_rows=100)
+
+    def test_tables_persisted_and_identical(self, tmp_path):
+        plain = DatasetRegistry(seed=3, **self._SIZES)
+        stored = DatasetRegistry(seed=3, store=DatasetStore(tmp_path / "reg"),
+                                 **self._SIZES)
+        for name in ("spotify", "products", "sales"):
+            assert_round_trip(plain.table(name), stored.table(name))
+
+    def test_second_registry_skips_regeneration(self, tmp_path):
+        store = DatasetStore(tmp_path / "reg")
+        first = DatasetRegistry(seed=3, store=store, **self._SIZES)
+        first.table("spotify")
+        key = first._store_key("spotify")
+        assert store.contains(key)
+        manifest_path = store.root / key / "manifest.json"
+        stamp = manifest_path.stat().st_mtime_ns
+        second = DatasetRegistry(seed=3, store=store, **self._SIZES)
+        second.table("spotify")
+        assert manifest_path.stat().st_mtime_ns == stamp  # no rewrite
+
+    def test_store_keys_pin_identity(self, tmp_path):
+        store = DatasetStore(tmp_path / "reg")
+        small = DatasetRegistry(seed=3, store=store, **self._SIZES)
+        sizes = dict(self._SIZES, spotify_rows=600)
+        bigger = DatasetRegistry(seed=3, store=store, **sizes)
+        assert small._store_key("spotify") != bigger._store_key("spotify")
+        other_seed = DatasetRegistry(seed=4, store=store, **self._SIZES)
+        assert small._store_key("spotify") != other_seed._store_key("spotify")
+
+    def test_registered_override_beats_store(self, tmp_path):
+        """register() wins over a previously persisted generated table."""
+        store = DatasetStore(tmp_path / "reg")
+        registry = DatasetRegistry(seed=3, store=store, **self._SIZES)
+        registry.table("spotify")  # generated and persisted
+        custom = DataFrame({"x": np.asarray([1.0, 2.0])})
+        registry.register("spotify", custom)
+        registry.clear()
+        served = registry.table("spotify")
+        assert served.num_rows == 2
+        # And the custom frame was never persisted under a generator name.
+        assert not store.contains(registry._store_key("spotify")) or (
+            store.open(registry._store_key("spotify")).num_rows == 500
+        )
+
+    def test_store_accepts_path(self, tmp_path):
+        registry = DatasetRegistry(seed=3, store=str(tmp_path / "reg"), **self._SIZES)
+        assert registry.table("spotify").num_rows == 500
+
+
+class TestServiceIntegration:
+    def test_open_dataset_requires_store(self, frame):
+        with ExplanationService() as service:
+            with pytest.raises(ServiceError, match="no dataset store"):
+                service.open_dataset("alice", "demo")
+
+    def test_tenants_share_one_physical_copy(self, tmp_path, frame):
+        store = DatasetStore(tmp_path / "store")
+        store.put("demo", frame)
+        with ExplanationService(dataset_store=store) as service:
+            alice = service.open_dataset("alice", "demo")
+            bob = service.open_dataset("bob", "demo")
+            assert alice.frame["x"] is bob.frame["x"]
+
+    def test_explain_on_stored_dataset(self, tmp_path):
+        rng = np.random.default_rng(0)
+        frame = DataFrame({
+            "value": rng.normal(size=400),
+            "group": np.asarray(rng.choice(["a", "b", "c"], size=400), dtype=object),
+        })
+        store = DatasetStore(tmp_path / "store")
+        store.put("demo", frame)
+        with ExplanationService(dataset_store=str(tmp_path / "store")) as service:
+            wrapper = service.open_dataset("alice", "demo")
+            filtered = wrapper.filter(Comparison("value", ">", 0.5))
+            report = filtered.explain()
+            assert report.all_candidates
+            assert service.stats("alice")["completed"] == 1

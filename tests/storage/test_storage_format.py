@@ -1,0 +1,217 @@
+"""Round-trip tests of the columnar dataset format (incl. hypothesis)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from storage_testutil import assert_round_trip
+from repro.dataframe import DataFrame
+from repro.errors import StorageError
+from repro.storage import open_dataset, read_dataset, write_dataset
+from repro.storage.format import (
+    FORMAT_VERSION,
+    HEADER_SIZE,
+    MAGIC,
+    MANIFEST_NAME,
+    chunk_ranges,
+    decode_scalar,
+    encode_scalar,
+)
+
+
+@pytest.fixture
+def mixed_frame() -> DataFrame:
+    return DataFrame({
+        "f": np.asarray([1.5, np.nan, -2.0, 0.0, 3.25, np.nan]),
+        "i": np.asarray([7, -1, 0, 3, 9, 2], dtype=np.int64),
+        "b": np.asarray([True, False, True, True, False, False]),
+        "cat": np.asarray(["pop", None, "rock", "", "ünïcode", "pop"], dtype=object),
+        "mixed": np.asarray([1, "1", None, 2.5, True, float("nan")], dtype=object),
+    })
+
+
+class TestRoundTrip:
+    def test_mixed_frame(self, mixed_frame, tmp_path):
+        write_dataset(mixed_frame, tmp_path / "ds", chunk_rows=4)
+        assert_round_trip(mixed_frame, read_dataset(tmp_path / "ds"))
+
+    def test_single_chunk_and_many_chunks_agree(self, mixed_frame, tmp_path):
+        write_dataset(mixed_frame, tmp_path / "one", chunk_rows=1_000)
+        write_dataset(mixed_frame, tmp_path / "many", chunk_rows=2)
+        assert_round_trip(read_dataset(tmp_path / "one"), read_dataset(tmp_path / "many"))
+
+    def test_empty_frame(self, tmp_path):
+        empty = DataFrame({"x": np.asarray([], dtype=float),
+                           "c": np.asarray([], dtype=object)})
+        write_dataset(empty, tmp_path / "ds")
+        loaded = read_dataset(tmp_path / "ds")
+        assert loaded.num_rows == 0
+        assert_round_trip(empty, loaded)
+
+    def test_all_null_columns(self, tmp_path):
+        frame = DataFrame({
+            "f": np.asarray([np.nan, np.nan, np.nan]),
+            "c": np.asarray([None, None, None], dtype=object),
+        })
+        write_dataset(frame, tmp_path / "ds", chunk_rows=2)
+        assert_round_trip(frame, read_dataset(tmp_path / "ds"))
+
+    def test_single_row(self, tmp_path):
+        frame = DataFrame({"x": np.asarray([4.0]), "c": np.asarray(["only"], dtype=object)})
+        write_dataset(frame, tmp_path / "ds")
+        assert_round_trip(frame, read_dataset(tmp_path / "ds"))
+
+    def test_trailing_nul_strings_survive(self, tmp_path):
+        """Trailing NULs defeat the factorization fast path; values must survive."""
+        frame = DataFrame({"c": np.asarray(["a\x00", "a", "b", "a\x00\x00"], dtype=object)})
+        write_dataset(frame, tmp_path / "ds")
+        loaded = read_dataset(tmp_path / "ds")
+        assert loaded["c"].tolist() == frame["c"].tolist()
+        assert loaded["c"].fingerprint() == frame["c"].fingerprint()
+
+    def test_chunk_columns_never_alias_fingerprints(self, tmp_path):
+        """Identical code buffers under different dictionaries must not collide."""
+        frame = DataFrame({
+            "city": np.asarray(["NY", "SF", "NY"], dtype=object),
+            "country": np.asarray(["US", "UK", "US"], dtype=object),
+        })
+        handle = open_dataset(write_dataset(frame, tmp_path / "ds", chunk_rows=2))
+        city = handle.chunk_column("city", 0)
+        country = handle.chunk_column("country", 0)
+        assert city.fingerprint() != country.fingerprint()
+        assert city.fingerprint() == frame["city"].take(np.asarray([0, 1])).fingerprint()
+
+    def test_unicode_u_dtype_column(self, tmp_path):
+        frame = DataFrame({"g": np.asarray(["αβγ", "jazz", "αβγ"])})
+        assert frame["g"].is_categorical
+        write_dataset(frame, tmp_path / "ds")
+        loaded = read_dataset(tmp_path / "ds")
+        assert loaded["g"].tolist() == frame["g"].tolist()
+        assert loaded["g"].fingerprint() == frame["g"].fingerprint()
+
+    def test_factorize_seeded_from_dictionary(self, mixed_frame, tmp_path):
+        write_dataset(mixed_frame, tmp_path / "ds")
+        loaded = read_dataset(tmp_path / "ds")
+        codes, uniques = loaded["cat"].factorize()
+        expect_codes, expect_uniques = mixed_frame["cat"].factorize()
+        assert uniques == expect_uniques
+        assert np.array_equal(codes, expect_codes)
+        # Pre-seeded: available without the values ever being materialised.
+        fresh = open_dataset(tmp_path / "ds").column("cat")
+        assert fresh._factorized is not None
+        assert fresh._data is None
+
+    def test_overwrite_flag(self, mixed_frame, tmp_path):
+        write_dataset(mixed_frame, tmp_path / "ds")
+        with pytest.raises(StorageError):
+            write_dataset(mixed_frame, tmp_path / "ds")
+        write_dataset(mixed_frame.head(2), tmp_path / "ds", overwrite=True)
+        assert read_dataset(tmp_path / "ds").num_rows == 2
+
+    def test_verify_detects_corruption(self, mixed_frame, tmp_path):
+        path = write_dataset(mixed_frame, tmp_path / "ds", chunk_rows=3)
+        open_dataset(path).verify()
+        target = path / "c1.bin"
+        blob = bytearray(target.read_bytes())
+        blob[-1] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        with pytest.raises(StorageError, match="fingerprint"):
+            open_dataset(path).verify()
+
+
+class TestFormatValidation:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(StorageError, match="missing"):
+            open_dataset(tmp_path)
+
+    def test_bad_manifest_magic(self, mixed_frame, tmp_path):
+        path = write_dataset(mixed_frame, tmp_path / "ds")
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["magic"] = "NOTADATA"
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(StorageError, match="magic"):
+            open_dataset(path)
+
+    def test_future_version_rejected(self, mixed_frame, tmp_path):
+        path = write_dataset(mixed_frame, tmp_path / "ds")
+        manifest = json.loads((path / MANIFEST_NAME).read_text())
+        manifest["version"] = FORMAT_VERSION + 1
+        (path / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(StorageError, match="version"):
+            open_dataset(path)
+
+    def test_bad_binary_magic(self, mixed_frame, tmp_path):
+        path = write_dataset(mixed_frame, tmp_path / "ds")
+        target = path / "c0.bin"
+        blob = bytearray(target.read_bytes())
+        blob[:8] = b"XXXXXXXX"
+        target.write_bytes(bytes(blob))
+        with pytest.raises(StorageError, match="magic"):
+            read_dataset(path)["f"].values
+
+    def test_truncated_binary_rejected(self, mixed_frame, tmp_path):
+        path = write_dataset(mixed_frame, tmp_path / "ds")
+        target = path / "c0.bin"
+        target.write_bytes(target.read_bytes()[:HEADER_SIZE + 8])
+        with pytest.raises(StorageError, match="bytes"):
+            read_dataset(path)["f"].values
+
+    def test_header_layout(self, mixed_frame, tmp_path):
+        path = write_dataset(mixed_frame, tmp_path / "ds")
+        header = (path / "c0.bin").read_bytes()[:HEADER_SIZE]
+        assert header[:8] == MAGIC
+        assert int.from_bytes(header[8:12], "little") == FORMAT_VERSION
+
+    def test_chunk_ranges(self):
+        assert chunk_ranges(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert chunk_ranges(0, 4) == []
+        with pytest.raises(StorageError):
+            chunk_ranges(10, 0)
+
+    def test_scalar_coding_round_trip(self):
+        for value in [None, "s", "", 3, -1, 2.5, float("nan"), float("inf"),
+                      float("-inf"), True, False]:
+            decoded = decode_scalar(encode_scalar(value))
+            if isinstance(value, float) and np.isnan(value):
+                assert np.isnan(decoded)
+            else:
+                assert decoded == value and type(decoded) is type(value)
+
+
+# ---------------------------------------------------------------- hypothesis
+_text = st.text(max_size=8)
+_cat_value = st.one_of(st.none(), _text, st.integers(-5, 5), st.booleans())
+_float_value = st.one_of(
+    st.floats(allow_nan=True, allow_infinity=True, width=64), st.just(np.nan)
+)
+
+
+@st.composite
+def frames(draw) -> DataFrame:
+    n_rows = draw(st.integers(min_value=0, max_value=12))
+    columns = {}
+    columns["num"] = np.asarray(
+        draw(st.lists(_float_value, min_size=n_rows, max_size=n_rows)), dtype=float
+    )
+    columns["int"] = np.asarray(
+        draw(st.lists(st.integers(-100, 100), min_size=n_rows, max_size=n_rows)),
+        dtype=np.int64,
+    )
+    columns["cat"] = np.asarray(
+        draw(st.lists(_cat_value, min_size=n_rows, max_size=n_rows)), dtype=object
+    )
+    return DataFrame(columns)
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(frame=frames(), chunk_rows=st.integers(min_value=1, max_value=6))
+    def test_round_trip(self, frame, chunk_rows, tmp_path_factory):
+        target = tmp_path_factory.mktemp("storage") / "ds"
+        write_dataset(frame, target, chunk_rows=chunk_rows)
+        assert_round_trip(frame, read_dataset(target))

@@ -1,0 +1,134 @@
+"""Mmap-backed frames: immutability, laziness, and persisted fingerprints."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataframe import Column, DataFrame
+from repro.dataframe.column import FINGERPRINT_STATS
+from repro.errors import ColumnError
+from repro.session import ExplanationSession
+from repro.operators import ExploratoryStep, GroupBy
+from repro.storage import open_dataset, write_dataset
+
+
+@pytest.fixture
+def dataset(tmp_path):
+    frame = DataFrame({
+        "value": np.asarray([3.0, 1.0, np.nan, 4.0, 1.5, 9.0]),
+        "count": np.asarray([5, 3, 8, 1, 2, 9], dtype=np.int64),
+        "group": np.asarray(["a", "b", "a", None, "b", "a"], dtype=object),
+    })
+    return frame, open_dataset(write_dataset(frame, tmp_path / "ds", chunk_rows=4))
+
+
+class TestImmutability:
+    def test_numeric_mmap_write_raises(self, dataset):
+        _, handle = dataset
+        with pytest.raises(ValueError):
+            handle.frame()["value"].values[0] = 99.0
+
+    def test_materialised_categorical_write_raises(self, dataset):
+        _, handle = dataset
+        with pytest.raises(ValueError):
+            handle.frame()["group"].values[0] = "zzz"
+
+    def test_copy_is_writable_and_never_leaks_back(self, dataset):
+        frame, handle = dataset
+        shared = handle.frame()
+        copy = shared["value"].copy()
+        copy.values[0] = -123.0
+        assert shared["value"][0] == 3.0
+        assert handle.frame()["value"][0] == 3.0
+        # The copy is new content: fresh fingerprint, no persisted shortcut.
+        assert copy.fingerprint() != shared["value"].fingerprint()
+
+    def test_derived_frames_are_plain_and_writable(self, dataset):
+        _, handle = dataset
+        filtered = handle.frame().mask(np.asarray([True, False, True, True, False, True]))
+        filtered["value"].values[0] = 42.0  # a slice is a private copy
+        assert handle.frame()["value"][0] == 3.0
+
+
+class TestSharing:
+    def test_frames_share_column_objects(self, dataset):
+        _, handle = dataset
+        first, second = handle.frame(), handle.frame()
+        assert first is not second
+        for name in first.column_names:
+            assert first[name] is second[name]
+
+    def test_structure_caches_shared_across_frames(self, dataset):
+        _, handle = dataset
+        first = handle.frame()["value"]
+        order = first.sorted_order()
+        assert handle.frame()["value"].sorted_order() is order
+
+
+class TestPersistedFingerprints:
+    def test_no_full_hash_on_stored_columns(self, dataset):
+        frame, handle = dataset
+        opened = handle.frame()
+        expected = frame.fingerprint()
+        FINGERPRINT_STATS.reset()
+        assert opened.fingerprint() == expected
+        assert FINGERPRINT_STATS.full_hashes == 0
+        assert FINGERPRINT_STATS.persisted_hits == 3
+
+    def test_lazy_categorical_hash_without_materialisation(self, dataset):
+        _, handle = dataset
+        column = handle.column("group")
+        assert column._data is None
+        column.fingerprint()
+        assert column._data is None  # persisted: the values were never built
+
+    def test_writable_backing_disables_shortcut(self):
+        backing = np.asarray([1.0, 2.0])
+        backing.flags.writeable = False
+        column = Column.from_storage("x", "numeric", 2, values=backing,
+                                     fingerprint="bogus")
+        assert column.fingerprint() == "bogus"
+        backing2 = np.asarray([1.0, 2.0])
+        column._data = backing2  # simulate the buffer becoming writable
+        assert column.fingerprint() == Column("x", backing2).fingerprint()
+
+    def test_from_storage_validation(self):
+        with pytest.raises(ColumnError):
+            Column.from_storage("x", "numeric", 2)
+        with pytest.raises(ColumnError):
+            Column.from_storage("x", "numeric", 2, values=np.asarray([1.0, 2.0]))
+
+    def test_warm_session_explain_never_rehashes_dataset(self, dataset):
+        """The ROADMAP's warm-path bar: zero full-column hashes on the input."""
+        _, handle = dataset
+        opened = handle.frame()
+        step = ExploratoryStep([opened], GroupBy("group", {"value": ["mean"]}))
+        session = ExplanationSession()
+        session.explain(step)
+        FINGERPRINT_STATS.reset()
+        session.explain(step)  # warm: report-memo hit
+        assert FINGERPRINT_STATS.persisted_hits >= opened.num_columns
+        # Only derived (tiny, aggregate) columns may have been hashed.
+        assert FINGERPRINT_STATS.full_hash_max_rows < opened.num_rows
+
+
+class TestLaziness:
+    def test_numeric_columns_map_without_reading(self, dataset):
+        _, handle = dataset
+        column = handle.column("value")
+        assert isinstance(column.values, np.memmap)
+        assert len(column) == 6
+
+    def test_len_does_not_materialise(self, dataset):
+        _, handle = dataset
+        column = handle.column("group")
+        assert len(column) == 6
+        assert column._data is None
+
+    def test_null_count_via_stats_matches_values(self, dataset):
+        frame, handle = dataset
+        meta = handle.column_meta("value")
+        assert sum(chunk.nulls for chunk in meta.chunks) == int(
+            frame["value"].null_mask().sum()
+        )

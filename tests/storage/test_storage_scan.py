@@ -1,0 +1,209 @@
+"""Scan pushdown: chunk pruning must be invisible except in the counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataframe import (
+    And,
+    Between,
+    Comparison,
+    DataFrame,
+    IsIn,
+    IsNull,
+    Not,
+    Or,
+    RowIndexPredicate,
+)
+from repro.operators import ExploratoryStep, Filter, GroupBy
+from repro.core import FedexConfig, FedexExplainer
+from repro.storage import open_dataset, write_dataset
+
+
+@pytest.fixture
+def sorted_dataset(tmp_path):
+    frame = DataFrame({
+        "v": np.arange(100, dtype=np.int64),
+        "f": np.where(np.arange(100) % 7 == 0, np.nan, np.arange(100, dtype=float)),
+        "cat": np.asarray([["low", "mid", "high", None][i // 25] for i in range(100)],
+                          dtype=object),
+    })
+    return frame, open_dataset(write_dataset(frame, tmp_path / "ds", chunk_rows=10))
+
+
+def _check(frame, handle, predicate):
+    got = handle.frame().predicate_mask(predicate)
+    want = np.asarray(predicate.mask(frame), dtype=bool)
+    assert np.array_equal(got, want), predicate.describe()
+
+
+class TestPruningCorrectness:
+    @pytest.mark.parametrize("predicate", [
+        Comparison("v", ">", 89),
+        Comparison("v", ">=", 90),
+        Comparison("v", "<", 10),
+        Comparison("v", "<=", 9),
+        Comparison("v", "==", 55),
+        Comparison("v", "!=", 55),
+        Comparison("v", "==", -3),
+        Comparison("f", ">", 95.0),
+        Comparison("cat", "==", "high"),
+        Comparison("cat", "==", "absent"),
+        Comparison("cat", "!=", "mid"),
+        Between("v", 20, 30),
+        Between("v", 20, 30, inclusive_high=True),
+        IsNull("f"),
+        IsNull("v"),
+        IsNull("cat"),
+        IsIn("v", [5, 95]),
+        IsIn("cat", ["low", "nope"]),
+        IsIn("cat", [None]),
+        And([Comparison("v", ">", 80), Comparison("cat", "==", "high")]),
+        Or([Comparison("v", "<", 5), Comparison("v", ">", 95)]),
+        Not(Comparison("v", ">", 50)),
+    ])
+    def test_mask_equals_unpruned(self, sorted_dataset, predicate):
+        frame, handle = sorted_dataset
+        _check(frame, handle, predicate)
+
+    def test_pruning_actually_prunes(self, sorted_dataset):
+        frame, handle = sorted_dataset
+        opened = handle.frame()
+        before = handle.scan.stats.chunks_pruned
+        mask = opened.predicate_mask(Comparison("v", ">=", 90))
+        assert mask.sum() == 10
+        assert handle.scan.stats.chunks_pruned - before == 9
+
+    def test_all_chunks_pruned(self, sorted_dataset):
+        frame, handle = sorted_dataset
+        mask = handle.frame().predicate_mask(Comparison("v", ">", 1_000))
+        assert not mask.any()
+        assert handle.scan.stats.chunks_scanned == 0
+
+    def test_dataset_filter_api(self, sorted_dataset):
+        frame, handle = sorted_dataset
+        result = handle.scan.filter(Comparison("v", ">=", 95))
+        assert result.num_rows == 5
+        assert result["v"].tolist() == [95, 96, 97, 98, 99]
+
+    def test_conjunction_prunes_via_both_sides(self, sorted_dataset):
+        frame, handle = sorted_dataset
+        predicate = And([Comparison("v", "<", 30), Comparison("cat", "==", "high")])
+        before = handle.scan.stats.chunks_scanned
+        mask = handle.frame().predicate_mask(predicate)
+        assert not mask.any()
+        # v<30 keeps chunks 0-2, cat=="high" keeps 5-7: intersection empty.
+        assert handle.scan.stats.chunks_scanned == before
+
+
+class TestFallbacks:
+    def test_positional_predicate_falls_back(self, sorted_dataset):
+        frame, handle = sorted_dataset
+        predicate = RowIndexPredicate([0, 57, 99])
+        before = handle.scan.stats.masks_fallback
+        _check(frame, handle, predicate)
+        assert handle.scan.stats.masks_fallback == before + 1
+
+    def test_foreign_frame_falls_back(self, sorted_dataset):
+        frame, handle = sorted_dataset
+        foreign = frame.copy().attach_scan(handle.scan)
+        predicate = Comparison("v", ">", 89)
+        before = handle.scan.stats.masks_fallback
+        mask = foreign.predicate_mask(predicate)
+        assert np.array_equal(mask, predicate.mask(frame))
+        assert handle.scan.stats.masks_fallback == before + 1
+
+    def test_row_count_mismatch_falls_back(self, sorted_dataset):
+        frame, handle = sorted_dataset
+        shorter = frame.head(50).attach_scan(handle.scan)
+        mask = shorter.predicate_mask(Comparison("v", ">", 10))
+        assert mask.sum() == 39
+
+    def test_unknown_column_error_is_preserved(self, sorted_dataset):
+        _, handle = sorted_dataset
+        with pytest.raises(Exception, match="unknown column"):
+            handle.frame().predicate_mask(Comparison("nope", ">", 1))
+
+    def test_type_error_surfaces_identically(self, sorted_dataset):
+        frame, handle = sorted_dataset
+        predicate = Comparison("v", ">", "not-a-number")
+        with pytest.raises(ValueError):
+            predicate.mask(frame)
+        with pytest.raises(ValueError):
+            handle.frame().predicate_mask(predicate)
+
+
+class TestExplainOnStoredFilter:
+    def test_filter_step_explained_with_pruning(self, sorted_dataset):
+        """Explaining a filter over a stored frame uses — and survives — pruning."""
+        frame, handle = sorted_dataset
+        predicate = Comparison("v", ">=", 60)
+        config = FedexConfig(seed=0)
+        in_memory = FedexExplainer(config).explain(
+            ExploratoryStep([frame], Filter(predicate))
+        )
+        scanned_before = handle.scan.stats.chunks_pruned
+        stored = FedexExplainer(config).explain(
+            ExploratoryStep([handle.frame()], Filter(predicate))
+        )
+        assert handle.scan.stats.chunks_pruned > scanned_before
+        assert stored.skyline_keys() == in_memory.skyline_keys()
+        for mine, theirs in zip(stored.all_candidates, in_memory.all_candidates):
+            assert mine.key() == theirs.key()
+            assert mine.contribution == theirs.contribution
+
+    def test_groupby_pre_filter_explained_with_pruning(self, sorted_dataset):
+        """The incremental group-by structure's pre-filter prunes chunks too."""
+        frame, handle = sorted_dataset
+        operation = GroupBy("cat", {"f": ["mean"]},
+                            pre_filter=Comparison("v", ">=", 80))
+        config = FedexConfig(seed=0)
+        in_memory = FedexExplainer(config).explain(ExploratoryStep([frame], operation))
+        pruned_before = handle.scan.stats.chunks_pruned
+        stored = FedexExplainer(config).explain(
+            ExploratoryStep([handle.frame()], operation)
+        )
+        assert handle.scan.stats.chunks_pruned > pruned_before
+        assert stored.skyline_keys() == in_memory.skyline_keys()
+
+
+# ------------------------------------------------------------------ hypothesis
+_predicates = st.one_of(
+    st.builds(Comparison, st.just("v"), st.sampled_from([">", ">=", "<", "<=", "==", "!="]),
+              st.integers(-5, 25)),
+    st.builds(Between, st.just("v"), st.integers(-5, 25), st.integers(-5, 25)),
+    st.builds(IsNull, st.sampled_from(["v", "c"])),
+    st.builds(Comparison, st.just("c"), st.sampled_from(["==", "!="]),
+              st.sampled_from(["a", "b", "zz"])),
+    st.builds(IsIn, st.just("c"), st.lists(st.sampled_from(["a", "b", None]),
+                                           min_size=1, max_size=3)),
+)
+
+
+class TestPropertyPruning:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(st.one_of(st.integers(0, 20), st.just(None)),
+                        min_size=1, max_size=30),
+        cats=st.data(),
+        chunk_rows=st.integers(min_value=1, max_value=7),
+        predicate=_predicates,
+    )
+    def test_mask_matches_unpruned(self, values, cats, chunk_rows, predicate,
+                                   tmp_path_factory):
+        n = len(values)
+        cat_values = cats.draw(
+            st.lists(st.sampled_from(["a", "b", None]), min_size=n, max_size=n)
+        )
+        frame = DataFrame({
+            "v": np.asarray([np.nan if v is None else float(v) for v in values]),
+            "c": np.asarray(cat_values, dtype=object),
+        })
+        target = tmp_path_factory.mktemp("scan") / "ds"
+        handle = open_dataset(write_dataset(frame, target, chunk_rows=chunk_rows))
+        got = handle.frame().predicate_mask(predicate)
+        want = np.asarray(predicate.mask(frame), dtype=bool)
+        assert np.array_equal(got, want)
