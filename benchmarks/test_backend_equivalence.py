@@ -15,9 +15,17 @@ re-run against tables opened from a :class:`~repro.storage.DatasetStore`
 reports — identical skylines, score deltas of exactly zero — versus the
 in-memory frames.
 
-The parallel worker count defaults to 2 and can be overridden with the
+The process backend has two passes of its own: the 30 queries over
+*in-memory* tables (spilled to the content-addressed temp store and shipped
+to the workers as mmap descriptors — ``spill_bytes=0`` forces every input
+through the spill path) and over *store-backed* tables (descriptors minted
+straight off the dataset store, no spill); both must match the serial
+incremental backend — identical skylines, scores within ``1e-9``.
+
+The worker count defaults to 2 and can be overridden with the
 ``REPRO_WORKERS`` environment variable (the CI matrix runs this suite with
-``REPRO_WORKERS=2`` on every python version).
+``REPRO_WORKERS=2`` on every python version; the ``backend-process`` job
+re-runs it with 2 process workers).
 """
 
 from __future__ import annotations
@@ -139,3 +147,72 @@ def test_store_backed_equivalence_over_workload(benchmark, bench_registry,
     # Bit-identical is the bar: same values in, same floats out — zero delta.
     drifted = [row["query"] for row in rows if row["max_score_delta"] != 0.0]
     assert not drifted, f"queries with non-identical scores: {drifted}"
+
+
+def _compare_process(registry, spill_bytes):
+    from repro.core.backends.process import PROCESS_STATS
+
+    PROCESS_STATS.reset()
+    process_config = FedexConfig(
+        backend="process", workers=_workers(), spill_bytes=spill_bytes, seed=0
+    )
+    rows = []
+    for query in WORKLOAD:
+        step = query.build_step(registry)
+        incremental = FedexExplainer(FedexConfig(backend="incremental", seed=0)).explain(step)
+        process = FedexExplainer(process_config).explain(step)
+        rows.append({
+            "query": query.number,
+            "dataset": query.dataset,
+            "kind": query.kind,
+            "skyline_equal": incremental.skyline_keys() == process.skyline_keys(),
+            "max_score_delta": _max_delta(_scores(incremental), _scores(process)),
+            "incremental_s": incremental.timings.get("contribution", 0.0),
+            "process_s": process.timings.get("contribution", 0.0),
+        })
+    return rows, PROCESS_STATS.as_dict()
+
+
+def _assert_process_rows(rows, stats) -> None:
+    assert len(rows) == 30
+    mismatched = [row["query"] for row in rows if not row["skyline_equal"]]
+    assert not mismatched, f"queries where process skylines diverge: {mismatched}"
+    drifted = [row["query"] for row in rows if not row["max_score_delta"] <= 1e-9]
+    assert not drifted, f"queries with process score drift above 1e-9: {drifted}"
+    # The pass must not be vacuous: a regression that silently downgraded
+    # every request to the serial fallback would compare incremental with
+    # itself.  Shards must really have crossed processes, none retried.
+    assert stats["shards_completed"] > 0, f"process path never ran: {stats}"
+    assert stats["shards_completed"] == stats["shards_submitted"], stats
+    assert stats["serial_retries"] == 0, f"workers failed mid-workload: {stats}"
+
+
+def test_process_backend_equivalence_in_memory(benchmark, bench_registry):
+    """Process == incremental on all 30 queries over in-memory (spilled) frames."""
+    rows, stats = run_once(benchmark, _compare_process, bench_registry, 0)
+    print_table(rows, title=(
+        f"Incremental vs process ({_workers()} workers, spilled in-memory frames) "
+        f"over the 30-query workload — {stats['shards_completed']} shards crossed "
+        "processes"
+    ))
+    _assert_process_rows(rows, stats)
+
+
+def test_process_backend_equivalence_store_backed(benchmark, tmp_path_factory):
+    """Process == incremental on all 30 queries over DatasetStore-backed frames.
+
+    The stored base tables cross as descriptors minted straight off the
+    store — no spill; queries over *derived* inputs (filtered/unioned
+    frames, which are plain in-memory frames again) follow the spill
+    policy, which at the default threshold can keep the smallest ones
+    serial by design.
+    """
+    store = DatasetStore(tmp_path_factory.mktemp("process-store"))
+    store_registry = DatasetRegistry(seed=0, store=store, **scale_sizes())
+    rows, stats = run_once(benchmark, _compare_process, store_registry, None)
+    print_table(rows, title=(
+        f"Incremental vs process ({_workers()} workers, store-backed frames) "
+        f"over the 30-query workload — {stats['shards_completed']} shards crossed "
+        "processes"
+    ))
+    _assert_process_rows(rows, stats)

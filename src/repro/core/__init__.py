@@ -5,8 +5,10 @@ from .backends import (
     ExactRerunBackend,
     IncrementalBackend,
     ParallelBackend,
+    ProcessBackend,
     available_backends,
     make_backend,
+    shutdown_process_pools,
 )
 from .candidates import ExplanationCandidate, build_candidates
 from .config import (
@@ -77,6 +79,7 @@ __all__ = [
     "MeasureRegistry",
     "NumericBinningPartitioner",
     "ParallelBackend",
+    "ProcessBackend",
     "Partitioner",
     "RowPartition",
     "RowSet",
@@ -97,6 +100,7 @@ __all__ = [
     "measure_for_step",
     "rank_by_weighted_score",
     "sampling_config",
+    "shutdown_process_pools",
     "skyline",
     "skyline_pairs",
     "step_signature",

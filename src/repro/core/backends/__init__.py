@@ -11,19 +11,26 @@ stable while the execution strategy behind Definition 3.3 is swappable via
   default);
 * ``"parallel"`` — :class:`ParallelBackend`, shards the partition ×
   attribute grid across a thread pool, each shard served by an embedded
-  incremental backend (``FedexConfig(workers=...)`` picks the pool size).
+  incremental backend (``FedexConfig(workers=...)`` picks the pool size);
+* ``"process"`` — :class:`ProcessBackend`, the same grid sharding over a
+  process pool for Python-heavy shard mixes the GIL serializes: inputs
+  travel as mmap frame descriptors (``FedexConfig(spill_bytes=...)``
+  governs spilling of in-memory inputs).
 """
 
 from .base import ContributionBackend, available_backends, make_backend
 from .exact import ExactRerunBackend
 from .incremental import IncrementalBackend
 from .parallel import ParallelBackend
+from .process import ProcessBackend, shutdown_process_pools
 
 __all__ = [
     "ContributionBackend",
     "ExactRerunBackend",
     "IncrementalBackend",
     "ParallelBackend",
+    "ProcessBackend",
     "available_backends",
     "make_backend",
+    "shutdown_process_pools",
 ]

@@ -16,7 +16,10 @@ computed:
   partition without re-running anything;
 * :class:`~repro.core.backends.parallel.ParallelBackend` shards the
   partition × attribute grid across a thread pool, delegating each shard to
-  an embedded incremental backend.
+  an embedded incremental backend;
+* :class:`~repro.core.backends.process.ProcessBackend` shards the same grid
+  across a *process* pool for the Python-heavy mixes the GIL serializes,
+  shipping inputs as mmap frame descriptors instead of pickled data.
 
 Backends are stateful per step: they are constructed once per
 ``(step, measure)`` pair and may precompute and cache whatever sharable
@@ -95,11 +98,13 @@ def available_backends() -> Dict[str, Type[ContributionBackend]]:
     from .exact import ExactRerunBackend
     from .incremental import IncrementalBackend
     from .parallel import ParallelBackend
+    from .process import ProcessBackend
 
     return {
         ExactRerunBackend.name: ExactRerunBackend,
         IncrementalBackend.name: IncrementalBackend,
         ParallelBackend.name: ParallelBackend,
+        ProcessBackend.name: ProcessBackend,
     }
 
 

@@ -1,0 +1,642 @@
+"""The process-pool contribution backend over shared mmap frames.
+
+:class:`ParallelBackend` sharded the partition × attribute grid across
+*threads*, which wins exactly as far as the shards release the GIL.  The
+Python-heavy shard mixes — wide grids of small partitions, mixed-regime KS,
+exact-rerun fallbacks — serialize on it, and the ROADMAP's answer is this
+backend: the same grid sharding over a ``ProcessPoolExecutor``.
+
+The thing that makes processes affordable is the storage layer.  A worker
+never receives a pickled dataframe; it receives a
+:class:`~repro.storage.reader.FrameDescriptor` — store path + manifest
+version + frame fingerprint + column subset, a few hundred bytes — and
+re-opens the dataset itself.  The re-open memory-maps the *same* read-only
+column files, so every worker shares one physical copy of the data with the
+parent (and, via :func:`~repro.storage.reader.shared_dataset`, one
+:class:`Dataset` handle per worker process), and the persisted column
+fingerprints mean no worker ever re-hashes a stored column.
+
+Frames that are not storage-backed are handled by policy:
+
+* **Spill** — an in-memory input at or above ``spill_bytes`` (estimated) is
+  written once to a content-addressed temp dataset
+  (:func:`spill_descriptor`, keyed by the frame fingerprint so repeated
+  explains over the same table spill it once per process) and shipped as a
+  descriptor like any stored frame.
+* **Serial fallback** — below the threshold the process fan-out cannot pay
+  for itself, so the whole step runs on the embedded serial
+  :class:`~repro.core.backends.incremental.IncrementalBackend` instead.
+
+Each worker rebuilds the step from the spec exactly once per backend
+(descriptors → mmap frames → re-apply the declarative operation → an
+embedded incremental backend with all its shared structure), then serves
+any number of shards from that cached state.  Because every shard runs the
+same incremental derivations over the same values, results are keyed by
+shard identity and bit-identical to the serial incremental backend
+regardless of worker count, completion order, or which worker ran what.
+
+Worker loss is survived, not propagated: a shard whose future fails — a
+killed child, a broken pool, an unpicklable result — is recomputed serially
+in the parent by the embedded incremental backend, whose result is
+bit-identical to what the lost worker would have produced; the shared pool
+is discarded so later requests get a fresh one.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import shutil
+import signal
+import tempfile
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Tuple
+
+import multiprocessing
+
+from ...errors import StorageError
+from ...operators.operations import MEASURE_DIVERSITY, MEASURE_EXCEPTIONALITY
+from ..interestingness import DiversityMeasure, ExceptionalityMeasure
+from ..partition import RowPartition, RowSet
+from .base import ContributionBackend
+from .incremental import IncrementalBackend
+from .parallel import DEFAULT_WORKERS
+
+#: Default spill threshold: in-memory inputs smaller than this run serially
+#: (the fork/IPC overhead dwarfs any GIL win on tiny frames); larger ones are
+#: spilled to a temp dataset and shared with the workers via mmap.
+DEFAULT_SPILL_BYTES = 4 * 1024 * 1024
+
+#: Byte estimate per object-array element (pointer + small python object);
+#: only the order of magnitude matters for the spill decision.
+_OBJECT_BYTES_ESTIMATE = 64
+
+#: Measures a worker can rebuild by name.  Custom measures carry arbitrary
+#: callables whose identity a spec cannot capture, so they stay serial.
+_BUILTIN_MEASURES = {
+    MEASURE_EXCEPTIONALITY: ExceptionalityMeasure,
+    MEASURE_DIVERSITY: DiversityMeasure,
+}
+
+
+class ProcessPoolStats:
+    """Process-wide counters of process-backend activity (observability).
+
+    Mirrors :class:`~repro.dataframe.column.FingerprintStats`: the
+    equivalence suites reset these, run a whole workload, and assert the
+    process path genuinely ran — a regression that silently downgraded
+    every request to the serial fallback would otherwise keep the
+    equivalence bars vacuously green.
+    """
+
+    __slots__ = ("shards_submitted", "shards_completed", "serial_retries",
+                 "serial_fallbacks")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.shards_submitted = 0
+        self.shards_completed = 0
+        self.serial_retries = 0
+        self.serial_fallbacks = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "shards_submitted": self.shards_submitted,
+            "shards_completed": self.shards_completed,
+            "serial_retries": self.serial_retries,
+            "serial_fallbacks": self.serial_fallbacks,
+        }
+
+
+#: Global process-backend counters (reset freely in tests/benchmarks).
+PROCESS_STATS = ProcessPoolStats()
+
+
+@dataclass(frozen=True)
+class StepSpec:
+    """The picklable recipe a worker uses to rebuild one exploratory step.
+
+    Inputs travel as frame descriptors (never as data), the operation as its
+    declarative self (operations re-apply deterministically, so the worker's
+    recomputed output is bit-identical to the parent's), and the measure as
+    a registry name.
+    """
+
+    descriptors: Tuple[object, ...]
+    operation: object
+    measure: str
+    ks_budget_bytes: Optional[int]
+    label: Optional[str] = None
+
+
+class ProcessBackend(ContributionBackend):
+    """Computes the contribution grid concurrently on a process pool.
+
+    Parameters
+    ----------
+    step / measure:
+        As for every backend.
+    workers:
+        Worker-process count; defaults to ``min(4, cpu_count)``.  Below 2
+        the backend stays serial (one process pool worker is pure overhead).
+    context:
+        Optional session cache forwarded to the embedded incremental
+        backend, so the serial fallback path composes with cross-step
+        structure reuse.  Workers never see it — they own their structure.
+    ks_budget_bytes:
+        Forwarded to every incremental backend (parent and workers) so the
+        batched-KS chunking is identical on both sides.
+    spill_bytes:
+        Spill threshold for in-memory inputs (see module docstring);
+        ``None`` uses :data:`DEFAULT_SPILL_BYTES`, ``0`` spills everything.
+    crash_shards:
+        Test hook: the first ``crash_shards`` submitted shards SIGKILL their
+        worker, exercising the crash-recovery path deterministically.
+    """
+
+    name = "process"
+
+    def __init__(self, step, measure, workers: Optional[int] = None, context=None,
+                 ks_budget_bytes: Optional[int] = None,
+                 spill_bytes: Optional[int] = None,
+                 crash_shards: int = 0) -> None:
+        super().__init__(step, measure)
+        self.workers = int(workers) if workers else DEFAULT_WORKERS
+        if self.workers < 1:
+            self.workers = 1
+        self.spill_bytes = DEFAULT_SPILL_BYTES if spill_bytes is None else int(spill_bytes)
+        self._inner = IncrementalBackend(step, measure, context=context,
+                                         ks_budget_bytes=ks_budget_bytes)
+        self._ks_budget_bytes = ks_budget_bytes
+        self._crash_shards = int(crash_shards)
+        #: Worker-side state cache key of this backend instance.
+        self._token = uuid.uuid4().hex
+        # Values pin the partition to keep its id reserved, exactly as in
+        # ParallelBackend._futures.
+        self._futures: Dict[Tuple[int, str], Tuple[RowPartition, Future]] = {}
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Why the backend stayed (or fell back to) serial; None while the
+        #: process path is active.  Observability for tests and operators.
+        self.fallback_reason: Optional[str] = None
+        self.shards_submitted = 0
+        self.shards_completed = 0
+        self.serial_retries = 0
+
+    # ------------------------------------------------------------------ public
+    def prefetch(self, grid: Sequence[Tuple[RowPartition, str]],
+                 baselines: Dict[str, float]) -> None:
+        """Shard the partition × attribute grid across the worker processes.
+
+        Builds the picklable step spec (minting descriptors, spilling
+        in-memory inputs when warranted); any reason the step cannot cross a
+        process boundary — tiny inputs, custom measure, unpicklable
+        operation — downgrades the whole request to the serial incremental
+        backend and is recorded in :attr:`fallback_reason`.
+        """
+        if not grid:
+            return
+        if self.workers < 2:
+            self.fallback_reason = "pool of 1 worker is pure overhead; staying serial"
+            PROCESS_STATS.serial_fallbacks += 1
+            return
+        spec_blob = self._spec_blob()
+        if spec_blob is None:
+            PROCESS_STATS.serial_fallbacks += 1
+            return
+        pool = process_pool(self.workers)
+        self._pool = pool
+        crash_left = self._crash_shards
+        for partition, attribute in grid:
+            key = (id(partition), attribute)
+            if key in self._futures:
+                continue
+            crash = crash_left > 0
+            if crash:
+                crash_left -= 1
+            try:
+                future = pool.submit(
+                    _run_shard, self._token, spec_blob, partition, attribute,
+                    baselines[attribute], crash,
+                )
+            except Exception as error:
+                # The shared pool died under us (BrokenProcessPool) or was
+                # shut down between lookup and submit (RuntimeError): the
+                # remaining shards run serially.  KeyboardInterrupt and
+                # friends propagate — a cancel must not silently turn into
+                # minutes of serial work.
+                self.fallback_reason = f"shard submission failed: {error}"
+                _discard_pool(self.workers, pool)
+                break
+            self._futures[key] = (partition, future)
+            self.shards_submitted += 1
+            PROCESS_STATS.shards_submitted += 1
+
+    def partition_contributions(self, partition: RowPartition, attribute: str,
+                                baseline: float):
+        entry = self._futures.pop((id(partition), attribute), None)
+        if entry is not None:
+            try:
+                result = entry[1].result()
+                self.shards_completed += 1
+                PROCESS_STATS.shards_completed += 1
+                return result
+            except BrokenProcessPool as error:
+                # A worker died mid-grid (OOM-kill, crash): the pool is gone
+                # for everyone, so drop it from the shared cache and recompute
+                # this shard serially — the incremental derivation is
+                # deterministic, so the retry is bit-identical to what the
+                # lost worker would have returned.
+                self.serial_retries += 1
+                PROCESS_STATS.serial_retries += 1
+                if self.fallback_reason is None:
+                    self.fallback_reason = f"worker lost mid-grid: {error}"
+                if self._pool is not None:
+                    _discard_pool(self.workers, self._pool)
+                    self._pool = None
+            except Exception as error:
+                # The shard itself failed (e.g. the worker could not resolve
+                # a descriptor); the pool is healthy, only this request
+                # degrades to the serial path.
+                self.serial_retries += 1
+                PROCESS_STATS.serial_retries += 1
+                if self.fallback_reason is None:
+                    self.fallback_reason = f"worker shard failed: {error}"
+        return self._inner.partition_contributions(partition, attribute, baseline)
+
+    def reduced_score(self, row_set: RowSet, attribute: str) -> float:
+        return self._inner.reduced_score(row_set, attribute)
+
+    def stats(self) -> Dict[str, object]:
+        """Shard counters + fallback reason (tests, benchmarks, operators)."""
+        return {
+            "workers": self.workers,
+            "shards_submitted": self.shards_submitted,
+            "shards_completed": self.shards_completed,
+            "serial_retries": self.serial_retries,
+            "fallback_reason": self.fallback_reason,
+        }
+
+    # ---------------------------------------------------------------- internals
+    def _spec_blob(self) -> Optional[bytes]:
+        measure_name = getattr(self.measure, "name", None)
+        builtin = _BUILTIN_MEASURES.get(measure_name)
+        if builtin is None or type(self.measure) is not builtin:
+            self.fallback_reason = (
+                f"measure {measure_name!r} is not a builtin measure a worker "
+                "can rebuild by name"
+            )
+            return None
+        descriptors = []
+        for index, frame in enumerate(self.step.inputs):
+            descriptor = frame.descriptor()
+            if descriptor is None:
+                size = frame_nbytes(frame)
+                if size < self.spill_bytes:
+                    self.fallback_reason = (
+                        f"input {index} is ~{size} bytes, below the "
+                        f"{self.spill_bytes}-byte spill threshold"
+                    )
+                    return None
+                try:
+                    descriptor = spill_descriptor(frame)
+                except Exception as error:
+                    self.fallback_reason = f"spilling input {index} failed: {error}"
+                    return None
+            descriptors.append(descriptor)
+        spec = StepSpec(
+            descriptors=tuple(descriptors), operation=self.step.operation,
+            measure=measure_name, ks_budget_bytes=self._ks_budget_bytes,
+            label=getattr(self.step, "label", None),
+        )
+        try:
+            return pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as error:
+            self.fallback_reason = f"step spec is not picklable: {error}"
+            return None
+
+
+def frame_nbytes(frame) -> int:
+    """Estimated in-memory size of a frame, for the spill decision.
+
+    Numeric/boolean columns answer exactly (``nbytes``); object columns are
+    estimated per element — the decision needs an order of magnitude, not an
+    audit.
+    """
+    total = 0
+    for column in frame.columns():
+        values = column.values
+        if values.dtype == object:
+            total += int(values.size) * _OBJECT_BYTES_ESTIMATE
+        else:
+            total += int(values.nbytes)
+    return total
+
+
+# ------------------------------------------------------------- spill store
+_SPILL_LOCK = threading.Lock()
+_SPILL_ROOT: Optional[Path] = None
+_SPILLED: "OrderedDict[str, _SpillEntry]" = OrderedDict()
+
+#: Byte budget of the on-disk spill store; least-recently-used spilled
+#: datasets beyond it are deleted (workers holding their mmaps keep reading
+#: — POSIX — and an evicted frame simply re-spills on next use).  Without a
+#: cap, a long-lived service would keep one temp copy of every distinct
+#: in-memory frame it ever explained.
+DEFAULT_SPILL_BUDGET_BYTES = 1 << 30
+_SPILL_BUDGET_BYTES = int(os.environ.get("REPRO_SPILL_BUDGET_BYTES",
+                                         str(DEFAULT_SPILL_BUDGET_BYTES)))
+
+
+class _SpillEntry:
+    """Singleflight slot for one spilled fingerprint: the first caller
+    writes, concurrent equal-content callers wait on the event, everyone
+    else never blocks (the global lock only guards the dict)."""
+
+    __slots__ = ("ready", "descriptor", "error", "path", "bytes")
+
+    def __init__(self) -> None:
+        self.ready = threading.Event()
+        self.descriptor = None
+        self.error: Optional[BaseException] = None
+        self.path: Optional[Path] = None
+        self.bytes = 0
+
+
+def _directory_bytes(path: Path) -> int:
+    return sum(entry.stat().st_size for entry in path.iterdir() if entry.is_file())
+
+
+def _evict_spill_overflow(protect: str) -> None:
+    """Drop least-recently-used spilled datasets beyond the byte budget.
+
+    ``protect`` is the fingerprint the caller is about to hand out: even if
+    it is the oldest entry (concurrent spills finish out of insertion
+    order), evicting it would return a descriptor to a deleted path.
+    """
+    from ...storage.reader import _evict_shared_dataset
+
+    doomed = []
+    with _SPILL_LOCK:
+        total = sum(e.bytes for e in _SPILLED.values() if e.ready.is_set())
+        for fingerprint, entry in list(_SPILLED.items()):
+            if total <= _SPILL_BUDGET_BYTES or len(_SPILLED) <= 1:
+                break
+            if fingerprint == protect:
+                continue
+            if not entry.ready.is_set() or entry.error is not None:
+                continue  # never evict an in-flight write
+            del _SPILLED[fingerprint]
+            total -= entry.bytes
+            doomed.append(entry.path)
+    for path in doomed:
+        if path is not None:
+            _evict_shared_dataset(str(path))
+            shutil.rmtree(path, ignore_errors=True)
+
+
+def spill_descriptor(frame):
+    """Write an in-memory frame to a temp dataset; return its descriptor.
+
+    Content-addressed by the frame fingerprint: equal frames (the same
+    benchmark table explained by thirty queries) are written once per
+    process and every later request reuses the descriptor.  Concurrent
+    spills of *different* frames proceed in parallel — only callers of the
+    same fingerprint wait for its (single) write.  The store is LRU-bounded
+    by :data:`_SPILL_BUDGET_BYTES`; the temp root lives until process exit,
+    and workers that still hold an evicted dataset's mmap keep reading
+    after the unlink (POSIX semantics).
+    """
+    from ...storage.reader import shared_dataset
+    from ...storage.writer import write_dataset
+
+    fingerprint = frame.fingerprint()
+    with _SPILL_LOCK:
+        entry = _SPILLED.get(fingerprint)
+        owner = entry is None
+        if owner:
+            entry = _SpillEntry()
+            _SPILLED[fingerprint] = entry
+            global _SPILL_ROOT
+            if _SPILL_ROOT is None:
+                _SPILL_ROOT = Path(tempfile.mkdtemp(prefix="repro-spill-"))
+                atexit.register(shutil.rmtree, str(_SPILL_ROOT), ignore_errors=True)
+            root = _SPILL_ROOT
+        else:
+            _SPILLED.move_to_end(fingerprint)
+    if owner:
+        try:
+            path = root / f"f{fingerprint}"
+            write_dataset(frame, path, overwrite=True)
+            entry.descriptor = shared_dataset(path).descriptor()
+            entry.path = Path(entry.descriptor.path)
+            entry.bytes = _directory_bytes(path)
+        except BaseException as error:
+            entry.error = error
+            with _SPILL_LOCK:
+                _SPILLED.pop(fingerprint, None)  # let a later caller retry
+            raise
+        finally:
+            entry.ready.set()
+        with _SPILL_LOCK:
+            if fingerprint in _SPILLED:
+                _SPILLED.move_to_end(fingerprint)
+        _evict_spill_overflow(protect=fingerprint)
+        return entry.descriptor
+    entry.ready.wait()
+    if entry.error is not None:
+        raise StorageError(f"concurrent spill of this frame failed: {entry.error}")
+    return entry.descriptor
+
+
+# ----------------------------------------------------------- shared pools
+_POOL_LOCK = threading.Lock()
+_POOLS: Dict[int, ProcessPoolExecutor] = {}
+
+
+def _start_method() -> str:
+    """The multiprocessing start method of the shared pools.
+
+    ``fork`` when the process is still single-threaded (workers start in
+    milliseconds and inherit the imported modules), ``forkserver`` once
+    other threads exist — forking a multi-threaded parent (an
+    :class:`~repro.service.ExplanationService` worker, say) can hand the
+    child third-party locks frozen in a held state, and ``register_at_fork``
+    can only re-initialise *this* package's locks.  Overridable via the
+    ``REPRO_PROCESS_START_METHOD`` environment variable — everything
+    shipped to workers is top-level and picklable, so every method works
+    identically, just with different cold starts.
+    """
+    available = multiprocessing.get_all_start_methods()
+    preferred = os.environ.get("REPRO_PROCESS_START_METHOD")
+    if preferred:
+        if preferred not in available:
+            raise ValueError(
+                f"REPRO_PROCESS_START_METHOD={preferred!r} is not available; "
+                f"choose one of {available}"
+            )
+        return preferred
+    if "fork" in available and threading.active_count() == 1:
+        return "fork"
+    for method in ("forkserver", "fork"):
+        if method in available:
+            return method
+    return available[0]
+
+
+def process_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared process pool for a worker count (created on first use).
+
+    Shared across backend instances so a service explaining many steps pays
+    the worker start-up once, not once per request.  Every worker is
+    spawned *eagerly* at creation: the executor otherwise forks lazily per
+    submit, which would let a pool whose start method was chosen while
+    single-threaded (``fork``) keep forking later, after the process has
+    grown threads — exactly the held-third-party-lock hazard
+    :func:`_start_method` decides against.
+    """
+    with _POOL_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context(_start_method()),
+            )
+            # One submit spawns one worker unless an idle one exists;
+            # briefly-sleeping warm-ups keep every already-spawned worker
+            # busy through the submission loop, forcing the full
+            # complement into existence now, under the threading
+            # conditions the start method was picked for.
+            for _ in range(workers):
+                pool.submit(time.sleep, 0.05)
+            _POOLS[workers] = pool
+        return pool
+
+
+def _discard_pool(workers: int, pool: ProcessPoolExecutor) -> None:
+    """Drop a (broken) pool from the shared cache so the next user rebuilds."""
+    with _POOL_LOCK:
+        if _POOLS.get(workers) is pool:
+            del _POOLS[workers]
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def shutdown_process_pools() -> None:
+    """Shut every shared pool down (tests / interpreter exit)."""
+    with _POOL_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+atexit.register(shutdown_process_pools)
+
+
+def _reinit_after_fork() -> None:
+    """Fresh locks and no inherited pool handles in a forked child.
+
+    A parent thread may hold the spill/pool lock at fork time (which would
+    deadlock the child the moment it touched either), and a child must
+    never talk to executor objects it inherited from the parent.
+    """
+    global _SPILL_LOCK, _POOL_LOCK
+    _SPILL_LOCK = threading.Lock()
+    _POOL_LOCK = threading.Lock()
+    _POOLS.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_after_fork)
+
+
+# ------------------------------------------------------------- worker side
+class _WorkerState:
+    """One rebuilt step + embedded incremental backend inside a worker."""
+
+    __slots__ = ("step", "backend")
+
+    def __init__(self, step, backend) -> None:
+        self.step = step
+        self.backend = backend
+
+
+#: Per-worker-process cache of rebuilt states, keyed by backend token.  The
+#: cap bounds a worker serving many steps: an evicted state costs one
+#: rebuild (the mmap buffers themselves stay cached in shared_dataset).
+_WORKER_STATES: "OrderedDict[str, _WorkerState]" = OrderedDict()
+_WORKER_STATE_CAP = 4
+
+
+def _build_worker_state(spec: StepSpec) -> _WorkerState:
+    from ...dataframe.frame import DataFrame
+    from ...operators.step import ExploratoryStep
+
+    inputs = [DataFrame.from_descriptor(descriptor) for descriptor in spec.descriptors]
+    # The output is recomputed, not shipped: operations are declarative and
+    # deterministic, so re-applying them over the shared mmap frames yields
+    # the parent's output bit for bit.
+    step = ExploratoryStep(inputs, spec.operation, label=spec.label)
+    measure = _BUILTIN_MEASURES[spec.measure]()
+    backend = IncrementalBackend(step, measure, ks_budget_bytes=spec.ks_budget_bytes)
+    return _WorkerState(step, backend)
+
+
+def _worker_state(token: str, spec_blob: bytes) -> _WorkerState:
+    state = _WORKER_STATES.get(token)
+    if state is None:
+        state = _build_worker_state(pickle.loads(spec_blob))
+        _WORKER_STATES[token] = state
+        while len(_WORKER_STATES) > _WORKER_STATE_CAP:
+            _WORKER_STATES.popitem(last=False)
+    else:
+        _WORKER_STATES.move_to_end(token)
+    return state
+
+
+def _run_shard(token: str, spec_blob: bytes, partition: RowPartition,
+               attribute: str, baseline: float, crash: bool = False):
+    """One grid shard inside a worker process.
+
+    ``crash`` is the test hook of the crash-recovery suite: it kills the
+    worker the way a real failure would (no exception, no cleanup), so the
+    parent sees a broken pool, not an error result.
+    """
+    if crash:
+        os.kill(os.getpid(), signal.SIGKILL)
+    state = _worker_state(token, spec_blob)
+    return state.backend.partition_contributions(partition, attribute, baseline)
+
+
+def _probe_descriptor(descriptor) -> Dict[str, object]:
+    """Worker-side diagnostics: the fingerprint work of resolving a descriptor.
+
+    Ships the re-opened frame's fingerprints back together with the
+    process-wide :data:`~repro.dataframe.column.FINGERPRINT_STATS` counters
+    (reset first), so tests can assert that a worker resolving a stored
+    frame performs **zero** full-column hashes — every fingerprint is
+    answered by the persisted digests.
+    """
+    from ...dataframe.column import FINGERPRINT_STATS
+    from ...dataframe.frame import DataFrame
+
+    FINGERPRINT_STATS.reset()
+    frame = DataFrame.from_descriptor(descriptor)
+    payload: Dict[str, object] = {
+        "pid": os.getpid(),
+        "frame_fingerprint": frame.fingerprint(),
+        "column_fingerprints": {
+            name: frame[name].fingerprint() for name in frame.column_names
+        },
+    }
+    payload.update(FINGERPRINT_STATS.as_dict())
+    return payload

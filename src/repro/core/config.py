@@ -77,12 +77,25 @@ class FedexConfig:
         step from shared precomputed structure, ``"exact"`` re-runs the
         operation per set-of-rows (the paper's literal semantics, kept as
         the reference oracle), ``"parallel"`` shards the partition ×
-        attribute grid across a thread pool of incremental workers.  See
+        attribute grid across a thread pool of incremental workers, and
+        ``"process"`` shards the same grid across a *process* pool —
+        inputs travel as mmap frame descriptors, so workers share the
+        stored data's pages instead of receiving pickled copies.  See
         :mod:`repro.core.backends`.
     workers:
-        Worker-pool size of the ``"parallel"`` backend.  ``None`` lets the
-        backend pick (``min(4, cpu_count)``); ignored by the serial
-        backends.
+        Worker-pool size of the ``"parallel"`` and ``"process"`` backends.
+        ``None`` lets the backend pick (``min(4, cpu_count)``); ignored by
+        the serial backends.
+    spill_bytes:
+        Spill threshold of the ``"process"`` backend: an in-memory input
+        frame at or above this estimated size is written once to a
+        content-addressed temp dataset and shared with the workers via
+        mmap; below it the request runs on the serial incremental backend
+        (process fan-out cannot pay for itself on tiny frames).  ``None``
+        uses the module default
+        (:data:`repro.core.backends.process.DEFAULT_SPILL_BYTES`, 4 MiB);
+        ``0`` spills every in-memory input.  Storage-backed frames never
+        spill — their descriptors are free.
     cache_reports:
         Let an :class:`~repro.session.ExplanationSession` memoize whole
         explanation reports keyed by (step signature, config signature) —
@@ -117,6 +130,7 @@ class FedexConfig:
     min_group_values: int = 2
     backend: str = DEFAULT_BACKEND
     workers: Optional[int] = None
+    spill_bytes: Optional[int] = None
     cache_reports: bool = True
     cache_structures: bool = True
     ks_budget_bytes: Optional[int] = None
@@ -142,6 +156,10 @@ class FedexConfig:
         resolve_backend_class(self.backend)
         if self.workers is not None and self.workers < 1:
             raise ExplanationError(f"workers must be positive, got {self.workers}")
+        if self.spill_bytes is not None and self.spill_bytes < 0:
+            raise ExplanationError(
+                f"spill_bytes must be non-negative, got {self.spill_bytes}"
+            )
         if self.ks_budget_bytes is not None and self.ks_budget_bytes < 1:
             raise ExplanationError(
                 f"ks_budget_bytes must be positive, got {self.ks_budget_bytes}"

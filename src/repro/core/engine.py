@@ -149,7 +149,8 @@ class FedexExplainer:
         calculator = ContributionCalculator(
             step, chosen_measure, backend=self.config.backend,
             backend_options={"workers": self.config.workers, "context": self.context,
-                             "ks_budget_bytes": self.config.ks_budget_bytes},
+                             "ks_budget_bytes": self.config.ks_budget_bytes,
+                             "spill_bytes": self.config.spill_bytes},
         )
         # The full partition × attribute grid is known before any
         # contribution is computed; announcing it lets the parallel backend

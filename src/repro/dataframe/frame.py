@@ -204,6 +204,34 @@ class DataFrame:
         self._scan = scan
         return self
 
+    def descriptor(self):
+        """Picklable handle of a storage-backed frame, or ``None``.
+
+        A frame opened from an on-disk dataset (:mod:`repro.storage`) can be
+        described by a tiny :class:`~repro.storage.reader.FrameDescriptor`
+        (store path + manifest version + frame fingerprint + column subset)
+        that another process resolves back into an mmap-backed frame over
+        the *same* kernel pages — see :meth:`from_descriptor`.  Plain
+        in-memory frames, and frames derived from a stored one (whose rows
+        no longer match the dataset), return ``None``.
+        """
+        if self._scan is None:
+            return None
+        from ..storage.reader import frame_descriptor
+
+        return frame_descriptor(self, self._scan)
+
+    @classmethod
+    def from_descriptor(cls, descriptor) -> "DataFrame":
+        """Resolve a :meth:`descriptor` back into an mmap-backed frame.
+
+        Validated against the descriptor's pinned manifest version and frame
+        fingerprint; see :func:`repro.storage.reader.frame_from_descriptor`.
+        """
+        from ..storage.reader import frame_from_descriptor
+
+        return frame_from_descriptor(descriptor)
+
     def predicate_mask(self, predicate: Predicate) -> np.ndarray:
         """Boolean row mask of ``predicate``, with chunk pruning when possible.
 

@@ -29,10 +29,17 @@ Usage::
     service.stats()                                  # requests, latency, hit rate
     service.close()
 
-Threads, not processes: the hot paths are NumPy kernels that release the
-GIL, and every worker shares the store's memoized structure for free.  Do
-not call :meth:`explain` from *inside* a worker (it would wait on its own
-pool); compose steps first, then submit.
+The front end runs on threads: the hot paths are NumPy kernels that
+release the GIL, and every worker shares the store's memoized structure
+for free.  For Python-heavy contribution grids the engine itself can fan
+out further — a service configured with
+``FedexConfig(backend="process", workers=N)`` shards each request's
+partition × attribute grid across a process pool, and datasets opened via
+:meth:`open_dataset` cross that boundary as mmap frame descriptors (the
+workers map the same pages the service serves every tenant from; see
+:mod:`repro.core.backends.process`).  Do not call :meth:`explain` from
+*inside* a worker (it would wait on its own pool); compose steps first,
+then submit.
 """
 
 from __future__ import annotations

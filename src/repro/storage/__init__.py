@@ -25,11 +25,24 @@ Highlights:
   chunks via the footer statistics before touching data, bit-identically.
 * **Store** (:mod:`~repro.storage.store`) — named datasets served as
   shared mmap frames; the registry and the explanation service build on it.
+  ``put`` is safe under concurrent writers: a ``.lock`` file taken with
+  ``O_CREAT|O_EXCL`` (with stale-lock takeover) serializes them.
+* **Descriptors** (:class:`~repro.storage.reader.FrameDescriptor`) — tiny
+  picklable handles (path + manifest version + fingerprint + columns) that
+  other *processes* resolve back into mmap frames over the same pages; the
+  process-pool contribution backend ships these instead of data.
 """
 
 from .format import DEFAULT_CHUNK_ROWS, FORMAT_VERSION, DatasetManifest
 from .mmap import map_buffer
-from .reader import Dataset, open_dataset, read_dataset
+from .reader import (
+    Dataset,
+    FrameDescriptor,
+    frame_from_descriptor,
+    open_dataset,
+    read_dataset,
+    shared_dataset,
+)
 from .scan import DatasetScan, ScanStats
 from .store import DatasetStore
 from .writer import csv_to_dataset, write_dataset
@@ -41,10 +54,13 @@ __all__ = [
     "DatasetManifest",
     "DatasetScan",
     "DatasetStore",
+    "FrameDescriptor",
     "ScanStats",
     "csv_to_dataset",
+    "frame_from_descriptor",
     "map_buffer",
     "open_dataset",
     "read_dataset",
+    "shared_dataset",
     "write_dataset",
 ]

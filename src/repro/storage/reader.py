@@ -13,15 +13,27 @@ Columns carry their persisted fingerprints (see
 a stored dataset never re-hash a stored column, and dictionary-encoded
 columns whose dictionary is their factorization get a pre-seeded
 :meth:`~repro.dataframe.column.Column.factorize` cache.
+
+:class:`FrameDescriptor` is the *process-crossing* handle of a stored
+frame: a tiny picklable value (store path + manifest version + frame
+fingerprint + column subset) that another process turns back into an
+mmap-backed frame with :func:`frame_from_descriptor` — the kernel pages
+are shared, so shipping a descriptor to a worker costs bytes, not a copy
+of the data.  :func:`shared_dataset` backs that with one per-process
+:class:`Dataset` handle per path, so every descriptor of one dataset
+resolves to the same buffers and column structure caches.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +43,23 @@ from ..errors import StorageError
 from .format import MANIFEST_NAME, ColumnMeta, DatasetManifest
 from .mmap import map_buffer, storage_column
 from .scan import DatasetScan
+
+
+@dataclass(frozen=True)
+class FrameDescriptor:
+    """A cheap, picklable handle to (a column subset of) a stored frame.
+
+    Carries everything a worker process needs to re-open the same data —
+    and nothing else: the dataset directory, the manifest format version it
+    was described under, the persisted whole-frame fingerprint (so a
+    descriptor can never silently resolve against different content), and
+    the column names, in frame order.
+    """
+
+    path: str
+    version: int
+    fingerprint: str
+    columns: Tuple[str, ...]
 
 
 class Dataset:
@@ -77,6 +106,16 @@ class Dataset:
         """
         frame = DataFrame([self.column(name) for name in self.column_names])
         return frame.attach_scan(self.scan)
+
+    def descriptor(self, columns: Optional[Sequence[str]] = None) -> FrameDescriptor:
+        """The picklable :class:`FrameDescriptor` of (a subset of) this dataset."""
+        names = tuple(columns) if columns is not None else tuple(self.column_names)
+        for name in names:
+            self.manifest.column(name)  # raises StorageError for unknown names
+        return FrameDescriptor(
+            path=str(self.path.resolve()), version=self.manifest.version,
+            fingerprint=self.fingerprint, columns=names,
+        )
 
     def column(self, name: str) -> Column:
         """The shared full-length column ``name`` (mapped on first request)."""
@@ -158,3 +197,105 @@ def open_dataset(path: str | Path) -> Dataset:
 def read_dataset(path: str | Path) -> DataFrame:
     """Open a dataset and return its mmap-backed dataframe in one call."""
     return open_dataset(path).frame()
+
+
+# ------------------------------------------------------- descriptor resolution
+#: Process-wide cache of descriptor-opened datasets: one Dataset handle (and
+#: therefore one set of mapped buffers and shared columns) per path, however
+#: many descriptors of it arrive.  Bounded so a long-lived worker that sees
+#: many distinct spilled datasets does not accumulate handles forever —
+#: evicted handles merely cost a re-open on next use.
+_SHARED_DATASETS: "OrderedDict[str, Dataset]" = OrderedDict()
+_SHARED_DATASETS_CAP = 32
+_SHARED_LOCK = threading.Lock()
+
+
+def _reinit_shared_lock() -> None:
+    """Give a forked child a fresh lock (a thread of the parent may have
+    held the old one at fork time, which would deadlock the child)."""
+    global _SHARED_LOCK
+    _SHARED_LOCK = threading.Lock()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reinit_shared_lock)
+
+
+def shared_dataset(path: str | Path) -> Dataset:
+    """The per-process shared :class:`Dataset` handle of ``path``."""
+    key = str(Path(path).resolve())
+    with _SHARED_LOCK:
+        dataset = _SHARED_DATASETS.get(key)
+        if dataset is not None:
+            _SHARED_DATASETS.move_to_end(key)
+            return dataset
+    dataset = Dataset(key)
+    with _SHARED_LOCK:
+        existing = _SHARED_DATASETS.get(key)
+        if existing is not None:
+            return existing
+        _SHARED_DATASETS[key] = dataset
+        while len(_SHARED_DATASETS) > _SHARED_DATASETS_CAP:
+            _SHARED_DATASETS.popitem(last=False)
+    return dataset
+
+
+def clear_shared_datasets() -> None:
+    """Drop every shared dataset handle (tests; buffers unmap with the GC)."""
+    with _SHARED_LOCK:
+        _SHARED_DATASETS.clear()
+
+
+def frame_descriptor(frame: DataFrame, scan) -> Optional[FrameDescriptor]:
+    """The descriptor of a frame served by a :class:`DatasetScan`, if sound.
+
+    ``None`` unless every column of the frame *is* (by identity) the scanned
+    dataset's shared column — a frame that merely carries a scan but swapped
+    or derived columns would otherwise describe content it does not hold.
+    """
+    dataset = getattr(scan, "_dataset", None)
+    if not isinstance(dataset, Dataset):
+        return None
+    names = tuple(frame.column_names)
+    for name in names:
+        if dataset.column_meta(name) is None or frame[name] is not dataset.column(name):
+            return None
+    return dataset.descriptor(names)
+
+
+def _evict_shared_dataset(path: str) -> None:
+    with _SHARED_LOCK:
+        _SHARED_DATASETS.pop(path, None)
+
+
+def frame_from_descriptor(descriptor: FrameDescriptor) -> DataFrame:
+    """Resolve a :class:`FrameDescriptor` into an mmap-backed frame.
+
+    The dataset is opened through :func:`shared_dataset` (one handle per
+    process) and validated against the descriptor's pinned manifest version
+    and frame fingerprint, so a descriptor can never silently serve content
+    other than what it was minted for.  A cached handle that fails the
+    check may simply predate a rewrite of the dataset: it is evicted and
+    the directory re-opened once before the mismatch is declared real —
+    otherwise one rewrite would poison every future descriptor of that
+    path for the life of the process.  The returned frame carries the
+    persisted column fingerprints and the chunk-statistics scan — a worker
+    re-opening a stored frame re-hashes nothing.
+    """
+    dataset = shared_dataset(descriptor.path)
+    if (dataset.manifest.version != descriptor.version
+            or dataset.fingerprint != descriptor.fingerprint):
+        _evict_shared_dataset(str(Path(descriptor.path).resolve()))
+        dataset = shared_dataset(descriptor.path)
+    if dataset.manifest.version != descriptor.version:
+        raise StorageError(
+            f"descriptor pins manifest version {descriptor.version}, dataset at "
+            f"{descriptor.path} has version {dataset.manifest.version}"
+        )
+    if dataset.fingerprint != descriptor.fingerprint:
+        raise StorageError(
+            f"descriptor fingerprint does not match the dataset at {descriptor.path}; "
+            "the dataset was rewritten since the descriptor was minted"
+        )
+    frame = DataFrame([dataset.column(name) for name in descriptor.columns])
+    return frame.attach_scan(dataset.scan)

@@ -15,7 +15,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import shutil
+import time
+import uuid
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple
 
@@ -46,7 +49,10 @@ def write_dataset(frame: DataFrame, path: str | Path,
 
     The write is atomic at the directory level: everything is staged into a
     sibling temporary directory first and moved into place last, so a
-    crashed write never leaves a half-readable dataset behind.
+    crashed write never leaves a half-readable dataset behind.  The staging
+    directory is unique per writer (pid + random suffix), so even two
+    unlocked writers racing on one path can never interleave files — each
+    completes its own staging and the last rename wins whole.
     """
     path = Path(path)
     if path.exists():
@@ -54,9 +60,8 @@ def write_dataset(frame: DataFrame, path: str | Path,
             raise StorageError(f"dataset directory already exists: {path}")
     ranges = chunk_ranges(frame.num_rows, chunk_rows)
 
-    staging = path.parent / f".{path.name}.staging"
-    if staging.exists():
-        shutil.rmtree(staging)
+    _sweep_stale_staging(path)
+    staging = path.parent / f".{path.name}.staging-{os.getpid()}-{uuid.uuid4().hex[:8]}"
     staging.mkdir(parents=True)
     try:
         columns: List[ColumnMeta] = []
@@ -91,6 +96,29 @@ def csv_to_dataset(csv_path: str | Path, dataset_path: str | Path,
     """
     frame = read_csv(csv_path, **read_csv_kwargs)
     return write_dataset(frame, dataset_path, chunk_rows=chunk_rows, overwrite=overwrite)
+
+
+#: A staging directory older than this is an orphan of a hard-crashed
+#: writer (live writes finish in seconds-to-minutes) and is reclaimed by
+#: the next write of the same dataset path.
+STAGING_ORPHAN_AGE = 3600.0
+
+
+def _sweep_stale_staging(path: Path) -> None:
+    """Reclaim orphaned staging directories of ``path``.
+
+    Staging names are unique per writer, so a crashed (SIGKILLed) writer's
+    ``except`` cleanup never ran and its full staged copy would otherwise
+    leak forever.  Only directories older than :data:`STAGING_ORPHAN_AGE`
+    are removed — a *live* concurrent writer's staging is never touched.
+    """
+    now = time.time()
+    for orphan in path.parent.glob(f".{path.name}.staging*"):
+        try:
+            if now - orphan.stat().st_mtime > STAGING_ORPHAN_AGE:
+                shutil.rmtree(orphan, ignore_errors=True)
+        except OSError:
+            continue
 
 
 # ------------------------------------------------------------------ internals

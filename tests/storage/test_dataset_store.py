@@ -74,6 +74,121 @@ class TestDatasetStore:
         assert_round_trip(frame, store.open("direct"))
 
 
+class TestPutLocking:
+    """put() is single-writer per name: a ``.lock`` file serializes writers."""
+
+    def _frames(self, count: int):
+        return [
+            DataFrame({"x": np.arange(10, dtype=float) + offset}) for offset in range(count)
+        ]
+
+    def test_concurrent_writers_to_one_name(self, store):
+        """The regression the lock fixes: concurrent overwriters raced on the
+        destination (rmtree then staging-rename — the loser's rename hit the
+        winner's fresh directory) and on the put-then-open read; under the
+        lock every put succeeds and the final dataset is a complete write of
+        one of the frames."""
+        import threading
+
+        frames = self._frames(4)
+        errors = []
+
+        def writer(frame):
+            try:
+                for _ in range(5):
+                    store.put("contested", frame)
+            except Exception as error:  # pragma: no cover - the regression
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(frame,)) for frame in frames]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        final = DatasetStore(store.root).open("contested")
+        assert any(final.fingerprint() == frame.fingerprint() for frame in frames)
+        assert not list(store.root.glob(".contested.lock"))  # released
+
+    def test_dead_writer_lock_is_taken_over(self, store, frame):
+        """A lock whose recorded pid is provably dead is stolen immediately."""
+        import subprocess
+        import time
+
+        # A real, provably-dead pid: spawn a child and let it exit.
+        child = subprocess.Popen(["true"])
+        child.wait()
+        lock = store.root / ".demo.lock"
+        lock.write_text(f"{child.pid} deadbeef {time.time():.3f}\n")
+        store.put("demo", frame, lock_timeout=5.0)
+        assert_round_trip(frame, store.open("demo"))
+        assert not lock.exists()
+
+    def test_unreadable_stale_lock_aged_out(self, store, frame):
+        """A pidless (foreign/corrupt) lock is only stolen past stale_after."""
+        import os
+        import time
+
+        from repro.storage.store import DEFAULT_LOCK_STALE_AFTER
+
+        lock = store.root / ".demo.lock"
+        lock.write_text("garbage\n")
+        # Age the lock relative to the live constant so the test keeps
+        # asserting "past stale_after" whatever the default becomes.
+        old = time.time() - (DEFAULT_LOCK_STALE_AFTER * 2)
+        os.utime(lock, (old, old))
+        store.put("demo", frame, lock_timeout=5.0)
+        assert_round_trip(frame, store.open("demo"))
+
+    def test_live_writer_blocks_until_timeout(self, store, frame):
+        """A fresh lock held by a live process makes put wait, then raise."""
+        import os
+        import time
+
+        lock = store.root / ".demo.lock"
+        lock.write_text(f"{os.getpid()} feedface {time.time():.3f}\n")
+        start = time.monotonic()
+        with pytest.raises(StorageError, match="timed out"):
+            store.put("demo", frame, lock_timeout=0.3)
+        assert time.monotonic() - start >= 0.3
+        lock.unlink()
+
+    def test_heartbeat_protects_a_slow_live_writer(self, tmp_path):
+        """A held lock outliving stale_after is NOT stolen: the heartbeat
+        keeps re-stamping it, so stale_after only reaps writers that
+        stopped making progress (crashed/frozen), never merely slow ones."""
+        import time
+
+        from repro.storage.store import _DirectoryLock
+
+        lock_path = tmp_path / "x.lock"
+        holder = _DirectoryLock(lock_path, stale_after=0.2)
+        holder.acquire()
+        try:
+            time.sleep(0.6)  # well past stale_after; heartbeats keep it fresh
+            contender = _DirectoryLock(lock_path, timeout=0.3, stale_after=0.2)
+            with pytest.raises(StorageError, match="timed out"):
+                contender.acquire()
+        finally:
+            holder.release()
+        assert not lock_path.exists()
+
+    def test_release_spares_a_stolen_lock(self, store, frame, tmp_path):
+        """Releasing verifies the owner token: a thief's lock survives."""
+        from repro.storage.store import _DirectoryLock
+
+        lock_path = tmp_path / "x.lock"
+        ours = _DirectoryLock(lock_path)
+        ours.acquire()
+        lock_path.unlink()  # someone broke our lock ...
+        thief = _DirectoryLock(lock_path)
+        thief.acquire()  # ... and took it over
+        ours.release()
+        assert lock_path.exists()  # the thief's lock is untouched
+        thief.release()
+        assert not lock_path.exists()
+
+
 class TestRegistryIntegration:
     _SIZES = dict(spotify_rows=500, bank_rows=400, sales_rows=800, products_rows=100)
 
