@@ -18,6 +18,15 @@ GIL serializes across threads.  The bar: the process pool must be at least
 explanation, not a silent pass) on hosts that cannot show the effect:
 free-threaded (GIL-free) builds, where threads scale too, and machines with
 fewer cores than workers.
+
+A third section measures what shard batching buys on the *wide-grid* mix —
+many small partitions, tiny per-shard compute, so per-pair IPC dominates:
+the process backend with automatic batching must be at least 1.3x faster
+than its own per-pair (``shard_batch=1``) dispatch, which is exactly how
+the backend submitted before batching existed.
+
+Every run's timings and ratios are appended to ``BENCH_backends.json``
+through :mod:`perf_record`, so the trajectory is comparable across PRs.
 """
 
 from __future__ import annotations
@@ -25,7 +34,10 @@ from __future__ import annotations
 import os
 import sys
 
+import perf_record
+
 from repro.core import FedexConfig, FedexExplainer, shutdown_process_pools
+from repro.core.backends.process import PROCESS_STATS
 from repro.dataframe import Comparison
 from repro.datasets import load_spotify
 from repro.datasets.products import load_products_and_sales
@@ -33,6 +45,11 @@ from repro.operators import ExploratoryStep, Filter, GroupBy, Join, Union
 
 #: Process-over-threads acceptance bar on the Python-heavy shard mix.
 POOL_SPEEDUP_BAR = 1.5
+
+#: Batched-over-unbatched acceptance bar on the wide-grid mix: automatic
+#: shard batching vs this backend's own per-pair dispatch (the pre-batching
+#: baseline).
+BATCH_SPEEDUP_BAR = 1.3
 
 
 def _steps(n_rows: int):
@@ -116,7 +133,52 @@ def run_pool_comparison(n_rows: int = 20_000, workers: int = 4):
     for name in ("threads", "process"):
         print(f"{name:10s} {timings[name]:15.3f}")
     print(f"process speedup over threads: {speedup:.2f}x")
-    return speedup
+    return {"workers": workers, "n_rows": n_rows,
+            "threads_s": timings["threads"], "process_s": timings["process"],
+            "speedup": speedup}
+
+
+def run_batching_comparison(n_rows: int = 4_000, workers: int = 4):
+    """Batched vs per-pair process dispatch on the wide-grid mix.
+
+    The step is a filter explained with ``partition_source="all"`` — every
+    input attribute partitioned by every method, so the contribution grid
+    is wide and each shard (batched KS over a few thousand rows) is cheap.
+    ``shard_batch=1`` reproduces the backend's pre-batching behaviour (one
+    pickle/submit/result round-trip per pair, the PR-5 baseline);
+    ``shard_batch=None`` is the automatic batching policy.  Both runs
+    produce bit-identical reports; only the dispatch overhead differs.
+    """
+    spotify = load_spotify(n_rows, seed=3)
+    step = ExploratoryStep([spotify], Filter(Comparison("popularity", ">", 65)))
+    shared = dict(backend="process", workers=workers, spill_bytes=0,
+                  partition_source="all", set_counts=(5, 10), seed=0)
+    timings = {}
+    dispatch = {}
+    for name, shard_batch in (("unbatched", 1), ("batched", None)):
+        config = FedexConfig(shard_batch=shard_batch, **shared)
+        # Warm-up pays worker start-up and the spill outside the measurement.
+        FedexExplainer(config).explain(step, measure="exceptionality")
+        PROCESS_STATS.reset()
+        report = FedexExplainer(config).explain(step, measure="exceptionality")
+        timings[name] = report.timings["contribution"]
+        dispatch[name] = {"shards": PROCESS_STATS.shards_submitted,
+                          "batches": PROCESS_STATS.batches_submitted}
+    speedup = timings["unbatched"] / max(timings["batched"], 1e-9)
+    print(f"\nshard batching on the wide-grid mix ({n_rows:,}-row filter, "
+          f"partition_source=all, {workers} workers, "
+          f"{dispatch['batched']['shards']} grid pairs)")
+    print(f"{'dispatch':10s} {'contribution_s':>15s} {'submits':>9s}")
+    for name in ("unbatched", "batched"):
+        print(f"{name:10s} {timings[name]:15.3f} {dispatch[name]['batches']:9d}")
+    print(f"batched speedup over per-pair dispatch: {speedup:.2f}x")
+    return {"workers": workers, "n_rows": n_rows,
+            "grid_pairs": dispatch["batched"]["shards"],
+            "unbatched_s": timings["unbatched"],
+            "unbatched_submits": dispatch["unbatched"]["batches"],
+            "batched_s": timings["batched"],
+            "batched_submits": dispatch["batched"]["batches"],
+            "speedup": speedup}
 
 
 def main() -> int:
@@ -136,15 +198,35 @@ def main() -> int:
               f"3x acceptance bar")
         status = 1
     pool_workers = int(os.environ.get("REPRO_WORKERS", "4"))
-    pool_speedup = run_pool_comparison(workers=pool_workers)
+    pool = run_pool_comparison(workers=pool_workers)
     waiver = _pool_bar_waiver(pool_workers)
+    pool["waiver"] = waiver
     if waiver is not None:
         print(f"WAIVED: process-over-threads bar not enforced — {waiver}")
-    elif pool_speedup < POOL_SPEEDUP_BAR:
-        print(f"WARNING: process pool speedup {pool_speedup:.2f}x is below the "
+    elif pool["speedup"] < POOL_SPEEDUP_BAR:
+        print(f"WARNING: process pool speedup {pool['speedup']:.2f}x is below the "
               f"{POOL_SPEEDUP_BAR}x bar over threads")
         status = 1
+    batching = run_batching_comparison(workers=pool_workers)
+    batching["waiver"] = waiver
+    if waiver is not None:
+        print(f"WAIVED: batching bar not enforced — {waiver}")
+    elif batching["speedup"] < BATCH_SPEEDUP_BAR:
+        print(f"WARNING: batched dispatch speedup {batching['speedup']:.2f}x is "
+              f"below the {BATCH_SPEEDUP_BAR}x bar over per-pair dispatch")
+        status = 1
     shutdown_process_pools()
+    perf_record.record("backends", {
+        "n_rows": n_rows,
+        "serial": [
+            {"step": name, "exact_s": exact, "incremental_s": incremental,
+             "speedup": speedup}
+            for name, exact, incremental, speedup in results
+        ],
+        "pool": pool,
+        "shard_batching": batching,
+        "status": status,
+    })
     return status
 
 

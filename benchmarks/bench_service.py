@@ -30,6 +30,8 @@ import sys
 import threading
 import time
 
+import perf_record
+
 from repro.core import FedexConfig
 from repro.datasets import DatasetRegistry
 from repro.service import ExplanationService, ServiceConfig
@@ -177,6 +179,7 @@ def main() -> int:
         print(f"WARNING: warm-path speedup {results['warm_speedup']:.1f}x is below the "
               f"{WARM_SPEEDUP_BAR:.0f}x acceptance bar")
         status = 1
+    perf_record.record("service", {**results, "workers": N_TENANTS, "status": status})
     return status
 
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 import sys
 import time
 
+import perf_record
+
 from repro.core import FedexConfig, FedexExplainer
 from repro.dataframe import Comparison
 from repro.datasets import DatasetRegistry, load_spotify
@@ -92,11 +94,13 @@ def run() -> dict:
 
 def main() -> int:
     results = run()
+    status = 0
     if results["warm_speedup"] < WARM_SPEEDUP_BAR:
         print(f"WARNING: warm-cache speedup {results['warm_speedup']:.1f}x is below the "
               f"{WARM_SPEEDUP_BAR:.0f}x acceptance bar")
-        return 1
-    return 0
+        status = 1
+    perf_record.record("session", {**results, "status": status})
+    return status
 
 
 if __name__ == "__main__":

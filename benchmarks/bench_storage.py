@@ -27,6 +27,8 @@ import sys
 import tempfile
 import time
 
+import perf_record
+
 from repro.core import FedexConfig
 from repro.dataframe import write_csv, read_csv
 from repro.dataframe.column import FINGERPRINT_STATS
@@ -125,7 +127,9 @@ def main() -> int:
         print(f"WARNING: warm mmap explain re-hashed a stored column: "
               f"{results['mmap_hashes']}")
         failed = True
-    return 1 if failed else 0
+    status = 1 if failed else 0
+    perf_record.record("storage", {**results, "n_rows": N_ROWS, "status": status})
+    return status
 
 
 if __name__ == "__main__":

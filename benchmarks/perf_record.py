@@ -1,0 +1,142 @@
+"""Persisted benchmark trajectory: every bench run appends to BENCH_*.json.
+
+One-off benchmark timings evaporate with the terminal scrollback; a perf
+regression then has nothing to be compared against.  Every ``bench_*.py``
+therefore writes its results through :func:`record`, which appends one run
+record — results plus enough host context to judge comparability — to an
+area file (``BENCH_backends.json``, ``BENCH_session.json``,
+``BENCH_service.json``, ``BENCH_storage.json``) next to the repo root.
+The files are committed, so the trajectory is visible across PRs: a change
+that halves the process-pool speedup shows up as a diff, not as a memory.
+
+Records are judged *per host*: absolute latencies move with the machine,
+so cross-host comparisons should use the ratio fields (``speedup``,
+``warm_speedup``...), which are dimensionless, and the ``host`` block to
+decide whether two runs are comparable at all.
+
+File format (one JSON document per area)::
+
+    {"area": "backends", "schema": 1, "runs": [ {run}, {run}, ... ]}
+
+Each run carries ``recorded_at`` (UTC ISO), a ``host`` block (python,
+platform, machine, cpu count, GIL status), and the benchmark's own payload
+verbatim.  A corrupt or foreign file is never fatal — recording starts the
+document over (benchmarks must keep working on a clobbered checkout).
+
+Set ``REPRO_BENCH_DIR`` to redirect the files (CI artifacts, experiments);
+set ``REPRO_BENCH_RECORD=0`` to disable persistence entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import sysconfig
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Format version of the BENCH_*.json documents.
+SCHEMA_VERSION = 1
+
+#: Cap on retained runs per area file: the trajectory should show a trend,
+#: not grow without bound over years of CI appends.  Oldest runs roll off.
+MAX_RUNS = 500
+
+
+def bench_dir() -> Path:
+    """Directory the BENCH_*.json files live in (repo root by default)."""
+    override = os.environ.get("REPRO_BENCH_DIR")
+    if override:
+        return Path(override)
+    return Path(__file__).resolve().parent.parent
+
+
+def recording_enabled() -> bool:
+    """Whether bench runs persist their results (``REPRO_BENCH_RECORD``)."""
+    return os.environ.get("REPRO_BENCH_RECORD", "1") != "0"
+
+
+def host_info() -> Dict[str, object]:
+    """The host context stamped onto every run record."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "gil_disabled": bool(sysconfig.get_config_var("Py_GIL_DISABLED")),
+    }
+
+
+def load_area(area: str, path: Optional[Path] = None) -> Dict[str, object]:
+    """The current document of one area (a fresh one if absent/corrupt)."""
+    path = path or bench_dir() / f"BENCH_{area}.json"
+    fresh: Dict[str, object] = {"area": area, "schema": SCHEMA_VERSION, "runs": []}
+    try:
+        loaded = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return fresh
+    if (not isinstance(loaded, dict) or loaded.get("area") != area
+            or not isinstance(loaded.get("runs"), list)):
+        return fresh
+    loaded["schema"] = SCHEMA_VERSION
+    return loaded
+
+
+def record(area: str, payload: Dict[str, object],
+           path: Optional[Path] = None) -> Optional[Path]:
+    """Append one run record to the area's BENCH_*.json file.
+
+    ``payload`` is the benchmark's own result dictionary (latencies in
+    seconds, speedup ratios, worker counts, status) and is stored verbatim
+    under the stamped envelope.  Returns the file written, or ``None`` when
+    recording is disabled.  The write is atomic (temp file + rename) so a
+    crashed bench run can corrupt at most nothing.
+    """
+    if not recording_enabled():
+        return None
+    path = Path(path) if path is not None else bench_dir() / f"BENCH_{area}.json"
+    document = load_area(area, path)
+    run = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "host": host_info(),
+        **payload,
+    }
+    document["runs"] = (document["runs"] + [run])[-MAX_RUNS:]
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=str(path.parent), prefix=path.name + ".", delete=False
+    )
+    try:
+        with handle:
+            json.dump(document, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def latest_run(area: str, path: Optional[Path] = None) -> Optional[Dict[str, object]]:
+    """The most recent recorded run of one area, if any."""
+    runs = load_area(area, path)["runs"]
+    return runs[-1] if runs else None
+
+
+if __name__ == "__main__":  # pragma: no cover - manual inspection aid
+    for area in ("backends", "session", "service", "storage"):
+        run = latest_run(area)
+        if run is None:
+            print(f"{area}: no recorded runs")
+        else:
+            summary = {k: v for k, v in run.items() if k not in ("host",)}
+            print(f"{area}: {json.dumps(summary, default=str)[:300]}")
+    sys.exit(0)

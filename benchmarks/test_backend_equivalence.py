@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import os
 
+import pytest
 from conftest import run_once, scale_sizes
 
 from repro.core import FedexConfig, FedexExplainer
@@ -72,6 +73,11 @@ def _compare_backends(registry):
         parallel = FedexExplainer(
             FedexConfig(backend="parallel", workers=_workers(), seed=0)
         ).explain(step)
+        # The same pool with forced tiny batches: batching may change how
+        # jobs are cut, never a float.
+        batched = FedexExplainer(
+            FedexConfig(backend="parallel", workers=_workers(), shard_batch=3, seed=0)
+        ).explain(step)
 
         incremental_scores = _scores(incremental)
         rows.append({
@@ -80,8 +86,10 @@ def _compare_backends(registry):
             "kind": query.kind,
             "skyline_equal": exact.skyline_keys() == incremental.skyline_keys(),
             "parallel_skyline_equal": incremental.skyline_keys() == parallel.skyline_keys(),
+            "batched_skyline_equal": incremental.skyline_keys() == batched.skyline_keys(),
             "max_score_delta": _max_delta(_scores(exact), incremental_scores),
             "parallel_delta": _max_delta(incremental_scores, _scores(parallel)),
+            "batched_delta": _max_delta(incremental_scores, _scores(batched)),
             "exact_s": exact.timings.get("contribution", 0.0),
             "incremental_s": incremental.timings.get("contribution", 0.0),
             "parallel_s": parallel.timings.get("contribution", 0.0),
@@ -107,6 +115,15 @@ def test_backend_equivalence_over_workload(benchmark, bench_registry):
     parallel_drifted = [row["query"] for row in rows if not row["parallel_delta"] <= 1e-9]
     assert not parallel_drifted, (
         f"queries with parallel score drift above 1e-9: {parallel_drifted}"
+    )
+    # Shard batching on the thread pool must be invisible to the results.
+    batched_mismatched = [row["query"] for row in rows if not row["batched_skyline_equal"]]
+    assert not batched_mismatched, (
+        f"queries where batched-parallel skylines diverge: {batched_mismatched}"
+    )
+    batched_drifted = [row["query"] for row in rows if not row["batched_delta"] <= 1e-9]
+    assert not batched_drifted, (
+        f"queries with batched-parallel score drift above 1e-9: {batched_drifted}"
     )
     # The incremental backend should win in aggregate (per-query timings can
     # be noisy for the smallest steps, the total must not be).
@@ -149,17 +166,34 @@ def test_store_backed_equivalence_over_workload(benchmark, bench_registry,
     assert not drifted, f"queries with non-identical scores: {drifted}"
 
 
-def _compare_process(registry, spill_bytes):
+#: Serial reference reports per registry identity — the process pass runs
+#: once per shard_batch setting, the incremental reference need only run once.
+_INCREMENTAL_MEMO: dict = {}
+
+
+def _incremental_reference(registry, query):
+    memo = _INCREMENTAL_MEMO.setdefault(id(registry), {})
+    report = memo.get(query.number)
+    if report is None:
+        report = FedexExplainer(FedexConfig(backend="incremental", seed=0)).explain(
+            query.build_step(registry)
+        )
+        memo[query.number] = report
+    return report
+
+
+def _compare_process(registry, spill_bytes, shard_batch=None):
     from repro.core.backends.process import PROCESS_STATS
 
     PROCESS_STATS.reset()
     process_config = FedexConfig(
-        backend="process", workers=_workers(), spill_bytes=spill_bytes, seed=0
+        backend="process", workers=_workers(), spill_bytes=spill_bytes,
+        shard_batch=shard_batch, seed=0,
     )
     rows = []
     for query in WORKLOAD:
         step = query.build_step(registry)
-        incremental = FedexExplainer(FedexConfig(backend="incremental", seed=0)).explain(step)
+        incremental = _incremental_reference(registry, query)
         process = FedexExplainer(process_config).explain(step)
         rows.append({
             "query": query.number,
@@ -187,15 +221,31 @@ def _assert_process_rows(rows, stats) -> None:
     assert stats["serial_retries"] == 0, f"workers failed mid-workload: {stats}"
 
 
-def test_process_backend_equivalence_in_memory(benchmark, bench_registry):
-    """Process == incremental on all 30 queries over in-memory (spilled) frames."""
-    rows, stats = run_once(benchmark, _compare_process, bench_registry, 0)
+@pytest.mark.parametrize("shard_batch", [1, 3, None],
+                         ids=["batch1", "batch3", "auto"])
+def test_process_backend_equivalence_in_memory(benchmark, bench_registry, shard_batch):
+    """Process == incremental on all 30 queries over in-memory (spilled) frames.
+
+    Parametrized over the shard-batch setting: per-pair dispatch (the
+    pre-batching behaviour), a forced tiny batch, and the automatic policy
+    all have to produce the same skylines and scores — batching is a
+    dispatch optimisation, never an observable.
+    """
+    rows, stats = run_once(benchmark, _compare_process, bench_registry, 0,
+                           shard_batch=shard_batch)
     print_table(rows, title=(
-        f"Incremental vs process ({_workers()} workers, spilled in-memory frames) "
-        f"over the 30-query workload — {stats['shards_completed']} shards crossed "
-        "processes"
+        f"Incremental vs process ({_workers()} workers, spilled in-memory frames, "
+        f"shard_batch={shard_batch}) over the 30-query workload — "
+        f"{stats['shards_completed']} shards in {stats['batches_submitted']} batches"
     ))
     _assert_process_rows(rows, stats)
+    # Batch accounting: pairs per batch can never undercount, and a forced
+    # batch of 3 must genuinely amortize (fewer submissions than pairs).
+    assert stats["batches_submitted"] <= stats["shards_submitted"], stats
+    if shard_batch == 1:
+        assert stats["batches_submitted"] == stats["shards_submitted"], stats
+    else:
+        assert stats["batches_submitted"] < stats["shards_submitted"], stats
 
 
 def test_process_backend_equivalence_store_backed(benchmark, tmp_path_factory):

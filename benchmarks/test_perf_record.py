@@ -1,0 +1,82 @@
+"""Tests of the persisted benchmark trajectory (:mod:`perf_record`).
+
+The BENCH_*.json files are committed artifacts every ``bench_*.py`` appends
+to; this suite pins the envelope (area/schema/runs), the host stamping, the
+append-don't-clobber semantics, the corruption and foreign-file recovery,
+the retention cap, and the two environment knobs (``REPRO_BENCH_DIR``,
+``REPRO_BENCH_RECORD``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import perf_record
+
+
+class TestRecord:
+    def test_appends_runs_with_envelope(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        first = perf_record.record("backends", {"speedup": 2.0})
+        assert first == tmp_path / "BENCH_backends.json"
+        perf_record.record("backends", {"speedup": 3.0})
+        document = json.loads(first.read_text())
+        assert document["area"] == "backends"
+        assert document["schema"] == perf_record.SCHEMA_VERSION
+        assert [run["speedup"] for run in document["runs"]] == [2.0, 3.0]
+
+    def test_runs_are_stamped_with_host_context(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        perf_record.record("x", {"v": 1}, path=path)
+        run = json.loads(path.read_text())["runs"][0]
+        assert run["v"] == 1
+        assert "recorded_at" in run
+        assert run["host"]["cpu_count"] == os.cpu_count()
+        assert run["host"]["python"]
+
+    def test_corrupt_file_starts_over(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{definitely not json")
+        perf_record.record("x", {"v": 1}, path=path)
+        document = json.loads(path.read_text())
+        assert document["area"] == "x"
+        assert [run["v"] for run in document["runs"]] == [1]
+
+    def test_foreign_document_not_extended(self, tmp_path):
+        """A file claiming another area (or no runs list) is replaced, not mixed."""
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"area": "other", "schema": 1,
+                                    "runs": [{"v": 0}]}))
+        perf_record.record("x", {"v": 1}, path=path)
+        document = json.loads(path.read_text())
+        assert document["area"] == "x"
+        assert len(document["runs"]) == 1
+        assert document["runs"][0]["v"] == 1
+
+    def test_retention_cap_keeps_newest(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(perf_record, "MAX_RUNS", 3)
+        path = tmp_path / "BENCH_x.json"
+        for index in range(5):
+            perf_record.record("x", {"i": index}, path=path)
+        document = json.loads(path.read_text())
+        assert [run["i"] for run in document["runs"]] == [2, 3, 4]
+
+    def test_recording_disabled_by_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RECORD", "0")
+        monkeypatch.setenv("REPRO_BENCH_DIR", str(tmp_path))
+        assert not perf_record.recording_enabled()
+        assert perf_record.record("x", {"v": 1}) is None
+        assert not (tmp_path / "BENCH_x.json").exists()
+
+    def test_bench_dir_defaults_to_repo_root(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_DIR", raising=False)
+        root = perf_record.bench_dir()
+        assert (root / "benchmarks").is_dir()
+
+    def test_latest_run(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        assert perf_record.latest_run("x", path=path) is None
+        perf_record.record("x", {"v": 1}, path=path)
+        perf_record.record("x", {"v": 2}, path=path)
+        assert perf_record.latest_run("x", path=path)["v"] == 2

@@ -29,8 +29,10 @@ structure they like across row sets, attributes, and partitions.
 from __future__ import annotations
 
 import inspect
+import math
+import os
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional, Sequence, Tuple, Type, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Type, Union
 
 from ...errors import ExplanationError
 from ...operators.step import ExploratoryStep
@@ -40,6 +42,54 @@ from ..partition import RowPartition, RowSet
 
 #: Backend used when the caller does not pick one explicitly.
 DEFAULT_BACKEND = "incremental"
+
+#: Batches per worker targeted by automatic shard batching: enough slack for
+#: the pool to load-balance uneven shards, few enough that submit/result
+#: round-trips stop dominating wide grids of small partitions.
+DEFAULT_OVERSUBSCRIPTION = 4
+
+
+def resolve_shard_batch(shard_batch: Optional[int], grid_size: int,
+                        workers: int,
+                        oversubscription: int = DEFAULT_OVERSUBSCRIPTION) -> int:
+    """The effective shard-batch size for one contribution grid.
+
+    An explicit ``shard_batch`` (config knob / prefetch hint) wins; ``None``
+    consults the ``REPRO_SHARD_BATCH`` environment variable (CI sweeps), and
+    failing that falls back to the automatic policy
+    ``ceil(grid_size / (workers × oversubscription))`` — every worker gets
+    roughly ``oversubscription`` batches, so one pickle/submit/result round
+    carries many (partition, attribute) pairs without starving the pool of
+    load-balancing slack.  Always at least 1.
+    """
+    if shard_batch is None:
+        env = os.environ.get("REPRO_SHARD_BATCH")
+        if env:
+            try:
+                shard_batch = int(env)
+            except ValueError:
+                raise ExplanationError(
+                    f"REPRO_SHARD_BATCH={env!r} is not an integer"
+                ) from None
+    if shard_batch is not None:
+        return max(1, int(shard_batch))
+    if grid_size <= 0:
+        return 1
+    return max(1, math.ceil(grid_size / max(workers * oversubscription, 1)))
+
+
+def iter_shard_batches(grid: Sequence[Tuple[RowPartition, str]],
+                       batch_size: int) -> Iterator[Sequence[Tuple[RowPartition, str]]]:
+    """Consecutive ``batch_size``-sized slices of the grid, in grid order.
+
+    Order is load-bearing for determinism bookkeeping: every pooled backend
+    keys results by (partition identity, attribute), and slicing — rather
+    than striding — keeps each batch's pairs adjacent, so a failed batch
+    retried serially walks the pairs in exactly the order the engine will
+    request them.
+    """
+    for start in range(0, len(grid), batch_size):
+        yield grid[start:start + batch_size]
 
 
 class ContributionBackend(ABC):
@@ -77,16 +127,22 @@ class ContributionBackend(ABC):
         return [self.contribution(row_set, attribute, baseline) for row_set in partition.sets]
 
     def prefetch(self, grid: Sequence[Tuple[RowPartition, str]],
-                 baselines: Dict[str, float]) -> None:
+                 baselines: Dict[str, float],
+                 batch_hint: Optional[int] = None) -> None:
         """Announce the full partition × attribute grid of the contribution phase.
 
         The engine calls this once, before asking for any
         :meth:`partition_contributions`, with every ``(partition, attribute)``
         pair it is about to request and the per-attribute baselines.  The
         default is a no-op; backends that shard work across an executor (the
-        parallel backend) override it to start computing the whole grid
-        concurrently so the subsequent per-pair calls become waits on
-        already-running work.
+        parallel and process backends) override it to start computing the
+        whole grid concurrently so the subsequent per-pair calls become waits
+        on already-running work.
+
+        ``batch_hint`` is the caller's shard-batch preference (the value of
+        ``FedexConfig.shard_batch``): how many grid pairs one submitted job
+        should carry.  ``None`` lets the backend decide (see
+        :func:`resolve_shard_batch`); serial backends ignore it entirely.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

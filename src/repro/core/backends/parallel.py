@@ -10,13 +10,15 @@ embarrassingly parallel.
 :class:`ParallelBackend` exploits that: the engine announces the full grid
 up front via :meth:`~repro.core.backends.base.ContributionBackend.prefetch`,
 the backend resolves all shared structure *serially* (so no two workers race
-to build the same lazily-cached plan), then submits one job per grid pair to
-a thread pool.  Each job delegates to an embedded
-:class:`~repro.core.backends.incremental.IncrementalBackend`, so every shard
-enjoys the incremental derivations and the batched KS pass; the per-pair
-results are keyed by pair identity, which makes the output bit-identical to
-running the incremental backend serially regardless of worker count or
-completion order.
+to build the same lazily-cached plan), then submits the grid in
+:func:`~repro.core.backends.base.resolve_shard_batch`-sized batches — one
+job per batch, many pairs per job, so future/queue overhead is amortized on
+wide grids exactly as in the process backend.  Each job delegates to an
+embedded :class:`~repro.core.backends.incremental.IncrementalBackend`, so
+every shard enjoys the incremental derivations and the batched KS pass; the
+per-pair results are keyed by pair identity, which makes the output
+bit-identical to running the incremental backend serially regardless of
+worker count, batch size, or completion order.
 
 Threads (not processes) are the right pool here: the heavy lifting is NumPy
 slicing, sorting-order gathers, ``bincount`` and ``cumsum`` calls that
@@ -31,7 +33,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..partition import RowPartition, RowSet
-from .base import ContributionBackend
+from .base import ContributionBackend, iter_shard_batches, resolve_shard_batch
 from .incremental import IncrementalBackend
 
 #: Worker count used when the caller does not pick one explicitly.
@@ -53,50 +55,66 @@ class ParallelBackend(ContributionBackend):
         Optional session cache forwarded to the embedded incremental
         backend, so parallel execution composes with cross-step structure
         reuse (:mod:`repro.session`).
+    shard_batch:
+        Grid pairs per submitted batch (``FedexConfig.shard_batch``);
+        ``None`` resolves ``REPRO_SHARD_BATCH`` and then the automatic
+        policy — see :func:`~repro.core.backends.base.resolve_shard_batch`.
     """
 
     name = "parallel"
 
     def __init__(self, step, measure, workers: Optional[int] = None, context=None,
-                 ks_budget_bytes: Optional[int] = None) -> None:
+                 ks_budget_bytes: Optional[int] = None,
+                 shard_batch: Optional[int] = None) -> None:
         super().__init__(step, measure)
         self.workers = int(workers) if workers else DEFAULT_WORKERS
         if self.workers < 1:
             self.workers = 1
+        self.shard_batch = shard_batch
         self._inner = IncrementalBackend(step, measure, context=context,
                                          ks_budget_bytes=ks_budget_bytes)
         # The partition object is kept in the value to pin its id for the
         # entry's lifetime (mirrors ContributionCalculator._raw_cache): a
         # garbage-collected partition could otherwise donate its reused id
-        # to a new partition and hand it a stale future.
-        self._futures: Dict[Tuple[int, str], Tuple[RowPartition, Future]] = {}
+        # to a new partition and hand it a stale future.  The index selects
+        # this pair's slot in the batch future's result list.
+        self._futures: Dict[Tuple[int, str], Tuple[RowPartition, Future, int]] = {}
+        self.batches_submitted = 0
 
     # ------------------------------------------------------------------ public
     def prefetch(self, grid: Sequence[Tuple[RowPartition, str]],
-                 baselines: Dict[str, float]) -> None:
+                 baselines: Dict[str, float],
+                 batch_hint: Optional[int] = None) -> None:
         """Shard the partition × attribute grid across the worker pool.
 
         Shared structure (row provenance, group partials, per-attribute
-        plans) is materialised serially first — afterwards the per-pair jobs
+        plans) is materialised serially first — afterwards the batched jobs
         only *read* backend state, so they are safe to run concurrently.
+        Pairs are submitted in :func:`resolve_shard_batch`-sized batches;
+        each batch walks its pairs in grid order on one thread, so the
+        computation per pair — and therefore every result — is identical to
+        the serial incremental backend for any batch size.
         """
         if not grid:
             return
         inner = self._inner
         for partition, attribute in grid:
             inner._plan_for(partition.input_index, attribute)
+        pending = [(partition, attribute) for partition, attribute in grid
+                   if (id(partition), attribute) not in self._futures]
+        hint = batch_hint if batch_hint is not None else self.shard_batch
+        batch_size = resolve_shard_batch(hint, len(pending), self.workers)
         executor = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="fedex-contribution"
         )
         try:
-            for partition, attribute in grid:
-                key = (id(partition), attribute)
-                if key in self._futures:
-                    continue
-                self._futures[key] = (partition, executor.submit(
-                    inner.partition_contributions, partition, attribute,
-                    baselines[attribute],
-                ))
+            for batch in iter_shard_batches(pending, batch_size):
+                payload = [(partition, attribute, baselines[attribute])
+                           for partition, attribute in batch]
+                future = executor.submit(self._run_batch, payload)
+                for index, (partition, attribute) in enumerate(batch):
+                    self._futures[(id(partition), attribute)] = (partition, future, index)
+                self.batches_submitted += 1
         finally:
             # Pending jobs still run to completion; the pool threads simply
             # retire once the queue drains, so no explicit lifecycle
@@ -107,8 +125,15 @@ class ParallelBackend(ContributionBackend):
                                 baseline: float) -> List[float]:
         entry = self._futures.pop((id(partition), attribute), None)
         if entry is not None:
-            return entry[1].result()
+            return entry[1].result()[entry[2]]
         return self._inner.partition_contributions(partition, attribute, baseline)
+
+    # ---------------------------------------------------------------- internals
+    def _run_batch(self, payload: Sequence[Tuple[RowPartition, str, float]]) -> List[List[float]]:
+        """One batch of grid pairs on one pool thread, in grid order."""
+        inner = self._inner
+        return [inner.partition_contributions(partition, attribute, baseline)
+                for partition, attribute, baseline in payload]
 
     def reduced_score(self, row_set: RowSet, attribute: str) -> float:
         return self._inner.reduced_score(row_set, attribute)

@@ -27,19 +27,33 @@ Frames that are not storage-backed are handled by policy:
   for itself, so the whole step runs on the embedded serial
   :class:`~repro.core.backends.incremental.IncrementalBackend` instead.
 
+Submission is *batched*: the partition × attribute grid is cut into
+:func:`~repro.core.backends.base.resolve_shard_batch`-sized batches
+(``FedexConfig.shard_batch``; automatic by default) and each batch crosses
+the pool as one job, so one pickle/submit/result round-trip carries many
+pairs — per-pair IPC otherwise dominates wide grids of small partitions.
+Every pair keeps its own slot in the batch result, so batching changes how
+many futures exist, never a value.
+
 Each worker rebuilds the step from the spec exactly once per backend
 (descriptors → mmap frames → re-apply the declarative operation → an
-embedded incremental backend with all its shared structure), then serves
-any number of shards from that cached state.  Because every shard runs the
-same incremental derivations over the same values, results are keyed by
-shard identity and bit-identical to the serial incremental backend
-regardless of worker count, completion order, or which worker ran what.
+embedded incremental backend), then serves any number of shards from that
+cached state.  The backend's heavy derived structure — group-by layout,
+join matches, row provenance — lives one level deeper, in a worker-global
+:class:`_WorkerStructureCache` keyed by content fingerprints exactly like
+the in-process :class:`~repro.session.cache.SessionCache`, so it survives
+across backend tokens: the *next step* of a session grouping the same
+stored frame by the same keys reuses the structure instead of re-deriving
+it.  Because every shard runs the same incremental derivations over the
+same values, results are keyed by shard identity and bit-identical to the
+serial incremental backend regardless of worker count, batch size,
+completion order, or which worker ran what.
 
-Worker loss is survived, not propagated: a shard whose future fails — a
+Worker loss is survived, not propagated: a batch whose future fails — a
 killed child, a broken pool, an unpicklable result — is recomputed serially
-in the parent by the embedded incremental backend, whose result is
-bit-identical to what the lost worker would have produced; the shared pool
-is discarded so later requests get a fresh one.
+in the parent, pair by pair, by the embedded incremental backend, whose
+results are bit-identical to what the lost worker would have produced; the
+shared pool is discarded so later requests get a fresh one.
 """
 
 from __future__ import annotations
@@ -66,9 +80,11 @@ from ...errors import StorageError
 from ...operators.operations import MEASURE_DIVERSITY, MEASURE_EXCEPTIONALITY
 from ..interestingness import DiversityMeasure, ExceptionalityMeasure
 from ..partition import RowPartition, RowSet
-from .base import ContributionBackend
+from .base import ContributionBackend, iter_shard_batches, resolve_shard_batch
 from .incremental import IncrementalBackend
 from .parallel import DEFAULT_WORKERS
+
+_MISSING = object()
 
 #: Default spill threshold: in-memory inputs smaller than this run serially
 #: (the fork/IPC overhead dwarfs any GIL win on tiny frames); larger ones are
@@ -97,8 +113,9 @@ class ProcessPoolStats:
     equivalence bars vacuously green.
     """
 
-    __slots__ = ("shards_submitted", "shards_completed", "serial_retries",
-                 "serial_fallbacks")
+    __slots__ = ("shards_submitted", "shards_completed", "batches_submitted",
+                 "serial_retries", "serial_fallbacks", "structure_hits",
+                 "structure_misses")
 
     def __init__(self) -> None:
         self.reset()
@@ -106,15 +123,21 @@ class ProcessPoolStats:
     def reset(self) -> None:
         self.shards_submitted = 0
         self.shards_completed = 0
+        self.batches_submitted = 0
         self.serial_retries = 0
         self.serial_fallbacks = 0
+        self.structure_hits = 0
+        self.structure_misses = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
             "shards_submitted": self.shards_submitted,
             "shards_completed": self.shards_completed,
+            "batches_submitted": self.batches_submitted,
             "serial_retries": self.serial_retries,
             "serial_fallbacks": self.serial_fallbacks,
+            "structure_hits": self.structure_hits,
+            "structure_misses": self.structure_misses,
         }
 
 
@@ -156,24 +179,31 @@ class ProcessBackend(ContributionBackend):
     ks_budget_bytes:
         Forwarded to every incremental backend (parent and workers) so the
         batched-KS chunking is identical on both sides.
+    shard_batch:
+        Grid pairs per submitted batch (``FedexConfig.shard_batch``);
+        ``None`` resolves ``REPRO_SHARD_BATCH`` and then the automatic
+        policy — see :func:`~repro.core.backends.base.resolve_shard_batch`.
     spill_bytes:
         Spill threshold for in-memory inputs (see module docstring);
         ``None`` uses :data:`DEFAULT_SPILL_BYTES`, ``0`` spills everything.
     crash_shards:
-        Test hook: the first ``crash_shards`` submitted shards SIGKILL their
-        worker, exercising the crash-recovery path deterministically.
+        Test hook: the first ``crash_shards`` submitted *batches* SIGKILL
+        their worker mid-batch, exercising the crash-recovery path
+        deterministically.
     """
 
     name = "process"
 
     def __init__(self, step, measure, workers: Optional[int] = None, context=None,
                  ks_budget_bytes: Optional[int] = None,
+                 shard_batch: Optional[int] = None,
                  spill_bytes: Optional[int] = None,
                  crash_shards: int = 0) -> None:
         super().__init__(step, measure)
         self.workers = int(workers) if workers else DEFAULT_WORKERS
         if self.workers < 1:
             self.workers = 1
+        self.shard_batch = shard_batch
         self.spill_bytes = DEFAULT_SPILL_BYTES if spill_bytes is None else int(spill_bytes)
         self._inner = IncrementalBackend(step, measure, context=context,
                                          ks_budget_bytes=ks_budget_bytes)
@@ -182,20 +212,35 @@ class ProcessBackend(ContributionBackend):
         #: Worker-side state cache key of this backend instance.
         self._token = uuid.uuid4().hex
         # Values pin the partition to keep its id reserved, exactly as in
-        # ParallelBackend._futures.
-        self._futures: Dict[Tuple[int, str], Tuple[RowPartition, Future]] = {}
+        # ParallelBackend._futures; the index selects this pair's slot in
+        # the batch future's result list.
+        self._futures: Dict[Tuple[int, str], Tuple[RowPartition, Future, int]] = {}
+        # Batch futures whose worker-side structure counters were already
+        # folded into the stats (each batch reports once, but is consumed
+        # through many per-pair results).
+        self._credited: set = set()
         self._pool: Optional[ProcessPoolExecutor] = None
         #: Why the backend stayed (or fell back to) serial; None while the
         #: process path is active.  Observability for tests and operators.
         self.fallback_reason: Optional[str] = None
         self.shards_submitted = 0
         self.shards_completed = 0
+        self.batches_submitted = 0
         self.serial_retries = 0
+        self.structure_hits = 0
+        self.structure_misses = 0
 
     # ------------------------------------------------------------------ public
     def prefetch(self, grid: Sequence[Tuple[RowPartition, str]],
-                 baselines: Dict[str, float]) -> None:
+                 baselines: Dict[str, float],
+                 batch_hint: Optional[int] = None) -> None:
         """Shard the partition × attribute grid across the worker processes.
+
+        The grid is cut into :func:`resolve_shard_batch`-sized batches and
+        each batch is submitted as *one* job (one pickle/submit/result
+        round-trip for many pairs) — per-pair IPC otherwise dominates wide
+        grids of small partitions.  Every pair keeps its own result slot, so
+        batching never changes a value, only how many futures carry them.
 
         Builds the picklable step spec (minting descriptors, spilling
         in-memory inputs when warranted); any reason the step cannot cross a
@@ -215,19 +260,20 @@ class ProcessBackend(ContributionBackend):
             return
         pool = process_pool(self.workers)
         self._pool = pool
+        pending = [(partition, attribute) for partition, attribute in grid
+                   if (id(partition), attribute) not in self._futures]
+        hint = batch_hint if batch_hint is not None else self.shard_batch
+        batch_size = resolve_shard_batch(hint, len(pending), self.workers)
         crash_left = self._crash_shards
-        for partition, attribute in grid:
-            key = (id(partition), attribute)
-            if key in self._futures:
-                continue
+        for batch in iter_shard_batches(pending, batch_size):
             crash = crash_left > 0
             if crash:
                 crash_left -= 1
+            payload = [(partition, attribute, baselines[attribute])
+                       for partition, attribute in batch]
             try:
-                future = pool.submit(
-                    _run_shard, self._token, spec_blob, partition, attribute,
-                    baselines[attribute], crash,
-                )
+                future = pool.submit(_run_batch, self._token, spec_blob,
+                                     payload, crash)
             except Exception as error:
                 # The shared pool died under us (BrokenProcessPool) or was
                 # shut down between lookup and submit (RuntimeError): the
@@ -237,16 +283,22 @@ class ProcessBackend(ContributionBackend):
                 self.fallback_reason = f"shard submission failed: {error}"
                 _discard_pool(self.workers, pool)
                 break
-            self._futures[key] = (partition, future)
-            self.shards_submitted += 1
-            PROCESS_STATS.shards_submitted += 1
+            for index, (partition, attribute) in enumerate(batch):
+                self._futures[(id(partition), attribute)] = (partition, future, index)
+            self.batches_submitted += 1
+            PROCESS_STATS.batches_submitted += 1
+            self.shards_submitted += len(batch)
+            PROCESS_STATS.shards_submitted += len(batch)
 
     def partition_contributions(self, partition: RowPartition, attribute: str,
                                 baseline: float):
         entry = self._futures.pop((id(partition), attribute), None)
         if entry is not None:
+            _, future, index = entry
             try:
-                result = entry[1].result()
+                results, worker_stats = future.result()
+                self._credit_worker_stats(future, worker_stats)
+                result = results[index]
                 self.shards_completed += 1
                 PROCESS_STATS.shards_completed += 1
                 return result
@@ -282,11 +334,31 @@ class ProcessBackend(ContributionBackend):
             "workers": self.workers,
             "shards_submitted": self.shards_submitted,
             "shards_completed": self.shards_completed,
+            "batches_submitted": self.batches_submitted,
             "serial_retries": self.serial_retries,
+            "structure_hits": self.structure_hits,
+            "structure_misses": self.structure_misses,
             "fallback_reason": self.fallback_reason,
         }
 
     # ---------------------------------------------------------------- internals
+    def _credit_worker_stats(self, future: Future, worker_stats: Dict[str, int]) -> None:
+        """Fold one batch's worker-side structure counters in, exactly once.
+
+        Many per-pair results are served by one batch future; the worker's
+        hit/miss delta ships with the result tuple, so the first consumer
+        credits it and later consumers of the same future do not double
+        count.
+        """
+        if future in self._credited:
+            return
+        self._credited.add(future)
+        hits = int(worker_stats.get("structure_hits", 0))
+        misses = int(worker_stats.get("structure_misses", 0))
+        self.structure_hits += hits
+        self.structure_misses += misses
+        PROCESS_STATS.structure_hits += hits
+        PROCESS_STATS.structure_misses += misses
     def _spec_blob(self) -> Optional[bytes]:
         measure_name = getattr(self.measure, "name", None)
         builtin = _BUILTIN_MEASURES.get(measure_name)
@@ -560,6 +632,84 @@ if hasattr(os, "register_at_fork"):
 
 
 # ------------------------------------------------------------- worker side
+class _WorkerStructureCache:
+    """Cross-step structure reuse inside one worker process.
+
+    Implements the same hooks a :class:`~repro.session.cache.SessionCache`
+    offers an :class:`IncrementalBackend` (``row_sources`` /
+    ``groupby_structure`` / ``left_join_structure``), with the same
+    content-addressed keys: frame fingerprints plus the operation's
+    declarative signature.  One module-level instance outlives every
+    :class:`_WorkerState` — backend tokens change per step, but two steps
+    grouping the same stored frame by the same keys resolve to the same
+    fingerprints, so the second step's workers reuse the first step's group
+    structure instead of re-deriving it (mirroring in-process session
+    reuse).
+
+    Keys invalidate themselves: a worker frame is descriptor-resolved, so
+    its fingerprint comes from the persisted manifest — a rewritten dataset
+    yields a new fingerprint and therefore a fresh entry, never a stale
+    one.  The LRU cap bounds a long-lived worker serving many distinct
+    steps.
+    """
+
+    __slots__ = ("_entries", "_cap", "hits", "misses")
+
+    def __init__(self, cap: int) -> None:
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self._cap = cap
+        self.hits = 0
+        self.misses = 0
+
+    def _memo(self, key: Tuple, build) -> object:
+        value = self._entries.get(key, _MISSING)
+        if value is not _MISSING:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+        self.misses += 1
+        value = build()
+        self._entries[key] = value
+        while len(self._entries) > self._cap:
+            self._entries.popitem(last=False)
+        return value
+
+    def _input_fingerprints(self, step) -> Tuple[str, ...]:
+        return tuple(frame.fingerprint() for frame in step.inputs)
+
+    # The key layouts mirror SessionCache's structure layer, so the sharing
+    # semantics (what invalidates, what is reused across which steps) are
+    # identical in and out of process.
+    def groupby_structure(self, step, build):
+        operation = step.operation
+        pre_filter = getattr(operation, "pre_filter", None)
+        key = (
+            "groupby", step.inputs[0].fingerprint(),
+            tuple(getattr(operation, "keys", ())),
+            pre_filter.signature() if pre_filter is not None else None,
+        )
+        return self._memo(key, lambda: build(step))
+
+    def row_sources(self, step, build):
+        key = ("sources", step.operation.kind, step.operation.signature(),
+               self._input_fingerprints(step))
+        return self._memo(key, lambda: build(step))
+
+    def left_join_structure(self, step, build):
+        key = ("leftjoin", step.operation.signature(),
+               self._input_fingerprints(step))
+        return self._memo(key, lambda: build(step))
+
+
+#: Entry cap of the worker structure cache; structures are priced per step,
+#: not per byte, so the cap is the simple bound on a worker that serves many
+#: distinct steps back to back.
+_WORKER_STRUCTURE_CAP = int(os.environ.get("REPRO_WORKER_STRUCTURE_CAP", "32"))
+
+#: The per-worker-process structure cache (survives across backend tokens).
+_WORKER_STRUCTURES = _WorkerStructureCache(_WORKER_STRUCTURE_CAP)
+
+
 class _WorkerState:
     """One rebuilt step + embedded incremental backend inside a worker."""
 
@@ -572,7 +722,8 @@ class _WorkerState:
 
 #: Per-worker-process cache of rebuilt states, keyed by backend token.  The
 #: cap bounds a worker serving many steps: an evicted state costs one
-#: rebuild (the mmap buffers themselves stay cached in shared_dataset).
+#: rebuild (the mmap buffers themselves stay cached in shared_dataset, and
+#: the heavy derived structure stays cached in _WORKER_STRUCTURES).
 _WORKER_STATES: "OrderedDict[str, _WorkerState]" = OrderedDict()
 _WORKER_STATE_CAP = 4
 
@@ -587,7 +738,11 @@ def _build_worker_state(spec: StepSpec) -> _WorkerState:
     # the parent's output bit for bit.
     step = ExploratoryStep(inputs, spec.operation, label=spec.label)
     measure = _BUILTIN_MEASURES[spec.measure]()
-    backend = IncrementalBackend(step, measure, ks_budget_bytes=spec.ks_budget_bytes)
+    # The worker-global structure cache plugs in as the backend's context —
+    # group-by/join structure and row provenance are then keyed by content
+    # and survive this state's eviction (and the session's next step).
+    backend = IncrementalBackend(step, measure, context=_WORKER_STRUCTURES,
+                                 ks_budget_bytes=spec.ks_budget_bytes)
     return _WorkerState(step, backend)
 
 
@@ -603,18 +758,37 @@ def _worker_state(token: str, spec_blob: bytes) -> _WorkerState:
     return state
 
 
-def _run_shard(token: str, spec_blob: bytes, partition: RowPartition,
-               attribute: str, baseline: float, crash: bool = False):
-    """One grid shard inside a worker process.
+def _run_batch(token: str, spec_blob: bytes,
+               pairs: Sequence[Tuple[RowPartition, str, float]],
+               crash: bool = False):
+    """One batch of grid shards inside a worker process.
+
+    Returns ``(results, stats)``: one contribution list per
+    ``(partition, attribute, baseline)`` pair, in batch order, plus the
+    worker's structure-cache hit/miss delta for this batch (exact, because
+    a pool worker runs one batch at a time).
 
     ``crash`` is the test hook of the crash-recovery suite: it kills the
-    worker the way a real failure would (no exception, no cleanup), so the
-    parent sees a broken pool, not an error result.
+    worker the way a real failure would (no exception, no cleanup, halfway
+    through the batch), so the parent sees a broken pool — with some pairs
+    already computed and lost — not an error result.
     """
-    if crash:
-        os.kill(os.getpid(), signal.SIGKILL)
     state = _worker_state(token, spec_blob)
-    return state.backend.partition_contributions(partition, attribute, baseline)
+    hits_before = _WORKER_STRUCTURES.hits
+    misses_before = _WORKER_STRUCTURES.misses
+    crash_at = len(pairs) // 2 if crash else -1
+    results = []
+    for index, (partition, attribute, baseline) in enumerate(pairs):
+        if index == crash_at:
+            os.kill(os.getpid(), signal.SIGKILL)
+        results.append(
+            state.backend.partition_contributions(partition, attribute, baseline)
+        )
+    stats = {
+        "structure_hits": _WORKER_STRUCTURES.hits - hits_before,
+        "structure_misses": _WORKER_STRUCTURES.misses - misses_before,
+    }
+    return results, stats
 
 
 def _probe_descriptor(descriptor) -> Dict[str, object]:

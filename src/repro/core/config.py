@@ -86,6 +86,17 @@ class FedexConfig:
         Worker-pool size of the ``"parallel"`` and ``"process"`` backends.
         ``None`` lets the backend pick (``min(4, cpu_count)``); ignored by
         the serial backends.
+    shard_batch:
+        How many (partition, attribute) grid pairs one submitted job of a
+        pooled backend carries.  Per-pair submission (``1``) pays one
+        pickle/submit/result round-trip per pair, which dominates wide
+        grids of small partitions; batching amortizes it without changing
+        any result — outputs stay bit-identical to serial for every batch
+        size.  ``None`` (default) resolves the ``REPRO_SHARD_BATCH``
+        environment variable and then the automatic policy
+        ``ceil(grid / (workers × oversubscription))``; see
+        :func:`repro.core.backends.base.resolve_shard_batch`.  Ignored by
+        the serial backends.
     spill_bytes:
         Spill threshold of the ``"process"`` backend: an in-memory input
         frame at or above this estimated size is written once to a
@@ -130,6 +141,7 @@ class FedexConfig:
     min_group_values: int = 2
     backend: str = DEFAULT_BACKEND
     workers: Optional[int] = None
+    shard_batch: Optional[int] = None
     spill_bytes: Optional[int] = None
     cache_reports: bool = True
     cache_structures: bool = True
@@ -156,6 +168,10 @@ class FedexConfig:
         resolve_backend_class(self.backend)
         if self.workers is not None and self.workers < 1:
             raise ExplanationError(f"workers must be positive, got {self.workers}")
+        if self.shard_batch is not None and self.shard_batch < 1:
+            raise ExplanationError(
+                f"shard_batch must be positive, got {self.shard_batch}"
+            )
         if self.spill_bytes is not None and self.spill_bytes < 0:
             raise ExplanationError(
                 f"spill_bytes must be non-negative, got {self.spill_bytes}"

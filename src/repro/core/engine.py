@@ -150,6 +150,7 @@ class FedexExplainer:
             step, chosen_measure, backend=self.config.backend,
             backend_options={"workers": self.config.workers, "context": self.context,
                              "ks_budget_bytes": self.config.ks_budget_bytes,
+                             "shard_batch": self.config.shard_batch,
                              "spill_bytes": self.config.spill_bytes},
         )
         # The full partition × attribute grid is known before any
@@ -160,7 +161,7 @@ class FedexExplainer:
             for partition in partitions
             for attribute in self._attributes_for_partition(step, partition, selected)
         ]
-        calculator.prefetch(grid)
+        calculator.prefetch(grid, batch_hint=self.config.shard_batch)
         all_candidates: List[ExplanationCandidate] = []
         candidate_partitions: Dict[Tuple, RowPartition] = {}
         for partition, attribute in grid:

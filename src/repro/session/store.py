@@ -262,6 +262,11 @@ class CacheStore:
         self._layer_counts: Dict[str, int] = {}
         self._usage = 0
         self._tenant_usage: Dict[str, int] = {}
+        # Per-tenant recency index: tenant -> OrderedDict of that tenant's
+        # composite keys in the same LRU order as _entries.  Kept in lock
+        # step on insert/remove/touch so quota eviction picks a tenant's
+        # LRU victim in O(1) instead of scanning the whole store.
+        self._tenant_lru: Dict[str, "OrderedDict[Tuple[str, object], None]"] = {}
         self._lock = RWLock()
         self._touches: "deque[Tuple[str, object]]" = deque()
         self._inflight: Dict[Tuple[str, object], _Inflight] = {}
@@ -312,11 +317,12 @@ class CacheStore:
             self._drain_touches_locked()
             previous = self._entries.pop(composite, None)
             if previous is not None:
-                self._account_removal_locked(layer, previous)
+                self._account_removal_locked(composite, previous)
             self._entries[composite] = _Entry(value, size, tenant)
             self._layer_counts[layer] = self._layer_counts.get(layer, 0) + 1
             self._usage += size
             self._tenant_usage[tenant] = self._tenant_usage.get(tenant, 0) + size
+            self._tenant_lru.setdefault(tenant, OrderedDict())[composite] = None
             self.metrics.bump("insertions")
             self._evict_locked(tenant)
         return True
@@ -405,6 +411,7 @@ class CacheStore:
             self._entries.clear()
             self._layer_counts.clear()
             self._tenant_usage.clear()
+            self._tenant_lru.clear()
             self._usage = 0
             self._touches.clear()
 
@@ -475,14 +482,25 @@ class CacheStore:
                 composite = self._touches.popleft()
             except IndexError:
                 return
-            if composite in self._entries:
+            entry = self._entries.get(composite)
+            if entry is not None:
                 self._entries.move_to_end(composite)
+                tenant_lru = self._tenant_lru.get(entry.tenant)
+                if tenant_lru is not None and composite in tenant_lru:
+                    tenant_lru.move_to_end(composite)
 
-    def _account_removal_locked(self, layer: str, entry: _Entry) -> None:
+    def _account_removal_locked(self, composite: Tuple[str, object],
+                                entry: _Entry) -> None:
+        layer = composite[0]
         self._layer_counts[layer] = self._layer_counts.get(layer, 1) - 1
         self._usage -= entry.nbytes
         remaining = self._tenant_usage.get(entry.tenant, entry.nbytes) - entry.nbytes
         self._tenant_usage[entry.tenant] = max(remaining, 0)
+        tenant_lru = self._tenant_lru.get(entry.tenant)
+        if tenant_lru is not None:
+            tenant_lru.pop(composite, None)
+            if not tenant_lru:
+                del self._tenant_lru[entry.tenant]
 
     def _evict_locked(self, inserted_tenant: str) -> None:
         # Per-tenant quota first: the inserting tenant pays for its own
@@ -505,23 +523,37 @@ class CacheStore:
 
     def _evict_one_locked(self, tenant: Optional[str] = None,
                           layer: Optional[str] = None) -> bool:
-        """Evict the least-recently-used entry (optionally of one tenant/layer)."""
+        """Evict the least-recently-used entry (optionally of one tenant/layer).
+
+        Tenant-targeted eviction reads the head of the tenant's own recency
+        index — O(1) per eviction, so a tenant blowing its quota pays
+        O(entries evicted), not O(store size) per evicted entry.  Layer-
+        targeted eviction (the compatibility entry caps of private session
+        stores) still scans.
+        """
         victim: Optional[Tuple[str, object]] = None
-        if tenant is None and layer is None:
+        if tenant is not None:
+            tenant_lru = self._tenant_lru.get(tenant)
+            if tenant_lru:
+                if layer is None:
+                    victim = next(iter(tenant_lru))
+                else:
+                    for composite in tenant_lru:
+                        if composite[0] == layer:
+                            victim = composite
+                            break
+        elif layer is None:
             if self._entries:
                 victim = next(iter(self._entries))
         else:
-            for composite, entry in self._entries.items():
-                if tenant is not None and entry.tenant != tenant:
-                    continue
-                if layer is not None and composite[0] != layer:
-                    continue
-                victim = composite
-                break
+            for composite in self._entries:
+                if composite[0] == layer:
+                    victim = composite
+                    break
         if victim is None:
             return False
         entry = self._entries.pop(victim)
-        self._account_removal_locked(victim[0], entry)
+        self._account_removal_locked(victim, entry)
         self.metrics.bump("evictions")
         return True
 

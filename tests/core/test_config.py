@@ -81,3 +81,17 @@ class TestConveniences:
     def test_cache_toggles_default_on(self):
         config = FedexConfig()
         assert config.cache_reports and config.cache_structures
+
+    def test_shard_batch_defaults_to_automatic(self):
+        assert FedexConfig().shard_batch is None
+        assert FedexConfig(shard_batch=3).shard_batch == 3
+
+    def test_non_positive_shard_batch_rejected(self):
+        with pytest.raises(ExplanationError):
+            FedexConfig(shard_batch=0)
+        with pytest.raises(ExplanationError):
+            FedexConfig(shard_batch=-2)
+
+    def test_with_backend_preserves_shard_batch(self):
+        config = FedexConfig(shard_batch=4).with_backend("process")
+        assert config.shard_batch == 4

@@ -20,6 +20,8 @@ Covers, per the PR's test-tier brief:
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -36,7 +38,9 @@ from repro.core import (
     ProcessBackend,
     available_backends,
 )
+from repro.core.backends.base import iter_shard_batches, resolve_shard_batch
 from repro.core.backends.process import (
+    PROCESS_STATS,
     _probe_descriptor,
     frame_nbytes,
     process_pool,
@@ -75,6 +79,15 @@ def _grid_for(frame):
     partitions = [
         FrequencyPartitioner().partition(frame, "decade", 5),
         NumericBinningPartitioner().partition(frame, "popularity", 5),
+    ]
+    return [(partition, partition.source_attribute) for partition in partitions]
+
+
+def _wide_grid(frame, n=7):
+    """A grid of ``n`` distinct pairs (the shard-batching tests need width)."""
+    partitions = [
+        FrequencyPartitioner().partition(frame, "decade", 2 + index % 5)
+        for index in range(n)
     ]
     return [(partition, partition.source_attribute) for partition in partitions]
 
@@ -460,3 +473,196 @@ class TestServiceRouting:
             )
             for report in reports:
                 _assert_reports_match(reference, report)
+
+
+# ------------------------------------------------------------ shard batching
+class TestShardBatching:
+    """Batched dispatch: many grid pairs per submitted job, identical results.
+
+    The contract has three legs: the batch-size policy (explicit >
+    ``REPRO_SHARD_BATCH`` > automatic), the amortization accounting
+    (``batches_submitted`` shrinks while ``shards_submitted`` still counts
+    pairs), and — above all — bit-identity: batching may change how many
+    futures exist, never a value, even when a worker is killed mid-batch.
+    """
+
+    def test_resolve_shard_batch_policy(self):
+        # Automatic: ceil(grid / (workers * oversubscription)), at least 1.
+        assert resolve_shard_batch(None, 100, 4) == math.ceil(100 / 16)
+        assert resolve_shard_batch(None, 3, 4) == 1
+        assert resolve_shard_batch(None, 0, 4) == 1
+        # Explicit values pass through (clamped to >= 1).
+        assert resolve_shard_batch(7, 100, 4) == 7
+        assert resolve_shard_batch(0, 100, 4) == 1
+
+    def test_env_override_and_precedence(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_BATCH", "5")
+        assert resolve_shard_batch(None, 100, 4) == 5
+        # An explicit hint (config or call site) beats the environment.
+        assert resolve_shard_batch(2, 100, 4) == 2
+        monkeypatch.setenv("REPRO_SHARD_BATCH", "many")
+        with pytest.raises(ExplanationError, match="REPRO_SHARD_BATCH"):
+            resolve_shard_batch(None, 100, 4)
+
+    def test_iter_shard_batches_covers_grid_in_order(self):
+        grid = list(range(10))
+        batches = list(iter_shard_batches(grid, 4))
+        assert batches == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+        assert list(iter_shard_batches(grid, 100)) == [grid]
+        assert list(iter_shard_batches([], 4)) == []
+
+    def test_batches_amortize_submissions(self, filter_step):
+        measure = ExceptionalityMeasure()
+        grid = _wide_grid(filter_step.primary_input, n=7)
+        backend = ProcessBackend(filter_step, measure, workers=WORKERS,
+                                 spill_bytes=0, shard_batch=3)
+        calculator = ContributionCalculator(filter_step, measure, backend=backend)
+        calculator.prefetch(grid)
+        assert backend.batches_submitted == math.ceil(len(grid) / 3)
+        assert backend.shards_submitted == len(grid)
+        serial = ContributionCalculator(filter_step, measure, backend="incremental")
+        for partition, attribute in grid:
+            assert calculator.partition_contributions(partition, attribute) == \
+                serial.partition_contributions(partition, attribute)
+        stats = backend.stats()
+        assert stats["fallback_reason"] is None
+        assert stats["shards_completed"] == len(grid)
+
+    def test_env_batch_applies_to_backend(self, filter_step, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_BATCH", "2")
+        measure = ExceptionalityMeasure()
+        grid = _wide_grid(filter_step.primary_input, n=7)
+        from_env = ProcessBackend(filter_step, measure, workers=WORKERS,
+                                  spill_bytes=0)
+        ContributionCalculator(filter_step, measure, backend=from_env).prefetch(grid)
+        assert from_env.batches_submitted == math.ceil(len(grid) / 2)
+        explicit = ProcessBackend(filter_step, measure, workers=WORKERS,
+                                  spill_bytes=0, shard_batch=len(grid))
+        ContributionCalculator(filter_step, measure, backend=explicit).prefetch(grid)
+        assert explicit.batches_submitted == 1
+
+    @pytest.mark.parametrize("shard_batch", [1, 3, 7],
+                             ids=["batch1", "batch3", "whole-grid"])
+    def test_crash_mid_batch_serial_retry_bit_identical(self, filter_step,
+                                                        shard_batch):
+        """A SIGKILLed worker mid-batch never changes a float, at any size."""
+        measure = ExceptionalityMeasure()
+        grid = _wide_grid(filter_step.primary_input, n=7)
+
+        healthy = ProcessBackend(filter_step, measure, workers=WORKERS,
+                                 spill_bytes=0, shard_batch=shard_batch)
+        calculator = ContributionCalculator(filter_step, measure, backend=healthy)
+        calculator.prefetch(grid)
+        reference = [calculator.partition_contributions(partition, attribute)
+                     for partition, attribute in grid]
+        assert healthy.stats()["serial_retries"] == 0
+
+        crashing = ProcessBackend(filter_step, measure, workers=WORKERS,
+                                  spill_bytes=0, shard_batch=shard_batch,
+                                  crash_shards=1)
+        crashed = ContributionCalculator(filter_step, measure, backend=crashing)
+        crashed.prefetch(grid)
+        results = [crashed.partition_contributions(partition, attribute)
+                   for partition, attribute in grid]
+        assert results == reference
+        stats = crashing.stats()
+        assert stats["serial_retries"] >= 1
+        assert stats["fallback_reason"] is not None
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        shard_batch=st.one_of(st.none(), st.integers(min_value=1, max_value=9)),
+        threshold=st.integers(min_value=-5, max_value=60),
+    )
+    def test_hypothesis_any_batch_size_is_identical(self, shard_batch, threshold):
+        """Property: any shard_batch — same skylines, same scores."""
+        rng = np.random.default_rng(threshold + 11)
+        n = 60
+        frame = DataFrame({
+            "v": rng.integers(-10, 50, size=n).astype(float),
+            "g": np.asarray([f"g{i}" for i in rng.integers(0, 5, size=n)],
+                            dtype=object),
+            "w": rng.normal(size=n),
+        })
+        step = ExploratoryStep([frame], Filter(Comparison("v", ">", threshold)))
+        serial = FedexExplainer(FedexConfig(backend="incremental")).explain(step)
+        batched = FedexExplainer(FedexConfig(
+            backend="process", workers=WORKERS, spill_bytes=0,
+            shard_batch=shard_batch,
+        )).explain(step)
+        _assert_reports_match(serial, batched)
+
+
+# ---------------------------------------------------- worker structure cache
+class TestWorkerStructureCache:
+    """Cross-step structure reuse inside the worker processes.
+
+    The worker-global structure cache is keyed by content fingerprints (the
+    SessionCache key layouts), so it survives backend tokens: a session's
+    next step grouping the same stored frame by the same keys must reuse the
+    structure its previous step's workers derived — and a rewritten dataset
+    (new fingerprint) must never be served a stale structure.
+    """
+
+    def _run_step(self, step, attribute, partitions, shard_batch=1):
+        measure = DiversityMeasure()
+        backend = ProcessBackend(step, measure, workers=WORKERS,
+                                 shard_batch=shard_batch)
+        calculator = ContributionCalculator(step, measure, backend=backend)
+        grid = [(partition, attribute) for partition in partitions]
+        calculator.prefetch(grid)
+        results = [calculator.partition_contributions(partition, attribute)
+                   for partition, _ in grid]
+        serial = ContributionCalculator(step, measure, backend="incremental")
+        assert results == [serial.partition_contributions(partition, attribute)
+                           for partition, _ in grid]
+        return backend
+
+    def test_structures_reused_across_steps(self, stored_spotify):
+        frame = stored_spotify.open("spotify")
+        partitions = [FrequencyPartitioner().partition(frame, "decade", 2 + i % 5)
+                      for i in range(7)]
+        first = ExploratoryStep([frame], GroupBy("decade", {"popularity": ["mean"]}))
+        second = ExploratoryStep([frame], GroupBy("decade", {"loudness": ["mean"]}))
+        PROCESS_STATS.reset()
+        self._run_step(first, "mean_popularity", partitions)
+        backend = self._run_step(second, "mean_loudness", partitions)
+        # Both steps group the same stored frame by the same keys, so the
+        # second step's workers reuse the group structure the first step's
+        # workers derived — across backend tokens, inside the same pool.
+        assert PROCESS_STATS.structure_hits > 0
+        assert backend.stats()["fallback_reason"] is None
+        # shard_batch=1 degenerates to one pair per batch — the accounting
+        # must agree (amortization is covered by TestShardBatching).
+        assert PROCESS_STATS.batches_submitted == PROCESS_STATS.shards_submitted
+
+    def test_rewritten_dataset_builds_fresh_structures(self, tmp_path):
+        """A rewrite changes the fingerprint, so no stale structure is served."""
+        store = DatasetStore(tmp_path / "store")
+
+        def make_frame(shift):
+            n = 400
+            return DataFrame({
+                "g": np.asarray([f"g{i % 6}" for i in range(n)], dtype=object),
+                "v": np.arange(n, dtype=float) + shift,
+            })
+
+        store.put("t", make_frame(0.0))
+        frame = store.open("t")
+        partitions = [FrequencyPartitioner().partition(frame, "g", 2 + i % 4)
+                      for i in range(4)]
+        step = ExploratoryStep([frame], GroupBy("g", {"v": ["mean"]}))
+        # Whole grid in one batch: one worker, so within-run reuse cannot
+        # masquerade as (absent) stale reuse in the second pass below.
+        self._run_step(step, "mean_v", partitions, shard_batch=len(partitions))
+
+        store.put("t", make_frame(1000.0))
+        clear_shared_datasets()
+        rewritten = DatasetStore(store.root).open("t")
+        partitions = [FrequencyPartitioner().partition(rewritten, "g", 2 + i % 4)
+                      for i in range(4)]
+        step = ExploratoryStep([rewritten], GroupBy("g", {"v": ["mean"]}))
+        PROCESS_STATS.reset()
+        self._run_step(step, "mean_v", partitions, shard_batch=len(partitions))
+        assert PROCESS_STATS.structure_hits == 0
+        assert PROCESS_STATS.structure_misses > 0

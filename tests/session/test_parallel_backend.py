@@ -118,3 +118,59 @@ def test_worker_count_defaults_and_validation():
     with pytest.raises(ExplanationError):
         FedexConfig(workers=0)
     assert FedexConfig(workers=3).workers == 3
+
+
+# ------------------------------------------------------------ shard batching
+def _wide_grid(frame, n=7):
+    partitions = [
+        FrequencyPartitioner().partition(frame, "decade", 2 + index % 5)
+        for index in range(n)
+    ]
+    return [(partition, partition.source_attribute) for partition in partitions]
+
+
+@pytest.mark.parametrize("shard_batch", [1, 3, None, 7],
+                         ids=["batch1", "batch3", "auto", "whole-grid"])
+def test_batched_dispatch_matches_serial(spotify_small, shard_batch):
+    """Any batch size walks the same pairs in the same order: identical floats."""
+    step = ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+    measure = ExceptionalityMeasure()
+    grid = _wide_grid(spotify_small, n=7)
+    serial = ContributionCalculator(step, measure, backend="incremental")
+    expected = [serial.partition_contributions(partition, attribute)
+                for partition, attribute in grid]
+    backend = ParallelBackend(step, measure, workers=2, shard_batch=shard_batch)
+    calculator = ContributionCalculator(step, measure, backend=backend)
+    calculator.prefetch(grid)
+    results = [calculator.partition_contributions(partition, attribute)
+               for partition, attribute in grid]
+    assert results == expected
+
+
+def test_batches_submitted_counter(spotify_small):
+    import math
+
+    step = ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+    measure = ExceptionalityMeasure()
+    grid = _wide_grid(spotify_small, n=7)
+    batched = ParallelBackend(step, measure, workers=2, shard_batch=3)
+    ContributionCalculator(step, measure, backend=batched).prefetch(grid)
+    assert batched.batches_submitted == math.ceil(len(grid) / 3)
+    per_pair = ParallelBackend(step, measure, workers=2, shard_batch=1)
+    ContributionCalculator(step, measure, backend=per_pair).prefetch(grid)
+    assert per_pair.batches_submitted == len(grid)
+
+
+def test_batch_hint_overrides_constructor(spotify_small):
+    """The engine's per-request hint wins over the constructor default."""
+    step = ExploratoryStep([spotify_small], Filter(Comparison("popularity", ">", 65)))
+    measure = ExceptionalityMeasure()
+    grid = _wide_grid(spotify_small, n=7)
+    backend = ParallelBackend(step, measure, workers=2, shard_batch=1)
+    calculator = ContributionCalculator(step, measure, backend=backend)
+    calculator.prefetch(grid, batch_hint=len(grid))
+    assert backend.batches_submitted == 1
+    serial = ContributionCalculator(step, measure, backend="incremental")
+    for partition, attribute in grid:
+        assert calculator.partition_contributions(partition, attribute) == \
+            serial.partition_contributions(partition, attribute)

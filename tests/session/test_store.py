@@ -137,6 +137,84 @@ class TestTenantQuotas:
         assert store.get("reports", "shared") == "value"  # any caller
 
 
+# ----------------------------------------------------- tenant recency index
+class TestTenantRecencyIndex:
+    """The per-tenant LRU index behind O(evicted) quota eviction.
+
+    Quota eviction used to scan the whole store for the tenant's oldest
+    entry; it now reads the head of the tenant's own recency index.  The
+    index must therefore mirror the global LRU order exactly — including
+    read touches, replacements, and cross-tenant replacement — or quota
+    eviction would pick the wrong victim.
+    """
+
+    def test_quota_eviction_respects_read_recency(self):
+        store = CacheStore(budget_bytes=1_000_000, tenant_quota_bytes=50_000)
+        store.put("reports", "a", "va", tenant="alice", nbytes=20_000)
+        store.put("reports", "b", "vb", tenant="alice", nbytes=20_000)
+        assert store.get("reports", "a") == "va"  # a is now most recent
+        store.put("reports", "c", "vc", tenant="alice", nbytes=20_000)
+        assert store.get("reports", "b") is None  # b was the LRU victim
+        assert store.get("reports", "a") == "va"
+        assert store.get("reports", "c") == "vc"
+        assert store.tenant_usage("alice") <= 50_000
+
+    def test_index_tracks_insert_replace_and_clear(self):
+        store = CacheStore(budget_bytes=1_000_000)
+        store.put("reports", "k1", "v", tenant="alice", nbytes=10)
+        store.put("reports", "k2", "v", tenant="bob", nbytes=10)
+        assert list(store._tenant_lru["alice"]) == [("reports", "k1")]
+        assert list(store._tenant_lru["bob"]) == [("reports", "k2")]
+        # Replacement keeps exactly one index entry (no duplicates, no leak).
+        store.put("reports", "k1", "v2", tenant="alice", nbytes=10)
+        assert list(store._tenant_lru["alice"]) == [("reports", "k1")]
+        store.clear()
+        assert store._tenant_lru == {}
+
+    def test_cross_tenant_replacement_moves_the_charge(self):
+        store = CacheStore(budget_bytes=1_000_000)
+        store.put("reports", "k", "v", tenant="alice", nbytes=10)
+        store.put("reports", "k", "v2", tenant="bob", nbytes=10)
+        # Alice's (now empty) index is dropped, bob's gained the key.
+        assert "alice" not in store._tenant_lru
+        assert list(store._tenant_lru["bob"]) == [("reports", "k")]
+        assert store.tenant_usage("alice") == 0
+
+    def test_index_consistent_under_concurrent_storm(self):
+        """After a mixed get/put storm, index and entry map agree exactly."""
+        store = CacheStore(budget_bytes=200_000, tenant_quota_bytes=60_000)
+        errors = []
+        barrier = threading.Barrier(4)
+
+        def tenant_worker(tenant: str) -> None:
+            rng = np.random.default_rng(hash(tenant) % (2**32))
+            try:
+                barrier.wait()
+                for round_index in range(300):
+                    key = int(rng.integers(0, 40))
+                    if store.get("reports", key) is None:
+                        store.put("reports", key, f"{tenant}-{round_index}",
+                                  tenant=tenant, nbytes=int(rng.integers(500, 4_000)))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=tenant_worker, args=(f"tenant-{i}",))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        with store._lock.write():
+            store._drain_touches_locked()
+            derived = {}
+            for composite, entry in store._entries.items():
+                derived.setdefault(entry.tenant, []).append(composite)
+            indexed = {tenant: list(keys)
+                       for tenant, keys in store._tenant_lru.items()}
+        assert indexed == derived
+
+
 # ---------------------------------------------------------------- persistence
 class TestPersistence:
     def test_snapshot_round_trip(self, tmp_path):
