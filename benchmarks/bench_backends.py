@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import os
 import sys
+import time
 
 import perf_record
 
@@ -50,6 +51,10 @@ POOL_SPEEDUP_BAR = 1.5
 #: shard batching vs this backend's own per-pair dispatch (the pre-batching
 #: baseline).
 BATCH_SPEEDUP_BAR = 1.3
+
+#: Disabled-tracing overhead bar: the no-op instrumentation reachable from
+#: one explain must cost under this fraction of the contribution phase.
+TRACING_OVERHEAD_BAR = 0.02
 
 
 def _steps(n_rows: int):
@@ -181,6 +186,60 @@ def run_batching_comparison(n_rows: int = 4_000, workers: int = 4):
             "speedup": speedup}
 
 
+def run_tracing_overhead(n_rows: int = 10_000):
+    """Bound what *disabled* tracing costs the contribution phase.
+
+    Run-to-run noise on one explain dwarfs a sub-2% effect, so the bound is
+    built deterministically instead of differenced: one traced explain
+    counts how many span and event call sites a request actually reaches,
+    a tight microbenchmark prices the disabled-path primitives (one
+    context-var read plus a no-op span or an ``enabled`` check), and the
+    product is compared against the untraced contribution time.  The
+    microbenchmark overstates the real cost — the hot call sites check
+    ``tracer.enabled`` once and skip the span machinery entirely — so a
+    pass here is conservative.
+    """
+    from repro.obs.trace import current_tracer, tracing
+
+    spotify = load_spotify(n_rows, seed=3)
+    step = ExploratoryStep([spotify], Filter(Comparison("popularity", ">", 65)))
+    config = FedexConfig(seed=0)
+    with tracing(False):
+        FedexExplainer(config).explain(step)  # warm-up
+        untraced = FedexExplainer(config).explain(step)
+    untraced_s = untraced.timings["contribution"]
+    with tracing(True):
+        traced = FedexExplainer(config).explain(step)
+    spans = [span for span in traced.trace.spans if not span.is_event]
+    events = sum(span.attrs["count"] for span in traced.trace.spans
+                 if span.is_event)
+
+    iterations = 100_000
+    start = time.perf_counter()
+    for _ in range(iterations):
+        with current_tracer().span("probe"):
+            pass
+    span_cost = (time.perf_counter() - start) / iterations
+    start = time.perf_counter()
+    for _ in range(iterations):
+        tracer = current_tracer()
+        if tracer.enabled:
+            tracer.event("probe")
+    event_cost = (time.perf_counter() - start) / iterations
+
+    overhead_s = len(spans) * span_cost + events * event_cost
+    fraction = overhead_s / max(untraced_s, 1e-9)
+    print(f"\ndisabled-tracing overhead bound ({n_rows:,}-row filter)")
+    print(f"call sites reached: {len(spans)} spans, {events} event occurrences")
+    print(f"no-op costs: span {span_cost * 1e9:.0f}ns, check {event_cost * 1e9:.0f}ns")
+    print(f"bound: {overhead_s * 1e6:.1f}us over a {untraced_s * 1e3:.1f}ms "
+          f"contribution phase = {fraction * 100:.3f}%")
+    return {"n_rows": n_rows, "span_sites": len(spans), "event_occurrences": events,
+            "noop_span_s": span_cost, "noop_check_s": event_cost,
+            "untraced_contribution_s": untraced_s,
+            "overhead_fraction": fraction}
+
+
 def main() -> int:
     if len(sys.argv) > 1:
         try:
@@ -215,6 +274,12 @@ def main() -> int:
         print(f"WARNING: batched dispatch speedup {batching['speedup']:.2f}x is "
               f"below the {BATCH_SPEEDUP_BAR}x bar over per-pair dispatch")
         status = 1
+    overhead = run_tracing_overhead(n_rows)
+    if overhead["overhead_fraction"] >= TRACING_OVERHEAD_BAR:
+        print(f"WARNING: disabled-tracing overhead bound "
+              f"{overhead['overhead_fraction'] * 100:.2f}% is at or above the "
+              f"{TRACING_OVERHEAD_BAR * 100:.0f}% bar")
+        status = 1
     shutdown_process_pools()
     perf_record.record("backends", {
         "n_rows": n_rows,
@@ -225,6 +290,7 @@ def main() -> int:
         ],
         "pool": pool,
         "shard_batching": batching,
+        "tracing_overhead": overhead,
         "status": status,
     })
     return status

@@ -1,0 +1,199 @@
+"""Perf-regression gate over the persisted BENCH_*.json trajectories.
+
+:mod:`perf_record` turns every bench run into an appended record; this
+module turns the trajectory into a *gate*: the latest run of each area is
+diffed against the trailing median of the prior runs recorded on a
+comparable host, and any dimensionless ratio field (``speedup``,
+``warm_speedup``, ``open_speedup``, ``throughput``...) that fell more than
+20 % below its median fails the gate with a non-zero exit.
+
+Design choices, all in service of a gate that cries wolf rarely enough to
+stay enabled:
+
+* **Only ratio fields are judged.**  Absolute latencies move with the
+  machine, CI neighbours, and thermal luck; the speedup of the same two
+  measurements on the same host is far steadier.  A field counts as a
+  ratio when its key contains ``speedup`` or ``throughput``.
+* **Only comparable runs form the baseline.**  Runs are bucketed by a host
+  key — python ``major.minor``, interpreter implementation, machine
+  architecture, GIL build flavour — and the latest run is judged against
+  the median of *prior* runs in its own bucket.  Median, not mean: one
+  historic outlier must not drag the baseline.
+* **Waived subtrees are skipped.**  Benches annotate environment-impaired
+  results with a ``waiver`` string (e.g. a process-pool comparison on a
+  single-core host); a subtree whose ``waiver`` is non-None is invisible
+  to the gate, in the latest run and in baselines alike.
+* **Thin history passes.**  With fewer than ``min_runs`` prior comparable
+  runs the field is reported as ``skipped`` rather than judged — a fresh
+  host or a fresh ratio field must not fail CI for lacking a past.
+
+Usage::
+
+    python benchmarks/perf_gate.py                    # gate every area
+    python benchmarks/perf_gate.py --areas backends   # one area
+    python benchmarks/perf_gate.py --dir ci-artifacts --threshold 0.75
+
+Exit status: 0 when nothing regressed (including "no history"), 1 when at
+least one ratio field regressed past the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+if __package__:  # imported as benchmarks.perf_gate
+    from .perf_record import load_area
+else:  # executed as a script, or imported flat (pytest rootdir style)
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    from perf_record import load_area  # type: ignore
+
+#: Areas gated by default — the BENCH_*.json files the benches write.
+AREAS = ("backends", "session", "service", "storage")
+
+#: Latest/median below this ratio counts as a regression (0.8 = -20 %).
+DEFAULT_THRESHOLD = 0.8
+
+#: Minimum prior comparable runs before a field is judged at all.
+DEFAULT_MIN_RUNS = 3
+
+#: Substrings marking a payload key as a dimensionless ratio field.
+RATIO_MARKERS = ("speedup", "throughput")
+
+
+@dataclass
+class Verdict:
+    """The gate's judgement of one ratio field of one area."""
+
+    area: str
+    field: str
+    status: str  # "ok" | "regressed" | "skipped"
+    latest: Optional[float] = None
+    baseline: Optional[float] = None
+    detail: str = ""
+
+    def render(self) -> str:
+        if self.status == "skipped":
+            return f"SKIP  {self.area}:{self.field}  {self.detail}"
+        ratio = self.latest / self.baseline if self.baseline else float("inf")
+        tag = "ok  " if self.status == "ok" else "FAIL"
+        return (f"{tag}  {self.area}:{self.field}  latest={self.latest:.3f} "
+                f"median={self.baseline:.3f} ratio={ratio:.2f}")
+
+
+def host_key(run: Dict[str, object]) -> Tuple[str, str, str, bool]:
+    """The comparability bucket of one run record.
+
+    Python is keyed by ``major.minor``: patch releases share performance
+    character, but 3.11 vs 3.12 (or a GIL-free build) do not.
+    """
+    host = run.get("host") or {}
+    python = str(host.get("python", "?"))
+    return (
+        ".".join(python.split(".")[:2]),
+        str(host.get("implementation", "?")),
+        str(host.get("machine", "?")),
+        bool(host.get("gil_disabled", False)),
+    )
+
+
+def ratio_fields(payload: object, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Every ``(dotted.path, value)`` ratio field of one run payload.
+
+    Walks dictionaries and lists recursively; list elements are labelled by
+    their ``step`` name when present (stable across runs, unlike indices).
+    A dictionary carrying a non-None ``waiver`` is skipped whole — the
+    bench itself declared the numbers unjudgeable on this host.
+    """
+    if isinstance(payload, dict):
+        if payload.get("waiver") is not None:
+            return
+        for key, value in payload.items():
+            if key in ("host", "recorded_at"):
+                continue
+            path = f"{prefix}{key}"
+            if (isinstance(value, (int, float)) and not isinstance(value, bool)
+                    and any(marker in key for marker in RATIO_MARKERS)):
+                yield path, float(value)
+            else:
+                yield from ratio_fields(value, prefix=f"{path}.")
+    elif isinstance(payload, list):
+        for index, element in enumerate(payload):
+            label = (element.get("step") if isinstance(element, dict)
+                     and isinstance(element.get("step"), str) else str(index))
+            yield from ratio_fields(element, prefix=f"{prefix}{label}.")
+
+
+def gate_area(area: str, directory: Optional[Path] = None,
+              threshold: float = DEFAULT_THRESHOLD,
+              min_runs: int = DEFAULT_MIN_RUNS) -> List[Verdict]:
+    """Judge the latest run of one area against its trailing medians."""
+    path = (directory / f"BENCH_{area}.json") if directory is not None else None
+    runs = load_area(area, path)["runs"]
+    if not runs:
+        return [Verdict(area, "*", "skipped", detail="no recorded runs")]
+    latest = runs[-1]
+    key = host_key(latest)
+    history = [run for run in runs[:-1] if host_key(run) == key]
+
+    verdicts: List[Verdict] = []
+    for field, value in ratio_fields(latest):
+        samples = [
+            sample
+            for run in history
+            for path_, sample in ratio_fields(run)
+            if path_ == field
+        ]
+        if len(samples) < min_runs:
+            verdicts.append(Verdict(
+                area, field, "skipped", latest=value,
+                detail=f"{len(samples)} comparable prior run(s), need {min_runs}",
+            ))
+            continue
+        baseline = statistics.median(samples)
+        regressed = baseline > 0 and value < baseline * threshold
+        verdicts.append(Verdict(
+            area, field, "regressed" if regressed else "ok",
+            latest=value, baseline=baseline,
+        ))
+    if not verdicts:
+        verdicts.append(Verdict(area, "*", "skipped",
+                                detail="latest run has no ratio fields"))
+    return verdicts
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dir", type=Path, default=None,
+                        help="directory holding BENCH_*.json (default: repo root)")
+    parser.add_argument("--areas", default=",".join(AREAS),
+                        help="comma-separated areas to gate")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="latest/median ratio below which a field fails")
+    parser.add_argument("--min-runs", type=int, default=DEFAULT_MIN_RUNS,
+                        help="prior comparable runs required to judge a field")
+    options = parser.parse_args(argv)
+
+    failures = 0
+    for area in [name.strip() for name in options.areas.split(",") if name.strip()]:
+        for verdict in gate_area(area, directory=options.dir,
+                                 threshold=options.threshold,
+                                 min_runs=options.min_runs):
+            print(verdict.render())
+            if verdict.status == "regressed":
+                failures += 1
+    if failures:
+        print(f"\nperf gate FAILED: {failures} ratio field(s) regressed more "
+              f"than {100 * (1 - options.threshold):.0f}% below the trailing median")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -248,6 +248,63 @@ def test_process_backend_equivalence_in_memory(benchmark, bench_registry, shard_
         assert stats["batches_submitted"] < stats["shards_submitted"], stats
 
 
+def _compare_traced(registry, dump_path):
+    from repro.obs.trace import read_traces, tracing
+
+    rows = []
+    config = FedexConfig(seed=0)
+    for query in WORKLOAD:
+        step = query.build_step(registry)
+        with tracing(False):
+            untraced = FedexExplainer(config).explain(step)
+        with tracing(True):
+            traced = FedexExplainer(config).explain(step)
+        trace = traced.trace
+        names = set(trace.span_names()) if trace is not None else set()
+        rows.append({
+            "query": query.number,
+            "dataset": query.dataset,
+            "kind": query.kind,
+            "skyline_equal": untraced.skyline_keys() == traced.skyline_keys(),
+            "max_score_delta": _max_delta(_scores(untraced), _scores(traced)),
+            "has_trace": trace is not None,
+            "phases_traced": {
+                "phase1.interestingness", "phase2.partitioning",
+                "phase3.contribution",
+            } <= names,
+        })
+    dumped = read_traces(dump_path) if os.path.exists(dump_path) else []
+    return rows, dumped
+
+
+def test_traced_equivalence_over_workload(benchmark, bench_registry,
+                                          tmp_path_factory, monkeypatch):
+    """Tracing is an observer: all 30 queries bit-identical traced vs untraced.
+
+    The untraced side runs under ``tracing(False)`` so the comparison stays
+    meaningful even when the harness itself exports ``REPRO_TRACE`` (the CI
+    observability job does); the traced side dumps every trace to a JSONL
+    file, which must load back with one well-formed trace per query.
+    """
+    dump = str(tmp_path_factory.mktemp("traces") / "workload.jsonl")
+    monkeypatch.setenv("REPRO_TRACE", dump)
+    rows, dumped = run_once(benchmark, _compare_traced, bench_registry, dump)
+    print_table(rows, title="Untraced vs traced over the 30-query workload")
+    assert len(rows) == 30
+    mismatched = [row["query"] for row in rows if not row["skyline_equal"]]
+    assert not mismatched, f"queries where traced skylines diverge: {mismatched}"
+    # Bit-identical is the bar: tracing must never perturb a float.
+    drifted = [row["query"] for row in rows if row["max_score_delta"] != 0.0]
+    assert not drifted, f"queries where tracing changed scores: {drifted}"
+    untrace = [row["query"] for row in rows if not row["has_trace"]]
+    assert not untrace, f"queries whose traced run carried no trace: {untrace}"
+    unphased = [row["query"] for row in rows if not row["phases_traced"]]
+    assert not unphased, f"queries missing phase spans: {unphased}"
+    # The env dump round-trips: one trace per traced explain, phases intact.
+    assert len(dumped) == 30, f"JSONL dump holds {len(dumped)} traces, want 30"
+    assert all(trace.find("explain") for trace in dumped)
+
+
 def test_process_backend_equivalence_store_backed(benchmark, tmp_path_factory):
     """Process == incremental on all 30 queries over DatasetStore-backed frames.
 

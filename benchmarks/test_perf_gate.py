@@ -1,0 +1,194 @@
+"""The perf gate judged against synthetic BENCH_*.json trajectories."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from perf_gate import (
+    DEFAULT_THRESHOLD,
+    Verdict,
+    gate_area,
+    host_key,
+    main,
+    ratio_fields,
+)
+
+HOST = {
+    "python": "3.11.7",
+    "implementation": "CPython",
+    "platform": "Linux-test",
+    "machine": "x86_64",
+    "cpu_count": 4,
+    "gil_disabled": False,
+}
+
+
+def write_area(directory: Path, area: str, payloads) -> Path:
+    """A BENCH_<area>.json of runs with the shared HOST stamped on."""
+    runs = [{"recorded_at": f"2026-01-{i + 1:02d}T00:00:00+00:00",
+             "host": dict(payload.pop("host", HOST)), **payload}
+            for i, payload in enumerate(payloads)]
+    path = directory / f"BENCH_{area}.json"
+    path.write_text(json.dumps({"area": area, "schema": 1, "runs": runs}))
+    return path
+
+
+def statuses(verdicts):
+    return {(v.field, v.status) for v in verdicts}
+
+
+class TestRatioFields:
+    def test_walks_nested_dicts_and_step_labelled_lists(self):
+        payload = {
+            "serial": [
+                {"step": "filter", "speedup": 4.0, "exact_s": 1.0},
+                {"step": "join", "speedup": 2.0},
+            ],
+            "pool": {"speedup": 1.5, "workers": 4},
+            "throughput": 3.0,
+            "warm": 0.5,  # absolute latency: not a ratio field
+        }
+        fields = dict(ratio_fields(payload))
+        assert fields == {
+            "serial.filter.speedup": 4.0,
+            "serial.join.speedup": 2.0,
+            "pool.speedup": 1.5,
+            "throughput": 3.0,
+        }
+
+    def test_waivered_subtree_is_invisible(self):
+        payload = {
+            "pool": {"speedup": 0.1, "waiver": "single-core host"},
+            "warm_speedup": 9.0,
+        }
+        assert dict(ratio_fields(payload)) == {"warm_speedup": 9.0}
+
+    def test_booleans_and_strings_are_not_ratios(self):
+        payload = {"speedup": True, "throughput": "fast", "warm_speedup": 2.0}
+        assert dict(ratio_fields(payload)) == {"warm_speedup": 2.0}
+
+
+class TestHostKey:
+    def test_patch_releases_share_a_bucket(self):
+        a = {"host": dict(HOST, python="3.11.2")}
+        b = {"host": dict(HOST, python="3.11.9")}
+        assert host_key(a) == host_key(b)
+
+    def test_minor_version_and_gil_flavour_split_buckets(self):
+        base = {"host": dict(HOST)}
+        assert host_key({"host": dict(HOST, python="3.12.1")}) != host_key(base)
+        assert host_key({"host": dict(HOST, gil_disabled=True)}) != host_key(base)
+
+
+class TestGateArea:
+    def test_regression_past_threshold_fails(self, tmp_path):
+        runs = [{"warm_speedup": 10.0} for _ in range(4)]
+        runs.append({"warm_speedup": 10.0 * DEFAULT_THRESHOLD * 0.9})
+        write_area(tmp_path, "session", runs)
+        verdicts = gate_area("session", directory=tmp_path)
+        assert statuses(verdicts) == {("warm_speedup", "regressed")}
+
+    def test_within_threshold_passes(self, tmp_path):
+        runs = [{"warm_speedup": 10.0} for _ in range(4)]
+        runs.append({"warm_speedup": 10.0 * DEFAULT_THRESHOLD * 1.05})
+        write_area(tmp_path, "session", runs)
+        verdicts = gate_area("session", directory=tmp_path)
+        assert statuses(verdicts) == {("warm_speedup", "ok")}
+
+    def test_baseline_is_the_median_not_the_mean(self, tmp_path):
+        # One historic outlier at 100 must not drag the baseline up: the
+        # median of [10, 10, 10, 100] is 10, so a latest of 9 passes.
+        runs = [{"warm_speedup": s} for s in (10.0, 10.0, 10.0, 100.0, 9.0)]
+        write_area(tmp_path, "session", runs)
+        (verdict,) = gate_area("session", directory=tmp_path)
+        assert verdict.status == "ok"
+        assert verdict.baseline == pytest.approx(10.0)
+
+    def test_thin_history_skips(self, tmp_path):
+        write_area(tmp_path, "session", [{"warm_speedup": 10.0},
+                                         {"warm_speedup": 1.0}])
+        (verdict,) = gate_area("session", directory=tmp_path)
+        assert verdict.status == "skipped"
+
+    def test_foreign_host_runs_leave_the_baseline(self, tmp_path):
+        # Plenty of history, but all of it from another python: the latest
+        # run has no comparable past and must be skipped, not failed.
+        other = dict(HOST, python="3.12.1")
+        runs = [{"warm_speedup": 50.0, "host": dict(other)} for _ in range(5)]
+        runs.append({"warm_speedup": 5.0})
+        write_area(tmp_path, "session", runs)
+        (verdict,) = gate_area("session", directory=tmp_path)
+        assert verdict.status == "skipped"
+
+    def test_waivered_latest_run_is_not_judged(self, tmp_path):
+        runs = [{"pool": {"speedup": 4.0}} for _ in range(4)]
+        runs.append({"pool": {"speedup": 0.1, "waiver": "single-core host"}})
+        write_area(tmp_path, "backends", runs)
+        (verdict,) = gate_area("backends", directory=tmp_path)
+        assert verdict.status == "skipped"
+        assert "no ratio fields" in verdict.detail
+
+    def test_waivered_history_runs_leave_the_baseline(self, tmp_path):
+        # Three waivered historic runs + two clean ones: only the clean
+        # pair counts, which is below min_runs, so the field skips.
+        runs = [{"pool": {"speedup": 0.1, "waiver": "impaired"}}
+                for _ in range(3)]
+        runs += [{"pool": {"speedup": 4.0}} for _ in range(3)]
+        write_area(tmp_path, "backends", runs)
+        (verdict,) = gate_area("backends", directory=tmp_path)
+        assert verdict.status == "skipped"
+
+    def test_empty_trajectory_skips(self, tmp_path):
+        verdicts = gate_area("backends", directory=tmp_path)
+        assert statuses(verdicts) == {("*", "skipped")}
+
+    def test_step_rename_is_fresh_history(self, tmp_path):
+        # A renamed list step changes the dotted path; its history restarts
+        # instead of being judged against the old step's numbers.
+        runs = [{"serial": [{"step": "old", "speedup": 8.0}]} for _ in range(4)]
+        runs.append({"serial": [{"step": "new", "speedup": 1.0}]})
+        write_area(tmp_path, "backends", runs)
+        (verdict,) = gate_area("backends", directory=tmp_path)
+        assert verdict.field == "serial.new.speedup"
+        assert verdict.status == "skipped"
+
+
+class TestMain:
+    def test_exit_one_on_regression(self, tmp_path, capsys):
+        runs = [{"warm_speedup": 10.0} for _ in range(4)] + [{"warm_speedup": 1.0}]
+        write_area(tmp_path, "session", runs)
+        code = main(["--dir", str(tmp_path), "--areas", "session"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAIL" in out and "warm_speedup" in out
+
+    def test_exit_zero_on_clean_run(self, tmp_path, capsys):
+        runs = [{"warm_speedup": 10.0} for _ in range(5)]
+        write_area(tmp_path, "session", runs)
+        code = main(["--dir", str(tmp_path), "--areas", "session"])
+        assert code == 0
+        assert "perf gate passed" in capsys.readouterr().out
+
+    def test_custom_threshold(self, tmp_path):
+        runs = [{"warm_speedup": 10.0} for _ in range(4)] + [{"warm_speedup": 8.5}]
+        write_area(tmp_path, "session", runs)
+        assert main(["--dir", str(tmp_path), "--areas", "session"]) == 0
+        assert main(["--dir", str(tmp_path), "--areas", "session",
+                     "--threshold", "0.9"]) == 1
+
+    def test_missing_area_file_passes(self, tmp_path, capsys):
+        code = main(["--dir", str(tmp_path)])
+        assert code == 0
+        assert "no recorded runs" in capsys.readouterr().out
+
+
+def test_verdict_render_shapes():
+    ok = Verdict("a", "f", "ok", latest=2.0, baseline=2.0)
+    fail = Verdict("a", "f", "regressed", latest=1.0, baseline=2.0)
+    skip = Verdict("a", "f", "skipped", detail="thin history")
+    assert "ratio=1.00" in ok.render()
+    assert fail.render().startswith("FAIL")
+    assert "thin history" in skip.render()

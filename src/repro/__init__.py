@@ -22,6 +22,7 @@ Subpackages
 ``repro.core``        the FEDEX algorithms (Algorithm 1)
 ``repro.viz``         chart specs, ASCII rendering, JSON export
 ``repro.explain``     one-line explanation wrapper
+``repro.obs``         telemetry: structured traces + central metrics registry
 ``repro.session``     session layer: shared cache store + per-tenant views
 ``repro.service``     multi-tenant serving front end (workers, admission)
 ``repro.storage``     chunked columnar dataset store (mmap frames, pushdown)
@@ -36,6 +37,7 @@ from .core.engine import ExplanationReport, FedexExplainer, explain_step
 from .core.explanation import Explanation
 from .dataframe import Between, Column, Comparison, DataFrame, IsIn
 from .explain.explainable import ExplainableDataFrame, explain_dataframe
+from .obs import tracing
 from .operators import ExploratoryStep, Filter, GroupBy, Join, Union, parse_query
 from .service import ExplanationService, ServiceConfig
 from .session import CacheStore, ExplanationSession, SessionCache
@@ -71,4 +73,5 @@ __all__ = [
     "explain_step",
     "parse_query",
     "sampling_config",
+    "tracing",
 ]

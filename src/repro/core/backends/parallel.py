@@ -32,6 +32,7 @@ import os
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ...obs.trace import NOOP_TRACER, current_tracer
 from ..partition import RowPartition, RowSet
 from .base import ContributionBackend, iter_shard_batches, resolve_shard_batch
 from .incremental import IncrementalBackend
@@ -80,6 +81,11 @@ class ParallelBackend(ContributionBackend):
         # this pair's slot in the batch future's result list.
         self._futures: Dict[Tuple[int, str], Tuple[RowPartition, Future, int]] = {}
         self.batches_submitted = 0
+        # Tracing: captured at prefetch time — batch jobs run on pool
+        # threads where the ambient context variable does not propagate, so
+        # the tracer and the submitting span travel on the backend instead.
+        self._tracer = NOOP_TRACER
+        self._trace_parent = None
 
     # ------------------------------------------------------------------ public
     def prefetch(self, grid: Sequence[Tuple[RowPartition, str]],
@@ -97,9 +103,13 @@ class ParallelBackend(ContributionBackend):
         """
         if not grid:
             return
+        tracer = current_tracer()
+        self._tracer = tracer
+        self._trace_parent = tracer.current_span()
         inner = self._inner
-        for partition, attribute in grid:
-            inner._plan_for(partition.input_index, attribute)
+        with tracer.span("parallel.plan", pairs=len(grid)):
+            for partition, attribute in grid:
+                inner._plan_for(partition.input_index, attribute)
         pending = [(partition, attribute) for partition, attribute in grid
                    if (id(partition), attribute) not in self._futures]
         hint = batch_hint if batch_hint is not None else self.shard_batch
@@ -132,8 +142,10 @@ class ParallelBackend(ContributionBackend):
     def _run_batch(self, payload: Sequence[Tuple[RowPartition, str, float]]) -> List[List[float]]:
         """One batch of grid pairs on one pool thread, in grid order."""
         inner = self._inner
-        return [inner.partition_contributions(partition, attribute, baseline)
-                for partition, attribute, baseline in payload]
+        with self._tracer.span("parallel.batch", parent=self._trace_parent,
+                               pairs=len(payload)):
+            return [inner.partition_contributions(partition, attribute, baseline)
+                    for partition, attribute, baseline in payload]
 
     def reduced_score(self, row_set: RowSet, attribute: str) -> float:
         return self._inner.reduced_score(row_set, attribute)

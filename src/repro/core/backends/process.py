@@ -77,6 +77,8 @@ from typing import Dict, Optional, Sequence, Tuple
 import multiprocessing
 
 from ...errors import StorageError
+from ...obs.metrics import REGISTRY
+from ...obs.trace import NOOP_TRACER, Tracer, current_tracer
 from ...operators.operations import MEASURE_DIVERSITY, MEASURE_EXCEPTIONALITY
 from ..interestingness import DiversityMeasure, ExceptionalityMeasure
 from ..partition import RowPartition, RowSet
@@ -140,9 +142,34 @@ class ProcessPoolStats:
             "structure_misses": self.structure_misses,
         }
 
+    def snapshot(self) -> Dict[str, int]:
+        """A point-in-time copy of the counters (pairs with :meth:`delta`)."""
+        return self.as_dict()
+
+    def delta(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Counter increments since a :meth:`snapshot`.
+
+        With :func:`repro.obs.metrics.capture` this replaces the ad-hoc
+        before/after arithmetic module-global counters force on callers
+        (the counters bleed across tests and benchmarks).
+        """
+        return {name: value - before.get(name, 0)
+                for name, value in self.as_dict().items()}
+
 
 #: Global process-backend counters (reset freely in tests/benchmarks).
 PROCESS_STATS = ProcessPoolStats()
+
+
+def _collect_process_metrics():
+    """Scrape-time samples of the process-backend counters (zero hot-path cost)."""
+    for name, value in PROCESS_STATS.as_dict().items():
+        yield (f"repro_process_{name}_total", "counter",
+               "Process-backend activity counter (see ProcessPoolStats).",
+               float(value), {})
+
+
+REGISTRY.register_collector("process_stats", _collect_process_metrics)
 
 
 @dataclass(frozen=True)
@@ -220,6 +247,13 @@ class ProcessBackend(ContributionBackend):
         # through many per-pair results).
         self._credited: set = set()
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Tracing: the request tracer and submitting span are captured at
+        # prefetch time (future consumption happens on the engine thread,
+        # but batch spans must parent under the contribution span), plus
+        # per-future submit timestamps for the batch span timings.
+        self._tracer = NOOP_TRACER
+        self._trace_parent = None
+        self._batch_meta: Dict[Future, Tuple[float, int]] = {}
         #: Why the backend stayed (or fell back to) serial; None while the
         #: process path is active.  Observability for tests and operators.
         self.fallback_reason: Optional[str] = None
@@ -250,45 +284,57 @@ class ProcessBackend(ContributionBackend):
         """
         if not grid:
             return
-        if self.workers < 2:
-            self.fallback_reason = "pool of 1 worker is pure overhead; staying serial"
-            PROCESS_STATS.serial_fallbacks += 1
-            return
-        spec_blob = self._spec_blob()
-        if spec_blob is None:
-            PROCESS_STATS.serial_fallbacks += 1
-            return
-        pool = process_pool(self.workers)
-        self._pool = pool
-        pending = [(partition, attribute) for partition, attribute in grid
-                   if (id(partition), attribute) not in self._futures]
-        hint = batch_hint if batch_hint is not None else self.shard_batch
-        batch_size = resolve_shard_batch(hint, len(pending), self.workers)
-        crash_left = self._crash_shards
-        for batch in iter_shard_batches(pending, batch_size):
-            crash = crash_left > 0
-            if crash:
-                crash_left -= 1
-            payload = [(partition, attribute, baselines[attribute])
-                       for partition, attribute in batch]
-            try:
-                future = pool.submit(_run_batch, self._token, spec_blob,
-                                     payload, crash)
-            except Exception as error:
-                # The shared pool died under us (BrokenProcessPool) or was
-                # shut down between lookup and submit (RuntimeError): the
-                # remaining shards run serially.  KeyboardInterrupt and
-                # friends propagate — a cancel must not silently turn into
-                # minutes of serial work.
-                self.fallback_reason = f"shard submission failed: {error}"
-                _discard_pool(self.workers, pool)
-                break
-            for index, (partition, attribute) in enumerate(batch):
-                self._futures[(id(partition), attribute)] = (partition, future, index)
-            self.batches_submitted += 1
-            PROCESS_STATS.batches_submitted += 1
-            self.shards_submitted += len(batch)
-            PROCESS_STATS.shards_submitted += len(batch)
+        tracer = current_tracer()
+        self._tracer = tracer
+        self._trace_parent = tracer.current_span()
+        with tracer.span("process.prefetch", workers=self.workers,
+                         pairs=len(grid)) as pspan:
+            if self.workers < 2:
+                self.fallback_reason = "pool of 1 worker is pure overhead; staying serial"
+                PROCESS_STATS.serial_fallbacks += 1
+                pspan.set("fallback_reason", self.fallback_reason)
+                return
+            spec_blob = self._spec_blob()
+            if spec_blob is None:
+                PROCESS_STATS.serial_fallbacks += 1
+                pspan.set("fallback_reason", self.fallback_reason)
+                return
+            pool = process_pool(self.workers)
+            self._pool = pool
+            pending = [(partition, attribute) for partition, attribute in grid
+                       if (id(partition), attribute) not in self._futures]
+            hint = batch_hint if batch_hint is not None else self.shard_batch
+            batch_size = resolve_shard_batch(hint, len(pending), self.workers)
+            pspan.set("batch_size", batch_size)
+            crash_left = self._crash_shards
+            traced = tracer.enabled
+            for batch in iter_shard_batches(pending, batch_size):
+                crash = crash_left > 0
+                if crash:
+                    crash_left -= 1
+                payload = [(partition, attribute, baselines[attribute])
+                           for partition, attribute in batch]
+                try:
+                    future = pool.submit(_run_batch, self._token, spec_blob,
+                                         payload, crash, traced)
+                except Exception as error:
+                    # The shared pool died under us (BrokenProcessPool) or was
+                    # shut down between lookup and submit (RuntimeError): the
+                    # remaining shards run serially.  KeyboardInterrupt and
+                    # friends propagate — a cancel must not silently turn into
+                    # minutes of serial work.
+                    self.fallback_reason = f"shard submission failed: {error}"
+                    pspan.set("fallback_reason", self.fallback_reason)
+                    _discard_pool(self.workers, pool)
+                    break
+                self._batch_meta[future] = (time.perf_counter(), len(batch))
+                for index, (partition, attribute) in enumerate(batch):
+                    self._futures[(id(partition), attribute)] = (partition, future, index)
+                self.batches_submitted += 1
+                PROCESS_STATS.batches_submitted += 1
+                self.shards_submitted += len(batch)
+                PROCESS_STATS.shards_submitted += len(batch)
+            pspan.set("batches", self.batches_submitted)
 
     def partition_contributions(self, partition: RowPartition, attribute: str,
                                 baseline: float):
@@ -310,6 +356,9 @@ class ProcessBackend(ContributionBackend):
                 # lost worker would have returned.
                 self.serial_retries += 1
                 PROCESS_STATS.serial_retries += 1
+                self._tracer.event("process.serial_retry",
+                                   labels={"kind": "broken_pool"},
+                                   parent=self._trace_parent)
                 if self.fallback_reason is None:
                     self.fallback_reason = f"worker lost mid-grid: {error}"
                 if self._pool is not None:
@@ -321,6 +370,9 @@ class ProcessBackend(ContributionBackend):
                 # degrades to the serial path.
                 self.serial_retries += 1
                 PROCESS_STATS.serial_retries += 1
+                self._tracer.event("process.serial_retry",
+                                   labels={"kind": "shard_error"},
+                                   parent=self._trace_parent)
                 if self.fallback_reason is None:
                     self.fallback_reason = f"worker shard failed: {error}"
         return self._inner.partition_contributions(partition, attribute, baseline)
@@ -348,7 +400,9 @@ class ProcessBackend(ContributionBackend):
         Many per-pair results are served by one batch future; the worker's
         hit/miss delta ships with the result tuple, so the first consumer
         credits it and later consumers of the same future do not double
-        count.
+        count.  When the request is traced, the same once-per-future hook
+        records the batch span (submit → first result, measured parent-side)
+        and grafts the worker-recorded spans under it.
         """
         if future in self._credited:
             return
@@ -359,6 +413,17 @@ class ProcessBackend(ContributionBackend):
         self.structure_misses += misses
         PROCESS_STATS.structure_hits += hits
         PROCESS_STATS.structure_misses += misses
+        meta = self._batch_meta.pop(future, None)
+        if self._tracer.enabled and meta is not None:
+            submitted_pc, pairs = meta
+            batch_span = self._tracer.add_span(
+                "process.batch", parent=self._trace_parent,
+                started_pc=submitted_pc,
+                wall_s=time.perf_counter() - submitted_pc,
+                pairs=pairs, structure_hits=hits, structure_misses=misses,
+            )
+            self._tracer.attach_spans(worker_stats.get("spans") or [],
+                                      parent=batch_span)
     def _spec_blob(self) -> Optional[bytes]:
         measure_name = getattr(self.measure, "name", None)
         builtin = _BUILTIN_MEASURES.get(measure_name)
@@ -508,10 +573,12 @@ def spill_descriptor(frame):
     if owner:
         try:
             path = root / f"f{fingerprint}"
-            write_dataset(frame, path, overwrite=True)
-            entry.descriptor = shared_dataset(path).descriptor()
-            entry.path = Path(entry.descriptor.path)
-            entry.bytes = _directory_bytes(path)
+            with current_tracer().span("spill.write", rows=frame.num_rows) as span:
+                write_dataset(frame, path, overwrite=True)
+                entry.descriptor = shared_dataset(path).descriptor()
+                entry.path = Path(entry.descriptor.path)
+                entry.bytes = _directory_bytes(path)
+                span.set("bytes", entry.bytes)
         except BaseException as error:
             entry.error = error
             with _SPILL_LOCK:
@@ -524,7 +591,8 @@ def spill_descriptor(frame):
                 _SPILLED.move_to_end(fingerprint)
         _evict_spill_overflow(protect=fingerprint)
         return entry.descriptor
-    entry.ready.wait()
+    with current_tracer().span("spill.wait"):
+        entry.ready.wait()
     if entry.error is not None:
         raise StorageError(f"concurrent spill of this frame failed: {entry.error}")
     return entry.descriptor
@@ -760,13 +828,16 @@ def _worker_state(token: str, spec_blob: bytes) -> _WorkerState:
 
 def _run_batch(token: str, spec_blob: bytes,
                pairs: Sequence[Tuple[RowPartition, str, float]],
-               crash: bool = False):
+               crash: bool = False, trace: bool = False):
     """One batch of grid shards inside a worker process.
 
     Returns ``(results, stats)``: one contribution list per
     ``(partition, attribute, baseline)`` pair, in batch order, plus the
     worker's structure-cache hit/miss delta for this batch (exact, because
-    a pool worker runs one batch at a time).
+    a pool worker runs one batch at a time).  When the parent's request is
+    traced (``trace``), the batch runs under a worker-local tracer and the
+    finished span dicts travel home in ``stats["spans"]``, where the parent
+    grafts them under its batch span.
 
     ``crash`` is the test hook of the crash-recovery suite: it kills the
     worker the way a real failure would (no exception, no cleanup, halfway
@@ -777,17 +848,23 @@ def _run_batch(token: str, spec_blob: bytes,
     hits_before = _WORKER_STRUCTURES.hits
     misses_before = _WORKER_STRUCTURES.misses
     crash_at = len(pairs) // 2 if crash else -1
+    local = Tracer() if trace else NOOP_TRACER
     results = []
-    for index, (partition, attribute, baseline) in enumerate(pairs):
-        if index == crash_at:
-            os.kill(os.getpid(), signal.SIGKILL)
-        results.append(
-            state.backend.partition_contributions(partition, attribute, baseline)
-        )
+    with local.span("worker.batch", pid=os.getpid(), pairs=len(pairs)) as wspan:
+        for index, (partition, attribute, baseline) in enumerate(pairs):
+            if index == crash_at:
+                os.kill(os.getpid(), signal.SIGKILL)
+            results.append(
+                state.backend.partition_contributions(partition, attribute, baseline)
+            )
+        wspan.set("structure_hits", _WORKER_STRUCTURES.hits - hits_before)
+        wspan.set("structure_misses", _WORKER_STRUCTURES.misses - misses_before)
     stats = {
         "structure_hits": _WORKER_STRUCTURES.hits - hits_before,
         "structure_misses": _WORKER_STRUCTURES.misses - misses_before,
     }
+    if trace:
+        stats["spans"] = local.export()
     return results, stats
 
 

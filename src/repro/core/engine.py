@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..dataframe.frame import DataFrame
 from ..errors import ExplanationError
+from ..obs.trace import begin_request, end_request
 from ..operators.operations import GroupBy
 from ..operators.step import ExploratoryStep
 from .candidates import ExplanationCandidate, build_candidates
@@ -57,6 +58,10 @@ class ExplanationReport:
     selected_columns: List[str]
     config: FedexConfig
     timings: Dict[str, float] = field(default_factory=dict)
+    #: The request's span tree when tracing was enabled (``REPRO_TRACE`` or
+    #: :func:`repro.obs.tracing`); ``None`` on untraced runs.  Never part of
+    #: report equality or cache keys — telemetry, not a result.
+    trace: Optional[object] = field(default=None, compare=False)
 
     @property
     def total_time(self) -> float:
@@ -124,7 +129,28 @@ class FedexExplainer:
 
     # ------------------------------------------------------------------ public
     def explain(self, step: ExploratoryStep, measure: str | None = None) -> ExplanationReport:
-        """Run Algorithm 1 on an exploratory step and return the full report."""
+        """Run Algorithm 1 on an exploratory step and return the full report.
+
+        When tracing is enabled (``REPRO_TRACE`` / :func:`repro.obs.tracing`)
+        the whole run executes under an ambient request tracer — every layer
+        below (backends, caches, scans) records into it — and the finished
+        span tree is attached as ``report.trace``.  Tracing never changes a
+        result: the untraced path sees only no-op stubs.
+        """
+        tracer, token = begin_request()
+        try:
+            with tracer.span("explain", operation=step.operation.kind,
+                             backend=self.config.backend):
+                report = self._run_pipeline(step, measure, tracer)
+        finally:
+            trace = end_request(tracer, token)
+        if trace is not None:
+            report.trace = trace
+        return report
+
+    def _run_pipeline(self, step: ExploratoryStep, measure: str | None,
+                      tracer) -> ExplanationReport:
+        """The five phases of Algorithm 1 (under the request's trace root)."""
         timings: Dict[str, float] = {}
         chosen_measure = measure_for_step(step, self.registry, override=measure)
         if self.context is not None:
@@ -135,73 +161,86 @@ class FedexExplainer:
 
         # Phase 1: interestingness of every applicable output column
         start = time.perf_counter()
-        scores = self.score_columns(step, chosen_measure)
-        selected = self._select_columns(scores)
+        with tracer.span("phase1.interestingness",
+                         measure=chosen_measure.name) as span:
+            scores = self.score_columns(step, chosen_measure)
+            selected = self._select_columns(scores)
+            span.set("columns_scored", len(scores))
+            span.set("columns_selected", len(selected))
         timings["interestingness"] = time.perf_counter() - start
 
         # Phase 2: row partitions of the input dataframe(s)
         start = time.perf_counter()
-        partitions = self._build_partitions(step, selected)
+        with tracer.span("phase2.partitioning") as span:
+            partitions = self._build_partitions(step, selected)
+            span.set("partitions", len(partitions))
         timings["partitioning"] = time.perf_counter() - start
 
         # Phase 3: contributions and candidate construction
         start = time.perf_counter()
-        calculator = ContributionCalculator(
-            step, chosen_measure, backend=self.config.backend,
-            backend_options={"workers": self.config.workers, "context": self.context,
-                             "ks_budget_bytes": self.config.ks_budget_bytes,
-                             "shard_batch": self.config.shard_batch,
-                             "spill_bytes": self.config.spill_bytes},
-        )
-        # The full partition × attribute grid is known before any
-        # contribution is computed; announcing it lets the parallel backend
-        # shard the grid across its worker pool up front.
-        grid: List[Tuple[RowPartition, str]] = [
-            (partition, attribute)
-            for partition in partitions
-            for attribute in self._attributes_for_partition(step, partition, selected)
-        ]
-        calculator.prefetch(grid, batch_hint=self.config.shard_batch)
-        all_candidates: List[ExplanationCandidate] = []
-        candidate_partitions: Dict[Tuple, RowPartition] = {}
-        for partition, attribute in grid:
-            # One intervention pass: the raw contributions are computed
-            # once and cached, and the standardized list is derived from
-            # the cached raw list.
-            raw = calculator.partition_contributions(partition, attribute)
-            standardized = calculator.standardized_contributions(partition, attribute)
-            candidates = build_candidates(
-                partition, attribute, scores[attribute], raw, standardized,
-                chosen_measure.name,
-                positive_only=self.config.positive_contribution_only,
+        with tracer.span("phase3.contribution",
+                         backend=self.config.backend) as span:
+            calculator = ContributionCalculator(
+                step, chosen_measure, backend=self.config.backend,
+                backend_options={"workers": self.config.workers, "context": self.context,
+                                 "ks_budget_bytes": self.config.ks_budget_bytes,
+                                 "shard_batch": self.config.shard_batch,
+                                 "spill_bytes": self.config.spill_bytes},
             )
-            for candidate in candidates:
-                candidate_partitions[candidate.key()] = partition
-            all_candidates.extend(candidates)
+            # The full partition × attribute grid is known before any
+            # contribution is computed; announcing it lets the parallel backend
+            # shard the grid across its worker pool up front.
+            grid: List[Tuple[RowPartition, str]] = [
+                (partition, attribute)
+                for partition in partitions
+                for attribute in self._attributes_for_partition(step, partition, selected)
+            ]
+            span.set("grid_pairs", len(grid))
+            calculator.prefetch(grid, batch_hint=self.config.shard_batch)
+            all_candidates: List[ExplanationCandidate] = []
+            candidate_partitions: Dict[Tuple, RowPartition] = {}
+            for partition, attribute in grid:
+                # One intervention pass: the raw contributions are computed
+                # once and cached, and the standardized list is derived from
+                # the cached raw list.
+                raw = calculator.partition_contributions(partition, attribute)
+                standardized = calculator.standardized_contributions(partition, attribute)
+                candidates = build_candidates(
+                    partition, attribute, scores[attribute], raw, standardized,
+                    chosen_measure.name,
+                    positive_only=self.config.positive_contribution_only,
+                )
+                for candidate in candidates:
+                    candidate_partitions[candidate.key()] = partition
+                all_candidates.extend(candidates)
+            span.set("candidates", len(all_candidates))
         timings["contribution"] = time.perf_counter() - start
 
         # Phase 4: skyline + weighted ranking
         start = time.perf_counter()
-        if self.config.use_skyline:
-            dominating = skyline(all_candidates)
-        else:
-            dominating = list(all_candidates)
-        final = rank_by_weighted_score(
-            dominating,
-            self.config.interestingness_weight,
-            self.config.contribution_weight,
-        )
-        final = _deduplicate(final)
-        if self.config.top_k_explanations is not None:
-            final = final[: self.config.top_k_explanations]
+        with tracer.span("phase4.skyline") as span:
+            if self.config.use_skyline:
+                dominating = skyline(all_candidates)
+            else:
+                dominating = list(all_candidates)
+            final = rank_by_weighted_score(
+                dominating,
+                self.config.interestingness_weight,
+                self.config.contribution_weight,
+            )
+            final = _deduplicate(final)
+            if self.config.top_k_explanations is not None:
+                final = final[: self.config.top_k_explanations]
+            span.set("skyline_size", len(final))
         timings["skyline"] = time.perf_counter() - start
 
         # Phase 5: captioned visualizations
         start = time.perf_counter()
-        explanations = [
-            build_explanation(step, candidate, candidate_partitions[candidate.key()])
-            for candidate in final
-        ]
+        with tracer.span("phase5.visualization"):
+            explanations = [
+                build_explanation(step, candidate, candidate_partitions[candidate.key()])
+                for candidate in final
+            ]
         timings["visualization"] = time.perf_counter() - start
 
         return ExplanationReport(

@@ -19,6 +19,7 @@ from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..errors import ColumnError
+from ..obs.metrics import REGISTRY as _METRICS_REGISTRY
 
 #: Logical column kinds recognised by the substrate.
 KIND_NUMERIC = "numeric"
@@ -56,9 +57,43 @@ class FingerprintStats:
             "persisted_hits": self.persisted_hits,
         }
 
+    def snapshot(self) -> dict:
+        """A point-in-time copy of the counters (pairs with :meth:`delta`)."""
+        return self.as_dict()
+
+    def delta(self, before: dict) -> dict:
+        """Counter increments since a :meth:`snapshot`.
+
+        ``full_hash_max_rows`` is a high-water mark, not a counter, so the
+        delta reports its *current* value — subtracting two maxima means
+        nothing.  With :func:`repro.obs.metrics.capture` this replaces the
+        ad-hoc before/after arithmetic the module-global counters force on
+        callers (they bleed across tests otherwise).
+        """
+        payload = {name: value - before.get(name, 0)
+                   for name, value in self.as_dict().items()}
+        payload["full_hash_max_rows"] = self.full_hash_max_rows
+        return payload
+
 
 #: Global fingerprint counters (reset freely in tests/benchmarks).
 FINGERPRINT_STATS = FingerprintStats()
+
+
+def _collect_fingerprint_metrics():
+    """Scrape-time samples of the fingerprint counters (zero hot-path cost)."""
+    yield ("repro_fingerprint_full_hashes_total", "counter",
+           "Column fingerprints computed by hashing the raw values.",
+           float(FINGERPRINT_STATS.full_hashes), {})
+    yield ("repro_fingerprint_persisted_hits_total", "counter",
+           "Column fingerprints answered from persisted storage digests.",
+           float(FINGERPRINT_STATS.persisted_hits), {})
+    yield ("repro_fingerprint_full_hash_max_rows", "gauge",
+           "Largest column fully hashed since the last reset.",
+           float(FINGERPRINT_STATS.full_hash_max_rows), {})
+
+
+_METRICS_REGISTRY.register_collector("fingerprint_stats", _collect_fingerprint_metrics)
 
 
 def infer_kind(values: np.ndarray) -> str:

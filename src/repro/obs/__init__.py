@@ -1,0 +1,50 @@
+"""Unified telemetry: structured explain traces and a central metrics registry.
+
+Two dependency-free halves (see the module docstrings for the full story):
+
+* :mod:`repro.obs.trace` — per-request :class:`Tracer`/:class:`Span` trees
+  with a free disabled path, ambient activation via ``REPRO_TRACE`` or
+  :func:`tracing`, and JSONL dump/round-trip.
+* :mod:`repro.obs.metrics` — thread-safe :class:`MetricsRegistry` of
+  labeled counters/gauges/histograms (log-bucket p50/p95/p99), scrape-time
+  collectors for hot module counters, and Prometheus text exposition via
+  ``render_text()``.
+"""
+
+from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry, capture, default_buckets
+from .trace import (
+    NOOP_TRACER,
+    Span,
+    Trace,
+    Tracer,
+    append_jsonl,
+    begin_request,
+    current_tracer,
+    end_request,
+    read_traces,
+    trace_path,
+    tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "capture",
+    "default_buckets",
+    "NOOP_TRACER",
+    "Span",
+    "Trace",
+    "Tracer",
+    "append_jsonl",
+    "begin_request",
+    "current_tracer",
+    "end_request",
+    "read_traces",
+    "trace_path",
+    "tracing",
+    "tracing_enabled",
+]

@@ -1,0 +1,525 @@
+"""The central metrics registry: counters, gauges and histograms.
+
+One :class:`MetricsRegistry` holds labeled metric families behind a single
+lock, so concurrent increments from service workers count exactly (``+=``
+on a shared attribute silently loses updates under contention).  Families
+are created on first use and type-checked on re-registration, mirroring the
+Prometheus client model without the dependency:
+
+* :class:`Counter` — monotonically increasing totals (``inc``).
+* :class:`Gauge` — point-in-time values (``set``/``inc``/``dec``/``set_max``).
+* :class:`Histogram` — a bounded log-bucket distribution with interpolated
+  quantiles (p50/p95/p99) plus sum and count; bucket bounds default to
+  powers of two from one microsecond to ~70 minutes, so request latencies
+  land with ~2× resolution at every scale for a fixed 33-bucket cost.
+
+Hot-path module counters (:data:`~repro.core.backends.process.PROCESS_STATS`,
+:data:`~repro.dataframe.column.FINGERPRINT_STATS`) stay bare ``+=`` slots —
+their write paths are far hotter than any scrape — and surface through
+*collector callbacks* (:meth:`MetricsRegistry.register_collector`) that read
+them only at scrape time.
+
+:meth:`MetricsRegistry.render_text` emits the Prometheus text exposition
+format — ``# HELP``/``# TYPE`` headers, ``name{label="v"} value`` samples,
+``_bucket``/``_sum``/``_count`` for histograms — the payload a ``/metrics``
+endpoint serves verbatim.
+
+The module-level :data:`REGISTRY` aggregates process-wide signals; the
+service and each cache store own their own registries (concatenated by
+:meth:`~repro.service.service.ExplanationService.render_metrics`).
+
+Dependency-free (stdlib only); importable from any layer.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "REGISTRY",
+    "default_buckets",
+    "capture",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def default_buckets() -> Tuple[float, ...]:
+    """Log-2 bucket bounds from 1µs to ~70 minutes (33 buckets + implicit +Inf)."""
+    return tuple(1e-6 * (2.0 ** i) for i in range(33))
+
+
+class Counter:
+    """One monotonically increasing series (a labeled child of its family)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.RLock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (amount={amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+
+class Gauge:
+    """One point-in-time series."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self, lock: threading.RLock) -> None:
+        self._lock = lock
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is larger (running maximum)."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        self._value = 0.0
+
+
+class Histogram:
+    """A log-bucket distribution: bounded memory, interpolated quantiles.
+
+    ``counts[i]`` holds observations with ``value <= bounds[i]`` (and above
+    the previous bound); the final slot is the ``+Inf`` overflow.  Quantiles
+    interpolate linearly inside the winning bucket, which for log-2 bounds
+    keeps the estimate within ~2× of the true value — the right precision
+    for latency percentiles at a fixed 33-counter cost.
+    """
+
+    __slots__ = ("_lock", "bounds", "counts", "sum", "count")
+
+    def __init__(self, lock: threading.RLock,
+                 bounds: Optional[Sequence[float]] = None) -> None:
+        self._lock = lock
+        chosen = tuple(bounds) if bounds is not None else default_buckets()
+        if not chosen or list(chosen) != sorted(chosen):
+            raise ValueError(f"histogram bounds must be sorted and non-empty: {chosen}")
+        self.bounds = chosen
+        self.counts = [0] * (len(chosen) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.counts[bisect_left(self.bounds, value)] += 1
+            self.sum += value
+            self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """The interpolated ``q``-quantile (0 when nothing was observed)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        with self._lock:
+            return _quantile(self.bounds, self.counts, self.count, q)
+
+    def percentiles(self) -> Dict[str, float]:
+        """The standard p50/p95/p99 triple."""
+        with self._lock:
+            return {
+                "p50": _quantile(self.bounds, self.counts, self.count, 0.50),
+                "p95": _quantile(self.bounds, self.counts, self.count, 0.95),
+                "p99": _quantile(self.bounds, self.counts, self.count, 0.99),
+            }
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
+
+    def _reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+
+def _quantile(bounds: Sequence[float], counts: Sequence[int],
+              total: int, q: float) -> float:
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0
+    for index, bucket_count in enumerate(counts):
+        if bucket_count == 0:
+            continue
+        cumulative += bucket_count
+        if cumulative >= rank:
+            if index >= len(bounds):
+                # Overflow bucket: no upper bound to interpolate toward.
+                return bounds[-1]
+            low = bounds[index - 1] if index > 0 else 0.0
+            high = bounds[index]
+            fraction = (rank - (cumulative - bucket_count)) / bucket_count
+            return low + (high - low) * fraction
+    return bounds[-1]  # pragma: no cover - unreachable (cumulative == total)
+
+
+class _MergedHistogram:
+    """Read-only bucket-merge of a histogram family's children."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Tuple[float, ...], counts: List[int],
+                 total_sum: float, count: int) -> None:
+        self.bounds = bounds
+        self.counts = counts
+        self.sum = total_sum
+        self.count = count
+
+    def quantile(self, q: float) -> float:
+        return _quantile(self.bounds, self.counts, self.count, q)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """One named metric with labeled children (all the same kind)."""
+
+    __slots__ = ("name", "kind", "help", "labelnames", "buckets",
+                 "_lock", "_children")
+
+    def __init__(self, name: str, kind: str, help_text: str,
+                 labelnames: Tuple[str, ...], lock: threading.RLock,
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.labelnames = labelnames
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self._lock = lock
+        self._children: "Dict[Tuple[str, ...], object]" = {}
+
+    # ------------------------------------------------------------------ children
+    def labels(self, **labels):
+        """The child series for a label combination (created on first use)."""
+        key = self._label_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == "histogram":
+                    child = Histogram(self._lock, self.buckets)
+                else:
+                    child = _KINDS[self.kind](self._lock)
+                self._children[key] = child
+            return child
+
+    def get(self, **labels):
+        """The child for a label combination, or ``None`` (no creation)."""
+        with self._lock:
+            return self._children.get(self._label_key(labels))
+
+    def label_values(self) -> List[Tuple[str, ...]]:
+        """Label-value tuples with an existing child, sorted."""
+        with self._lock:
+            return sorted(self._children)
+
+    def children(self) -> List[Tuple[Tuple[str, ...], object]]:
+        with self._lock:
+            return sorted(self._children.items())
+
+    # ------------------------------------------ unlabeled-family conveniences
+    def inc(self, amount: float = 1) -> None:
+        self.labels().inc(amount)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def set_max(self, value: float) -> None:
+        self.labels().set_max(value)
+
+    def dec(self, amount: float = 1) -> None:
+        self.labels().dec(amount)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self.labels().value
+
+    def total(self) -> float:
+        """Summed value across every child (counters/gauges)."""
+        with self._lock:
+            return sum(child.value for child in self._children.values())
+
+    def aggregate(self) -> _MergedHistogram:
+        """Bucket-merge of every child (histogram families only)."""
+        if self.kind != "histogram":
+            raise ValueError(f"{self.name} is a {self.kind}, not a histogram")
+        bounds = self.buckets if self.buckets is not None else default_buckets()
+        counts = [0] * (len(bounds) + 1)
+        total_sum = 0.0
+        count = 0
+        with self._lock:
+            for child in self._children.values():
+                for index, bucket_count in enumerate(child.counts):
+                    counts[index] += bucket_count
+                total_sum += child.sum
+                count += child.count
+        return _MergedHistogram(bounds, counts, total_sum, count)
+
+    # ---------------------------------------------------------------- internals
+    def _label_key(self, labels: Dict[str, str]) -> Tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.labelnames}, got "
+                f"{tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families plus scrape-time collectors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: "Dict[str, _Family]" = {}
+        self._collectors: "Dict[str, Callable[[], Iterable[tuple]]]" = {}
+
+    # ------------------------------------------------------------ registration
+    def counter(self, name: str, help_text: str = "",
+                labelnames: Sequence[str] = ()) -> _Family:
+        return self._family(name, "counter", help_text, labelnames)
+
+    def gauge(self, name: str, help_text: str = "",
+              labelnames: Sequence[str] = ()) -> _Family:
+        return self._family(name, "gauge", help_text, labelnames)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labelnames: Sequence[str] = (),
+                  buckets: Optional[Sequence[float]] = None) -> _Family:
+        return self._family(name, "histogram", help_text, labelnames, buckets)
+
+    def register_collector(self, key: str,
+                           collect: Callable[[], Iterable[tuple]]) -> None:
+        """Register a scrape-time callback by key (re-registering replaces).
+
+        ``collect()`` yields ``(name, kind, help, value, labels)`` tuples —
+        the bridge for hot module counters that must stay bare ``+=`` slots
+        on their write path and are only read when someone scrapes.
+        """
+        with self._lock:
+            self._collectors[key] = collect
+
+    def unregister_collector(self, key: str) -> None:
+        with self._lock:
+            self._collectors.pop(key, None)
+
+    # ----------------------------------------------------------------- queries
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat ``name{label="v"}`` → value map (tests/debugging).
+
+        Histograms contribute their ``_sum`` and ``_count`` series;
+        collector samples are included.
+        """
+        payload: Dict[str, float] = {}
+        for family in self.families():
+            for key, child in family.children():
+                series = _series_name(family.name, family.labelnames, key)
+                if family.kind == "histogram":
+                    payload[series + "_sum"] = child.sum
+                    payload[series + "_count"] = float(child.count)
+                else:
+                    payload[series] = child.value
+        for name, _kind, _help, value, labels in self._collect():
+            label_key = tuple(str(labels[k]) for k in sorted(labels))
+            payload[_series_name(name, tuple(sorted(labels)), label_key)] = value
+        return payload
+
+    def reset(self) -> None:
+        """Zero every registered series (tests; collectors are untouched)."""
+        with self._lock:
+            for family in self._families.values():
+                for _key, child in family.children():
+                    child._reset()
+
+    # --------------------------------------------------------------- rendering
+    def render_text(self) -> str:
+        """The registry in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for family in self.families():
+            _render_family_header(lines, family.name, family.kind, family.help)
+            for key, child in family.children():
+                labels = _format_labels(family.labelnames, key)
+                if family.kind == "histogram":
+                    cumulative = 0
+                    for index, bound in enumerate(child.bounds):
+                        cumulative += child.counts[index]
+                        le = _format_labels(
+                            family.labelnames + ("le",), key + (_format_float(bound),)
+                        )
+                        lines.append(f"{family.name}_bucket{le} {cumulative}")
+                    cumulative += child.counts[-1]
+                    le = _format_labels(family.labelnames + ("le",), key + ("+Inf",))
+                    lines.append(f"{family.name}_bucket{le} {cumulative}")
+                    lines.append(f"{family.name}_sum{labels} {_format_float(child.sum)}")
+                    lines.append(f"{family.name}_count{labels} {child.count}")
+                else:
+                    lines.append(f"{family.name}{labels} {_format_float(child.value)}")
+        rendered_headers = {family.name for family in self.families()}
+        for name, kind, help_text, value, labels in self._collect():
+            if name not in rendered_headers:
+                _render_family_header(lines, name, kind, help_text)
+                rendered_headers.add(name)
+            label_names = tuple(sorted(labels))
+            label_key = tuple(str(labels[k]) for k in label_names)
+            lines.append(
+                f"{name}{_format_labels(label_names, label_key)} {_format_float(value)}"
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # ---------------------------------------------------------------- internals
+    def _family(self, name: str, kind: str, help_text: str,
+                labelnames: Sequence[str],
+                buckets: Optional[Sequence[float]] = None) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name: {name!r}")
+        names = tuple(labelnames)
+        for label in names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name: {label!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = _Family(name, kind, help_text, names, self._lock, buckets)
+                self._families[name] = family
+            elif family.kind != kind or family.labelnames != names:
+                raise ValueError(
+                    f"metric {name} already registered as {family.kind}"
+                    f"{family.labelnames}, requested {kind}{names}"
+                )
+            return family
+
+    def _collect(self) -> List[tuple]:
+        with self._lock:
+            collectors = list(self._collectors.values())
+        samples: List[tuple] = []
+        for collect in collectors:
+            try:
+                samples.extend(collect())
+            except Exception:  # a broken collector must never break a scrape
+                continue
+        return samples
+
+
+def _render_family_header(lines: List[str], name: str, kind: str,
+                          help_text: str) -> None:
+    if help_text:
+        lines.append(f"# HELP {name} {_escape_help(help_text)}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def _series_name(name: str, labelnames: Tuple[str, ...],
+                 values: Tuple[str, ...]) -> str:
+    return name + _format_labels(labelnames, values)
+
+
+def _format_labels(labelnames: Tuple[str, ...], values: Tuple[str, ...]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, values)
+    )
+    return "{" + pairs + "}"
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_float(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+#: The process-wide registry: module counters (fingerprints, process pool)
+#: register collectors here; per-service and per-store registries are
+#: separate and concatenated at scrape time.
+REGISTRY = MetricsRegistry()
+
+
+# ------------------------------------------------------------- delta capture
+class _Capture:
+    """A before-snapshot of a stats object, resolvable to a delta."""
+
+    __slots__ = ("_stats", "_before")
+
+    def __init__(self, stats) -> None:
+        self._stats = stats
+        self._before = stats.snapshot()
+
+    def delta(self) -> dict:
+        return self._stats.delta(self._before)
+
+
+@contextmanager
+def capture(stats) -> Iterator[_Capture]:
+    """Scoped before/after deltas over any stats object with ``snapshot()``/``delta()``.
+
+    ::
+
+        with capture(PROCESS_STATS) as probe:
+            run_workload()
+        assert probe.delta()["shards_completed"] > 0
+
+    Replaces the ad-hoc before/after arithmetic module-global counters
+    otherwise force on callers (the counters bleed across tests).
+    """
+    yield _Capture(stats)

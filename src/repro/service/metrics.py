@@ -1,97 +1,116 @@
 """Request/latency metrics of the explanation service.
 
 One :class:`ServiceMetrics` per service, updated by every request from
-whichever worker thread ran it.  Counters are guarded by one lock — the
-update is a handful of integer additions per request, invisible next to an
-explanation's cost — and snapshots are taken under the same lock, so a
+whichever worker thread ran it.  The counters live in a per-service
+:class:`~repro.obs.metrics.MetricsRegistry` — tenant-labeled counter
+families plus a log-bucket latency histogram — so a scraper can pull the
+Prometheus exposition (``metrics.registry.render_text()``, concatenated
+into :meth:`~repro.service.service.ExplanationService.render_metrics`)
+while :meth:`snapshot` keeps serving the exact dictionary shape earlier
+releases exposed, now extended with ``p50_seconds``/``p95_seconds``/
+``p99_seconds`` from the histogram.
+
+Updates are a handful of locked additions per request, invisible next to an
+explanation's cost; snapshots read under the same registry lock, so a
 scraper always sees a consistent set.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
-
-class _TenantCounters:
-    __slots__ = ("requests", "completed", "errors", "rejected", "total_seconds")
-
-    def __init__(self) -> None:
-        self.requests = 0
-        self.completed = 0
-        self.errors = 0
-        self.rejected = 0
-        self.total_seconds = 0.0
+from ..obs.metrics import MetricsRegistry
 
 
 class ServiceMetrics:
     """Thread-safe request counters and latency aggregates, global and per tenant."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._global = _TenantCounters()
-        self._tenants: Dict[str, _TenantCounters] = {}
-        self._max_latency = 0.0
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._requests = self.registry.counter(
+            "repro_service_requests_total",
+            "Requests admitted into the service.", labelnames=("tenant",))
+        self._completed = self.registry.counter(
+            "repro_service_completed_total",
+            "Requests finished successfully.", labelnames=("tenant",))
+        self._errors = self.registry.counter(
+            "repro_service_errors_total",
+            "Requests finished with an error.", labelnames=("tenant",))
+        self._rejected = self.registry.counter(
+            "repro_service_rejected_total",
+            "Requests shed by per-tenant admission control.",
+            labelnames=("tenant",))
+        self._latency = self.registry.histogram(
+            "repro_service_request_seconds",
+            "Wall-clock latency of finished requests (success and error).",
+            labelnames=("tenant",))
+        self._max_latency = self.registry.gauge(
+            "repro_service_request_seconds_max",
+            "Largest request latency observed since start-up.")
 
     # ------------------------------------------------------------------ updates
     def record_admitted(self, tenant: str) -> None:
         """Count a request entering the service (admitted, not yet finished)."""
-        with self._lock:
-            self._global.requests += 1
-            self._tenant(tenant).requests += 1
+        self._requests.labels(tenant=tenant).inc()
 
     def record_rejected(self, tenant: str) -> None:
         """Count a request shed by per-tenant admission control."""
-        with self._lock:
-            self._global.rejected += 1
-            self._tenant(tenant).rejected += 1
+        self._rejected.labels(tenant=tenant).inc()
 
     def record_completed(self, tenant: str, seconds: float,
                          error: bool = False) -> None:
         """Count a finished request and fold its latency into the aggregates."""
-        with self._lock:
-            for counters in (self._global, self._tenant(tenant)):
-                if error:
-                    counters.errors += 1
-                else:
-                    counters.completed += 1
-                counters.total_seconds += seconds
-            if seconds > self._max_latency:
-                self._max_latency = seconds
+        family = self._errors if error else self._completed
+        family.labels(tenant=tenant).inc()
+        self._latency.labels(tenant=tenant).observe(seconds)
+        self._max_latency.set_max(seconds)
 
     # ---------------------------------------------------------------- snapshots
     def snapshot(self, tenant: Optional[str] = None) -> Dict[str, float]:
         """A consistent snapshot of the counters (global, or one tenant's).
 
-        Includes the derived mean latency over finished requests; the
-        service layers the store's hit rate on top (the store owns cache
-        counters, the metrics own request counters).
+        The historical keys (``requests``/``completed``/``errors``/
+        ``rejected``/``total_seconds``/``mean_seconds``, plus global
+        ``max_seconds``) are preserved; the latency histogram adds
+        ``p50_seconds``/``p95_seconds``/``p99_seconds``.
         """
-        with self._lock:
-            counters = self._global if tenant is None else self._tenants.get(tenant)
-            if counters is None:
-                counters = _TenantCounters()
-            finished = counters.completed + counters.errors
-            payload = {
-                "requests": counters.requests,
-                "completed": counters.completed,
-                "errors": counters.errors,
-                "rejected": counters.rejected,
-                "total_seconds": counters.total_seconds,
-                "mean_seconds": counters.total_seconds / finished if finished else 0.0,
-            }
-            if tenant is None:
-                payload["max_seconds"] = self._max_latency
-            return payload
+        if tenant is None:
+            requests = self._requests.total()
+            completed = self._completed.total()
+            errors = self._errors.total()
+            rejected = self._rejected.total()
+            latency = self._latency.aggregate()
+        else:
+            requests = _child_value(self._requests, tenant)
+            completed = _child_value(self._completed, tenant)
+            errors = _child_value(self._errors, tenant)
+            rejected = _child_value(self._rejected, tenant)
+            latency = self._latency.get(tenant=tenant)
+        finished = completed + errors
+        total_seconds = latency.sum if latency is not None else 0.0
+        payload = {
+            "requests": int(requests),
+            "completed": int(completed),
+            "errors": int(errors),
+            "rejected": int(rejected),
+            "total_seconds": total_seconds,
+            "mean_seconds": total_seconds / finished if finished else 0.0,
+            "p50_seconds": latency.quantile(0.50) if latency is not None else 0.0,
+            "p95_seconds": latency.quantile(0.95) if latency is not None else 0.0,
+            "p99_seconds": latency.quantile(0.99) if latency is not None else 0.0,
+        }
+        if tenant is None:
+            payload["max_seconds"] = self._max_latency.value
+        return payload
 
-    def tenants(self) -> list:
-        """Tenants that have issued at least one request."""
-        with self._lock:
-            return sorted(self._tenants)
+    def tenants(self) -> List[str]:
+        """Tenants that have issued at least one request (admitted or shed)."""
+        names = set()
+        for family in (self._requests, self._rejected):
+            names.update(values[0] for values in family.label_values())
+        return sorted(names)
 
-    # ---------------------------------------------------------------- internals
-    def _tenant(self, tenant: str) -> _TenantCounters:
-        counters = self._tenants.get(tenant)
-        if counters is None:
-            counters = self._tenants[tenant] = _TenantCounters()
-        return counters
+
+def _child_value(family, tenant: str) -> float:
+    child = family.get(tenant=tenant)
+    return child.value if child is not None else 0.0

@@ -55,6 +55,7 @@ from ..core.interestingness import MeasureRegistry
 from ..dataframe.frame import DataFrame
 from ..errors import ServiceError, ServiceOverloadError
 from ..explain.explainable import ExplainableDataFrame
+from ..obs.metrics import REGISTRY as _GLOBAL_REGISTRY
 from ..operators.step import ExploratoryStep
 from ..session import CacheStore, ExplanationSession
 from .metrics import ServiceMetrics
@@ -127,6 +128,8 @@ class ExplanationService:
             dataset_store = DatasetStore(dataset_store)
         self.dataset_store = dataset_store
         self.metrics = ServiceMetrics()
+        self.metrics.registry.register_collector(
+            "service_store", self._collect_store_metrics)
         self._registry = registry
         self._sessions: Dict[str, ExplanationSession] = {}
         self._admission: Dict[str, threading.Semaphore] = {}
@@ -249,6 +252,20 @@ class ExplanationService:
             payload["store_bytes"] = self.store.tenant_usage(tenant)
         return payload
 
+    def render_metrics(self) -> str:
+        """Every metric this service can see, in Prometheus text format.
+
+        Concatenates the service's own registry (request counters, the
+        latency histogram, and the store-usage collector), the shared
+        store's counter registry, and the process-global registry
+        (:data:`repro.obs.metrics.REGISTRY`, which carries the process-pool
+        and fingerprint collectors) — one scrapable document.
+        """
+        parts = [self.metrics.registry.render_text(),
+                 self.store.metrics.registry.render_text(),
+                 _GLOBAL_REGISTRY.render_text()]
+        return "".join(part for part in parts if part)
+
     def save_cache(self, path: str) -> int:
         """Snapshot the shared store (see :meth:`CacheStore.save`)."""
         return self.store.save(path)
@@ -269,6 +286,16 @@ class ExplanationService:
                 f"workers={self.service_config.workers}, store={self.store!r})")
 
     # ---------------------------------------------------------------- internals
+    def _collect_store_metrics(self):
+        """Scrape-time gauges of the shared store's byte usage."""
+        yield ("repro_service_store_bytes", "gauge",
+               "Bytes of cached values held by the shared store.",
+               float(self.store.usage_bytes), {})
+        for tenant in self.tenants():
+            yield ("repro_service_store_tenant_bytes", "gauge",
+                   "Bytes of cached values charged to one tenant.",
+                   float(self.store.tenant_usage(tenant)), {"tenant": tenant})
+
     def _admission_gate(self, tenant: str) -> Optional[threading.Semaphore]:
         bound = self.service_config.max_inflight_per_tenant
         if bound is None:

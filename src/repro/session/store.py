@@ -54,6 +54,8 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 import numpy as np
 
 from ..core.config import DEFAULT_CACHE_BUDGET_BYTES
+from ..obs.metrics import MetricsRegistry
+from ..obs.trace import current_tracer
 
 #: Default global byte budget of a shared store (one source of truth with
 #: :data:`repro.core.config.DEFAULT_CACHE_BUDGET_BYTES`, which services use).
@@ -180,24 +182,38 @@ class RWLock:
 class StoreMetrics:
     """Aggregate counters of one shared store (all tenants, all layers).
 
-    Increments go through :meth:`bump` under a dedicated lock — ``+=`` on a
-    shared attribute is a racy read-modify-write that silently loses counts
-    under concurrent workers, which would make exact-count assertions (and
-    hit-rate dashboards) flaky.
+    Backed by a :class:`~repro.obs.metrics.MetricsRegistry` — one labeled
+    counter family per field, incremented under the registry lock, so
+    concurrent workers count exactly — while keeping the original shape as
+    views: ``store.metrics.hits`` reads, :meth:`as_dict` and
+    :meth:`hit_rate` all answer from the registry.  The registry itself is
+    the scrape surface (:meth:`MetricsRegistry.render_text`), concatenated
+    into ``/metrics`` payloads by
+    :meth:`~repro.service.service.ExplanationService.render_metrics`.
     """
 
     _FIELDS = ("hits", "misses", "insertions", "evictions", "quota_evictions",
                "oversize_rejections", "coalesced_requests")
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        for name in self._FIELDS:
-            setattr(self, name, 0)
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(
+                f"repro_store_{name}_total",
+                f"Cache-store lifetime count of {name.replace('_', ' ')}.",
+            )
+            for name in self._FIELDS
+        }
 
     def bump(self, name: str, amount: int = 1) -> None:
         """Atomically increment one counter."""
-        with self._lock:
-            setattr(self, name, getattr(self, name) + amount)
+        self._counters[name].inc(amount)
+
+    def __getattr__(self, name: str):
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return int(counters[name].value)
+        raise AttributeError(name)
 
     def hit_rate(self) -> float:
         """Fraction of lookups that hit, over the store's lifetime."""
@@ -206,10 +222,9 @@ class StoreMetrics:
 
     def as_dict(self) -> Dict[str, float]:
         """The counters (plus the derived hit rate) as a plain dictionary."""
-        with self._lock:
-            payload: Dict[str, float] = {
-                name: getattr(self, name) for name in self._FIELDS
-            }
+        payload: Dict[str, float] = {
+            name: int(self._counters[name].value) for name in self._FIELDS
+        }
         total = payload["hits"] + payload["misses"]
         payload["hit_rate"] = payload["hits"] / total if total else 0.0
         return payload
@@ -279,8 +294,11 @@ class CacheStore:
         composite = (layer, key)
         with self._lock.read():
             entry = self._entries.get(composite)
+        tracer = current_tracer()
         if entry is None:
             self.metrics.bump("misses")
+            if tracer.enabled:
+                tracer.event("cache.lookup", labels={"layer": layer, "outcome": "miss"})
             return default
         # Recency is recorded lock-free and applied by the next writer;
         # deque.append is atomic under the GIL.  A pure-hit workload never
@@ -291,6 +309,8 @@ class CacheStore:
             with self._lock.write():
                 self._drain_touches_locked()
         self.metrics.bump("hits")
+        if tracer.enabled:
+            tracer.event("cache.lookup", labels={"layer": layer, "outcome": "hit"})
         return entry.value
 
     def __contains__(self, composite: Tuple[str, object]) -> bool:
@@ -360,7 +380,8 @@ class CacheStore:
                 flight = _Inflight()
                 self._inflight[composite] = flight
         if not leader:
-            flight.event.wait()
+            with current_tracer().span("cache.coalesce_wait", layer=layer):
+                flight.event.wait()
             self.metrics.bump("coalesced_requests")
             value = self.get(layer, key, default=_MISSING)
             if value is not _MISSING:

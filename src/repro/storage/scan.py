@@ -30,6 +30,7 @@ from typing import List, Optional, Set
 import numpy as np
 
 from ..dataframe.frame import DataFrame
+from ..obs.trace import current_tracer
 from ..dataframe.predicates import (
     And,
     Between,
@@ -70,16 +71,25 @@ class DatasetScan:
     def mask(self, frame: DataFrame, predicate: Predicate) -> np.ndarray:
         """``predicate.mask(frame)``, bit for bit, with chunk pruning."""
         self.stats.masks += 1
+        tracer = current_tracer()
         dataset = self._dataset
         decisions = self._chunk_decisions(frame, predicate)
         if decisions is None:
             self.stats.masks_fallback += 1
+            if tracer.enabled:
+                tracer.event("scan.mask", labels={"outcome": "fallback"})
             return np.asarray(predicate.mask(frame), dtype=bool)
 
         ranges = dataset.chunk_ranges()
         kept = sum(decisions)
         self.stats.chunks_scanned += kept
         self.stats.chunks_pruned += len(decisions) - kept
+        if tracer.enabled:
+            tracer.event(
+                "scan.mask",
+                labels={"outcome": "pruned" if kept < len(decisions) else "full"},
+                chunks_scanned=kept, chunks_pruned=len(decisions) - kept,
+            )
         if kept == len(decisions) and kept:
             # Nothing prunable: one whole-frame evaluation beats per-chunk
             # slicing (and reuses the shared columns' cached materialisation).

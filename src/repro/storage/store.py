@@ -34,6 +34,7 @@ from typing import Dict, List, Optional
 
 from ..dataframe.frame import DataFrame
 from ..errors import StorageError
+from ..obs.trace import current_tracer
 from .format import DEFAULT_CHUNK_ROWS, MANIFEST_NAME
 from .reader import Dataset
 from .writer import write_dataset
@@ -88,11 +89,14 @@ class _DirectoryLock:
 
     # ------------------------------------------------------------------ public
     def acquire(self) -> None:
-        deadline = time.monotonic() + self.timeout
+        started = time.monotonic()
+        deadline = started + self.timeout
+        contended = False
         while True:
             try:
                 descriptor = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
+                contended = True
                 self._break_if_stale()
                 if time.monotonic() >= deadline:
                     raise StorageError(
@@ -105,6 +109,13 @@ class _DirectoryLock:
                 os.write(descriptor, f"{os.getpid()} {self._token} {time.time():.3f}\n".encode())
             finally:
                 os.close(descriptor)
+            if contended:
+                # Only contended acquisitions are interesting: an instant
+                # O_CREAT|O_EXCL success is the overwhelmingly common case.
+                current_tracer().event(
+                    "lock.wait", labels={"lock": self.path.name},
+                    seconds=time.monotonic() - started,
+                )
             self._start_heartbeat()
             return
 

@@ -666,3 +666,108 @@ class TestWorkerStructureCache:
         self._run_step(step, "mean_v", partitions, shard_batch=len(partitions))
         assert PROCESS_STATS.structure_hits == 0
         assert PROCESS_STATS.structure_misses > 0
+
+
+# ------------------------------------------------------- trace aggregation
+class TestTraceAggregation:
+    """Worker-side spans ship home and graft under parent batch spans.
+
+    Workers cannot share the parent's tracer, so each traced batch runs a
+    local tracer and returns its span dicts with the batch stats; the
+    parent rebuilds the tree (``process.batch`` → ``worker.batch``).  The
+    contract: every dispatched batch appears with its worker child, the
+    accounted pairs add up to the grid, and a crash mid-grid leaves the
+    surviving workers' spans in place next to the serial-retry event.
+    """
+
+    def _traced_run(self, filter_step, **backend_kwargs):
+        from repro.obs.trace import begin_request, end_request, tracing
+
+        measure = ExceptionalityMeasure()
+        grid = _wide_grid(filter_step.primary_input, n=7)
+        with tracing(True):
+            tracer, token = begin_request()
+            try:
+                with tracer.span("explain"):
+                    backend = ProcessBackend(filter_step, measure,
+                                             workers=WORKERS, spill_bytes=0,
+                                             **backend_kwargs)
+                    calculator = ContributionCalculator(filter_step, measure,
+                                                        backend=backend)
+                    calculator.prefetch(grid)
+                    results = [
+                        calculator.partition_contributions(partition, attribute)
+                        for partition, attribute in grid
+                    ]
+            finally:
+                trace = end_request(tracer, token)
+        return trace, backend, results, grid
+
+    def test_batches_carry_worker_spans(self, filter_step):
+        trace, backend, _results, grid = self._traced_run(
+            filter_step, shard_batch=2)
+        assert backend.stats()["fallback_reason"] is None
+
+        batches = trace.find("process.batch")
+        workers = trace.find("worker.batch")
+        assert len(batches) == backend.batches_submitted
+        assert len(workers) == len(batches)
+        batch_ids = {span.span_id for span in batches}
+        assert all(span.parent_id in batch_ids for span in workers)
+        # Each worker span hangs under the batch that dispatched it, and
+        # the accounted pairs cover the grid exactly once on both sides.
+        by_parent = {span.parent_id: span for span in workers}
+        for batch in batches:
+            assert by_parent[batch.span_id].attrs["pairs"] == batch.attrs["pairs"]
+        assert sum(span.attrs["pairs"] for span in batches) == len(grid)
+        # Worker spans carry the worker's pid — a genuinely foreign process.
+        import os
+
+        assert all(span.attrs["pid"] != os.getpid() for span in workers)
+        # Batch spans are children of the prefetch-time parent inside explain.
+        (prefetch,) = trace.find("process.prefetch")
+        assert all(span.parent_id is not None for span in batches)
+        assert prefetch.attrs["batches"] == len(batches)
+
+    def test_crash_retried_batch_keeps_surviving_spans(self, filter_step):
+        trace, backend, results, grid = self._traced_run(
+            filter_step, shard_batch=1, crash_shards=1)
+        stats = backend.stats()
+        assert stats["serial_retries"] >= 1
+
+        # Every *submitted* batch either comes home with its worker span or
+        # is serially retried after the pool broke.  (Batches whose submission
+        # lost the race against the breakage never enter the pool at all —
+        # they fall back serially with neither, so the grid size is not the
+        # right-hand side here.)
+        workers = trace.find("worker.batch")
+        assert len(workers) == stats["batches_submitted"] - stats["serial_retries"]
+        retries = trace.find("process.serial_retry")
+        assert retries and sum(span.attrs["count"] for span in retries) >= 1
+        assert all(span.is_event for span in retries)
+
+        # And the results still match a healthy run (the existing oracle).
+        healthy = ProcessBackend(filter_step, ExceptionalityMeasure(),
+                                 workers=WORKERS, spill_bytes=0, shard_batch=1)
+        calculator = ContributionCalculator(filter_step, ExceptionalityMeasure(),
+                                            backend=healthy)
+        calculator.prefetch(grid)
+        reference = [calculator.partition_contributions(partition, attribute)
+                     for partition, attribute in grid]
+        assert results == reference
+
+    def test_untraced_run_ships_no_spans(self, filter_step):
+        from repro.obs.trace import tracing
+
+        measure = ExceptionalityMeasure()
+        grid = _wide_grid(filter_step.primary_input, n=7)
+        with tracing(False):
+            backend = ProcessBackend(filter_step, measure, workers=WORKERS,
+                                     spill_bytes=0, shard_batch=2)
+            calculator = ContributionCalculator(filter_step, measure,
+                                                backend=backend)
+            calculator.prefetch(grid)
+            for partition, attribute in grid:
+                calculator.partition_contributions(partition, attribute)
+        assert backend.stats()["fallback_reason"] is None
+        assert not backend._tracer.enabled
