@@ -25,6 +25,13 @@ the process backend with automatic batching must be at least 1.3x faster
 than its own per-pair (``shard_batch=1``) dispatch, which is exactly how
 the backend submitted before batching existed.
 
+A fourth section races the adaptive scheduler — cost-model batch sizing
+plus work-stealing — against fixed count-based batches on a *cost-skewed*
+grid (``set_counts=(2, 20)``, every pair an exact-rerun fallback): the
+adaptive run must be at least 1.3x faster at 4 workers with bit-identical
+scores, and the pool-shared structure tier must show a replacement pool
+loading published structures instead of rebuilding.
+
 Every run's timings and ratios are appended to ``BENCH_backends.json``
 through :mod:`perf_record`, so the trajectory is comparable across PRs.
 """
@@ -55,6 +62,10 @@ BATCH_SPEEDUP_BAR = 1.3
 #: Disabled-tracing overhead bar: the no-op instrumentation reachable from
 #: one explain must cost under this fraction of the contribution phase.
 TRACING_OVERHEAD_BAR = 0.02
+
+#: Adaptive-scheduling acceptance bar on the skewed grid: cost-model batch
+#: sizing + work-stealing vs fixed count-based batches, at 4 workers.
+SKEW_SPEEDUP_BAR = 1.3
 
 
 def _steps(n_rows: int):
@@ -186,6 +197,96 @@ def run_batching_comparison(n_rows: int = 4_000, workers: int = 4):
             "speedup": speedup}
 
 
+def _report_scores(report):
+    return {candidate.key(): (candidate.contribution,
+                              candidate.standardized_contribution)
+            for candidate in report.all_candidates}
+
+
+def run_skew_comparison(n_rows: int = 6_000, workers: int = 4):
+    """Adaptive scheduling vs fixed batches on a cost-skewed grid.
+
+    The step is a group-by explained with the exceptionality measure and
+    ``set_counts=(2, 20)``: every pair is an exact-rerun fallback whose
+    cost scales with its partition's set count, so the grid mixes 2-set
+    and 20-set pairs — a ~10× per-pair spread the count-based batches
+    cannot see.  ``fixed`` is the pre-scheduler behaviour (count-auto
+    batches, no stealing); ``adaptive`` sizes batches by predicted cost
+    and lets idle workers steal the stragglers' tails.  Both runs must
+    produce bit-identical reports.
+
+    A second pass exercises the pool-shared structure tier on the
+    wide-grid filter mix: one explain publishes worker-built structures,
+    the pool is then discarded (as a crash would), and the replacement
+    pool's workers must *load* the published structures instead of
+    rebuilding them.
+    """
+    spotify = load_spotify(n_rows, seed=3)
+    step = ExploratoryStep([spotify], GroupBy(
+        "decade", {"popularity": ["mean"], "loudness": ["mean"]}, include_count=True,
+    ))
+    shared = dict(backend="process", workers=workers, spill_bytes=0,
+                  partition_source="all", set_counts=(2, 20), seed=0)
+    configs = {
+        "fixed": FedexConfig(adaptive_batch=False, steal=False, **shared),
+        "adaptive": FedexConfig(adaptive_batch=True, steal=True, **shared),
+    }
+    timings, reports, dispatch = {}, {}, {}
+    for name, config in configs.items():
+        # Warm-up pays worker start-up and the spill outside the measurement.
+        FedexExplainer(config).explain(step, measure="exceptionality")
+        PROCESS_STATS.reset()
+        report = FedexExplainer(config).explain(step, measure="exceptionality")
+        timings[name] = report.timings["contribution"]
+        reports[name] = report
+        dispatch[name] = {"shards": PROCESS_STATS.shards_submitted,
+                          "batches": PROCESS_STATS.batches_submitted,
+                          "steals": PROCESS_STATS.steals,
+                          "stolen_pairs": PROCESS_STATS.stolen_pairs}
+    identical = (
+        reports["fixed"].skyline_keys() == reports["adaptive"].skyline_keys()
+        and _report_scores(reports["fixed"]) == _report_scores(reports["adaptive"])
+    )
+    speedup = timings["fixed"] / max(timings["adaptive"], 1e-9)
+    print(f"\nadaptive scheduling on the skewed grid ({n_rows:,}-row group-by, "
+          f"exceptionality, set_counts=(2, 20), {workers} workers, "
+          f"{dispatch['adaptive']['shards']} grid pairs)")
+    print(f"{'schedule':10s} {'contribution_s':>15s} {'steals':>7s}")
+    for name in ("fixed", "adaptive"):
+        print(f"{name:10s} {timings[name]:15.3f} {dispatch[name]['steals']:7d}")
+    print(f"adaptive speedup over fixed batches: {speedup:.2f}x "
+          f"(scores identical: {identical})")
+
+    # Pool-shared structure tier: publish, discard the pool, reload.
+    filter_step = ExploratoryStep([spotify],
+                                  Filter(Comparison("popularity", ">", 65)))
+    tier_config = FedexConfig(shared_structures=True, **shared)
+    PROCESS_STATS.reset()
+    FedexExplainer(tier_config).explain(filter_step, measure="exceptionality")
+    stores = PROCESS_STATS.shared_structure_stores
+    first_hits = PROCESS_STATS.shared_structure_hits
+    shutdown_process_pools()  # the replacement pool starts with empty caches
+    PROCESS_STATS.reset()
+    FedexExplainer(tier_config).explain(filter_step, measure="exceptionality")
+    reload_hits = PROCESS_STATS.shared_structure_hits
+    print(f"shared structure tier: {stores} published, {first_hits} cross-worker "
+          f"hit(s) first pool, {reload_hits} hit(s) in the replacement pool")
+
+    return {"workers": workers, "n_rows": n_rows,
+            "grid_pairs": dispatch["adaptive"]["shards"],
+            "fixed_s": timings["fixed"],
+            "fixed_batches": dispatch["fixed"]["batches"],
+            "adaptive_s": timings["adaptive"],
+            "adaptive_batches": dispatch["adaptive"]["batches"],
+            "steals": dispatch["adaptive"]["steals"],
+            "stolen_pairs": dispatch["adaptive"]["stolen_pairs"],
+            "scores_identical": identical,
+            "shared_structures": {"stores": stores,
+                                  "cross_worker_hits": first_hits,
+                                  "replacement_pool_hits": reload_hits},
+            "speedup": speedup}
+
+
 def run_tracing_overhead(n_rows: int = 10_000):
     """Bound what *disabled* tracing costs the contribution phase.
 
@@ -274,6 +375,17 @@ def main() -> int:
         print(f"WARNING: batched dispatch speedup {batching['speedup']:.2f}x is "
               f"below the {BATCH_SPEEDUP_BAR}x bar over per-pair dispatch")
         status = 1
+    skew = run_skew_comparison(workers=pool_workers)
+    skew["waiver"] = waiver
+    if not skew["scores_identical"]:
+        print("WARNING: adaptive scheduling changed scores — determinism bug")
+        status = 1
+    if waiver is not None:
+        print(f"WAIVED: adaptive-scheduling bar not enforced — {waiver}")
+    elif skew["speedup"] < SKEW_SPEEDUP_BAR:
+        print(f"WARNING: adaptive scheduling speedup {skew['speedup']:.2f}x is "
+              f"below the {SKEW_SPEEDUP_BAR}x bar over fixed batches")
+        status = 1
     overhead = run_tracing_overhead(n_rows)
     if overhead["overhead_fraction"] >= TRACING_OVERHEAD_BAR:
         print(f"WARNING: disabled-tracing overhead bound "
@@ -290,6 +402,7 @@ def main() -> int:
         ],
         "pool": pool,
         "shard_batching": batching,
+        "skew": skew,
         "tracing_overhead": overhead,
         "status": status,
     })

@@ -10,10 +10,12 @@ import pytest
 from perf_gate import (
     DEFAULT_THRESHOLD,
     Verdict,
+    decayed_median,
     gate_area,
     host_key,
     main,
     ratio_fields,
+    update_waiver,
 )
 
 HOST = {
@@ -183,6 +185,89 @@ class TestMain:
         code = main(["--dir", str(tmp_path)])
         assert code == 0
         assert "no recorded runs" in capsys.readouterr().out
+
+
+class TestDecayedMedian:
+    def test_outlier_resistant_like_the_plain_median(self):
+        assert decayed_median([10.0, 10.0, 10.0, 100.0]) == 10.0
+
+    def test_recency_moves_the_baseline(self):
+        # Five old slow runs, three recent fast ones: the plain median
+        # would stay at 2.0 forever; the decayed median follows the code.
+        samples = [2.0] * 5 + [8.0] * 3
+        assert decayed_median(samples, decay=0.5) == 8.0
+        # The mirror-image history keeps the old bar while it dominates.
+        assert decayed_median(list(reversed(samples)), decay=0.5) == 2.0
+
+    def test_always_an_observed_value(self):
+        samples = [3.0, 7.0]
+        assert decayed_median(samples, decay=0.9) in samples
+
+    def test_empty_raises(self):
+        import statistics
+
+        with pytest.raises(statistics.StatisticsError):
+            decayed_median([])
+
+    def test_decay_flag_reaches_the_gate(self, tmp_path):
+        # With heavy decay the baseline is ~the most recent history run
+        # (12.0), which the latest 9.0 fails; the near-flat decay keeps the
+        # older 10.0s in charge and passes.
+        runs = [{"warm_speedup": s} for s in (10.0, 10.0, 10.0, 12.0, 9.0)]
+        write_area(tmp_path, "session", runs)
+        assert main(["--dir", str(tmp_path), "--areas", "session",
+                     "--decay", "0.999"]) == 0
+        assert main(["--dir", str(tmp_path), "--areas", "session",
+                     "--decay", "0.01"]) == 1
+
+
+class TestUpdateWaiver:
+    def test_waives_a_subtree_of_the_latest_run(self, tmp_path):
+        runs = [{"pool": {"speedup": 4.0}} for _ in range(4)]
+        runs.append({"pool": {"speedup": 0.1}})
+        path = write_area(tmp_path, "backends", runs)
+        (before,) = gate_area("backends", directory=tmp_path)
+        assert before.status == "regressed"
+        update_waiver("backends", "pool", "single-core host", directory=tmp_path)
+        (after,) = gate_area("backends", directory=tmp_path)
+        assert after.status == "skipped"
+        document = json.loads(path.read_text())
+        assert document["runs"][-1]["pool"]["waiver"] == "single-core host"
+        # Earlier runs are untouched: the waiver is for this host's latest
+        # measurement, not a retroactive rewrite of history.
+        assert "waiver" not in document["runs"][0]["pool"]
+
+    def test_addresses_list_elements_by_step_label(self, tmp_path):
+        runs = [{"serial": [{"step": "filter", "speedup": 4.0},
+                            {"step": "join", "speedup": 2.0}]}]
+        path = write_area(tmp_path, "backends", runs)
+        update_waiver("backends", "serial.join", "flaky join timing",
+                      directory=tmp_path)
+        document = json.loads(path.read_text())
+        assert document["runs"][-1]["serial"][1]["waiver"] == "flaky join timing"
+        assert "waiver" not in document["runs"][-1]["serial"][0]
+
+    def test_unknown_field_and_leaf_targets_are_rejected(self, tmp_path):
+        write_area(tmp_path, "backends", [{"pool": {"speedup": 4.0}}])
+        with pytest.raises(ValueError):
+            update_waiver("backends", "nope", "x", directory=tmp_path)
+        with pytest.raises(ValueError):
+            update_waiver("backends", "pool.speedup", "x", directory=tmp_path)
+
+    def test_main_entrypoint(self, tmp_path, capsys):
+        runs = [{"pool": {"speedup": 4.0}} for _ in range(4)]
+        runs.append({"pool": {"speedup": 0.1}})
+        write_area(tmp_path, "backends", runs)
+        assert main(["--dir", str(tmp_path), "--update-waiver", "backends",
+                     "--field", "pool", "--reason", "single-core host"]) == 0
+        assert "waived backends:pool" in capsys.readouterr().out
+        assert main(["--dir", str(tmp_path), "--areas", "backends"]) == 0
+
+    def test_main_rejects_bad_field(self, tmp_path, capsys):
+        write_area(tmp_path, "backends", [{"pool": {"speedup": 4.0}}])
+        assert main(["--dir", str(tmp_path), "--update-waiver", "backends",
+                     "--field", "nope", "--reason", "x"]) == 1
+        assert "waiver not applied" in capsys.readouterr().out
 
 
 def test_verdict_render_shapes():

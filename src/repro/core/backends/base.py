@@ -78,6 +78,29 @@ def resolve_shard_batch(shard_batch: Optional[int], grid_size: int,
     return max(1, math.ceil(grid_size / max(workers * oversubscription, 1)))
 
 
+def resolve_flag(value: Optional[bool], env_name: str, default: bool) -> bool:
+    """Resolve a tri-state backend flag: explicit value > environment > default.
+
+    The scheduling knobs (``adaptive_batch`` / ``steal`` /
+    ``shared_structures``) follow the ``shard_batch`` precedence: a config
+    value set either way wins, ``None`` consults the environment variable
+    (CI sweeps), and an unset environment falls back to the built-in
+    default.  Unparseable environment values raise — a typoed CI variable
+    must not silently pick a policy.
+    """
+    if value is not None:
+        return bool(value)
+    env = os.environ.get(env_name)
+    if env is None or env == "":
+        return default
+    lowered = env.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ExplanationError(f"{env_name}={env!r} is not a boolean flag")
+
+
 def iter_shard_batches(grid: Sequence[Tuple[RowPartition, str]],
                        batch_size: int) -> Iterator[Sequence[Tuple[RowPartition, str]]]:
     """Consecutive ``batch_size``-sized slices of the grid, in grid order.

@@ -1,0 +1,222 @@
+"""Cost-model batch planning for the pooled contribution backends.
+
+The contribution grid is skewed: a pair whose plan is an exact-rerun
+fallback costs orders of magnitude more than a pair served by a slice plan
+over the same rows, and a 200-set partition costs ~100× a 2-set one.  The
+fixed-size batches of :func:`~repro.core.backends.base.resolve_shard_batch`
+ignore that entirely — one expensive pair straggles a whole batch while
+every other worker idles.
+
+:func:`plan_batches` replaces the fixed cut with *equal-predicted-cost*
+contiguous slices:
+
+* every pair gets a **static estimate** from its incremental plan class
+  (:meth:`~repro.core.backends.incremental.IncrementalBackend.plan_class`),
+  its partition's set count, the input's row count and the target column's
+  dtype;
+* when the caller supplies **measured history** — per-pair wall-clock
+  seconds from an earlier run of the same step, shipped worker→parent in
+  batch stats and persisted by the session under the step-signature key —
+  measured pairs use their measurement and unmeasured pairs are rescaled
+  static estimates (median measured/estimated ratio), so the units agree;
+* the grid is then cut into at most ``workers × oversubscription``
+  contiguous batches of roughly equal predicted cost.  Contiguity is
+  load-bearing: batches stay grid-order slices, so crash retries and
+  result bookkeeping are identical to the fixed policy.
+
+An explicit ``shard_batch`` (config knob / prefetch hint) or the
+``REPRO_SHARD_BATCH`` environment variable still wins — those are the
+"fixed" and "env" policies — and with no cost signal at all the plan
+degrades to the old count-based automatic policy.  The chosen policy name
+is reported in ``backend.stats()["batch_policy"]``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .base import DEFAULT_OVERSUBSCRIPTION, resolve_shard_batch
+
+#: Relative cost per (set-of-rows × input row) of one pair, by plan class.
+#: Only the ratios matter: slice plans are the vectorised NumPy baseline,
+#: group-by partials touch groups rather than rows, left-join right-side
+#: plans rebuild reduced outputs, and the exact-rerun fallback re-applies
+#: the whole operation per set in python.
+PLAN_CLASS_WEIGHTS: Dict[str, float] = {
+    "constant": 0.0,
+    "groupby": 0.2,
+    "slice": 1.0,
+    "leftjoin": 3.0,
+    "exact": 40.0,
+}
+
+#: Extra factor for object-dtype target columns (python-object comparisons
+#: instead of vectorised numeric kernels).
+OBJECT_DTYPE_FACTOR = 2.0
+
+
+def pair_key(partition, attribute: str) -> Tuple:
+    """Stable identity of one (partition, attribute) grid pair.
+
+    Built from the partition's declarative coordinates rather than object
+    identity, so the same logical pair of a re-explained step — fresh
+    partition objects, same content — maps onto the cost measured for it
+    by a previous run.
+    """
+    return (
+        partition.input_index,
+        partition.method,
+        partition.source_attribute,
+        partition.n_requested,
+        len(partition.sets),
+        attribute,
+    )
+
+
+def history_key(step) -> Tuple:
+    """Session-store key of a step's measured pair costs.
+
+    Mirrors the structure-layer keys: operation kind + declarative
+    signature + input content fingerprints, so a rewritten dataset keys a
+    fresh history instead of inheriting stale timings.
+    """
+    operation = step.operation
+    return ("paircosts", operation.kind, operation.signature(),
+            tuple(frame.fingerprint() for frame in step.inputs))
+
+
+def estimate_pair_cost(plan_class: str, n_sets: int, n_rows: int,
+                       object_dtype: bool = False) -> float:
+    """Static cost estimate of one grid pair (arbitrary units)."""
+    weight = PLAN_CLASS_WEIGHTS.get(plan_class, PLAN_CLASS_WEIGHTS["slice"])
+    cost = weight * max(int(n_sets), 1) * max(int(n_rows), 1)
+    if object_dtype:
+        cost *= OBJECT_DTYPE_FACTOR
+    # Floor: even a constant-score pair pays its dispatch overhead.
+    return cost + 1.0
+
+
+@dataclass
+class BatchPlan:
+    """The planned batches of one contribution grid.
+
+    ``batches`` are contiguous grid-order slices; ``policy`` names how they
+    were sized (``fixed`` / ``env`` / ``count-auto`` / ``cost-static`` /
+    ``cost-history``); ``costs`` carries each batch's predicted cost in the
+    policy's units (pair counts for the count policies).
+    """
+
+    batches: List[List[Tuple[object, str]]]
+    policy: str
+    costs: List[float]
+
+    @property
+    def pairs(self) -> int:
+        return sum(len(batch) for batch in self.batches)
+
+
+def _fixed_plan(pairs: Sequence, size: int, policy: str) -> BatchPlan:
+    batches = [list(pairs[start:start + size])
+               for start in range(0, len(pairs), size)]
+    return BatchPlan(batches, policy, [float(len(batch)) for batch in batches])
+
+
+def static_pair_cost(inner, partition, attribute: str) -> float:
+    """The static estimate of one pair against an incremental backend."""
+    step = inner.step
+    plan_class = "slice"
+    try:
+        plan_class = inner.plan_class(partition.input_index, attribute)
+    except Exception:
+        pass
+    n_rows = 0
+    object_dtype = False
+    if 0 <= partition.input_index < len(step.inputs):
+        frame = step.inputs[partition.input_index]
+        n_rows = frame.num_rows
+        try:
+            if attribute in frame:
+                object_dtype = frame[attribute].values.dtype == object
+        except Exception:
+            pass
+    return estimate_pair_cost(plan_class, len(partition.sets), n_rows,
+                              object_dtype)
+
+
+def plan_batches(pairs: Sequence[Tuple[object, str]], *, workers: int,
+                 inner=None, shard_batch: Optional[int] = None,
+                 adaptive: bool = True,
+                 history: Optional[Dict[Tuple, float]] = None,
+                 oversubscription: int = DEFAULT_OVERSUBSCRIPTION) -> BatchPlan:
+    """Cut a contribution grid into batches of roughly equal predicted cost.
+
+    Policy precedence matches :func:`resolve_shard_batch`: an explicit
+    ``shard_batch`` → fixed-size slices (``fixed``); the
+    ``REPRO_SHARD_BATCH`` environment variable → fixed-size slices
+    (``env``); adaptive sizing disabled or no ``inner`` backend to
+    classify plans → the count-based automatic policy (``count-auto``);
+    otherwise equal-cost slices from static estimates (``cost-static``),
+    upgraded to measured history when any pair of the grid was timed
+    before (``cost-history``).
+    """
+    pairs = list(pairs)
+    if not pairs:
+        return BatchPlan([], "empty", [])
+    workers = max(int(workers), 1)
+    if shard_batch is not None or os.environ.get("REPRO_SHARD_BATCH"):
+        size = resolve_shard_batch(shard_batch, len(pairs), workers,
+                                   oversubscription)
+        policy = "fixed" if shard_batch is not None else "env"
+        return _fixed_plan(pairs, size, policy)
+    if not adaptive or inner is None:
+        size = resolve_shard_batch(None, len(pairs), workers, oversubscription)
+        return _fixed_plan(pairs, size, "count-auto")
+
+    keys = [pair_key(partition, attribute) for partition, attribute in pairs]
+    static = [static_pair_cost(inner, partition, attribute)
+              for partition, attribute in pairs]
+    policy = "cost-static"
+    costs = static
+    if history:
+        matched = [(estimate, history[key])
+                   for key, estimate in zip(keys, static) if key in history]
+        if matched:
+            policy = "cost-history"
+            # Rescale unmeasured static estimates into seconds via the
+            # median measured/estimated ratio of the covered pairs, so
+            # mixed grids compare costs in one unit.
+            ratios = sorted(measured / max(estimate, 1e-12)
+                            for estimate, measured in matched)
+            scale = ratios[len(ratios) // 2]
+            costs = [history.get(key, estimate * scale)
+                     for key, estimate in zip(keys, static)]
+    total = sum(costs)
+    if total <= 0:
+        size = resolve_shard_batch(None, len(pairs), workers, oversubscription)
+        return _fixed_plan(pairs, size, "count-auto")
+
+    slots = min(len(pairs), workers * max(int(oversubscription), 1))
+    batches: List[List[Tuple[object, str]]] = []
+    batch_costs: List[float] = []
+    current: List[Tuple[object, str]] = []
+    current_cost = 0.0
+    remaining = total
+    for index, (pair, cost) in enumerate(zip(pairs, costs)):
+        current.append(pair)
+        current_cost += cost
+        remaining -= cost
+        # Cut once this batch holds its fair share of what was left when it
+        # started, as long as every remaining slot can still get a pair.
+        fair_share = (current_cost + remaining) / max(slots, 1)
+        if (slots > 1 and current_cost >= fair_share
+                and len(pairs) - index - 1 >= slots - 1):
+            batches.append(current)
+            batch_costs.append(current_cost)
+            current, current_cost = [], 0.0
+            slots -= 1
+    if current:
+        batches.append(current)
+        batch_costs.append(current_cost)
+    return BatchPlan(batches, policy, batch_costs)

@@ -10,15 +10,23 @@ embarrassingly parallel.
 :class:`ParallelBackend` exploits that: the engine announces the full grid
 up front via :meth:`~repro.core.backends.base.ContributionBackend.prefetch`,
 the backend resolves all shared structure *serially* (so no two workers race
-to build the same lazily-cached plan), then submits the grid in
-:func:`~repro.core.backends.base.resolve_shard_batch`-sized batches — one
-job per batch, many pairs per job, so future/queue overhead is amortized on
-wide grids exactly as in the process backend.  Each job delegates to an
-embedded :class:`~repro.core.backends.incremental.IncrementalBackend`, so
-every shard enjoys the incremental derivations and the batched KS pass; the
-per-pair results are keyed by pair identity, which makes the output
-bit-identical to running the incremental backend serially regardless of
-worker count, batch size, or completion order.
+to build the same lazily-cached plan), then submits the grid in batches
+sized by the cost model of :mod:`~repro.core.backends.costs` — one job per
+batch, many pairs per job, so future/queue overhead is amortized on wide
+grids exactly as in the process backend.  Each job delegates to an embedded
+:class:`~repro.core.backends.incremental.IncrementalBackend`, so every shard
+enjoys the incremental derivations and the batched KS pass; the per-pair
+results are keyed by pair identity, which makes the output bit-identical to
+running the incremental backend serially regardless of worker count, batch
+size, or completion order.
+
+With ``steal`` on, batches become the initial ranges of an in-process steal
+board (a plain lock-guarded slot list — the thread cousin of the process
+backend's flock-guarded ``state.bin``): each pool thread claims pairs until
+the board drains, splitting the largest in-flight remainder in half when
+nothing unclaimed is left, so a thread stuck on an expensive tail no longer
+idles the rest of the pool.  Stealing moves *who* computes a pair, never
+what is computed — results stay keyed by pair identity and bit-identical.
 
 Threads (not processes) are the right pool here: the heavy lifting is NumPy
 slicing, sorting-order gathers, ``bincount`` and ``cumsum`` calls that
@@ -29,16 +37,81 @@ processes would have to pickle dataframes per shard.
 from __future__ import annotations
 
 import os
-from concurrent.futures import Future, ThreadPoolExecutor
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...obs.trace import NOOP_TRACER, current_tracer
 from ..partition import RowPartition, RowSet
-from .base import ContributionBackend, iter_shard_batches, resolve_shard_batch
+from .base import ContributionBackend, resolve_flag
+from .costs import history_key, pair_key, plan_batches
 from .incremental import IncrementalBackend
 
 #: Worker count used when the caller does not pick one explicitly.
 DEFAULT_WORKERS = min(4, os.cpu_count() or 1)
+
+_MISSING = object()
+
+
+class _ThreadBoard:
+    """The in-process steal board: slot ranges over a flat pair payload.
+
+    Same protocol as the process backend's ``state.bin`` — slots are
+    ``[start, end, next, owner]`` half-open ranges, a steal splits the
+    largest remaining range at ``end - remainder // 2`` (victim keeps the
+    front, so its next claim is untouched) — but the slots are plain lists
+    guarded by one :class:`threading.Lock` instead of a flock-guarded file.
+    """
+
+    __slots__ = ("_lock", "_slots", "steals", "stolen_pairs")
+
+    def __init__(self, batches: Sequence[Sequence]) -> None:
+        self._lock = threading.Lock()
+        self._slots: List[List[int]] = []
+        offset = 0
+        for batch in batches:
+            self._slots.append([offset, offset + len(batch), offset, -1])
+            offset += len(batch)
+        self.steals = 0
+        self.stolen_pairs = 0
+
+    def claim_next(self, client: List[int], owner: int) -> Optional[int]:
+        """Claim one payload index for ``owner``, or ``None`` when drained.
+
+        ``client`` is the caller's one-slot affinity cell (``[slot or -1]``)
+        — preference order mirrors :class:`~.process._BoardClient`: advance
+        the owned slot, claim a never-claimed slot, then steal.
+        """
+        with self._lock:
+            if client[0] >= 0:
+                slot = self._slots[client[0]]
+                if slot[2] < slot[1]:
+                    slot[2] += 1
+                    return slot[2] - 1
+                client[0] = -1
+            for number, slot in enumerate(self._slots):
+                if slot[3] == -1 and slot[2] < slot[1]:
+                    slot[3] = owner
+                    slot[2] += 1
+                    client[0] = number
+                    return slot[2] - 1
+            victim, best = -1, 1
+            for number, slot in enumerate(self._slots):
+                remainder = slot[1] - slot[2]
+                if remainder > best:
+                    victim, best = number, remainder
+            if victim >= 0:
+                slot = self._slots[victim]
+                end = slot[1]
+                mid = end - best // 2
+                slot[1] = mid
+                self._slots.append([mid, end, mid + 1, owner])
+                client[0] = len(self._slots) - 1
+                self.steals += 1
+                self.stolen_pairs += end - mid
+                return mid
+            return None
 
 
 class ParallelBackend(ContributionBackend):
@@ -55,25 +128,38 @@ class ParallelBackend(ContributionBackend):
     context:
         Optional session cache forwarded to the embedded incremental
         backend, so parallel execution composes with cross-step structure
-        reuse (:mod:`repro.session`).
+        reuse (:mod:`repro.session`).  When it also keeps pair-cost history
+        (``pair_costs`` / ``store_pair_costs``), measured per-pair timings
+        feed the next step's batch plan.
     shard_batch:
         Grid pairs per submitted batch (``FedexConfig.shard_batch``);
-        ``None`` resolves ``REPRO_SHARD_BATCH`` and then the automatic
-        policy — see :func:`~repro.core.backends.base.resolve_shard_batch`.
+        ``None`` resolves ``REPRO_SHARD_BATCH`` and then the cost-model /
+        count policies of :func:`~repro.core.backends.costs.plan_batches`.
+    adaptive_batch:
+        Cost-model batch sizing when ``shard_batch`` is automatic; ``None``
+        resolves ``REPRO_ADAPTIVE_BATCH`` and defaults on.
+    steal:
+        Work-stealing over the in-process board; ``None`` resolves
+        ``REPRO_STEAL`` and defaults off.
     """
 
     name = "parallel"
 
     def __init__(self, step, measure, workers: Optional[int] = None, context=None,
                  ks_budget_bytes: Optional[int] = None,
-                 shard_batch: Optional[int] = None) -> None:
+                 shard_batch: Optional[int] = None,
+                 adaptive_batch: Optional[bool] = None,
+                 steal: Optional[bool] = None) -> None:
         super().__init__(step, measure)
         self.workers = int(workers) if workers else DEFAULT_WORKERS
         if self.workers < 1:
             self.workers = 1
         self.shard_batch = shard_batch
+        self.adaptive_batch = resolve_flag(adaptive_batch, "REPRO_ADAPTIVE_BATCH", True)
+        self.steal = resolve_flag(steal, "REPRO_STEAL", False)
         self._inner = IncrementalBackend(step, measure, context=context,
                                          ks_budget_bytes=ks_budget_bytes)
+        self._context = context
         # The partition object is kept in the value to pin its id for the
         # entry's lifetime (mirrors ContributionCalculator._raw_cache): a
         # garbage-collected partition could otherwise donate its reused id
@@ -81,6 +167,24 @@ class ParallelBackend(ContributionBackend):
         # this pair's slot in the batch future's result list.
         self._futures: Dict[Tuple[int, str], Tuple[RowPartition, Future, int]] = {}
         self.batches_submitted = 0
+        #: How the batch planner sized this grid's batches
+        #: (``fixed``/``env``/``count-auto``/``cost-static``/``cost-history``).
+        self.batch_policy: Optional[str] = None
+        self.steals = 0
+        self.stolen_pairs = 0
+        # Stealing-mode state: the flat payload, pair-key → payload-index
+        # bookkeeping, the shared results map the queue jobs fill, and the
+        # outstanding queue futures the consumer drains.
+        self._queue_payload: Optional[list] = None
+        self._queue_index: Dict[Tuple[int, str], int] = {}
+        self._queue_results: Dict[int, object] = {}
+        self._queue_futures: List[Future] = []
+        self._board: Optional[_ThreadBoard] = None
+        # Measured per-pair seconds awaiting a merge into the session's
+        # cost history; guarded by _cost_lock (jobs record concurrently).
+        self._pending_costs: Dict[Tuple, float] = {}
+        self._cost_lock = threading.Lock()
+        self._history_key: Optional[Tuple] = None
         # Tracing: captured at prefetch time — batch jobs run on pool
         # threads where the ambient context variable does not propagate, so
         # the tracer and the submitting span travel on the backend instead.
@@ -96,10 +200,12 @@ class ParallelBackend(ContributionBackend):
         Shared structure (row provenance, group partials, per-attribute
         plans) is materialised serially first — afterwards the batched jobs
         only *read* backend state, so they are safe to run concurrently.
-        Pairs are submitted in :func:`resolve_shard_batch`-sized batches;
-        each batch walks its pairs in grid order on one thread, so the
-        computation per pair — and therefore every result — is identical to
-        the serial incremental backend for any batch size.
+        Pairs are then cut by :func:`plan_batches` — equal predicted cost
+        when adaptive, equal count otherwise; each batch walks its pairs in
+        grid order on one thread (or, stealing, threads claim pairs from
+        the shared board), so the computation per pair — and therefore
+        every result — is identical to the serial incremental backend for
+        any batch size and any interleaving.
         """
         if not grid:
             return
@@ -113,12 +219,18 @@ class ParallelBackend(ContributionBackend):
         pending = [(partition, attribute) for partition, attribute in grid
                    if (id(partition), attribute) not in self._futures]
         hint = batch_hint if batch_hint is not None else self.shard_batch
-        batch_size = resolve_shard_batch(hint, len(pending), self.workers)
+        plan = plan_batches(pending, workers=self.workers, inner=inner,
+                            shard_batch=hint, adaptive=self.adaptive_batch,
+                            history=self._load_history())
+        self.batch_policy = plan.policy
         executor = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="fedex-contribution"
         )
         try:
-            for batch in iter_shard_batches(pending, batch_size):
+            if self.steal and len(pending) > 1:
+                self._prefetch_stealing(executor, plan, baselines)
+                return
+            for batch in plan.batches:
                 payload = [(partition, attribute, baselines[attribute])
                            for partition, attribute in batch]
                 future = executor.submit(self._run_batch, payload)
@@ -133,19 +245,142 @@ class ParallelBackend(ContributionBackend):
 
     def partition_contributions(self, partition: RowPartition, attribute: str,
                                 baseline: float) -> List[float]:
+        queue_index = self._queue_index.pop((id(partition), attribute), None)
+        if queue_index is not None:
+            result = self._drain_queue(queue_index)
+            if result is not _MISSING:
+                return result
+            # A queue job raised before this pair's result landed (the
+            # thread cousin of a lost worker): recompute serially —
+            # bit-identical, the incremental derivation is deterministic.
+            return self._inner.partition_contributions(partition, attribute,
+                                                       baseline)
         entry = self._futures.pop((id(partition), attribute), None)
         if entry is not None:
             return entry[1].result()[entry[2]]
         return self._inner.partition_contributions(partition, attribute, baseline)
 
+    def stats(self) -> Dict[str, object]:
+        """Scheduling counters (tests, benchmarks, operators)."""
+        return {
+            "workers": self.workers,
+            "batches_submitted": self.batches_submitted,
+            "batch_policy": self.batch_policy,
+            "steals": self.steals,
+            "stolen_pairs": self.stolen_pairs,
+        }
+
     # ---------------------------------------------------------------- internals
+    def _prefetch_stealing(self, executor: ThreadPoolExecutor, plan,
+                           baselines) -> None:
+        """Publish the grid onto the thread board and start one job per worker."""
+        payload = []
+        for batch in plan.batches:
+            for partition, attribute in batch:
+                payload.append((partition, attribute, baselines[attribute]))
+        self._queue_payload = payload
+        self._queue_results = {}
+        self._board = _ThreadBoard(plan.batches)
+        for index, (partition, attribute, _) in enumerate(payload):
+            self._queue_index[(id(partition), attribute)] = index
+        jobs = min(self.workers, len(payload))
+        for job in range(jobs):
+            future = executor.submit(self._run_queue, job)
+            self._queue_futures.append(future)
+            self.batches_submitted += 1
+
+    def _drain_queue(self, index: int):
+        """Wait until pair ``index``'s result arrived, or no job can bring it."""
+        while index not in self._queue_results and self._queue_futures:
+            done, outstanding = wait(self._queue_futures,
+                                     return_when=FIRST_COMPLETED)
+            self._queue_futures = list(outstanding)
+            for future in done:
+                # A raised job already recorded nothing; its claimed-but-
+                # uncomputed pairs surface as _MISSING for serial retry.
+                try:
+                    future.result()
+                except Exception:
+                    pass
+        if not self._queue_futures:
+            self._fold_board()
+        return self._queue_results.get(index, _MISSING)
+
+    def _fold_board(self) -> None:
+        if self._board is not None:
+            self.steals += self._board.steals
+            self.stolen_pairs += self._board.stolen_pairs
+            self._board = None
+
+    def _run_queue(self, worker: int) -> None:
+        """One pool thread's drain loop over the steal board."""
+        inner = self._inner
+        payload = self._queue_payload
+        board = self._board
+        client = [-1]
+        seconds: Dict[Tuple, float] = {}
+        computed = 0
+        with self._tracer.span("parallel.queue", parent=self._trace_parent,
+                               worker=worker) as span:
+            while True:
+                index = board.claim_next(client, worker)
+                if index is None:
+                    break
+                partition, attribute, baseline = payload[index]
+                started = time.perf_counter()
+                self._queue_results[index] = inner.partition_contributions(
+                    partition, attribute, baseline)
+                seconds[pair_key(partition, attribute)] = (
+                    time.perf_counter() - started)
+                computed += 1
+            span.set("pairs", computed)
+        self._record_costs(seconds)
+
     def _run_batch(self, payload: Sequence[Tuple[RowPartition, str, float]]) -> List[List[float]]:
         """One batch of grid pairs on one pool thread, in grid order."""
         inner = self._inner
+        results = []
+        seconds: Dict[Tuple, float] = {}
         with self._tracer.span("parallel.batch", parent=self._trace_parent,
                                pairs=len(payload)):
-            return [inner.partition_contributions(partition, attribute, baseline)
-                    for partition, attribute, baseline in payload]
+            for partition, attribute, baseline in payload:
+                started = time.perf_counter()
+                results.append(
+                    inner.partition_contributions(partition, attribute, baseline))
+                seconds[pair_key(partition, attribute)] = (
+                    time.perf_counter() - started)
+        self._record_costs(seconds)
+        return results
+
+    def _load_history(self) -> Optional[Dict[Tuple, float]]:
+        """The session's measured pair costs for this step, if it keeps any."""
+        hook = getattr(self._context, "pair_costs", None)
+        if hook is None or not self.adaptive_batch:
+            return None
+        try:
+            if self._history_key is None:
+                self._history_key = history_key(self.step)
+            return hook(self._history_key) or None
+        except Exception:
+            return None
+
+    def _record_costs(self, seconds: Dict[Tuple, float]) -> None:
+        """Merge one job's measured pair timings into the session history."""
+        if not seconds:
+            return
+        hook = getattr(self._context, "store_pair_costs", None)
+        if hook is None:
+            return
+        with self._cost_lock:
+            self._pending_costs.update(seconds)
+            pending = dict(self._pending_costs)
+            self._pending_costs.clear()
+        try:
+            if self._history_key is None:
+                self._history_key = history_key(self.step)
+            hook(self._history_key, pending)
+        except Exception:
+            pass
 
     def reduced_score(self, row_set: RowSet, attribute: str) -> float:
         return self._inner.reduced_score(row_set, attribute)

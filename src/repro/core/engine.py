@@ -185,7 +185,10 @@ class FedexExplainer:
                 backend_options={"workers": self.config.workers, "context": self.context,
                                  "ks_budget_bytes": self.config.ks_budget_bytes,
                                  "shard_batch": self.config.shard_batch,
-                                 "spill_bytes": self.config.spill_bytes},
+                                 "spill_bytes": self.config.spill_bytes,
+                                 "adaptive_batch": self.config.adaptive_batch,
+                                 "steal": self.config.steal,
+                                 "shared_structures": self.config.shared_structures},
             )
             # The full partition × attribute grid is known before any
             # contribution is computed; announcing it lets the parallel backend

@@ -1,0 +1,170 @@
+"""Pool-shared spill store for worker-built intervention structures.
+
+The process backend's workers each warm a private
+:class:`~repro.core.backends.process._WorkerStructureCache` — four workers
+grouping the same stored frame build the same group-by structure four
+times, and a pool replaced after a crash rebuilds everything from nothing.
+:class:`StructureStore` promotes those structures to a *pool-shared tier*:
+a content-addressed directory of pickled structures, keyed exactly like
+the per-worker LRU (frame fingerprints + the operation's declarative
+signature), so the first worker to build a structure publishes it and
+every other worker — including the workers of a post-crash replacement
+pool — loads it instead of rebuilding.
+
+The store is deliberately primitive, in the way that makes it safe between
+unsynchronised processes:
+
+* **Content-addressed filenames.**  The key is hashed to the filename, so
+  equal keys collide on purpose and different keys never do.  Keys embed
+  content fingerprints, so a rewritten dataset keys fresh entries — stale
+  reuse is structurally impossible, exactly as in the L1 cache.
+* **Atomic publication.**  A structure is pickled to a private temp file
+  and ``os.replace``d into place; readers see either nothing or a complete
+  entry.  Two workers racing to publish the same key both write the same
+  content, and the loser's replace is a harmless overwrite.
+* **Corruption is a miss.**  A half-written or unreadable entry is
+  unlinked and reported as a miss; the caller rebuilds and republishes.
+* **Mtime-LRU pruning.**  Reads freshen the entry's mtime; beyond the byte
+  budget (``REPRO_STRUCTURE_BUDGET_BYTES``) the stalest entries are
+  unlinked after each publication.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+import uuid
+from pathlib import Path
+from typing import Optional, Tuple
+
+#: Default byte budget of one structure-store directory (256 MiB).
+DEFAULT_STRUCTURE_BUDGET_BYTES = 256 * 1024 * 1024
+
+_ROOT_LOCK = threading.Lock()
+_ROOT: Optional[Path] = None
+
+
+def structure_store_root() -> Path:
+    """The process-lifetime root directory of the shared structure tier.
+
+    ``REPRO_STRUCTURE_DIR`` overrides (shared across parent processes);
+    otherwise a temp directory is created once per parent process and
+    removed at exit.  Living on the *parent* is what lets a post-crash
+    replacement pool reuse the structures its dead predecessor published.
+    """
+    override = os.environ.get("REPRO_STRUCTURE_DIR")
+    if override:
+        root = Path(override)
+        root.mkdir(parents=True, exist_ok=True)
+        return root
+    global _ROOT
+    with _ROOT_LOCK:
+        if _ROOT is None:
+            _ROOT = Path(tempfile.mkdtemp(prefix="repro-structures-"))
+            atexit.register(shutil.rmtree, str(_ROOT), ignore_errors=True)
+        return _ROOT
+
+
+class StructureStore:
+    """A content-addressed directory of pickled intervention structures."""
+
+    def __init__(self, root, budget_bytes: Optional[int] = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        if budget_bytes is None:
+            budget_bytes = int(os.environ.get(
+                "REPRO_STRUCTURE_BUDGET_BYTES",
+                str(DEFAULT_STRUCTURE_BUDGET_BYTES),
+            ))
+        self.budget_bytes = budget_bytes
+
+    def _path(self, key: Tuple) -> Path:
+        digest = hashlib.blake2b(repr(key).encode("utf-8"),
+                                 digest_size=16).hexdigest()
+        return self.root / f"{digest}.pkl"
+
+    def get(self, key: Tuple) -> Tuple[bool, object]:
+        """``(found, value)`` — the flag disambiguates a stored ``None``.
+
+        A legitimately-``None`` structure (a row mask the operation cannot
+        provide) is still worth sharing: it saves every other worker the
+        attempt.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            return False, None
+        except Exception:
+            # Half-written, corrupt, or unpicklable here: drop it so the
+            # next publisher replaces it with a clean entry.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        try:
+            os.utime(path)  # freshen for the mtime-LRU pruning
+        except OSError:
+            pass
+        return True, value
+
+    def put(self, key: Tuple, value: object) -> bool:
+        """Publish a structure; returns False when it cannot be pickled."""
+        path = self._path(key)
+        tmp = path.with_name(f".{os.getpid()}-{uuid.uuid4().hex}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except Exception:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        self.prune()
+        return True
+
+    def prune(self) -> None:
+        """Unlink stalest entries beyond the byte budget (best-effort)."""
+        if not self.budget_bytes:
+            return
+        try:
+            entries = []
+            total = 0
+            for entry in self.root.iterdir():
+                if entry.suffix != ".pkl":
+                    continue
+                try:
+                    stat = entry.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, entry))
+                total += stat.st_size
+            if total <= self.budget_bytes:
+                return
+            entries.sort()
+            for _, size, entry in entries:
+                if total <= self.budget_bytes:
+                    break
+                try:
+                    entry.unlink()
+                    total -= size
+                except OSError:
+                    pass
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for entry in self.root.iterdir()
+                       if entry.suffix == ".pkl")
+        except OSError:
+            return 0
