@@ -63,6 +63,12 @@ BATCH_SPEEDUP_BAR = 1.3
 #: one explain must cost under this fraction of the contribution phase.
 TRACING_OVERHEAD_BAR = 0.02
 
+#: Enabled-exporter overhead bar: shipping one finished trace costs the
+#: explain path a single wait-free enqueue, which must stay under this
+#: fraction of the contribution phase (conversion and delivery run on the
+#: exporter's own thread).
+EXPORT_OVERHEAD_BAR = 0.02
+
 #: Adaptive-scheduling acceptance bar on the skewed grid: cost-model batch
 #: sizing + work-stealing vs fixed count-based batches, at 4 workers.
 SKEW_SPEEDUP_BAR = 1.3
@@ -335,10 +341,41 @@ def run_tracing_overhead(n_rows: int = 10_000):
     print(f"no-op costs: span {span_cost * 1e9:.0f}ns, check {event_cost * 1e9:.0f}ns")
     print(f"bound: {overhead_s * 1e6:.1f}us over a {untraced_s * 1e3:.1f}ms "
           f"contribution phase = {fraction * 100:.3f}%")
+
+    # Exporter-enabled bound, built the same deterministic way: with a span
+    # exporter installed the explain path pays exactly one wait-free
+    # ``submit`` per finished trace (OTLP conversion and sink delivery run
+    # on the exporter's worker thread), so the bound is the priced enqueue
+    # against the same untraced contribution time.  The microbenchmark
+    # reuses this run's real span tree so queue items are true-to-size.
+    from repro.obs.export import SpanExporter
+
+    export_iters = 20_000
+    exporter = SpanExporter(lambda payload: None, queue_max=export_iters + 1,
+                            batch_max=512, flush_interval_s=0.01)
+    try:
+        start = time.perf_counter()
+        for _ in range(export_iters):
+            exporter.export(traced.trace)
+        submit_cost = (time.perf_counter() - start) / export_iters
+        exporter.flush(30.0)
+        dropped = exporter.stats()["dropped"]
+    finally:
+        exporter.close()
+    export_fraction = submit_cost / max(untraced_s, 1e-9)
+    export_headroom = EXPORT_OVERHEAD_BAR / max(export_fraction, 1e-12)
+    print(f"exporter-enabled overhead bound: submit {submit_cost * 1e9:.0f}ns "
+          f"per request = {export_fraction * 100:.4f}% of the contribution "
+          f"phase ({export_headroom:.0f}x headroom under the "
+          f"{EXPORT_OVERHEAD_BAR * 100:.0f}% bar, {dropped} dropped)")
+
     return {"n_rows": n_rows, "span_sites": len(spans), "event_occurrences": events,
             "noop_span_s": span_cost, "noop_check_s": event_cost,
             "untraced_contribution_s": untraced_s,
-            "overhead_fraction": fraction}
+            "overhead_fraction": fraction,
+            "export_submit_s": submit_cost,
+            "export_overhead_fraction": export_fraction,
+            "export_headroom_speedup": export_headroom}
 
 
 def main() -> int:
@@ -391,6 +428,11 @@ def main() -> int:
         print(f"WARNING: disabled-tracing overhead bound "
               f"{overhead['overhead_fraction'] * 100:.2f}% is at or above the "
               f"{TRACING_OVERHEAD_BAR * 100:.0f}% bar")
+        status = 1
+    if overhead["export_overhead_fraction"] >= EXPORT_OVERHEAD_BAR:
+        print(f"WARNING: exporter-enabled overhead bound "
+              f"{overhead['export_overhead_fraction'] * 100:.2f}% is at or "
+              f"above the {EXPORT_OVERHEAD_BAR * 100:.0f}% bar")
         status = 1
     shutdown_process_pools()
     perf_record.record("backends", {

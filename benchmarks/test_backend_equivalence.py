@@ -323,3 +323,72 @@ def test_process_backend_equivalence_store_backed(benchmark, tmp_path_factory):
         "processes"
     ))
     _assert_process_rows(rows, stats)
+
+
+def _compare_exported(registry, sink_path):
+    from repro.obs.export import (
+        SpanExporter,
+        install_span_exporter,
+        uninstall_span_exporter,
+    )
+    from repro.obs.trace import tracing
+
+    rows = []
+    config = FedexConfig(seed=0)
+    exporter = SpanExporter(sink_path)
+    install_span_exporter(exporter, key="equivalence-bench")
+    try:
+        for query in WORKLOAD:
+            step = query.build_step(registry)
+            with tracing(False):
+                plain = FedexExplainer(config).explain(step)
+            with tracing(True):
+                exported = FedexExplainer(config).explain(step)
+            rows.append({
+                "query": query.number,
+                "dataset": query.dataset,
+                "kind": query.kind,
+                "skyline_equal": plain.skyline_keys() == exported.skyline_keys(),
+                "max_score_delta": _max_delta(_scores(plain), _scores(exported)),
+            })
+        drained = exporter.flush(30.0)
+    finally:
+        uninstall_span_exporter("equivalence-bench")
+        exporter.close()
+    return rows, exporter.stats(), drained
+
+
+def test_exported_equivalence_over_workload(benchmark, bench_registry,
+                                            tmp_path_factory):
+    """The exporter is an observer too: export-on == export-off, bit-identical.
+
+    Every traced query ships its span tree through a real
+    :class:`~repro.obs.export.SpanExporter` into an OTLP/JSON file sink
+    while the scores are compared against an export-off run — and the sink
+    must end up holding all 30 root spans, none dropped.
+    """
+    import json
+
+    sink = str(tmp_path_factory.mktemp("otlp") / "spans.jsonl")
+    rows, stats, drained = run_once(benchmark, _compare_exported,
+                                    bench_registry, sink)
+    print_table(rows, title="Export-off vs export-on over the 30-query workload")
+    assert len(rows) == 30
+    mismatched = [row["query"] for row in rows if not row["skyline_equal"]]
+    assert not mismatched, f"queries where exported skylines diverge: {mismatched}"
+    # Bit-identical is the bar: shipping spans must never perturb a float.
+    drifted = [row["query"] for row in rows if row["max_score_delta"] != 0.0]
+    assert not drifted, f"queries where exporting changed scores: {drifted}"
+    # Nothing dropped, everything arrived: 30 "explain" roots in the sink.
+    assert drained, f"exporter failed to drain: {stats}"
+    assert stats["dropped"] == 0, stats
+    assert stats["enqueued"] == stats["exported"] == 30, stats
+    roots = 0
+    with open(sink, encoding="utf-8") as handle:
+        for line in handle:
+            payload = json.loads(line)
+            for entry in payload["resourceSpans"]:
+                for scope in entry["scopeSpans"]:
+                    roots += sum(1 for span in scope["spans"]
+                                 if span["name"] == "explain")
+    assert roots == 30, f"sink holds {roots} explain roots, want 30"

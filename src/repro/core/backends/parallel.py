@@ -42,6 +42,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor, wait
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ...obs.metrics import REGISTRY
 from ...obs.trace import NOOP_TRACER, current_tracer
 from ..partition import RowPartition, RowSet
 from .base import ContributionBackend, resolve_flag
@@ -50,6 +51,14 @@ from .incremental import IncrementalBackend
 
 #: Worker count used when the caller does not pick one explicitly.
 DEFAULT_WORKERS = min(4, os.cpu_count() or 1)
+
+#: Per-job dispatch histogram, the thread-pool sibling of the process
+#: backend's worker-labeled series (threads share the parent pid, so the
+#: label here is the pool role instead).
+_THREAD_JOB_SECONDS = REGISTRY.histogram(
+    "repro_parallel_job_seconds",
+    "Wall time of one thread-pool contribution job, by dispatch mode.",
+    ("mode",))
 
 _MISSING = object()
 
@@ -320,6 +329,7 @@ class ParallelBackend(ContributionBackend):
         client = [-1]
         seconds: Dict[Tuple, float] = {}
         computed = 0
+        job_started = time.perf_counter()
         with self._tracer.span("parallel.queue", parent=self._trace_parent,
                                worker=worker) as span:
             while True:
@@ -334,6 +344,8 @@ class ParallelBackend(ContributionBackend):
                     time.perf_counter() - started)
                 computed += 1
             span.set("pairs", computed)
+        _THREAD_JOB_SECONDS.labels(mode="queue").observe(
+            time.perf_counter() - job_started)
         self._record_costs(seconds)
 
     def _run_batch(self, payload: Sequence[Tuple[RowPartition, str, float]]) -> List[List[float]]:
@@ -341,6 +353,7 @@ class ParallelBackend(ContributionBackend):
         inner = self._inner
         results = []
         seconds: Dict[Tuple, float] = {}
+        job_started = time.perf_counter()
         with self._tracer.span("parallel.batch", parent=self._trace_parent,
                                pairs=len(payload)):
             for partition, attribute, baseline in payload:
@@ -349,6 +362,8 @@ class ParallelBackend(ContributionBackend):
                     inner.partition_contributions(partition, attribute, baseline))
                 seconds[pair_key(partition, attribute)] = (
                     time.perf_counter() - started)
+        _THREAD_JOB_SECONDS.labels(mode="batch").observe(
+            time.perf_counter() - job_started)
         self._record_costs(seconds)
         return results
 

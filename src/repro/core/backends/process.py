@@ -84,7 +84,7 @@ except ImportError:  # pragma: no cover - non-POSIX hosts fall back to batches
     _HAVE_FCNTL = False
 
 from ...errors import StorageError
-from ...obs.metrics import REGISTRY
+from ...obs.metrics import REGISTRY, MetricsRegistry, registry_delta
 from ...obs.trace import NOOP_TRACER, Tracer, current_tracer
 from ...operators.operations import MEASURE_DIVERSITY, MEASURE_EXCEPTIONALITY
 from ..interestingness import DiversityMeasure, ExceptionalityMeasure
@@ -187,6 +187,40 @@ def _collect_process_metrics():
 
 
 REGISTRY.register_collector("process_stats", _collect_process_metrics)
+
+#: Parent-side dispatch histogram: submit-to-first-result wall time of each
+#: batch/queue job, labeled by worker pid once the result lands.
+_BATCH_SECONDS = REGISTRY.histogram(
+    "repro_process_batch_seconds",
+    "Submit-to-result wall time of one process-backend batch, by worker.",
+    ("worker",))
+
+#: Worker-process-local registry: each batch records its per-pair compute
+#: histogram and structure-tier counters here; a per-batch delta
+#: (:func:`~repro.obs.metrics.registry_delta`) ships home in the batch
+#: stats, and the parent merges it into the global :data:`REGISTRY` under a
+#: ``worker`` label — so process-backend runs show up in the same
+#: service-level scrape as in-process backends.
+WORKER_REGISTRY = MetricsRegistry()
+_WORKER_PAIR_SECONDS = WORKER_REGISTRY.histogram(
+    "repro_worker_pair_seconds",
+    "Per-pair contribution compute time inside one pool worker.")
+_WORKER_BATCH_SECONDS = WORKER_REGISTRY.histogram(
+    "repro_worker_batch_seconds",
+    "Wall time of one batch/queue job inside a pool worker.")
+_WORKER_STRUCTURE_EVENTS = WORKER_REGISTRY.counter(
+    "repro_worker_structure_events_total",
+    "Structure-tier cache events in a pool worker (private LRU and "
+    "pool-shared store).",
+    ("tier", "event"))
+
+#: structure-delta key → (tier, event) label pair on the worker counter.
+_STRUCTURE_EVENT_LABELS = (
+    ("structure_hits", ("local", "hit")),
+    ("structure_misses", ("local", "miss")),
+    ("shared_structure_hits", ("shared", "hit")),
+    ("shared_structure_stores", ("shared", "store")),
+)
 
 
 @dataclass(frozen=True)
@@ -665,10 +699,15 @@ class ProcessBackend(ContributionBackend):
         PROCESS_STATS.structure_misses += misses
         PROCESS_STATS.shared_structure_hits += shared_hits
         PROCESS_STATS.shared_structure_stores += shared_stores
+        self._merge_worker_metrics(worker_stats)
         meta = self._batch_meta.pop(future, None)
         self._record_pair_seconds(worker_stats.get("pair_seconds"),
                                   meta[2] if meta is not None else None)
         self._flush_costs()
+        if meta is not None:
+            _BATCH_SECONDS.labels(
+                worker=str(worker_stats.get("pid", "?"))
+            ).observe(time.perf_counter() - meta[0])
         if self._tracer.enabled and meta is not None:
             submitted_pc, pairs, _ = meta
             if not pairs:
@@ -681,6 +720,24 @@ class ProcessBackend(ContributionBackend):
             )
             self._tracer.attach_spans(worker_stats.get("spans") or [],
                                       parent=batch_span)
+
+    @staticmethod
+    def _merge_worker_metrics(worker_stats: Dict[str, int]) -> None:
+        """Fold a batch's shipped registry delta into the global registry.
+
+        Series gain a ``worker`` label (the worker's pid), so the scrape
+        endpoint can tell the pool members apart while histograms still
+        aggregate across the family.  Best-effort: telemetry merging must
+        never fail a dispatch.
+        """
+        payload = worker_stats.get("metrics")
+        if not payload:
+            return
+        try:
+            REGISTRY.merge(payload,
+                           labels={"worker": str(worker_stats.get("pid", "?"))})
+        except Exception:
+            pass
 
     def _record_pair_seconds(self, seconds, batch) -> None:
         """Stash measured per-pair wall times for the session cost history.
@@ -1307,10 +1364,12 @@ def _run_batch(token: str, spec_blob: bytes,
     state = _worker_state(token, spec_blob)
     _WORKER_STRUCTURES.shared = state.shared
     before = _structure_counters()
+    metrics_before = WORKER_REGISTRY.dump()
     crash_at = len(pairs) // 2 if crash else -1
     local = Tracer() if trace else NOOP_TRACER
     results = []
     seconds: List[float] = []
+    batch_started = time.perf_counter()
     with local.span("worker.batch", pid=os.getpid(), pairs=len(pairs)) as wspan:
         for index, (partition, attribute, baseline) in enumerate(pairs):
             if index == crash_at:
@@ -1325,6 +1384,9 @@ def _run_batch(token: str, spec_blob: bytes,
                   _WORKER_STRUCTURES.misses - before["structure_misses"])
     stats = _structure_delta(before)
     stats["pair_seconds"] = seconds
+    _record_worker_metrics(time.perf_counter() - batch_started, seconds, stats)
+    stats["metrics"] = registry_delta(metrics_before, WORKER_REGISTRY.dump())
+    stats["pid"] = os.getpid()
     if trace:
         stats["spans"] = local.export()
     return results, stats
@@ -1342,6 +1404,24 @@ def _structure_counters() -> Dict[str, int]:
 def _structure_delta(before: Dict[str, int]) -> Dict[str, int]:
     after = _structure_counters()
     return {name: after[name] - before[name] for name in before}
+
+
+def _record_worker_metrics(batch_seconds: float, pair_seconds,
+                           structure_delta: Dict[str, int]) -> None:
+    """Fold one job's timings and structure events into :data:`WORKER_REGISTRY`.
+
+    Runs in the worker right before the per-batch registry delta is taken,
+    so the shipped delta carries exactly this job's observations.
+    """
+    _WORKER_BATCH_SECONDS.observe(batch_seconds)
+    values = (pair_seconds.values() if isinstance(pair_seconds, dict)
+              else pair_seconds)
+    for value in values:
+        _WORKER_PAIR_SECONDS.observe(value)
+    for key, (tier, event) in _STRUCTURE_EVENT_LABELS:
+        amount = int(structure_delta.get(key, 0))
+        if amount > 0:
+            _WORKER_STRUCTURE_EVENTS.labels(tier=tier, event=event).inc(amount)
 
 
 def _run_queue(token: str, spec_blob: bytes, board_dir: str,
@@ -1364,6 +1444,7 @@ def _run_queue(token: str, spec_blob: bytes, board_dir: str,
     state = _worker_state(token, spec_blob)
     _WORKER_STRUCTURES.shared = state.shared
     before = _structure_counters()
+    metrics_before = WORKER_REGISTRY.dump()
     with open(Path(board_dir) / "pairs.pkl", "rb") as handle:
         payload = pickle.load(handle)
     board = _BoardClient(board_dir)
@@ -1371,6 +1452,7 @@ def _run_queue(token: str, spec_blob: bytes, board_dir: str,
     results: Dict[int, object] = {}
     seconds: Dict[int, float] = {}
     computed = 0
+    queue_started = time.perf_counter()
     with local.span("worker.queue", pid=os.getpid()) as wspan:
         while True:
             claim = board.claim_next()
@@ -1397,6 +1479,9 @@ def _run_queue(token: str, spec_blob: bytes, board_dir: str,
     stats = _structure_delta(before)
     stats["pair_seconds"] = seconds
     stats["pairs"] = computed
+    _record_worker_metrics(time.perf_counter() - queue_started, seconds, stats)
+    stats["metrics"] = registry_delta(metrics_before, WORKER_REGISTRY.dump())
+    stats["pid"] = os.getpid()
     if trace:
         stats["spans"] = local.export()
     return results, stats

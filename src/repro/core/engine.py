@@ -87,6 +87,18 @@ class ExplanationReport:
                 return explanation
         return None
 
+    def trace_summary(self):
+        """Critical-path / self-time analysis of :attr:`trace` (``None`` untraced).
+
+        A :class:`~repro.obs.analyze.TraceSummary`: where this request's
+        latency actually went — the heaviest root-to-leaf chain, per-span
+        self-time rollups, and flamegraph-folded stacks.
+        """
+        if self.trace is None:
+            return None
+        from ..obs.analyze import summarize
+        return summarize(self.trace)
+
     def render_text(self, width: int = 40) -> str:
         """All explanations rendered as text, separated by blank lines."""
         if not self.explanations:

@@ -1,27 +1,68 @@
-"""Unified telemetry: structured explain traces and a central metrics registry.
+"""Unified telemetry: traces, metrics, export, scraping and analysis.
 
-Two dependency-free halves (see the module docstrings for the full story):
+Five dependency-free modules (see their docstrings for the full story):
 
 * :mod:`repro.obs.trace` — per-request :class:`Tracer`/:class:`Span` trees
   with a free disabled path, ambient activation via ``REPRO_TRACE`` or
-  :func:`tracing`, and JSONL dump/round-trip.
+  :func:`tracing`, JSONL dump/round-trip, and trace-consumer fan-out on
+  request end.
 * :mod:`repro.obs.metrics` — thread-safe :class:`MetricsRegistry` of
   labeled counters/gauges/histograms (log-bucket p50/p95/p99), scrape-time
-  collectors for hot module counters, and Prometheus text exposition via
-  ``render_text()``.
+  collectors for hot module counters, Prometheus text exposition, the
+  cross-process ``dump``/``registry_delta``/``merge`` tier, and the strict
+  :func:`validate_prometheus_text` parser.
+* :mod:`repro.obs.export` — OTLP-shaped span/metrics exporters over a
+  bounded non-blocking queue with batch flush and retry/backoff, pluggable
+  file/HTTP/callable sinks (``REPRO_OTLP_SINK``), and the
+  :class:`TraceRing` of recent traces.
+* :mod:`repro.obs.server` — the stdlib scrape endpoint serving
+  ``/metrics``, ``/healthz`` and ``/traces`` (``REPRO_OBS_PORT``).
+* :mod:`repro.obs.analyze` — critical-path extraction, self-time rollups
+  and flamegraph-folded output from any trace or JSONL dump.
 """
 
-from .metrics import REGISTRY, Counter, Gauge, Histogram, MetricsRegistry, capture, default_buckets
+from .analyze import TraceSummary, critical_path, folded, rollup, self_times, summarize, summarize_jsonl
+from .export import (
+    BatchExporter,
+    FileSink,
+    HTTPSink,
+    MetricsExporter,
+    SpanExporter,
+    TraceRing,
+    ensure_env_exporter,
+    install_span_exporter,
+    metrics_to_otlp,
+    resolve_sink,
+    spans_payload,
+    trace_to_otlp,
+    uninstall_span_exporter,
+)
+from .metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    capture,
+    default_buckets,
+    namespace_metric,
+    registry_delta,
+    render_registries,
+    validate_prometheus_text,
+)
+from .server import ObservabilityServer
 from .trace import (
     NOOP_TRACER,
     Span,
     Trace,
     Tracer,
+    add_trace_consumer,
     append_jsonl,
     begin_request,
     current_tracer,
     end_request,
     read_traces,
+    remove_trace_consumer,
     trace_path,
     tracing,
     tracing_enabled,
@@ -35,16 +76,43 @@ __all__ = [
     "MetricsRegistry",
     "capture",
     "default_buckets",
+    "namespace_metric",
+    "registry_delta",
+    "render_registries",
+    "validate_prometheus_text",
     "NOOP_TRACER",
     "Span",
     "Trace",
     "Tracer",
+    "add_trace_consumer",
     "append_jsonl",
     "begin_request",
     "current_tracer",
     "end_request",
     "read_traces",
+    "remove_trace_consumer",
     "trace_path",
     "tracing",
     "tracing_enabled",
+    "BatchExporter",
+    "SpanExporter",
+    "MetricsExporter",
+    "FileSink",
+    "HTTPSink",
+    "TraceRing",
+    "resolve_sink",
+    "trace_to_otlp",
+    "spans_payload",
+    "metrics_to_otlp",
+    "install_span_exporter",
+    "uninstall_span_exporter",
+    "ensure_env_exporter",
+    "ObservabilityServer",
+    "TraceSummary",
+    "critical_path",
+    "self_times",
+    "rollup",
+    "folded",
+    "summarize",
+    "summarize_jsonl",
 ]

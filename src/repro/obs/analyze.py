@@ -1,0 +1,215 @@
+"""Trace analysis: critical path, self-time rollups, flamegraph folding.
+
+A finished :class:`~repro.obs.trace.Trace` is a flat span list; this module
+turns it into the three artefacts people actually read:
+
+* **critical path** — from the heaviest root, repeatedly descend into the
+  child with the largest wall time: the chain of spans that bounds the
+  request's latency.  Shaving anything off-path cannot make the request
+  faster.
+* **self-time rollup** — per span *name*, the wall time not accounted for
+  by child spans (clamped at zero: parallel children can overlap their
+  parent), aggregated across the trace.  This is "where the time actually
+  went", not "what was on the stack".
+* **folded stacks** — ``root;child;leaf <self-µs>`` lines, the input format
+  of ``flamegraph.pl`` and speedscope, so any dumped trace renders as a
+  flamegraph with standard tooling.
+
+:func:`summarize` bundles the three into a :class:`TraceSummary` (also
+reachable as :meth:`ExplanationReport.trace_summary()
+<repro.core.engine.ExplanationReport.trace_summary>`);
+:func:`summarize_jsonl` runs it over every trace in a ``REPRO_TRACE`` dump.
+
+Aggregated event spans (``is_event``) carry counts, not durations — they
+appear in the rollup with zero time and are excluded from the critical path
+and the folded output.
+
+Spans grafted from worker processes keep worker-relative offsets, so only
+durations (never ``started_s``) enter any computation here.
+
+Stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .trace import Span, Trace, read_traces
+
+__all__ = [
+    "PathStep",
+    "TraceSummary",
+    "critical_path",
+    "self_times",
+    "rollup",
+    "folded",
+    "summarize",
+    "summarize_jsonl",
+]
+
+
+@dataclass
+class PathStep:
+    """One span on the critical path."""
+
+    name: str
+    span_id: int
+    wall_s: float
+    self_s: float
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "span_id": self.span_id,
+                "wall_s": self.wall_s, "self_s": self.self_s}
+
+
+@dataclass
+class TraceSummary:
+    """The analysis bundle of one trace."""
+
+    trace_id: str
+    total_wall_s: float
+    critical_path: List[PathStep]
+    rollup: List[dict]
+    folded: str = field(repr=False, default="")
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "total_wall_s": self.total_wall_s,
+            "critical_path": [step.to_dict() for step in self.critical_path],
+            "rollup": list(self.rollup),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), default=str)
+
+    def render_text(self) -> str:
+        """Human-readable summary: path first, then the hottest names."""
+        lines = [f"trace {self.trace_id} — {self.total_wall_s * 1e3:.1f}ms total"]
+        lines.append("critical path:")
+        for step in self.critical_path:
+            lines.append(
+                f"  {step.name} {step.wall_s * 1e3:.1f}ms"
+                f" (self {step.self_s * 1e3:.1f}ms)"
+            )
+        lines.append("hot spans (by self time):")
+        for entry in self.rollup[:10]:
+            lines.append(
+                f"  {entry['name']}: self {entry['self_s'] * 1e3:.1f}ms"
+                f" / total {entry['total_s'] * 1e3:.1f}ms ×{entry['count']}"
+            )
+        return "\n".join(lines)
+
+
+def _tree(trace: Trace) -> Tuple[Dict[Optional[int], List[Span]], List[Span]]:
+    """``(children-by-parent-id, roots)`` — unknown parents count as roots."""
+    known = {span.span_id for span in trace.spans}
+    by_parent: Dict[Optional[int], List[Span]] = {}
+    for span in trace.spans:
+        parent = span.parent_id if span.parent_id in known else None
+        by_parent.setdefault(parent, []).append(span)
+    return by_parent, by_parent.get(None, [])
+
+
+def self_times(trace: Trace) -> Dict[int, float]:
+    """Per-span self wall time: own duration minus timed children, floor 0.
+
+    The floor matters: a batch span whose children ran on parallel workers
+    can have child durations summing past its own wall time.
+    """
+    by_parent, _roots = _tree(trace)
+    times: Dict[int, float] = {}
+    for span in trace.spans:
+        if span.is_event:
+            times[span.span_id] = 0.0
+            continue
+        child_wall = sum(child.wall_s
+                         for child in by_parent.get(span.span_id, ())
+                         if not child.is_event)
+        times[span.span_id] = max(0.0, span.wall_s - child_wall)
+    return times
+
+
+def critical_path(trace: Trace) -> List[PathStep]:
+    """The heaviest root-to-leaf chain by wall time (events excluded)."""
+    by_parent, roots = _tree(trace)
+    selves = self_times(trace)
+    timed_roots = [span for span in roots if not span.is_event]
+    if not timed_roots:
+        return []
+    path: List[PathStep] = []
+    span = max(timed_roots, key=lambda s: (s.wall_s, -s.span_id))
+    while span is not None:
+        path.append(PathStep(span.name, span.span_id, span.wall_s,
+                             selves.get(span.span_id, span.wall_s)))
+        children = [child for child in by_parent.get(span.span_id, ())
+                    if not child.is_event]
+        span = (max(children, key=lambda s: (s.wall_s, -s.span_id))
+                if children else None)
+    return path
+
+
+def rollup(trace: Trace) -> List[dict]:
+    """Per-name aggregates sorted by self time (descending, then name).
+
+    Each entry: ``{"name", "count", "total_s", "self_s"}``.  Event spans
+    contribute their occurrence counts with zero time.
+    """
+    selves = self_times(trace)
+    grouped: Dict[str, dict] = {}
+    for span in trace.spans:
+        entry = grouped.setdefault(
+            span.name, {"name": span.name, "count": 0,
+                        "total_s": 0.0, "self_s": 0.0})
+        entry["count"] += (span.attrs.get("count", 1) if span.is_event else 1)
+        entry["total_s"] += span.wall_s
+        entry["self_s"] += selves.get(span.span_id, 0.0)
+    return sorted(grouped.values(),
+                  key=lambda e: (-e["self_s"], -e["total_s"], e["name"]))
+
+
+def folded(trace: Trace) -> str:
+    """Flamegraph-folded stacks: ``a;b;c <self-microseconds>`` per line.
+
+    Identical stacks merge; zero-self-time frames are kept only when they
+    are leaves (so the hierarchy is still visible in the graph).
+    """
+    by_parent, roots = _tree(trace)
+    selves = self_times(trace)
+    stacks: Dict[str, int] = {}
+
+    def walk(span: Span, prefix: str) -> None:
+        stack = f"{prefix};{span.name}" if prefix else span.name
+        weight = int(round(selves.get(span.span_id, 0.0) * 1e6))
+        children = [child for child in by_parent.get(span.span_id, ())
+                    if not child.is_event]
+        if weight > 0 or not children:
+            stacks[stack] = stacks.get(stack, 0) + weight
+        for child in children:
+            walk(child, stack)
+
+    for root in roots:
+        if not root.is_event:
+            walk(root, "")
+    return "".join(f"{stack} {weight}\n"
+                   for stack, weight in sorted(stacks.items()))
+
+
+def summarize(trace: Trace) -> TraceSummary:
+    """The full analysis bundle for one trace."""
+    path = critical_path(trace)
+    total = path[0].wall_s if path else 0.0
+    return TraceSummary(
+        trace_id=trace.trace_id,
+        total_wall_s=total,
+        critical_path=path,
+        rollup=rollup(trace),
+        folded=folded(trace),
+    )
+
+
+def summarize_jsonl(path: str) -> List[TraceSummary]:
+    """Summaries for every trace in a ``REPRO_TRACE`` JSONL dump, file order."""
+    return [summarize(trace) for trace in read_traces(path)]

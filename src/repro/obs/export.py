@@ -1,0 +1,602 @@
+"""OTLP-shaped telemetry export: spans and metrics leave the process.
+
+The tracing and metrics layers are deliberately in-process (PR 7); this
+module is the wire tier on top of them.  Two exporters share one engine,
+:class:`BatchExporter` — a bounded queue drained by a daemon thread that
+batch-flushes to a pluggable *sink* with retry and exponential backoff:
+
+* :class:`SpanExporter` converts finished :class:`~repro.obs.trace.Trace`
+  objects to OTLP/JSON ``resourceSpans`` payloads.  Install it as a trace
+  consumer (:func:`install_span_exporter`) and every owned traced request
+  ships automatically.
+* :class:`MetricsExporter` snapshots one or more
+  :class:`~repro.obs.metrics.MetricsRegistry` instances into OTLP/JSON
+  ``resourceMetrics`` payloads on demand (:meth:`MetricsExporter.push`) or
+  on a fixed period (:meth:`MetricsExporter.start_periodic`).
+
+The cardinal rule is **the explain path never blocks**: ``submit`` appends
+to a bounded deque under a condition variable and returns immediately; when
+the queue is full (a stalled sink) the item is *dropped and counted*, never
+waited on.  Delivery failures retry ``retry_max`` times with exponential
+backoff (``backoff_base_s * 2^attempt``, capped) and then drop the batch.
+Drops, retries, exports and queue depth surface as ``repro_export_*``
+series on the global :data:`~repro.obs.metrics.REGISTRY` so the scrape
+endpoint reports the exporter's own health.
+
+Sinks are anything callable with one JSON-able payload argument;
+:func:`resolve_sink` turns a spec string into one:
+
+* ``/path/to/file.jsonl`` → :class:`FileSink` (one payload per line),
+* ``http(s)://host/v1/traces`` → :class:`HTTPSink` (POST, JSON body),
+* a callable → itself.
+
+Setting ``REPRO_OTLP_SINK`` wires the whole thing up with zero code: the
+trace layer lazily calls :func:`ensure_env_exporter` when the first traced
+request finishes (see :func:`repro.obs.trace._notify_consumers`).
+
+:class:`TraceRing` — the bounded ring of recent finished traces behind the
+``/traces`` endpoint — lives here too, as the third standard consumer.
+
+Stdlib only; OTLP shapes follow the OTLP/HTTP JSON encoding (hex ids,
+nanosecond epoch timestamps, ``AnyValue``-wrapped attributes) closely
+enough for standard collectors to ingest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.request
+from collections import deque
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .metrics import REGISTRY, MetricsRegistry
+from .trace import Trace, add_trace_consumer, remove_trace_consumer
+
+__all__ = [
+    "BatchExporter",
+    "SpanExporter",
+    "MetricsExporter",
+    "FileSink",
+    "HTTPSink",
+    "TraceRing",
+    "resolve_sink",
+    "trace_to_otlp",
+    "spans_payload",
+    "metrics_to_otlp",
+    "metrics_payload",
+    "install_span_exporter",
+    "uninstall_span_exporter",
+    "ensure_env_exporter",
+    "OTLP_SINK_ENV",
+]
+
+# ------------------------------------------------------------------ env knobs
+OTLP_SINK_ENV = "REPRO_OTLP_SINK"
+QUEUE_ENV = "REPRO_OTLP_QUEUE"
+BATCH_ENV = "REPRO_OTLP_BATCH"
+FLUSH_ENV = "REPRO_OTLP_FLUSH_S"
+RETRY_ENV = "REPRO_OTLP_RETRIES"
+BACKOFF_ENV = "REPRO_OTLP_BACKOFF_S"
+
+DEFAULT_QUEUE_MAX = 256
+DEFAULT_BATCH_MAX = 32
+DEFAULT_FLUSH_INTERVAL_S = 0.2
+DEFAULT_RETRY_MAX = 3
+DEFAULT_BACKOFF_BASE_S = 0.05
+DEFAULT_BACKOFF_CAP_S = 2.0
+
+#: The trace-consumer key the REPRO_OTLP_SINK auto-exporter installs under.
+ENV_CONSUMER_KEY = "otlp-env"
+
+_RESOURCE = {"service.name": "repro-fedex", "telemetry.sdk.name": "repro.obs"}
+
+
+def _env_int(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, "").strip() or default)
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, "").strip() or default)
+    except ValueError:
+        return default
+
+
+# ----------------------------------------------------------------- OTLP shapes
+def _any_value(value) -> dict:
+    """A python value as an OTLP ``AnyValue``."""
+    if isinstance(value, bool):
+        return {"boolValue": value}
+    if isinstance(value, int):
+        return {"intValue": str(value)}
+    if isinstance(value, float):
+        return {"doubleValue": value}
+    return {"stringValue": str(value)}
+
+
+def _attributes(attrs: dict) -> List[dict]:
+    return [{"key": str(key), "value": _any_value(value)}
+            for key, value in attrs.items()]
+
+
+def _hex_span_id(span_id: int) -> str:
+    return f"{span_id & ((1 << 64) - 1):016x}"
+
+
+def _hex_trace_id(trace_id: str) -> str:
+    """A 32-hex-char OTLP trace id from the tracer's 16-hex id (zero-padded)."""
+    cleaned = "".join(c for c in str(trace_id) if c in "0123456789abcdef")
+    return (cleaned + "0" * 32)[:32]
+
+
+def trace_to_otlp(trace: Trace, resource: Optional[dict] = None) -> dict:
+    """One trace as an OTLP/JSON ``resourceSpans`` entry."""
+    epoch = getattr(trace, "origin_epoch", 0.0) or 0.0
+    trace_id = _hex_trace_id(trace.trace_id)
+    spans: List[dict] = []
+    for span in trace.spans:
+        start_ns = int((epoch + span.started_s) * 1e9)
+        item = {
+            "traceId": trace_id,
+            "spanId": _hex_span_id(span.span_id),
+            "name": span.name,
+            "kind": 1,  # SPAN_KIND_INTERNAL
+            "startTimeUnixNano": str(start_ns),
+            "endTimeUnixNano": str(start_ns + int(span.wall_s * 1e9)),
+            "attributes": _attributes(span.attrs),
+        }
+        if span.parent_id is not None:
+            item["parentSpanId"] = _hex_span_id(span.parent_id)
+        spans.append(item)
+    merged = dict(_RESOURCE)
+    merged.update(resource or {})
+    return {
+        "resource": {"attributes": _attributes(merged)},
+        "scopeSpans": [{
+            "scope": {"name": "repro.obs", "version": "1"},
+            "spans": spans,
+        }],
+    }
+
+
+def spans_payload(traces: Sequence[Trace],
+                  resource: Optional[dict] = None) -> dict:
+    """A batch of traces as one OTLP/JSON export request body."""
+    return {"resourceSpans": [trace_to_otlp(t, resource) for t in traces]}
+
+
+def metrics_to_otlp(registry: MetricsRegistry,
+                    resource: Optional[dict] = None) -> dict:
+    """One registry snapshot as an OTLP/JSON ``resourceMetrics`` entry."""
+    now_ns = str(int(time.time() * 1e9))
+    metrics: List[dict] = []
+    for family in registry.families():
+        points: List[dict] = []
+        if family.kind == "histogram":
+            for key, child in family.children():
+                counts, total_sum, total_count = child.state()
+                points.append({
+                    "attributes": _attributes(dict(zip(family.labelnames, key))),
+                    "timeUnixNano": now_ns,
+                    "count": str(total_count),
+                    "sum": total_sum,
+                    "bucketCounts": [str(c) for c in counts],
+                    "explicitBounds": list(child.bounds),
+                })
+            body = {"histogram": {"dataPoints": points,
+                                  "aggregationTemporality": 2}}
+        else:
+            for key, child in family.children():
+                points.append({
+                    "attributes": _attributes(dict(zip(family.labelnames, key))),
+                    "timeUnixNano": now_ns,
+                    "asDouble": child.value,
+                })
+            if family.kind == "counter":
+                body = {"sum": {"dataPoints": points,
+                                "aggregationTemporality": 2,
+                                "isMonotonic": True}}
+            else:
+                body = {"gauge": {"dataPoints": points}}
+        entry = {"name": family.name, "description": family.help}
+        entry.update(body)
+        metrics.append(entry)
+    # Collector-backed samples (hot module counters) export as gauges.
+    collected: Dict[str, dict] = {}
+    family_names = {family.name for family in registry.families()}
+    for name, kind, help_text, value, labels in registry._collect():
+        if name in family_names:
+            continue
+        entry = collected.setdefault(name, {
+            "name": name, "description": help_text,
+            "gauge": {"dataPoints": []},
+        })
+        entry["gauge"]["dataPoints"].append({
+            "attributes": _attributes(dict(labels)),
+            "timeUnixNano": now_ns,
+            "asDouble": float(value),
+        })
+    metrics.extend(collected.values())
+    merged = dict(_RESOURCE)
+    merged.update(resource or {})
+    return {
+        "resource": {"attributes": _attributes(merged)},
+        "scopeMetrics": [{
+            "scope": {"name": "repro.obs", "version": "1"},
+            "metrics": metrics,
+        }],
+    }
+
+
+def metrics_payload(entries: Sequence[dict]) -> dict:
+    """A batch of ``resourceMetrics`` entries as one export request body."""
+    return {"resourceMetrics": list(entries)}
+
+
+# ----------------------------------------------------------------------- sinks
+class FileSink:
+    """Appends one JSON payload per line to a file (JSONL of export batches)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+
+    def __call__(self, payload: dict) -> None:
+        line = json.dumps(payload, default=str) + "\n"
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FileSink({self.path!r})"
+
+
+class HTTPSink:
+    """POSTs each JSON payload to an OTLP/HTTP-style collector URL."""
+
+    def __init__(self, url: str, timeout_s: float = 5.0,
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        self.url = str(url)
+        self.timeout_s = float(timeout_s)
+        self.headers = dict(headers or {})
+        self.headers.setdefault("Content-Type", "application/json")
+
+    def __call__(self, payload: dict) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        request = urllib.request.Request(self.url, data=body,
+                                         headers=self.headers, method="POST")
+        with urllib.request.urlopen(request, timeout=self.timeout_s) as response:
+            status = getattr(response, "status", 200)
+            if status >= 400:
+                raise OSError(f"sink {self.url} returned HTTP {status}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HTTPSink({self.url!r})"
+
+
+SinkSpec = Union[str, "os.PathLike[str]", Callable[[dict], None]]
+
+
+def resolve_sink(spec: SinkSpec) -> Callable[[dict], None]:
+    """A sink callable from a spec: callable → itself, URL → HTTP, else file."""
+    if callable(spec):
+        return spec
+    text = str(spec)
+    if text.startswith(("http://", "https://")):
+        return HTTPSink(text)
+    return FileSink(text)
+
+
+# ------------------------------------------------------- exporter-side metrics
+_EXPORT_BATCHES = REGISTRY.counter(
+    "repro_export_batches_total",
+    "Export batches delivered to the sink, by signal.",
+    ("signal",))
+_EXPORT_ITEMS = REGISTRY.counter(
+    "repro_export_items_total",
+    "Items (traces / metric snapshots) delivered to the sink, by signal.",
+    ("signal",))
+_EXPORT_DROPPED = REGISTRY.counter(
+    "repro_export_dropped_total",
+    "Items dropped instead of blocking: full queue, closed exporter, or "
+    "delivery failure after retries.",
+    ("signal", "reason"))
+_EXPORT_RETRIES = REGISTRY.counter(
+    "repro_export_retries_total",
+    "Delivery attempts retried after a sink error, by signal.",
+    ("signal",))
+_EXPORT_QUEUE_DEPTH = REGISTRY.gauge(
+    "repro_export_queue_depth",
+    "Items currently waiting in the export queue, by signal.",
+    ("signal",))
+
+
+# -------------------------------------------------------------------- exporter
+class BatchExporter:
+    """A bounded background queue flushing batches to a sink, with retry.
+
+    Subclasses define ``signal`` (metric label) and ``_payload(batch)``.
+    ``submit`` is the only producer API and is wait-free for the caller:
+    it either enqueues and returns ``True`` or counts a drop and returns
+    ``False``.  One daemon thread drains the queue; a sink stalled inside a
+    delivery only ever stalls that thread — the queue fills, producers keep
+    returning immediately.
+    """
+
+    signal = "spans"
+
+    def __init__(self, sink: SinkSpec, *,
+                 queue_max: Optional[int] = None,
+                 batch_max: Optional[int] = None,
+                 flush_interval_s: Optional[float] = None,
+                 retry_max: Optional[int] = None,
+                 backoff_base_s: Optional[float] = None,
+                 backoff_cap_s: float = DEFAULT_BACKOFF_CAP_S,
+                 resource: Optional[dict] = None,
+                 name: Optional[str] = None) -> None:
+        self._sink = resolve_sink(sink)
+        self._queue_max = max(1, queue_max if queue_max is not None
+                              else _env_int(QUEUE_ENV, DEFAULT_QUEUE_MAX))
+        self._batch_max = max(1, batch_max if batch_max is not None
+                              else _env_int(BATCH_ENV, DEFAULT_BATCH_MAX))
+        self._flush_interval_s = (flush_interval_s if flush_interval_s is not None
+                                  else _env_float(FLUSH_ENV, DEFAULT_FLUSH_INTERVAL_S))
+        self._retry_max = max(0, retry_max if retry_max is not None
+                              else _env_int(RETRY_ENV, DEFAULT_RETRY_MAX))
+        self._backoff_base_s = (backoff_base_s if backoff_base_s is not None
+                                else _env_float(BACKOFF_ENV, DEFAULT_BACKOFF_BASE_S))
+        self._backoff_cap_s = backoff_cap_s
+        self._resource = dict(resource or {})
+        self._cond = threading.Condition()
+        self._items: "deque" = deque()
+        self._inflight = 0
+        self._closed = False
+        self.enqueued = 0
+        self.exported = 0
+        self.dropped = 0
+        self.retries = 0
+        self._thread = threading.Thread(
+            target=self._run, daemon=True,
+            name=name or f"repro-export-{self.signal}")
+        self._thread.start()
+
+    # ----------------------------------------------------------------- producer
+    def submit(self, item) -> bool:
+        """Enqueue one item; never blocks.  ``False`` means dropped+counted."""
+        with self._cond:
+            if self._closed:
+                self.dropped += 1
+                reason = "closed"
+            elif len(self._items) >= self._queue_max:
+                self.dropped += 1
+                reason = "queue_full"
+            else:
+                self._items.append(item)
+                self.enqueued += 1
+                _EXPORT_QUEUE_DEPTH.labels(signal=self.signal).set(
+                    len(self._items))
+                self._cond.notify()
+                return True
+        _EXPORT_DROPPED.labels(signal=self.signal, reason=reason).inc()
+        return False
+
+    # ------------------------------------------------------------------- control
+    def flush(self, timeout_s: float = 5.0) -> bool:
+        """Wait until the queue drains (or ``timeout_s``); ``True`` when empty."""
+        deadline = time.monotonic() + timeout_s
+        with self._cond:
+            self._cond.notify_all()
+            while self._items or self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(min(remaining, 0.05))
+            return True
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop accepting items, drain best-effort, and join the worker."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout_s)
+
+    def stats(self) -> Dict[str, int]:
+        with self._cond:
+            return {
+                "enqueued": self.enqueued,
+                "exported": self.exported,
+                "dropped": self.dropped,
+                "retries": self.retries,
+                "queued": len(self._items),
+            }
+
+    def __enter__(self) -> "BatchExporter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -------------------------------------------------------------------- worker
+    def _payload(self, batch: List) -> dict:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._items and not self._closed:
+                    self._cond.wait(self._flush_interval_s)
+                if not self._items and self._closed:
+                    return
+                batch = [self._items.popleft()
+                         for _ in range(min(len(self._items), self._batch_max))]
+                self._inflight = len(batch)
+                _EXPORT_QUEUE_DEPTH.labels(signal=self.signal).set(
+                    len(self._items))
+            try:
+                self._deliver(batch)
+            finally:
+                with self._cond:
+                    self._inflight = 0
+                    self._cond.notify_all()
+
+    def _deliver(self, batch: List) -> None:
+        try:
+            payload = self._payload(batch)
+        except Exception:
+            self._count_drop(len(batch), "encode_error")
+            return
+        delay = self._backoff_base_s
+        for attempt in range(self._retry_max + 1):
+            try:
+                self._sink(payload)
+            except Exception:
+                if attempt >= self._retry_max:
+                    break
+                with self._cond:
+                    self.retries += 1
+                _EXPORT_RETRIES.labels(signal=self.signal).inc()
+                time.sleep(min(delay, self._backoff_cap_s))
+                delay *= 2
+            else:
+                with self._cond:
+                    self.exported += len(batch)
+                _EXPORT_BATCHES.labels(signal=self.signal).inc()
+                _EXPORT_ITEMS.labels(signal=self.signal).inc(len(batch))
+                return
+        self._count_drop(len(batch), "delivery_failed")
+
+    def _count_drop(self, amount: int, reason: str) -> None:
+        with self._cond:
+            self.dropped += amount
+        _EXPORT_DROPPED.labels(signal=self.signal, reason=reason).inc(amount)
+
+
+class SpanExporter(BatchExporter):
+    """Ships finished traces as OTLP/JSON ``resourceSpans`` batches."""
+
+    signal = "spans"
+
+    def export(self, trace: Trace) -> bool:
+        """Trace-consumer entry point (``add_trace_consumer`` compatible)."""
+        return self.submit(trace)
+
+    def _payload(self, batch: List[Trace]) -> dict:
+        return spans_payload(batch, self._resource)
+
+
+class MetricsExporter(BatchExporter):
+    """Ships registry snapshots as OTLP/JSON ``resourceMetrics`` batches."""
+
+    signal = "metrics"
+
+    def __init__(self, sink: SinkSpec,
+                 registries: Optional[Sequence[MetricsRegistry]] = None,
+                 **kwargs) -> None:
+        self._registries = list(registries) if registries is not None else [REGISTRY]
+        self._periodic: Optional[threading.Thread] = None
+        self._periodic_stop = threading.Event()
+        super().__init__(sink, **kwargs)
+
+    def push(self) -> bool:
+        """Snapshot every registry now and enqueue the combined entry list."""
+        entries = [metrics_to_otlp(registry, self._resource)
+                   for registry in self._registries]
+        return self.submit(entries)
+
+    def start_periodic(self, interval_s: float = 10.0) -> None:
+        """Push snapshots every ``interval_s`` until :meth:`close`."""
+        if self._periodic is not None:
+            return
+
+        def loop() -> None:
+            while not self._periodic_stop.wait(interval_s):
+                self.push()
+
+        self._periodic = threading.Thread(
+            target=loop, daemon=True, name="repro-export-metrics-periodic")
+        self._periodic.start()
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        self._periodic_stop.set()
+        if self._periodic is not None:
+            self._periodic.join(timeout_s)
+            self._periodic = None
+        super().close(timeout_s)
+
+    def _payload(self, batch: List[List[dict]]) -> dict:
+        return metrics_payload([entry for entries in batch for entry in entries])
+
+
+# ------------------------------------------------------------------ trace ring
+class TraceRing:
+    """A bounded in-memory ring of recent finished traces (``/traces`` source).
+
+    ``add`` is a valid trace consumer; the oldest trace falls off when the
+    ring is full.  Reads return a most-recent-first list copy.
+    """
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._traces: "deque[Trace]" = deque(maxlen=max(1, int(capacity)))
+        self._lock = threading.Lock()
+
+    def add(self, trace: Trace) -> None:
+        with self._lock:
+            self._traces.append(trace)
+
+    def traces(self) -> List[Trace]:
+        with self._lock:
+            return list(reversed(self._traces))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+# ------------------------------------------------------------ env auto-install
+_ENV_LOCK = threading.Lock()
+_ENV_EXPORTER: Optional[SpanExporter] = None
+_ENV_SPEC: Optional[str] = None
+
+
+def install_span_exporter(exporter: SpanExporter, key: str = "otlp") -> None:
+    """Register an exporter so every finished owned trace ships through it."""
+    add_trace_consumer(key, exporter.export)
+
+
+def uninstall_span_exporter(key: str = "otlp") -> None:
+    remove_trace_consumer(key)
+
+
+def ensure_env_exporter() -> Optional[SpanExporter]:
+    """Install, retarget, or retire the ``REPRO_OTLP_SINK`` span exporter.
+
+    Idempotent and cheap when nothing changed; called lazily by the trace
+    layer on every finished traced request.  Returns the active exporter
+    (``None`` when the variable is unset).
+    """
+    global _ENV_EXPORTER, _ENV_SPEC
+    spec = os.environ.get(OTLP_SINK_ENV, "").strip() or None
+    with _ENV_LOCK:
+        if spec == _ENV_SPEC:
+            return _ENV_EXPORTER
+        if _ENV_EXPORTER is not None:
+            remove_trace_consumer(ENV_CONSUMER_KEY)
+            _ENV_EXPORTER.close(timeout_s=1.0)
+            _ENV_EXPORTER = None
+        _ENV_SPEC = spec
+        if spec:
+            _ENV_EXPORTER = SpanExporter(spec)
+            add_trace_consumer(ENV_CONSUMER_KEY, _ENV_EXPORTER.export)
+        return _ENV_EXPORTER

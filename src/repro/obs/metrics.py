@@ -25,8 +25,18 @@ format — ``# HELP``/``# TYPE`` headers, ``name{label="v"} value`` samples,
 endpoint serves verbatim.
 
 The module-level :data:`REGISTRY` aggregates process-wide signals; the
-service and each cache store own their own registries (concatenated by
-:meth:`~repro.service.service.ExplanationService.render_metrics`).
+service and each cache store own their own registries, merged into one
+valid exposition by :func:`render_registries` (namespaced, deduped) for
+:meth:`~repro.service.service.ExplanationService.render_metrics`.
+
+Registries also cross process boundaries: :meth:`MetricsRegistry.dump`
+produces a plain picklable state, :func:`registry_delta` diffs two dumps,
+and :meth:`MetricsRegistry.merge` folds a delta into another registry under
+extra labels — the mechanism pool workers use to ship per-batch metrics
+home (``labels={"worker": pid}``).
+
+:func:`validate_prometheus_text` is a strict exposition-format parser used
+by tests and CI to prove a scrape payload is actually ingestible.
 
 Dependency-free (stdlib only); importable from any layer.
 """
@@ -47,6 +57,10 @@ __all__ = [
     "REGISTRY",
     "default_buckets",
     "capture",
+    "registry_delta",
+    "render_registries",
+    "namespace_metric",
+    "validate_prometheus_text",
 ]
 
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -168,6 +182,31 @@ class Histogram:
     def mean(self) -> float:
         with self._lock:
             return self.sum / self.count if self.count else 0.0
+
+    def state(self) -> Tuple[List[int], float, int]:
+        """An atomic ``(counts, sum, count)`` snapshot.
+
+        Readers that pull buckets and totals separately can interleave with
+        an ``observe`` and render a histogram whose ``+Inf`` cumulative
+        disagrees with its ``_count`` — invalid under a strict scraper.
+        """
+        with self._lock:
+            return list(self.counts), self.sum, self.count
+
+    def merge_state(self, counts: Sequence[int], total_sum: float,
+                    count: int) -> None:
+        """Fold a dumped bucket state into this child (cross-process merge).
+
+        Ignores payloads whose bucket count disagrees — a worker built
+        against different bounds must not corrupt the parent's series.
+        """
+        with self._lock:
+            if len(counts) != len(self.counts):
+                return
+            for index, bucket_count in enumerate(counts):
+                self.counts[index] += bucket_count
+            self.sum += total_sum
+            self.count += count
 
     def _reset(self) -> None:
         self.counts = [0] * (len(self.bounds) + 1)
@@ -384,39 +423,147 @@ class MetricsRegistry:
                 for _key, child in family.children():
                     child._reset()
 
-    # --------------------------------------------------------------- rendering
-    def render_text(self) -> str:
-        """The registry in the Prometheus text exposition format."""
-        lines: List[str] = []
+    # ------------------------------------------------------ dump / merge (IPC)
+    def dump(self) -> Dict[str, dict]:
+        """The registry's state as plain picklable data (no locks, no classes).
+
+        The shape ``registry_delta`` diffs and :meth:`merge` consumes::
+
+            {name: {"kind", "help", "labelnames", "buckets",
+                    "series": {label_values_tuple: value-or-histogram-state}}}
+
+        Histogram states are ``{"counts": [...], "sum": s, "count": n}``;
+        counters/gauges are bare floats.  Collector samples are excluded —
+        they belong to the process that registered them.
+        """
+        payload: Dict[str, dict] = {}
         for family in self.families():
-            _render_family_header(lines, family.name, family.kind, family.help)
+            series: Dict[Tuple[str, ...], object] = {}
+            for key, child in family.children():
+                if family.kind == "histogram":
+                    counts, total_sum, total_count = child.state()
+                    series[key] = {
+                        "counts": counts,
+                        "sum": total_sum,
+                        "count": total_count,
+                    }
+                else:
+                    series[key] = child.value
+            payload[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+                "buckets": list(family.buckets) if family.buckets is not None else None,
+                "series": series,
+            }
+        return payload
+
+    def merge(self, payload: Dict[str, dict],
+              labels: Optional[Dict[str, str]] = None) -> None:
+        """Fold a :meth:`dump`/:func:`registry_delta` payload into this registry.
+
+        ``labels`` are appended to every series (e.g. ``{"worker": "1234"}``)
+        so merged foreign state stays distinguishable from local series.
+        Families that clash with an existing registration (different kind or
+        label set) are skipped rather than raised — a telemetry merge must
+        never break its caller.
+        """
+        extra = {name: str(value) for name, value in (labels or {}).items()}
+        extra_names = tuple(sorted(extra))
+        for name, fam in (payload or {}).items():
+            base_names = tuple(fam.get("labelnames") or ())
+            labelnames = base_names + tuple(
+                n for n in extra_names if n not in base_names
+            )
+            kind = fam.get("kind")
+            try:
+                if kind == "histogram":
+                    family = self.histogram(name, fam.get("help", ""), labelnames,
+                                            buckets=fam.get("buckets"))
+                elif kind == "counter":
+                    family = self.counter(name, fam.get("help", ""), labelnames)
+                elif kind == "gauge":
+                    family = self.gauge(name, fam.get("help", ""), labelnames)
+                else:
+                    continue
+            except ValueError:
+                continue
+            for key, value in fam.get("series", {}).items():
+                series_labels = dict(zip(base_names, key))
+                for extra_name in labelnames[len(base_names):]:
+                    series_labels[extra_name] = extra[extra_name]
+                try:
+                    child = family.labels(**series_labels)
+                except ValueError:
+                    continue
+                if kind == "histogram":
+                    child.merge_state(value.get("counts", ()),
+                                      float(value.get("sum", 0.0)),
+                                      int(value.get("count", 0)))
+                elif kind == "counter":
+                    amount = float(value)
+                    if amount > 0:
+                        child.inc(amount)
+                else:
+                    child.set(float(value))
+
+    # --------------------------------------------------------------- rendering
+    def render_text(self, rename: Optional[Callable[[str], str]] = None,
+                    seen: Optional[set] = None) -> str:
+        """The registry in the Prometheus text exposition format.
+
+        ``rename`` maps each family name to its emitted name (namespacing);
+        ``seen`` is a cross-registry set of already-emitted family names —
+        families whose final name is in it are skipped, and every name this
+        call emits is added, so concatenating several registries cannot
+        produce the duplicate ``# TYPE`` blocks scrapers reject.
+        """
+        final = rename if rename is not None else (lambda name: name)
+        lines: List[str] = []
+        emitted: set = set()
+        for family in self.families():
+            name = final(family.name)
+            if seen is not None and name in seen:
+                continue
+            emitted.add(name)
+            _render_family_header(lines, name, family.kind, family.help)
             for key, child in family.children():
                 labels = _format_labels(family.labelnames, key)
                 if family.kind == "histogram":
+                    counts, total_sum, total_count = child.state()
                     cumulative = 0
                     for index, bound in enumerate(child.bounds):
-                        cumulative += child.counts[index]
+                        cumulative += counts[index]
                         le = _format_labels(
                             family.labelnames + ("le",), key + (_format_float(bound),)
                         )
-                        lines.append(f"{family.name}_bucket{le} {cumulative}")
-                    cumulative += child.counts[-1]
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    cumulative += counts[-1]
                     le = _format_labels(family.labelnames + ("le",), key + ("+Inf",))
-                    lines.append(f"{family.name}_bucket{le} {cumulative}")
-                    lines.append(f"{family.name}_sum{labels} {_format_float(child.sum)}")
-                    lines.append(f"{family.name}_count{labels} {child.count}")
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                    lines.append(f"{name}_sum{labels} {_format_float(total_sum)}")
+                    lines.append(f"{name}_count{labels} {total_count}")
                 else:
-                    lines.append(f"{family.name}{labels} {_format_float(child.value)}")
-        rendered_headers = {family.name for family in self.families()}
-        for name, kind, help_text, value, labels in self._collect():
-            if name not in rendered_headers:
-                _render_family_header(lines, name, kind, help_text)
-                rendered_headers.add(name)
+                    lines.append(f"{name}{labels} {_format_float(child.value)}")
+        collector_lines: Dict[str, List[str]] = {}
+        collector_meta: Dict[str, Tuple[str, str]] = {}
+        for raw_name, kind, help_text, value, labels in self._collect():
+            name = final(raw_name)
+            if name in emitted or (seen is not None and name in seen):
+                continue
+            collector_meta.setdefault(name, (kind, help_text))
             label_names = tuple(sorted(labels))
             label_key = tuple(str(labels[k]) for k in label_names)
-            lines.append(
+            collector_lines.setdefault(name, []).append(
                 f"{name}{_format_labels(label_names, label_key)} {_format_float(value)}"
             )
+        for name, samples in collector_lines.items():
+            kind, help_text = collector_meta[name]
+            _render_family_header(lines, name, kind, help_text)
+            lines.extend(samples)
+            emitted.add(name)
+        if seen is not None:
+            seen.update(emitted)
         return "\n".join(lines) + ("\n" if lines else "")
 
     # ---------------------------------------------------------------- internals
@@ -487,6 +634,268 @@ def _format_float(value: float) -> str:
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
+
+
+# ------------------------------------------------------- cross-process deltas
+def registry_delta(before: Dict[str, dict],
+                   after: Dict[str, dict]) -> Dict[str, dict]:
+    """The difference between two :meth:`MetricsRegistry.dump` snapshots.
+
+    Counters and histograms diff arithmetically (series with a zero delta
+    are dropped, so a quiet batch ships nothing); gauges are point-in-time
+    and carry the ``after`` value only when it changed.  The result has the
+    same shape as a dump and feeds :meth:`MetricsRegistry.merge`.
+    """
+    delta: Dict[str, dict] = {}
+    for name, fam in after.items():
+        prior = before.get(name) or {}
+        prior_series = prior.get("series", {})
+        series: Dict[Tuple[str, ...], object] = {}
+        for key, value in fam.get("series", {}).items():
+            prev = prior_series.get(key)
+            if fam["kind"] == "histogram":
+                if prev is None:
+                    diff = {
+                        "counts": list(value["counts"]),
+                        "sum": value["sum"],
+                        "count": value["count"],
+                    }
+                else:
+                    diff = {
+                        "counts": [a - b for a, b in
+                                   zip(value["counts"], prev["counts"])],
+                        "sum": value["sum"] - prev["sum"],
+                        "count": value["count"] - prev["count"],
+                    }
+                if diff["count"]:
+                    series[key] = diff
+            elif fam["kind"] == "counter":
+                diff_value = float(value) - float(prev or 0.0)
+                if diff_value:
+                    series[key] = diff_value
+            else:  # gauge
+                if prev is None or value != prev:
+                    series[key] = value
+        if series:
+            entry = dict(fam)
+            entry["series"] = series
+            delta[name] = entry
+    return delta
+
+
+# ------------------------------------------------- multi-registry exposition
+def namespace_metric(namespace: str, name: str) -> str:
+    """``name`` prefixed into the ``repro_<namespace>_`` namespace.
+
+    Names already carrying the target prefix pass through unchanged, so
+    well-named families (``repro_service_requests_total`` in the service
+    registry) keep their historical identity; anything else is re-rooted
+    (``requests_total`` in the store registry → ``repro_store_requests_total``).
+    """
+    prefix = "repro_" if namespace in ("", "repro") else f"repro_{namespace}_"
+    if name.startswith(prefix):
+        return name
+    if name.startswith("repro_"):
+        return prefix + name[len("repro_"):]
+    return prefix + name
+
+
+def render_registries(parts: Sequence[Tuple[str, "MetricsRegistry"]]) -> str:
+    """Several registries as ONE valid Prometheus exposition.
+
+    ``parts`` is ``[(namespace, registry), ...]``; each registry's families
+    are renamed via :func:`namespace_metric` and deduped across the whole
+    payload (first occurrence wins), fixing the duplicate-family blocks a
+    naive concatenation produces when two registries share a metric name.
+    """
+    chunks: List[str] = []
+    seen: set = set()
+    for namespace, registry in parts:
+        text = registry.render_text(
+            rename=lambda name, ns=namespace: namespace_metric(ns, name),
+            seen=seen,
+        )
+        if text:
+            chunks.append(text)
+    return "".join(chunks)
+
+
+# ----------------------------------------------------- strict scrape parsing
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)(?: (?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$'
+)
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _split_label_body(body: str) -> List[Tuple[str, str]]:
+    """``a="x",b="y"`` → pairs, honouring escaped quotes inside values."""
+    pairs: List[Tuple[str, str]] = []
+    index = 0
+    while index < len(body):
+        match = re.match(r'[a-zA-Z_][a-zA-Z0-9_]*="', body[index:])
+        if not match:
+            raise ValueError(f"malformed label body at offset {index}: {body!r}")
+        end = index + match.end()
+        while end < len(body):
+            if body[end] == "\\":
+                end += 2
+                continue
+            if body[end] == '"':
+                break
+            end += 1
+        if end >= len(body):
+            raise ValueError(f"unterminated label value: {body!r}")
+        pair = body[index:end + 1]
+        parsed = _LABEL_PAIR_RE.match(pair)
+        if not parsed:
+            raise ValueError(f"malformed label pair: {pair!r}")
+        pairs.append((parsed.group("name"), parsed.group("value")))
+        index = end + 1
+        if index < len(body):
+            if body[index] != ",":
+                raise ValueError(f"expected ',' between labels: {body!r}")
+            index += 1
+    return pairs
+
+
+def _parse_sample_value(text: str) -> float:
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)  # raises ValueError on garbage
+
+
+def validate_prometheus_text(text: str) -> Dict[str, str]:
+    """Strictly parse a Prometheus text exposition; ``{family: kind}`` on success.
+
+    Raises :class:`ValueError` on anything a real scraper would reject or
+    misread: malformed lines or labels, a family declared by ``# TYPE``
+    more than once, samples appearing before their ``# TYPE``, interleaved
+    family groups, duplicate series, and histogram inconsistencies
+    (missing ``+Inf`` bucket, non-cumulative buckets, ``_count`` disagreeing
+    with the ``+Inf`` bucket, missing ``_sum``/``_count``).  This is the
+    checker CI runs against the live ``/metrics`` payload.
+    """
+    kinds: Dict[str, str] = {}
+    closed: set = set()          # families whose sample group has ended
+    current: Optional[str] = None
+    seen_series: set = set()
+    histograms: Dict[str, dict] = {}
+
+    def family_of(name: str) -> str:
+        for base, kind in kinds.items():
+            if kind == "histogram" and name.startswith(base) and \
+                    name[len(base):] in _HISTOGRAM_SUFFIXES:
+                return base
+        return name
+
+    for line_number, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            fields = line.split(None, 3)
+            if len(fields) < 3 or fields[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment: legal, ignored
+            name = fields[2]
+            if fields[1] == "TYPE":
+                kind = fields[3].strip() if len(fields) > 3 else ""
+                if kind not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                    raise ValueError(
+                        f"line {line_number}: invalid TYPE {kind!r} for {name}")
+                if name in kinds:
+                    raise ValueError(
+                        f"line {line_number}: duplicate TYPE for family {name}")
+                if name in closed or name == current:
+                    raise ValueError(
+                        f"line {line_number}: TYPE for {name} after its samples")
+                kinds[name] = kind
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {line_number}: malformed sample: {line!r}")
+        sample_name = match.group("name")
+        label_body = match.group("labels")
+        pairs = _split_label_body(label_body) if label_body else []
+        label_names = [name for name, _ in pairs]
+        if len(set(label_names)) != len(label_names):
+            raise ValueError(
+                f"line {line_number}: duplicate label name in {line!r}")
+        try:
+            value = _parse_sample_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {line_number}: unparseable value in {line!r}") from None
+        base = family_of(sample_name)
+        if base not in kinds:
+            raise ValueError(
+                f"line {line_number}: sample for {sample_name} before its TYPE")
+        if base != current:
+            if base in closed:
+                raise ValueError(
+                    f"line {line_number}: family {base} interleaved with others")
+            if current is not None:
+                closed.add(current)
+            current = base
+        series_key = (sample_name, tuple(sorted(pairs)))
+        if series_key in seen_series:
+            raise ValueError(
+                f"line {line_number}: duplicate series {sample_name}"
+                f"{dict(pairs)}")
+        seen_series.add(series_key)
+        if kinds[base] == "histogram":
+            suffix = sample_name[len(base):]
+            if suffix not in _HISTOGRAM_SUFFIXES:
+                raise ValueError(
+                    f"line {line_number}: stray sample {sample_name} in "
+                    f"histogram family {base}")
+            labels = dict(pairs)
+            series_id = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"))
+            state = histograms.setdefault(base, {}).setdefault(
+                series_id, {"buckets": [], "sum": None, "count": None})
+            if suffix == "_bucket":
+                if "le" not in labels:
+                    raise ValueError(
+                        f"line {line_number}: histogram bucket without le label")
+                state["buckets"].append(
+                    (_parse_sample_value(labels["le"]), value))
+            elif suffix == "_sum":
+                state["sum"] = value
+            else:
+                state["count"] = value
+    for base, series in histograms.items():
+        for series_id, state in series.items():
+            buckets = state["buckets"]
+            if not buckets:
+                raise ValueError(f"histogram {base}{dict(series_id)}: no buckets")
+            bounds = [bound for bound, _ in buckets]
+            if bounds != sorted(bounds):
+                raise ValueError(
+                    f"histogram {base}{dict(series_id)}: le bounds not sorted")
+            counts = [count for _, count in buckets]
+            if counts != sorted(counts):
+                raise ValueError(
+                    f"histogram {base}{dict(series_id)}: buckets not cumulative")
+            if bounds[-1] != float("inf"):
+                raise ValueError(
+                    f"histogram {base}{dict(series_id)}: missing +Inf bucket")
+            if state["count"] is None or state["sum"] is None:
+                raise ValueError(
+                    f"histogram {base}{dict(series_id)}: missing _sum/_count")
+            if state["count"] != counts[-1]:
+                raise ValueError(
+                    f"histogram {base}{dict(series_id)}: _count "
+                    f"{state['count']} != +Inf bucket {counts[-1]}")
+    return kinds
 
 
 #: The process-wide registry: module counters (fingerprints, process pool)

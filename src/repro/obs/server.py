@@ -1,0 +1,205 @@
+"""The observability endpoint: ``/metrics``, ``/healthz`` and ``/traces``.
+
+A stdlib :class:`~http.server.ThreadingHTTPServer` (thread per request)
+serving three read-only views of the process:
+
+* ``GET /metrics`` — Prometheus text exposition.  The payload callback is
+  pluggable; the default renders the global
+  :data:`~repro.obs.metrics.REGISTRY`, and
+  :meth:`ExplanationService.attach_observability
+  <repro.service.service.ExplanationService.attach_observability>` plugs in
+  the service's namespaced multi-registry rendering.
+* ``GET /healthz`` — a small JSON liveness document (status, uptime,
+  trace-ring depth) from a pluggable health callback.
+* ``GET /traces`` — recent finished traces from a
+  :class:`~repro.obs.export.TraceRing`, JSON, most recent first, each with
+  its critical path pre-computed (``?limit=N`` bounds the count,
+  ``?spans=1`` inlines full span dicts).
+
+The server binds ``127.0.0.1`` on an ephemeral port by default
+(``REPRO_OBS_PORT`` overrides), runs on a daemon thread, and shuts down
+gracefully via :meth:`ObservabilityServer.close` (also a context manager).
+Handler errors return a JSON 500 — a scrape can fail, the process cannot.
+
+Stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional
+from urllib.parse import parse_qs, urlparse
+
+from .analyze import critical_path
+from .export import TraceRing
+from .metrics import REGISTRY
+
+__all__ = ["ObservabilityServer", "OBS_PORT_ENV"]
+
+#: Environment variable naming the scrape port (0/unset → ephemeral).
+OBS_PORT_ENV = "REPRO_OBS_PORT"
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObservabilityServer:
+    """Serves metrics, health and recent traces for one process.
+
+    ``metrics_text`` returns the ``/metrics`` payload (default: the global
+    registry); ``health`` returns a JSON-able dict merged into the standard
+    ``/healthz`` document; ``ring`` is the trace ring behind ``/traces``
+    (one is created when not supplied — register ``server.ring.add`` as a
+    trace consumer to feed it).
+    """
+
+    def __init__(self, *,
+                 metrics_text: Optional[Callable[[], str]] = None,
+                 health: Optional[Callable[[], dict]] = None,
+                 ring: Optional[TraceRing] = None,
+                 host: str = "127.0.0.1",
+                 port: Optional[int] = None) -> None:
+        self.metrics_text = metrics_text or REGISTRY.render_text
+        self.health = health
+        self.ring = ring if ring is not None else TraceRing()
+        self.host = host
+        if port is None:
+            try:
+                port = int(os.environ.get(OBS_PORT_ENV, "").strip() or 0)
+            except ValueError:
+                port = 0
+        self.port = port
+        self._started_at = time.monotonic()
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> "ObservabilityServer":
+        """Bind and serve on a daemon thread; returns self (chainable)."""
+        if self._server is not None:
+            return self
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            server_version = "repro-obs/1"
+            protocol_version = "HTTP/1.1"
+
+            def log_message(self, fmt, *args):  # no stderr spam per scrape
+                pass
+
+            def do_GET(self) -> None:
+                try:
+                    outer._route(self)
+                except BrokenPipeError:  # client went away mid-response
+                    pass
+                except Exception as error:
+                    try:
+                        outer._respond_json(
+                            self, {"error": repr(error)}, status=500)
+                    except Exception:
+                        pass
+
+        self._server = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._server.daemon_threads = True
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True,
+            name=f"repro-obs-server:{self.port}")
+        self._thread.start()
+        self._started_at = time.monotonic()
+        return self
+
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        server, thread = self._server, self._thread
+        self._server = None
+        self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None:
+            thread.join(timeout_s)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- routing
+    def _route(self, handler: BaseHTTPRequestHandler) -> None:
+        parsed = urlparse(handler.path)
+        path = parsed.path.rstrip("/") or "/"
+        if path == "/metrics":
+            body = self.metrics_text().encode("utf-8")
+            handler.send_response(200)
+            handler.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            handler.send_header("Content-Length", str(len(body)))
+            handler.end_headers()
+            handler.wfile.write(body)
+        elif path == "/healthz":
+            payload = {
+                "status": "ok",
+                "uptime_s": round(time.monotonic() - self._started_at, 3),
+                "traces": len(self.ring),
+            }
+            if self.health is not None:
+                payload.update(self.health())
+            self._respond_json(handler, payload)
+        elif path == "/traces":
+            query = parse_qs(parsed.query)
+            limit = _int_param(query, "limit", default=16)
+            with_spans = _int_param(query, "spans", default=0) > 0
+            traces = self.ring.traces()[:max(0, limit)]
+            payload = {
+                "count": len(traces),
+                "traces": [_trace_document(trace, with_spans)
+                           for trace in traces],
+            }
+            self._respond_json(handler, payload)
+        else:
+            self._respond_json(
+                handler,
+                {"error": f"unknown path {path!r}",
+                 "paths": ["/metrics", "/healthz", "/traces"]},
+                status=404)
+
+    @staticmethod
+    def _respond_json(handler: BaseHTTPRequestHandler, payload: dict,
+                      status: int = 200) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        handler.send_response(status)
+        handler.send_header("Content-Type", "application/json")
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)
+
+
+def _int_param(query: Dict[str, List[str]], key: str, default: int) -> int:
+    try:
+        return int(query.get(key, [default])[0])
+    except (TypeError, ValueError):
+        return default
+
+
+def _trace_document(trace, with_spans: bool) -> dict:
+    path = critical_path(trace)
+    roots = [step.name for step in path[:1]]
+    document = {
+        "trace_id": trace.trace_id,
+        "root": roots[0] if roots else None,
+        "wall_s": path[0].wall_s if path else 0.0,
+        "span_count": len(trace.spans),
+        "critical_path": [step.to_dict() for step in path],
+    }
+    if with_spans:
+        document["spans"] = trace.to_dicts()
+    return document

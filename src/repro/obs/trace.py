@@ -64,6 +64,8 @@ __all__ = [
     "end_request",
     "append_jsonl",
     "read_traces",
+    "add_trace_consumer",
+    "remove_trace_consumer",
 ]
 
 #: Environment variable controlling tracing: unset/``0`` disables, a truthy
@@ -244,6 +246,7 @@ class Tracer:
 
     def __init__(self) -> None:
         self.trace_id = uuid.uuid4().hex[:16]
+        self.origin_epoch = time.time()
         self._origin = time.perf_counter()
         self._lock = threading.Lock()
         self._spans: List[Span] = []
@@ -348,7 +351,8 @@ class Tracer:
     def finish(self) -> "Trace":
         """Seal the tracer into an immutable :class:`Trace`."""
         with self._lock:
-            return Trace(self.trace_id, list(self._spans))
+            return Trace(self.trace_id, list(self._spans),
+                         origin_epoch=self.origin_epoch)
 
     # ---------------------------------------------------------------- internals
     def _push(self, span: Span) -> None:
@@ -366,13 +370,21 @@ class Tracer:
 
 
 class Trace:
-    """The finished spans of one request, renderable and serialisable."""
+    """The finished spans of one request, renderable and serialisable.
 
-    __slots__ = ("trace_id", "spans")
+    ``origin_epoch`` is the wall-clock (``time.time()``) instant of the
+    trace origin — span offsets plus it give absolute timestamps, which the
+    OTLP exporter needs.  Traces re-read from JSONL carry ``0.0`` (offsets
+    stay exact; absolute placement is not round-tripped).
+    """
 
-    def __init__(self, trace_id: str, spans: List[Span]) -> None:
+    __slots__ = ("trace_id", "spans", "origin_epoch")
+
+    def __init__(self, trace_id: str, spans: List[Span],
+                 origin_epoch: float = 0.0) -> None:
         self.trace_id = trace_id
         self.spans = spans
+        self.origin_epoch = origin_epoch
 
     # ------------------------------------------------------------------ queries
     def find(self, name: str) -> List[Span]:
@@ -539,10 +551,12 @@ def begin_request() -> Tuple[object, Optional[object]]:
 
 
 def end_request(tracer, token) -> Optional[Trace]:
-    """End-of-request hook: deactivate, finish, and dump an owned tracer.
+    """End-of-request hook: deactivate, finish, dump and fan out an owned tracer.
 
     Returns the finished :class:`Trace` when this request owned the tracer
-    (``token`` from :func:`begin_request`), ``None`` otherwise.
+    (``token`` from :func:`begin_request`), ``None`` otherwise.  Registered
+    trace consumers (exporters, trace rings) are notified with the finished
+    trace; a failing consumer never fails the request.
     """
     if token is None:
         return None
@@ -554,7 +568,54 @@ def end_request(tracer, token) -> Optional[Trace]:
             append_jsonl(trace, path)
         except OSError:  # tracing must never fail a request
             pass
+    _notify_consumers(trace)
     return trace
+
+
+# ------------------------------------------------------------ trace consumers
+_CONSUMER_LOCK = threading.Lock()
+_CONSUMERS: "Dict[str, object]" = {}
+
+#: Environment variable naming an OTLP sink (file path, http(s) URL); when
+#: set, :mod:`repro.obs.export` lazily installs a span exporter the first
+#: time a traced request finishes.
+OTLP_SINK_ENV = "REPRO_OTLP_SINK"
+
+
+def add_trace_consumer(key: str, consumer) -> None:
+    """Register ``consumer(trace)`` to run on every finished owned trace.
+
+    Re-registering a key replaces its consumer.  Consumers run on the
+    request thread and must be fast and non-blocking (exporters enqueue and
+    return); exceptions are swallowed.
+    """
+    with _CONSUMER_LOCK:
+        _CONSUMERS[key] = consumer
+
+
+def remove_trace_consumer(key: str) -> None:
+    with _CONSUMER_LOCK:
+        _CONSUMERS.pop(key, None)
+
+
+def _notify_consumers(trace: Trace) -> None:
+    # Install (or retire, when the env var went away) the REPRO_OTLP_SINK
+    # exporter before fan-out, so the very first traced request exports.
+    with _CONSUMER_LOCK:
+        env_installed = "otlp-env" in _CONSUMERS
+    if env_installed or os.environ.get(OTLP_SINK_ENV, "").strip():
+        try:
+            from .export import ensure_env_exporter
+            ensure_env_exporter()
+        except Exception:  # the env exporter must never fail a request
+            pass
+    with _CONSUMER_LOCK:
+        consumers = list(_CONSUMERS.values())
+    for consumer in consumers:
+        try:
+            consumer(trace)
+        except Exception:  # a broken consumer must never fail a request
+            continue
 
 
 # ---------------------------------------------------------------- JSONL files

@@ -44,6 +44,7 @@ then submit.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -56,6 +57,7 @@ from ..dataframe.frame import DataFrame
 from ..errors import ServiceError, ServiceOverloadError
 from ..explain.explainable import ExplainableDataFrame
 from ..obs.metrics import REGISTRY as _GLOBAL_REGISTRY
+from ..obs.metrics import render_registries
 from ..operators.step import ExploratoryStep
 from ..session import CacheStore, ExplanationSession
 from .metrics import ServiceMetrics
@@ -139,6 +141,18 @@ class ExplanationService:
             max_workers=self.service_config.workers,
             thread_name_prefix="fedex-service",
         )
+        self._obs_server = None
+        self._obs_consumer_key: Optional[str] = None
+        self._obs_exporter = None
+        if os.environ.get("REPRO_OBS_PORT", "").strip():
+            # Zero-code observability: REPRO_OBS_PORT=<port> serves this
+            # service's /metrics, /healthz and /traces on construction.  A
+            # bind failure (port taken by another replica) must not take
+            # the service down with it.
+            try:
+                self.attach_observability()
+            except OSError:
+                pass
 
     # ------------------------------------------------------------------ public
     def open(self, tenant: str, frame: DataFrame,
@@ -253,26 +267,92 @@ class ExplanationService:
         return payload
 
     def render_metrics(self) -> str:
-        """Every metric this service can see, in Prometheus text format.
+        """Every metric this service can see, as ONE valid Prometheus document.
 
-        Concatenates the service's own registry (request counters, the
-        latency histogram, and the store-usage collector), the shared
-        store's counter registry, and the process-global registry
+        Merges the service's own registry (request counters, the latency
+        histogram, and the store-usage collector), the shared store's
+        counter registry, and the process-global registry
         (:data:`repro.obs.metrics.REGISTRY`, which carries the process-pool
-        and fingerprint collectors) — one scrapable document.
+        and fingerprint collectors) through
+        :func:`~repro.obs.metrics.render_registries`: families are
+        namespaced (``repro_service_``/``repro_store_``/``repro_``) and
+        deduped across registries, so identically named families can no
+        longer render as the duplicate metric blocks scrapers reject.
         """
-        parts = [self.metrics.registry.render_text(),
-                 self.store.metrics.registry.render_text(),
-                 _GLOBAL_REGISTRY.render_text()]
-        return "".join(part for part in parts if part)
+        return render_registries([
+            ("service", self.metrics.registry),
+            ("store", self.store.metrics.registry),
+            ("", _GLOBAL_REGISTRY),
+        ])
+
+    def attach_observability(self, port: Optional[int] = None,
+                             host: str = "127.0.0.1",
+                             ring_capacity: int = 64,
+                             export_sink=None):
+        """Serve this service's telemetry over HTTP; returns the server.
+
+        Starts a :class:`~repro.obs.server.ObservabilityServer` bound to
+        ``host:port`` (``port=None`` honours ``REPRO_OBS_PORT``, else picks
+        an ephemeral port) whose ``/metrics`` is :meth:`render_metrics`,
+        whose ``/traces`` ring is fed every finished traced request, and
+        whose ``/healthz`` reports tenant/worker state.  ``export_sink``
+        additionally installs a span exporter (file path, URL or callable —
+        see :func:`repro.obs.export.resolve_sink`).  Idempotent; the server
+        shuts down with :meth:`close`.
+        """
+        if self._obs_server is not None:
+            return self._obs_server
+        from ..obs.export import SpanExporter, TraceRing
+        from ..obs.server import ObservabilityServer
+        from ..obs.trace import add_trace_consumer
+
+        ring = TraceRing(capacity=ring_capacity)
+        server = ObservabilityServer(
+            metrics_text=self.render_metrics,
+            health=self._health,
+            ring=ring,
+            host=host,
+            port=port,
+        ).start()
+        key = f"service-ring-{id(self)}"
+        add_trace_consumer(key, ring.add)
+        self._obs_server = server
+        self._obs_consumer_key = key
+        if export_sink is not None:
+            exporter = SpanExporter(export_sink)
+            add_trace_consumer(f"{key}-otlp", exporter.export)
+            self._obs_exporter = exporter
+        return server
+
+    def _health(self) -> Dict[str, object]:
+        with self._state_lock:
+            tenants = len(self._sessions)
+        return {
+            "status": "closed" if self._closed else "ok",
+            "tenants": tenants,
+            "workers": self.service_config.workers,
+            "store_bytes": self.store.usage_bytes,
+        }
 
     def save_cache(self, path: str) -> int:
         """Snapshot the shared store (see :meth:`CacheStore.save`)."""
         return self.store.save(path)
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting requests and shut the worker pool down."""
+        """Stop accepting requests, detach observability, shut the pool down."""
         self._closed = True
+        if self._obs_consumer_key is not None:
+            from ..obs.trace import remove_trace_consumer
+
+            remove_trace_consumer(self._obs_consumer_key)
+            remove_trace_consumer(f"{self._obs_consumer_key}-otlp")
+            self._obs_consumer_key = None
+        if self._obs_exporter is not None:
+            self._obs_exporter.close()
+            self._obs_exporter = None
+        if self._obs_server is not None:
+            self._obs_server.close()
+            self._obs_server = None
         self._executor.shutdown(wait=wait)
 
     def __enter__(self) -> "ExplanationService":

@@ -771,3 +771,83 @@ class TestTraceAggregation:
                 calculator.partition_contributions(partition, attribute)
         assert backend.stats()["fallback_reason"] is None
         assert not backend._tracer.enabled
+
+
+# --------------------------------------------------- worker metrics shipping
+class TestWorkerMetricsShipping:
+    """Worker registry deltas ride home with batch stats and merge under a
+    ``worker`` label, so the parent's scrape endpoint and
+    ``PROCESS_STATS.snapshot()`` tell one story."""
+
+    def _run(self, filter_step, **backend_kwargs):
+        measure = ExceptionalityMeasure()
+        grid = _wide_grid(filter_step.primary_input, n=7)
+        backend = ProcessBackend(filter_step, measure, workers=WORKERS,
+                                 spill_bytes=0, steal=False, **backend_kwargs)
+        calculator = ContributionCalculator(filter_step, measure,
+                                            backend=backend)
+        calculator.prefetch(grid)
+        for partition, attribute in grid:
+            calculator.partition_contributions(partition, attribute)
+        return backend, grid
+
+    def test_worker_series_land_with_worker_labels(self, filter_step):
+        import os
+
+        from repro.obs.metrics import REGISTRY, registry_delta
+
+        before = REGISTRY.dump()
+        stats_before = PROCESS_STATS.snapshot()
+        backend, grid = self._run(filter_step, shard_batch=2)
+        assert backend.stats()["fallback_reason"] is None
+        delta = registry_delta(before, REGISTRY.dump())
+        stats_delta = PROCESS_STATS.delta(stats_before)
+        assert stats_delta["serial_retries"] == 0
+
+        batches = delta["repro_worker_batch_seconds"]
+        worker_at = batches["labelnames"].index("worker")
+        pids = {key[worker_at] for key in batches["series"]}
+        # The label is a genuinely foreign pid, one series per worker used.
+        assert pids and str(os.getpid()) not in pids
+        assert sum(series["count"] for series in batches["series"].values()) \
+            == stats_delta["batches_submitted"]
+
+        # The parent-side dispatch histogram covers the same batches and
+        # agrees about which workers served them.
+        parent = delta["repro_process_batch_seconds"]
+        parent_at = parent["labelnames"].index("worker")
+        assert {key[parent_at] for key in parent["series"]} == pids
+        assert sum(series["count"] for series in parent["series"].values()) \
+            == stats_delta["batches_submitted"]
+
+        # Every grid pair was timed exactly once, inside some worker.
+        pairs = delta["repro_worker_pair_seconds"]
+        assert sum(series["count"] for series in pairs["series"].values()) \
+            == len(grid)
+
+    def test_structure_events_agree_with_process_stats(self, filter_step):
+        from repro.obs.metrics import REGISTRY, registry_delta
+
+        before = REGISTRY.dump()
+        stats_before = PROCESS_STATS.snapshot()
+        backend, _grid = self._run(filter_step, shard_batch=2)
+        assert backend.stats()["fallback_reason"] is None
+        delta = registry_delta(before, REGISTRY.dump())
+        stats_delta = PROCESS_STATS.delta(stats_before)
+
+        events = delta["repro_worker_structure_events_total"]
+        at = {name: i for i, name in enumerate(events["labelnames"])}
+
+        def shipped(tier, event):
+            return int(sum(
+                value for key, value in events["series"].items()
+                if key[at["tier"]] == tier and key[at["event"]] == event))
+
+        # The scrape endpoint's counter and the snapshot's integers are two
+        # views of the same worker-shipped deltas — they must agree exactly.
+        assert shipped("local", "hit") == stats_delta["structure_hits"]
+        assert shipped("local", "miss") == stats_delta["structure_misses"]
+        assert shipped("shared", "hit") == stats_delta["shared_structure_hits"]
+        assert shipped("shared", "store") \
+            == stats_delta["shared_structure_stores"]
+        assert shipped("local", "hit") + shipped("local", "miss") > 0

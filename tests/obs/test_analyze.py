@@ -1,0 +1,175 @@
+"""Trace analysis: critical paths, self times, folding, JSONL round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import FedexConfig
+from repro.dataframe.column import Column
+from repro.dataframe.frame import DataFrame
+from repro.dataframe.predicates import Comparison
+from repro.explain import ExplainableDataFrame
+from repro.obs.analyze import (
+    TraceSummary,
+    critical_path,
+    folded,
+    rollup,
+    self_times,
+    summarize,
+    summarize_jsonl,
+)
+from repro.obs.trace import Span, Trace, append_jsonl, tracing
+
+
+def _span(span_id, parent_id, name, wall_s, attrs=None):
+    return Span(span_id, parent_id, name, attrs=dict(attrs or {}),
+                started_s=0.0, wall_s=wall_s, cpu_s=wall_s / 2)
+
+
+@pytest.fixture
+def known_trace():
+    """root(1.0) → a(0.6) → leaf(0.1); root → b(0.3); plus one event."""
+    return Trace("t1", [
+        _span(1, None, "root", 1.0),
+        _span(2, 1, "a", 0.6),
+        _span(3, 1, "b", 0.3),
+        _span(4, 2, "leaf", 0.1),
+        Span(5, 1, "cache.hit", attrs={"count": 7}),
+    ])
+
+
+class TestSelfTimes:
+    def test_subtracts_timed_children_only(self, known_trace):
+        selves = self_times(known_trace)
+        assert selves[1] == pytest.approx(0.1)   # 1.0 - (0.6 + 0.3)
+        assert selves[2] == pytest.approx(0.5)   # 0.6 - 0.1
+        assert selves[3] == pytest.approx(0.3)
+        assert selves[4] == pytest.approx(0.1)
+        assert selves[5] == 0.0                  # events carry no time
+
+    def test_parallel_children_clamp_at_zero(self):
+        trace = Trace("t", [
+            _span(1, None, "batch", 0.5),
+            _span(2, 1, "w1", 0.4),
+            _span(3, 1, "w2", 0.4),
+        ])
+        assert self_times(trace)[1] == 0.0
+
+
+class TestCriticalPath:
+    def test_follows_heaviest_children(self, known_trace):
+        names = [step.name for step in critical_path(known_trace)]
+        assert names == ["root", "a", "leaf"]
+
+    def test_steps_carry_wall_and_self(self, known_trace):
+        root = critical_path(known_trace)[0]
+        assert root.wall_s == pytest.approx(1.0)
+        assert root.self_s == pytest.approx(0.1)
+
+    def test_empty_and_event_only_traces(self):
+        assert critical_path(Trace("t", [])) == []
+        events = Trace("t", [Span(1, None, "e", attrs={"count": 1})])
+        assert critical_path(events) == []
+
+    def test_orphan_parents_become_roots(self):
+        # A grafted span whose parent did not travel with it still anchors
+        # a path instead of vanishing.
+        trace = Trace("t", [_span(7, 99, "orphan", 0.4)])
+        assert [step.name for step in critical_path(trace)] == ["orphan"]
+
+
+class TestRollupAndFolded:
+    def test_rollup_groups_by_name(self, known_trace):
+        entries = {entry["name"]: entry for entry in rollup(known_trace)}
+        assert entries["a"]["self_s"] == pytest.approx(0.5)
+        assert entries["cache.hit"]["count"] == 7
+        assert entries["cache.hit"]["self_s"] == 0.0
+        # Sorted by self time descending.
+        assert [e["name"] for e in rollup(known_trace)][0] == "a"
+
+    def test_folded_stacks_merge_and_weight_in_microseconds(self, known_trace):
+        lines = dict(line.rsplit(" ", 1) for line in
+                     folded(known_trace).splitlines())
+        assert int(lines["root"]) == pytest.approx(100000, abs=2)
+        assert int(lines["root;a"]) == pytest.approx(500000, abs=2)
+        assert int(lines["root;a;leaf"]) == pytest.approx(100000, abs=2)
+        assert "cache.hit" not in folded(known_trace)
+
+    def test_summary_bundle(self, known_trace):
+        summary = summarize(known_trace)
+        assert isinstance(summary, TraceSummary)
+        assert summary.total_wall_s == pytest.approx(1.0)
+        text = summary.render_text()
+        assert "critical path:" in text and "root" in text
+        payload = summary.to_dict()
+        assert payload["trace_id"] == "t1"
+        assert [s["name"] for s in payload["critical_path"]] == ["root", "a", "leaf"]
+
+
+# ------------------------------------------------------- hypothesis round-trip
+@st.composite
+def span_trees(draw):
+    """A random well-formed span list: ids 1..n, parents always earlier."""
+    count = draw(st.integers(min_value=1, max_value=12))
+    spans = []
+    for span_id in range(1, count + 1):
+        parent = (None if span_id == 1
+                  else draw(st.integers(min_value=1, max_value=span_id - 1)))
+        wall = draw(st.floats(min_value=0.0, max_value=10.0,
+                              allow_nan=False, allow_infinity=False))
+        is_event = draw(st.booleans()) and span_id > 1
+        if is_event:
+            spans.append(Span(span_id, parent, f"e{span_id}",
+                              attrs={"count": draw(st.integers(1, 50))}))
+        else:
+            spans.append(_span(span_id, parent, f"s{span_id}", wall))
+    return Trace("rt", spans)
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(trace=span_trees())
+    def test_jsonl_round_trip_preserves_analysis(self, trace):
+        restored = Trace.from_jsonl(trace.to_jsonl())
+        live, back = summarize(trace), summarize(restored)
+        assert [(s.name, s.span_id) for s in back.critical_path] == \
+            [(s.name, s.span_id) for s in live.critical_path]
+        assert back.rollup == live.rollup
+        assert back.folded == live.folded
+
+    def test_summarize_jsonl_over_a_dump(self, tmp_path, known_trace):
+        path = str(tmp_path / "traces.jsonl")
+        append_jsonl(known_trace, path)
+        append_jsonl(Trace("t2", [_span(1, None, "only", 0.2)]), path)
+        summaries = summarize_jsonl(path)
+        assert [s.trace_id for s in summaries] == ["t1", "t2"]
+        assert [s.critical_path[0].name for s in summaries] == ["root", "only"]
+
+
+# -------------------------------------------------------------- engine wiring
+class TestReportTraceSummary:
+    def test_traced_report_summarises_its_own_trace(self):
+        rng = np.random.default_rng(7)
+        frame = DataFrame([
+            Column("x", rng.normal(size=600)),
+            Column("g", rng.integers(0, 5, size=600).astype(float)),
+        ])
+        with tracing(True):
+            report = ExplainableDataFrame(frame, config=FedexConfig()).filter(
+                Comparison("x", ">", 0.0)).explain()
+        summary = report.trace_summary()
+        assert summary is not None
+        assert summary.critical_path[0].name == "explain"
+        assert len(summary.critical_path) >= 2
+        assert summary.total_wall_s > 0
+
+    def test_untraced_report_returns_none(self):
+        rng = np.random.default_rng(7)
+        frame = DataFrame([Column("x", rng.normal(size=200))])
+        with tracing(False):
+            report = ExplainableDataFrame(frame, config=FedexConfig()).filter(
+                Comparison("x", ">", 0.0)).explain()
+        assert report.trace_summary() is None

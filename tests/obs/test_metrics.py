@@ -14,6 +14,10 @@ from repro.obs.metrics import (
     MetricsRegistry,
     capture,
     default_buckets,
+    namespace_metric,
+    registry_delta,
+    render_registries,
+    validate_prometheus_text,
 )
 
 
@@ -358,3 +362,228 @@ class TestModuleWiring:
             assert delta["full_hashes"] == 1
         finally:
             FINGERPRINT_STATS.full_hashes -= 1
+
+
+# ------------------------------------------------- dump / delta / merge (IPC)
+class TestDumpDeltaMerge:
+    def test_dump_is_plain_picklable_state(self, registry):
+        import pickle
+
+        registry.counter("repro_x_total", "things", ("t",)).labels(t="a").inc(2)
+        registry.histogram("repro_y_seconds", buckets=(1.0, 2.0)).observe(0.5)
+        payload = pickle.loads(pickle.dumps(registry.dump()))
+        assert payload["repro_x_total"]["series"][("a",)] == 2
+        state = payload["repro_y_seconds"]["series"][()]
+        assert state["count"] == 1 and state["sum"] == 0.5
+
+    def test_delta_diffs_counters_and_histograms(self, registry):
+        counter = registry.counter("repro_x_total")
+        histogram = registry.histogram("repro_y_seconds")
+        counter.inc(5)
+        histogram.observe(0.1)
+        before = registry.dump()
+        counter.inc(3)
+        histogram.observe(0.2)
+        histogram.observe(0.4)
+        delta = registry_delta(before, registry.dump())
+        assert delta["repro_x_total"]["series"][()] == 3
+        state = delta["repro_y_seconds"]["series"][()]
+        assert state["count"] == 2
+        assert state["sum"] == pytest.approx(0.6)
+
+    def test_quiet_series_ship_nothing(self, registry):
+        registry.counter("repro_x_total").inc(5)
+        registry.histogram("repro_y_seconds").observe(1.0)
+        before = registry.dump()
+        delta = registry_delta(before, registry.dump())
+        assert delta == {}
+
+    def test_merge_adds_extra_labels(self, registry):
+        registry.counter("repro_x_total", "things", ("t",)).labels(t="a").inc(4)
+        registry.histogram("repro_y_seconds").observe(0.25)
+        parent = MetricsRegistry()
+        parent.merge(registry.dump(), labels={"worker": "123"})
+        snapshot = parent.snapshot()
+        assert snapshot['repro_x_total{t="a",worker="123"}'] == 4
+        assert snapshot['repro_y_seconds{worker="123"}_count'] == 1
+
+    def test_merge_accumulates_across_batches(self, registry):
+        counter = registry.counter("repro_x_total")
+        parent = MetricsRegistry()
+        before = registry.dump()
+        counter.inc(2)
+        parent.merge(registry_delta(before, registry.dump()), labels={"worker": "1"})
+        before = registry.dump()
+        counter.inc(3)
+        parent.merge(registry_delta(before, registry.dump()), labels={"worker": "1"})
+        assert parent.snapshot()['repro_x_total{worker="1"}'] == 5
+
+    def test_merged_histogram_quantiles_follow_observations(self, registry):
+        histogram = registry.histogram("repro_y_seconds")
+        for value in (0.001, 0.002, 0.004, 0.5):
+            histogram.observe(value)
+        parent = MetricsRegistry()
+        parent.merge(registry.dump(), labels={"worker": "9"})
+        child = parent.histogram(
+            "repro_y_seconds", labelnames=("worker",)).labels(worker="9")
+        assert child.count == 4
+        assert child.quantile(0.5) <= 0.01
+
+    def test_merge_skips_clashing_registrations(self, registry):
+        registry.counter("repro_x").inc(1)
+        parent = MetricsRegistry()
+        parent.gauge("repro_x", labelnames=("worker",)).labels(worker="1").set(7)
+        parent.merge(registry.dump(), labels={"worker": "1"})  # must not raise
+        assert parent.snapshot()['repro_x{worker="1"}'] == 7
+
+    def test_merge_survives_bucket_length_mismatch(self, registry):
+        registry.histogram("repro_y_seconds", buckets=(1.0,)).observe(0.5)
+        parent = MetricsRegistry()
+        parent.histogram("repro_y_seconds", labelnames=("worker",),
+                         buckets=(1.0, 2.0, 4.0)).labels(worker="1").observe(0.5)
+        parent.merge(registry.dump(), labels={"worker": "1"})
+        # The mismatched payload is ignored; the existing series is intact.
+        child = parent.histogram(
+            "repro_y_seconds", labelnames=("worker",)).labels(worker="1")
+        assert child.count == 1
+
+
+# --------------------------------------------- namespaced multi-registry text
+class TestRenderRegistries:
+    def test_namespace_metric_reroots_names(self):
+        assert namespace_metric("service", "repro_service_requests_total") == \
+            "repro_service_requests_total"
+        assert namespace_metric("store", "repro_hits_total") == \
+            "repro_store_hits_total"
+        assert namespace_metric("service", "plain_total") == \
+            "repro_service_plain_total"
+        assert namespace_metric("", "repro_export_items_total") == \
+            "repro_export_items_total"
+
+    def test_duplicate_families_dedupe_across_registries(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("requests_total").inc(1)
+        second.counter("requests_total").inc(2)
+        text = render_registries([("service", first), ("service", second)])
+        assert text.count("# TYPE repro_service_requests_total counter") == 1
+        validate_prometheus_text(text)
+
+    def test_namespaced_concatenation_is_valid(self):
+        service, store = MetricsRegistry(), MetricsRegistry()
+        service.counter("repro_service_requests_total", "reqs",
+                        ("tenant",)).labels(tenant="a").inc(1)
+        service.histogram("repro_service_request_seconds").observe(0.5)
+        store.counter("repro_store_hits_total").inc(3)
+        text = render_registries([("service", service), ("store", store)])
+        kinds = validate_prometheus_text(text)
+        assert kinds["repro_service_requests_total"] == "counter"
+        assert kinds["repro_service_request_seconds"] == "histogram"
+        assert kinds["repro_store_hits_total"] == "counter"
+
+
+# --------------------------------------------------------- strict text parser
+class TestValidatePrometheusText:
+    def test_accepts_a_real_rendering(self, registry):
+        registry.counter("repro_x_total", "things", ("t",)).labels(
+            t='we"ird').inc(2)
+        registry.histogram("repro_y_seconds", "lat").observe(0.1)
+        registry.gauge("repro_z").set(-1.5)
+        kinds = validate_prometheus_text(registry.render_text())
+        assert kinds == {"repro_x_total": "counter",
+                         "repro_y_seconds": "histogram",
+                         "repro_z": "gauge"}
+
+    def test_rejects_duplicate_type_blocks(self):
+        text = ("# TYPE repro_x_total counter\nrepro_x_total 1\n"
+                "# TYPE repro_x_total counter\nrepro_x_total 2\n")
+        with pytest.raises(ValueError, match="duplicate TYPE|interleaved|duplicate series"):
+            validate_prometheus_text(text)
+
+    def test_rejects_interleaved_families(self):
+        text = ("# TYPE repro_a_total counter\n# TYPE repro_b_total counter\n"
+                "repro_a_total 1\nrepro_b_total 1\nrepro_a_total{t=\"x\"} 2\n")
+        with pytest.raises(ValueError, match="interleaved"):
+            validate_prometheus_text(text)
+
+    def test_rejects_samples_before_type(self):
+        with pytest.raises(ValueError, match="before its TYPE"):
+            validate_prometheus_text("repro_x_total 1\n")
+
+    def test_rejects_duplicate_series(self):
+        text = ("# TYPE repro_x_total counter\n"
+                "repro_x_total{t=\"a\"} 1\nrepro_x_total{t=\"a\"} 2\n")
+        with pytest.raises(ValueError, match="duplicate series"):
+            validate_prometheus_text(text)
+
+    def test_rejects_non_cumulative_histogram(self):
+        text = ("# TYPE repro_y_seconds histogram\n"
+                'repro_y_seconds_bucket{le="1"} 3\n'
+                'repro_y_seconds_bucket{le="2"} 2\n'
+                'repro_y_seconds_bucket{le="+Inf"} 4\n'
+                "repro_y_seconds_sum 1.0\nrepro_y_seconds_count 4\n")
+        with pytest.raises(ValueError, match="not cumulative"):
+            validate_prometheus_text(text)
+
+    def test_rejects_count_inf_bucket_mismatch(self):
+        text = ("# TYPE repro_y_seconds histogram\n"
+                'repro_y_seconds_bucket{le="1"} 1\n'
+                'repro_y_seconds_bucket{le="+Inf"} 2\n'
+                "repro_y_seconds_sum 1.0\nrepro_y_seconds_count 3\n")
+        with pytest.raises(ValueError, match="_count"):
+            validate_prometheus_text(text)
+
+    def test_rejects_missing_inf_bucket(self):
+        text = ("# TYPE repro_y_seconds histogram\n"
+                'repro_y_seconds_bucket{le="1"} 1\n'
+                "repro_y_seconds_sum 1.0\nrepro_y_seconds_count 1\n")
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            validate_prometheus_text(text)
+
+    def test_rejects_malformed_lines(self):
+        with pytest.raises(ValueError, match="malformed"):
+            validate_prometheus_text("# TYPE repro_x_total counter\n"
+                                     "repro_x_total{t=a} 1\n")
+        with pytest.raises(ValueError, match="unparseable"):
+            validate_prometheus_text("# TYPE repro_x_total counter\n"
+                                     "repro_x_total one\n")
+
+    def test_naive_concatenation_of_shared_names_is_rejected(self):
+        # The exact failure mode render_registries exists to fix: two
+        # registries sharing a family name, concatenated verbatim.
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("repro_requests_total").inc(1)
+        second.counter("repro_requests_total").inc(2)
+        broken = first.render_text() + second.render_text()
+        with pytest.raises(ValueError):
+            validate_prometheus_text(broken)
+
+
+class TestRenderUnderConcurrentWrites:
+    def test_every_scrape_is_valid_while_observers_hammer(self):
+        """A scrape racing live ``observe()`` calls must never render a
+        histogram whose +Inf cumulative disagrees with its ``_count`` —
+        the torn-read shape a strict scraper rejects."""
+        registry = MetricsRegistry()
+        family = registry.histogram("repro_race_seconds", "contended",
+                                    ("worker",))
+        stop = threading.Event()
+
+        def hammer(worker):
+            child = family.labels(worker=str(worker))
+            value = 0.0
+            while not stop.is_set():
+                value = (value + 0.37) % 8.0
+                child.observe(value)
+
+        threads = [threading.Thread(target=hammer, args=(n,))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            for _ in range(200):
+                families = validate_prometheus_text(registry.render_text())
+                assert families["repro_race_seconds"] == "histogram"
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(5)

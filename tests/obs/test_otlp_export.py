@@ -1,0 +1,316 @@
+"""The export tier: OTLP shapes, sinks, the bounded queue, retry, env wiring."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.export import (
+    FileSink,
+    HTTPSink,
+    MetricsExporter,
+    SpanExporter,
+    TraceRing,
+    ensure_env_exporter,
+    metrics_to_otlp,
+    resolve_sink,
+    spans_payload,
+    trace_to_otlp,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    Tracer,
+    add_trace_consumer,
+    begin_request,
+    end_request,
+    remove_trace_consumer,
+    tracing,
+)
+
+
+def _sample_trace():
+    tracer = Tracer()
+    with tracer.span("explain", tenant="a"):
+        with tracer.span("phase3.contribution"):
+            pass
+        tracer.event("cache.hit", n=3)
+    return tracer.finish()
+
+
+def _drain(exporter, timeout_s=5.0):
+    assert exporter.flush(timeout_s), f"exporter did not drain: {exporter.stats()}"
+
+
+# ----------------------------------------------------------------- OTLP shape
+class TestOtlpShapes:
+    def test_trace_ids_are_hex_and_sized(self):
+        trace = _sample_trace()
+        entry = trace_to_otlp(trace)
+        spans = entry["scopeSpans"][0]["spans"]
+        for span in spans:
+            assert len(span["traceId"]) == 32
+            int(span["traceId"], 16)
+            assert len(span["spanId"]) == 16
+            int(span["spanId"], 16)
+
+    def test_parent_links_and_times(self):
+        trace = _sample_trace()
+        spans = trace_to_otlp(trace)["scopeSpans"][0]["spans"]
+        by_name = {span["name"]: span for span in spans}
+        root = by_name["explain"]
+        child = by_name["phase3.contribution"]
+        assert "parentSpanId" not in root
+        assert child["parentSpanId"] == root["spanId"]
+        for span in spans:
+            assert int(span["endTimeUnixNano"]) >= int(span["startTimeUnixNano"])
+        # origin_epoch anchors the root near "now", not 1970.
+        assert int(root["startTimeUnixNano"]) > 1e18
+
+    def test_attributes_are_anyvalue_wrapped(self):
+        trace = _sample_trace()
+        spans = trace_to_otlp(trace)["scopeSpans"][0]["spans"]
+        root = next(span for span in spans if span["name"] == "explain")
+        attrs = {item["key"]: item["value"] for item in root["attributes"]}
+        assert attrs["tenant"] == {"stringValue": "a"}
+        event = next(span for span in spans if span["name"] == "cache.hit")
+        attrs = {item["key"]: item["value"] for item in event["attributes"]}
+        assert attrs["count"] == {"intValue": "3"}
+
+    def test_batch_payload_is_json_serialisable(self):
+        payload = spans_payload([_sample_trace(), _sample_trace()])
+        parsed = json.loads(json.dumps(payload))
+        assert len(parsed["resourceSpans"]) == 2
+
+    def test_metrics_histogram_shape(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("repro_y_seconds", "lat", buckets=(1.0, 2.0))
+        family.observe(0.5)
+        registry.counter("repro_x_total", labelnames=("t",)).labels(t="a").inc(2)
+        entry = metrics_to_otlp(registry)
+        metrics = {m["name"]: m for m in entry["scopeMetrics"][0]["metrics"]}
+        histogram = metrics["repro_y_seconds"]["histogram"]["dataPoints"][0]
+        assert len(histogram["bucketCounts"]) == len(histogram["explicitBounds"]) + 1
+        assert histogram["count"] == "1"
+        total = metrics["repro_x_total"]["sum"]
+        assert total["isMonotonic"] is True
+        assert total["dataPoints"][0]["asDouble"] == 2.0
+        json.dumps(entry)
+
+    def test_collector_samples_export_as_gauges(self):
+        registry = MetricsRegistry()
+        registry.register_collector("mod", lambda: [
+            ("repro_mod_total", "counter", "", 4.0, {"shard": "s"})])
+        entry = metrics_to_otlp(registry)
+        metrics = {m["name"]: m for m in entry["scopeMetrics"][0]["metrics"]}
+        assert metrics["repro_mod_total"]["gauge"]["dataPoints"][0]["asDouble"] == 4.0
+
+
+# ---------------------------------------------------------------------- sinks
+class TestSinks:
+    def test_resolve_sink_dispatch(self, tmp_path):
+        assert isinstance(resolve_sink("http://collector:4318/v1/traces"), HTTPSink)
+        assert isinstance(resolve_sink(str(tmp_path / "out.jsonl")), FileSink)
+        def sink(payload):
+            pass
+
+        assert resolve_sink(sink) is sink
+
+    def test_file_sink_appends_jsonl(self, tmp_path):
+        sink = FileSink(tmp_path / "out.jsonl")
+        sink({"a": 1})
+        sink({"b": 2})
+        lines = (tmp_path / "out.jsonl").read_text().splitlines()
+        assert [json.loads(line) for line in lines] == [{"a": 1}, {"b": 2}]
+
+
+# ------------------------------------------------------------------- exporter
+class TestSpanExporter:
+    def test_round_trip_through_file_sink(self, tmp_path):
+        path = tmp_path / "otlp.jsonl"
+        with SpanExporter(str(path), flush_interval_s=0.02) as exporter:
+            for _ in range(3):
+                assert exporter.export(_sample_trace())
+            _drain(exporter)
+        names = []
+        for line in path.read_text().splitlines():
+            payload = json.loads(line)
+            for entry in payload["resourceSpans"]:
+                for scope in entry["scopeSpans"]:
+                    names.extend(span["name"] for span in scope["spans"])
+        assert names.count("explain") == 3
+
+    def test_batches_collapse_queued_items(self):
+        batches = []
+        gate = threading.Event()
+
+        def sink(payload):
+            gate.wait(5)
+            batches.append(len(payload["resourceSpans"]))
+
+        exporter = SpanExporter(sink, queue_max=64, batch_max=64,
+                                flush_interval_s=0.02)
+        # First item occupies the worker inside the gated sink; the rest
+        # pile up in the queue and must flush as one batch.
+        exporter.export(_sample_trace())
+        time.sleep(0.05)
+        for _ in range(5):
+            exporter.export(_sample_trace())
+        gate.set()
+        _drain(exporter)
+        exporter.close()
+        assert sum(batches) == 6
+        assert max(batches) >= 5
+
+    def test_full_queue_drops_and_counts_without_blocking(self):
+        stall = threading.Event()
+        exporter = SpanExporter(lambda payload: stall.wait(30),
+                                queue_max=2, flush_interval_s=0.02,
+                                retry_max=0)
+        time.sleep(0.05)  # let the worker pick up the first stalled batch
+        started = time.perf_counter()
+        results = [exporter.export(_sample_trace()) for _ in range(20)]
+        elapsed = time.perf_counter() - started
+        assert elapsed < 0.5, "submit must never block on a stalled sink"
+        stats = exporter.stats()
+        assert results.count(False) == stats["dropped"]
+        # 20 submits against a 2-slot queue: at most a couple ride along in
+        # the worker's first (stalled) batch, everything else must drop.
+        assert stats["dropped"] >= 15
+        stall.set()
+        exporter.close()
+
+    def test_retry_with_backoff_then_success(self):
+        attempts = []
+
+        def flaky(payload):
+            attempts.append(time.perf_counter())
+            if len(attempts) < 3:
+                raise OSError("collector down")
+
+        exporter = SpanExporter(flaky, retry_max=3, backoff_base_s=0.01,
+                                flush_interval_s=0.02)
+        assert exporter.export(_sample_trace())
+        _drain(exporter)
+        exporter.close()
+        stats = exporter.stats()
+        assert len(attempts) == 3
+        assert stats["retries"] == 2
+        assert stats["exported"] == 1
+        assert stats["dropped"] == 0
+        # Exponential spacing: the second gap is at least as long as the first.
+        assert (attempts[2] - attempts[1]) >= (attempts[1] - attempts[0]) * 0.5
+
+    def test_exhausted_retries_drop_the_batch(self):
+        def broken(payload):
+            raise OSError("collector gone")
+
+        exporter = SpanExporter(broken, retry_max=1, backoff_base_s=0.001,
+                                flush_interval_s=0.01)
+        exporter.export(_sample_trace())
+        _drain(exporter)
+        exporter.close()
+        stats = exporter.stats()
+        assert stats["dropped"] == 1
+        assert stats["exported"] == 0
+        assert stats["retries"] == 1
+
+    def test_closed_exporter_drops(self):
+        exporter = SpanExporter(lambda payload: None)
+        exporter.close()
+        assert exporter.export(_sample_trace()) is False
+        assert exporter.stats()["dropped"] == 1
+
+
+class TestMetricsExporter:
+    def test_push_ships_every_registry(self):
+        first, second = MetricsRegistry(), MetricsRegistry()
+        first.counter("repro_a_total").inc(1)
+        second.counter("repro_b_total").inc(2)
+        payloads = []
+        exporter = MetricsExporter(payloads.append, registries=[first, second],
+                                   flush_interval_s=0.02)
+        assert exporter.push()
+        _drain(exporter)
+        exporter.close()
+        (payload,) = payloads
+        names = [metric["name"]
+                 for entry in payload["resourceMetrics"]
+                 for scope in entry["scopeMetrics"]
+                 for metric in scope["metrics"]]
+        assert "repro_a_total" in names and "repro_b_total" in names
+
+    def test_periodic_push(self):
+        payloads = []
+        registry = MetricsRegistry()
+        registry.counter("repro_a_total").inc(1)
+        exporter = MetricsExporter(payloads.append, registries=[registry],
+                                   flush_interval_s=0.01)
+        exporter.start_periodic(0.02)
+        time.sleep(0.15)
+        exporter.close()
+        assert len(payloads) >= 2
+
+
+# ----------------------------------------------------------------- trace ring
+class TestTraceRing:
+    def test_bounded_most_recent_first(self):
+        ring = TraceRing(capacity=2)
+        traces = [_sample_trace() for _ in range(3)]
+        for trace in traces:
+            ring.add(trace)
+        kept = ring.traces()
+        assert len(ring) == 2
+        assert [t.trace_id for t in kept] == [traces[2].trace_id,
+                                              traces[1].trace_id]
+
+    def test_clear(self):
+        ring = TraceRing()
+        ring.add(_sample_trace())
+        ring.clear()
+        assert len(ring) == 0
+
+
+# ------------------------------------------------------------- trace consumers
+class TestTraceConsumers:
+    def test_consumer_sees_every_owned_trace(self):
+        seen = []
+        add_trace_consumer("test-consumer", seen.append)
+        try:
+            with tracing(True):
+                tracer, token = begin_request()
+                with tracer.span("explain"):
+                    pass
+                trace = end_request(tracer, token)
+            assert [t.trace_id for t in seen] == [trace.trace_id]
+        finally:
+            remove_trace_consumer("test-consumer")
+
+    def test_broken_consumer_never_fails_the_request(self):
+        add_trace_consumer("broken", lambda trace: 1 / 0)
+        try:
+            with tracing(True):
+                tracer, token = begin_request()
+                with tracer.span("explain"):
+                    pass
+                assert end_request(tracer, token) is not None
+        finally:
+            remove_trace_consumer("broken")
+
+    def test_env_exporter_installs_and_retires(self, tmp_path, monkeypatch):
+        path = tmp_path / "otlp.jsonl"
+        monkeypatch.setenv("REPRO_OTLP_SINK", str(path))
+        exporter = ensure_env_exporter()
+        assert exporter is not None
+        assert ensure_env_exporter() is exporter  # idempotent
+        with tracing(True):
+            tracer, token = begin_request()
+            with tracer.span("explain"):
+                pass
+            end_request(tracer, token)
+        _drain(exporter)
+        assert "explain" in path.read_text()
+        monkeypatch.delenv("REPRO_OTLP_SINK")
+        assert ensure_env_exporter() is None

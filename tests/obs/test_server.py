@@ -1,0 +1,173 @@
+"""The observability HTTP endpoint: routes, payloads, lifecycle."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import TraceRing
+from repro.obs.metrics import (
+    MetricsRegistry,
+    validate_prometheus_text,
+)
+from repro.obs.server import (
+    OBS_PORT_ENV,
+    PROMETHEUS_CONTENT_TYPE,
+    ObservabilityServer,
+)
+from repro.obs.trace import Tracer
+
+
+def _get(url, timeout=5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+def _trace(names=("explain", "phase3.contribution")):
+    tracer = Tracer()
+    with tracer.span(names[0]):
+        for name in names[1:]:
+            with tracer.span(name):
+                pass
+    return tracer.finish()
+
+
+@pytest.fixture
+def registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_requests_total", "requests").inc(3)
+    registry.histogram("repro_latency_seconds", "latency").observe(0.2)
+    return registry
+
+
+class TestRoutes:
+    def test_metrics_prometheus_text(self, registry):
+        with ObservabilityServer(metrics_text=registry.render_text) as server:
+            status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        families = validate_prometheus_text(body.decode("utf-8"))
+        assert families["repro_requests_total"] == "counter"
+        assert families["repro_latency_seconds"] == "histogram"
+
+    def test_healthz_merges_custom_document(self):
+        ring = TraceRing()
+        ring.add(_trace())
+        server = ObservabilityServer(
+            ring=ring, health=lambda: {"tenants": 2}).start()
+        try:
+            status, headers, body = _get(server.url + "/healthz")
+        finally:
+            server.close()
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["traces"] == 1
+        assert payload["tenants"] == 2
+        assert payload["uptime_s"] >= 0
+
+    def test_traces_most_recent_first_with_critical_path(self):
+        ring = TraceRing()
+        ring.add(_trace(("first",)))
+        ring.add(_trace(("second", "child")))
+        with ObservabilityServer(ring=ring) as server:
+            _, _, body = _get(server.url + "/traces")
+        payload = json.loads(body)
+        assert payload["count"] == 2
+        assert [t["root"] for t in payload["traces"]] == ["second", "first"]
+        steps = [step["name"] for step in payload["traces"][0]["critical_path"]]
+        assert steps == ["second", "child"]
+        assert "spans" not in payload["traces"][0]
+
+    def test_traces_limit_and_spans_params(self):
+        ring = TraceRing()
+        for _ in range(3):
+            ring.add(_trace())
+        with ObservabilityServer(ring=ring) as server:
+            _, _, body = _get(server.url + "/traces?limit=1&spans=1")
+        payload = json.loads(body)
+        assert payload["count"] == 1
+        (document,) = payload["traces"]
+        assert document["span_count"] == len(document["spans"]) == 2
+
+    def test_unknown_path_is_json_404(self):
+        with ObservabilityServer() as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/nope")
+            assert excinfo.value.code == 404
+            payload = json.loads(excinfo.value.read())
+        assert "/metrics" in payload["paths"]
+
+    def test_broken_metrics_callback_is_a_500_not_a_crash(self):
+        def boom():
+            raise RuntimeError("registry on fire")
+
+        with ObservabilityServer(metrics_text=boom) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/metrics")
+            assert excinfo.value.code == 500
+            # The process keeps serving after a failed scrape.
+            status, _, _ = _get(server.url + "/healthz")
+            assert status == 200
+
+
+class TestLifecycle:
+    def test_ephemeral_port_and_url(self):
+        server = ObservabilityServer().start()
+        try:
+            assert server.port > 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+        finally:
+            server.close()
+
+    def test_env_port_zero_means_ephemeral(self, monkeypatch):
+        monkeypatch.setenv(OBS_PORT_ENV, "0")
+        server = ObservabilityServer().start()
+        try:
+            assert server.port > 0
+        finally:
+            server.close()
+
+    def test_garbage_env_port_falls_back(self, monkeypatch):
+        monkeypatch.setenv(OBS_PORT_ENV, "not-a-port")
+        server = ObservabilityServer()
+        assert server.port == 0
+
+    def test_close_is_idempotent_and_releases_the_socket(self):
+        server = ObservabilityServer().start()
+        port = server.port
+        server.close()
+        server.close()
+        with pytest.raises(urllib.error.URLError):
+            _get(f"http://127.0.0.1:{port}/healthz", timeout=0.5)
+
+    def test_start_is_idempotent(self):
+        server = ObservabilityServer().start()
+        try:
+            assert server.start() is server
+        finally:
+            server.close()
+
+    def test_concurrent_scrapes(self, registry):
+        errors = []
+
+        def scrape(url):
+            try:
+                status, _, body = _get(url)
+                assert status == 200 and b"repro_requests_total" in body
+            except Exception as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        with ObservabilityServer(metrics_text=registry.render_text) as server:
+            threads = [threading.Thread(target=scrape,
+                                        args=(server.url + "/metrics",))
+                       for _ in range(8)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(5)
+        assert errors == []

@@ -346,3 +346,49 @@ class TestEngineIntegration:
             for c in untraced.all_candidates}
         assert [e.render_text() for e in traced.explanations] == [
             e.render_text() for e in untraced.explanations]
+
+
+# ------------------------------------------------------------ concurrent dumps
+class TestConcurrentDump:
+    def test_threads_appending_jsonl_stay_line_atomic(self, tmp_path):
+        """Many threads dumping traces into one file: every line parses,
+        every trace regroups intact — no torn or interleaved spans."""
+        path = str(tmp_path / "traces.jsonl")
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def worker(worker_id):
+            try:
+                barrier.wait(5)
+                for i in range(25):
+                    tracer = Tracer()
+                    tracer.trace_id = f"w{worker_id}-{i}"
+                    with tracer.span("explain", worker=worker_id):
+                        with tracer.span("phase3.contribution"):
+                            pass
+                        tracer.event("cache.hit", n=i)
+                    append_jsonl(tracer.finish(), path)
+            except Exception as error:  # noqa: BLE001 - collected for assert
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert errors == []
+
+        import json
+        with open(path, encoding="utf-8") as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 8 * 25 * 3  # 2 spans + 1 event per trace
+        for line in lines:
+            json.loads(line)  # every single line is intact JSON
+
+        traces = {trace.trace_id: trace for trace in read_traces(path)}
+        assert len(traces) == 8 * 25
+        for worker_id in range(8):
+            for i in range(25):
+                trace = traces[f"w{worker_id}-{i}"]
+                assert [span.name for span in trace.spans] == [
+                    "explain", "phase3.contribution", "cache.hit"]

@@ -270,3 +270,83 @@ class TestMetrics:
         service.explain("alice", _steps(spotify_small)[0])
         assert service.stats("alice")["store_bytes"] > 0
         assert service.stats()["store_bytes"] >= service.stats("alice")["store_bytes"]
+
+
+class TestObservability:
+    def test_render_metrics_is_one_valid_prometheus_document(
+            self, service, spotify_small):
+        from repro.obs.metrics import validate_prometheus_text
+
+        service.explain("alice", _steps(spotify_small)[0])
+        families = validate_prometheus_text(service.render_metrics())
+        # Historical names survive the namespacing (they already conform),
+        # and each family appears exactly once — the parser would reject
+        # the old concatenation's duplicate blocks.
+        assert families["repro_service_requests_total"] == "counter"
+        assert families["repro_service_request_seconds"] == "histogram"
+
+    def test_duplicate_family_names_across_registries_dedupe(
+            self, service, spotify_small):
+        from repro.obs.metrics import REGISTRY, validate_prometheus_text
+
+        # Force the collision render_metrics has to survive: the same
+        # family name registered in the service registry and the global
+        # one.  Namespacing keeps them distinct; nothing is dropped.
+        try:
+            service.metrics.registry.counter("collide_total", "svc side").inc(1)
+            REGISTRY.counter("collide_total", "global side").inc(2)
+        except ValueError:
+            pass  # already registered by an earlier test in this process
+        families = validate_prometheus_text(service.render_metrics())
+        assert "repro_service_collide_total" in families
+        assert "repro_collide_total" in families
+        service.explain("alice", _steps(spotify_small)[0])
+        validate_prometheus_text(service.render_metrics())
+
+    def test_attach_observability_serves_and_detaches(
+            self, service, spotify_small, monkeypatch):
+        import json
+        import urllib.request
+
+        from repro.obs.metrics import validate_prometheus_text
+
+        server = service.attach_observability()
+        assert service.attach_observability() is server  # idempotent
+        # Requests run on pool threads, which see the env flag rather than
+        # the caller's context-local tracing() override.
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        service.explain("alice", _steps(spotify_small)[0])
+
+        with urllib.request.urlopen(server.url + "/metrics", timeout=5) as r:
+            families = validate_prometheus_text(r.read().decode("utf-8"))
+        assert families["repro_service_requests_total"] == "counter"
+
+        with urllib.request.urlopen(server.url + "/healthz", timeout=5) as r:
+            health = json.loads(r.read())
+        assert health["status"] == "ok"
+        assert health["tenants"] == 1
+        assert health["workers"] == service.service_config.workers
+
+        with urllib.request.urlopen(server.url + "/traces", timeout=5) as r:
+            traces = json.loads(r.read())
+        assert traces["count"] >= 1
+        assert traces["traces"][0]["root"] == "explain"
+        assert traces["traces"][0]["critical_path"]
+
+        service.close()
+        # The socket is gone and later traced requests leak nowhere.
+        with pytest.raises(Exception):
+            urllib.request.urlopen(server.url + "/healthz", timeout=0.5)
+
+    def test_attach_observability_with_export_sink(
+            self, service, spotify_small, tmp_path, monkeypatch):
+        path = tmp_path / "otlp.jsonl"
+        service.attach_observability(export_sink=str(path))
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        service.explain("alice", _steps(spotify_small)[0])
+        exporter = service._obs_exporter
+        assert exporter.flush(5.0)
+        assert '"name": "explain"' in path.read_text()
+        service.close()
+        assert service._obs_exporter is None  # close() detached it
+        assert exporter.stats()["exported"] >= 1
