@@ -1,0 +1,304 @@
+"""Serving benchmark: HTTP front end, streamed identity, replica scaling.
+
+Drives the asyncio HTTP front end the way a load balancer would and prints
+latency/throughput numbers::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+Three phases, mirroring the acceptance bars:
+
+* **streamed identity** — every one of the 30 workload queries is run
+  through ``POST /explain/stream``; the final NDJSON ``report`` chunk must
+  serialise to exactly the bytes ``ExplanationService.explain`` produces
+  for the same request (zero tolerance, all 30 queries).
+* **single replica load** — a load generator (client *processes*, so the
+  generator's own GIL never caps the measurement) replays a query mix
+  from hundreds of distinct tenant tokens over keep-alive connections
+  against one replica; p50/p99 latency and requests-per-second recorded.
+  Every request carries a distinct ``sample_size`` override, so each one
+  is a genuine explanation compute in the replica process — the load is
+  replica-CPU-bound, which is the regime replica scaling exists for —
+  rather than a memo hit that only measures serialisation.
+* **two replicas** — the same load against two replica processes sharing
+  one dataset store and one shared cache tier.  Two processes mean two
+  GILs: aggregate RPS must be at least **1.8x** the single-replica run.
+
+The scaling bar is a statement about *capacity*, so it needs cores to
+add: on hosts without enough CPUs for two replicas plus the client fleet
+the numbers are still recorded but annotated with a ``waiver`` (the same
+protocol ``bench_backends`` uses for its process-pool bars), which both
+``main`` and the perf gate honour instead of failing.
+
+Results land in ``BENCH_serving.json`` via ``perf_record`` so the perf
+gate tracks ``replica_speedup`` across runs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import multiprocessing
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import perf_record
+
+from repro.core import FedexConfig
+from repro.datasets import DatasetRegistry
+from repro.serving import (
+    ExplanationServer,
+    ReplicaFleet,
+    dump_json,
+    parse_explain_request,
+    report_document,
+)
+from repro.service import ExplanationService, ServiceConfig
+from repro.storage import DatasetStore
+from repro.workloads import WORKLOAD
+
+#: Dataset sizes mirroring the benchmark harness's "small" scale.
+_SIZES = dict(spotify_rows=8_000, bank_rows=5_000, sales_rows=20_000,
+              products_rows=1_500)
+
+REPLICA_SPEEDUP_BAR = 1.8
+
+#: The load shape: hundreds of tenants, a handful of concurrent clients.
+N_TENANTS = 240
+N_CLIENTS = 8
+REQUESTS_PER_CLIENT = 60
+
+#: Query mix of the load phase (all against the spotify table).
+_LOAD_THRESHOLDS = (55, 58, 60, 62, 65, 68, 70, 72, 75, 78)
+
+
+# --------------------------------------------------------------- identity
+def _registry_store(root: Path) -> DatasetStore:
+    """Persist every table the workload references into one DatasetStore."""
+    registry = DatasetRegistry(seed=0, **_SIZES)
+    store = DatasetStore(root)
+    for name in registry.table_names():
+        store.put(name, registry.table(name))
+    return store
+
+
+def streamed_identity(store: DatasetStore) -> int:
+    """Stream all 30 workload queries; count bit-identical final reports."""
+    service = ExplanationService(config=FedexConfig(seed=0),
+                                 service_config=ServiceConfig(workers=4),
+                                 dataset_store=store)
+    server = ExplanationServer(service).start()
+    identical = 0
+    try:
+        for query in WORKLOAD:
+            # Q18's paper-verbatim text names a column that does not exist
+            # in the join view; apply the same mapping its builder documents
+            # (see repro.workloads.queries).
+            sql = query.sql.replace("products_sales_pack", "products_pack")
+            body = json.dumps({"query": sql,
+                               "measure": query.measure}).encode()
+            connection = http.client.HTTPConnection("127.0.0.1", server.port,
+                                                    timeout=300)
+            connection.request("POST", "/explain/stream", body=body)
+            events = [json.loads(line) for line in
+                      connection.getresponse().read().decode().strip().split("\n")]
+            connection.close()
+            assert events[-1]["event"] == "report", \
+                f"Q{query.number}: stream ended with {events[-1]['event']}"
+            streamed = dump_json(events[-1]["report"])
+
+            def resolve(name):  # case-insensitive, like the server's default
+                try:
+                    return store.open(name)
+                except Exception:
+                    return store.open(name.lower())
+
+            request = parse_explain_request(body, resolve, service.config)
+            report = service.explain(f"ref-{query.number}", request.step,
+                                     measure=request.measure)
+            expected = dump_json(report_document(report))
+            assert streamed == expected, \
+                f"Q{query.number}: streamed bytes differ from explain()"
+            identical += 1
+    finally:
+        server.close()
+        service.close()
+    return identical
+
+
+# ------------------------------------------------------------- load phase
+def _request_body(index: int, i: int) -> bytes:
+    """The ``(client, request)`` pair's unique explain document.
+
+    The ``sample_size`` override is distinct for every request of the run
+    (37 is coprime to the 4000-wide range, so the walk never collides),
+    which makes every request a fresh memo key: the replica performs the
+    full explanation pipeline per request instead of serving a warm hit.
+    """
+    threshold = _LOAD_THRESHOLDS[(index + i) % len(_LOAD_THRESHOLDS)]
+    serial = index * REQUESTS_PER_CLIENT + i
+    return json.dumps({
+        "query": f"SELECT * FROM spotify WHERE popularity > {threshold}",
+        "config": {"sample_size": 2_000 + (serial * 37) % 4_000},
+    }).encode()
+
+
+def _warmup_bodies() -> list:
+    return [json.dumps({"query": f"SELECT * FROM spotify "
+                                 f"WHERE popularity > {threshold}"}).encode()
+            for threshold in _LOAD_THRESHOLDS[:3]]
+
+
+def _replica_bar_waiver() -> str | None:
+    """Why the replica-scaling bar cannot be enforced here, or ``None``."""
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-linux
+        cores = os.cpu_count() or 1
+    if cores < 3:
+        return (f"host has {cores} CPU core(s): two replica processes plus "
+                "the client fleet cannot occupy distinct cores, so the "
+                "comparison measures dispatch overhead, not added capacity")
+    return None
+
+
+def _client_main(index: int, addresses, tokens, results) -> None:
+    """One load-generating client process: keep-alive, round-robin."""
+    connections = [http.client.HTTPConnection(host, port, timeout=300)
+                   for host, port in addresses]
+    latencies = []
+    try:
+        for i in range(REQUESTS_PER_CLIENT):
+            connection = connections[i % len(connections)]
+            token = tokens[(index * REQUESTS_PER_CLIENT + i) % len(tokens)]
+            body = _request_body(index, i)
+            start = time.perf_counter()
+            connection.request("POST", "/explain", body=body,
+                               headers={"Authorization": f"Bearer {token}"})
+            response = connection.getresponse()
+            payload = response.read()
+            latencies.append(time.perf_counter() - start)
+            assert response.status == 200, \
+                f"client {index}: HTTP {response.status}: {payload[:200]}"
+        results.put(latencies)
+    except Exception as error:  # surfaced by the parent as a failed run
+        results.put(error)
+    finally:
+        for connection in connections:
+            connection.close()
+
+
+def _quantile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    position = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    return sorted_values[position]
+
+
+def run_load(urls, tokens) -> dict:
+    """Hammer the replicas from N_CLIENTS processes; aggregate the numbers."""
+    addresses = [(url.split("//")[1].split(":")[0],
+                  int(url.rsplit(":", 1)[1])) for url in urls]
+    # Warm every replica first: the first requests of a fresh process pay
+    # for lazy imports and pool spin-up, which is start-up cost, not
+    # serving capacity.
+    for host, port in addresses:
+        connection = http.client.HTTPConnection(host, port, timeout=300)
+        for body in _warmup_bodies():
+            connection.request("POST", "/explain", body=body,
+                               headers={"Authorization": f"Bearer {tokens[0]}"})
+            assert connection.getresponse().read()
+        connection.close()
+
+    context = multiprocessing.get_context()
+    results = context.Queue()
+    clients = [context.Process(target=_client_main,
+                               args=(index, addresses, tokens, results))
+               for index in range(N_CLIENTS)]
+    start = time.perf_counter()
+    for client in clients:
+        client.start()
+    latencies = []
+    for _ in clients:
+        outcome = results.get(timeout=600)
+        if isinstance(outcome, Exception):
+            raise outcome
+        latencies.extend(outcome)
+    elapsed = time.perf_counter() - start
+    for client in clients:
+        client.join(timeout=30)
+
+    latencies.sort()
+    total = N_CLIENTS * REQUESTS_PER_CLIENT
+    return {
+        "rps": total / max(elapsed, 1e-9),
+        "p50_ms": _quantile(latencies, 0.50) * 1e3,
+        "p99_ms": _quantile(latencies, 0.99) * 1e3,
+        "seconds": elapsed,
+    }
+
+
+def run() -> dict:
+    tokens = [f"token-{i:04d}" for i in range(N_TENANTS)]
+    token_map = {token: f"tenant-{i:04d}" for i, token in enumerate(tokens)}
+
+    with tempfile.TemporaryDirectory(prefix="bench-serving-") as tmp:
+        root = Path(tmp)
+        store = _registry_store(root / "data")
+
+        identical = streamed_identity(store)
+        print(f"streamed identity: {identical}/{len(WORKLOAD)} workload "
+              f"queries bit-identical to ExplanationService.explain")
+        store.close()
+
+        single = {}
+        double = {}
+        for replicas, results in ((1, single), (2, double)):
+            fleet = ReplicaFleet(root / "data", root / f"tier-{replicas}",
+                                 replicas=replicas, tokens=token_map,
+                                 fedex_config={"seed": 0})
+            with fleet:
+                results.update(run_load(fleet.urls, tokens))
+
+    speedup = double["rps"] / max(single["rps"], 1e-9)
+    total = N_CLIENTS * REQUESTS_PER_CLIENT
+    print(f"\nload: {total} requests, {N_CLIENTS} client processes, "
+          f"{N_TENANTS} tenants (python {sys.version.split()[0]})")
+    print(f"{'replicas':>9s} {'rps':>8s} {'p50 ms':>8s} {'p99 ms':>8s}")
+    for replicas, results in ((1, single), (2, double)):
+        print(f"{replicas:9d} {results['rps']:8.1f} "
+              f"{results['p50_ms']:8.2f} {results['p99_ms']:8.2f}")
+    print(f"two-replica speedup: {speedup:.2f}x")
+
+    return {
+        "identical_queries": identical,
+        "rps_single": single["rps"], "rps_double": double["rps"],
+        "p50_ms_single": single["p50_ms"], "p99_ms_single": single["p99_ms"],
+        "p50_ms_double": double["p50_ms"], "p99_ms_double": double["p99_ms"],
+        "replica_speedup": speedup,
+        "waiver": _replica_bar_waiver(),
+    }
+
+
+def main() -> int:
+    results = run()
+    status = 0
+    if results["identical_queries"] < len(WORKLOAD):
+        print(f"WARNING: only {results['identical_queries']} of "
+              f"{len(WORKLOAD)} streamed reports were bit-identical")
+        status = 1
+    if results["waiver"] is not None:
+        print(f"WAIVED: two-replica RPS bar not enforced — {results['waiver']}")
+    elif results["replica_speedup"] < REPLICA_SPEEDUP_BAR:
+        print(f"WARNING: two-replica speedup {results['replica_speedup']:.2f}x "
+              f"is below the {REPLICA_SPEEDUP_BAR:.1f}x acceptance bar")
+        status = 1
+    perf_record.record("serving", {**results, "clients": N_CLIENTS,
+                                   "tenants": N_TENANTS, "status": status})
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

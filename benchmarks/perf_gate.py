@@ -64,7 +64,7 @@ else:  # executed as a script, or imported flat (pytest rootdir style)
     from perf_record import bench_dir, load_area  # type: ignore
 
 #: Areas gated by default — the BENCH_*.json files the benches write.
-AREAS = ("backends", "session", "service", "storage")
+AREAS = ("backends", "session", "service", "serving", "storage")
 
 #: Latest/median below this ratio counts as a regression (0.8 = -20 %).
 DEFAULT_THRESHOLD = 0.8

@@ -25,6 +25,7 @@ Subpackages
 ``repro.obs``         telemetry: structured traces + central metrics registry
 ``repro.session``     session layer: shared cache store + per-tenant views
 ``repro.service``     multi-tenant serving front end (workers, admission)
+``repro.serving``     asyncio HTTP front end, replica fleet, shared cache tier
 ``repro.storage``     chunked columnar dataset store (mmap frames, pushdown)
 ``repro.baselines``   SeeDB, RATH-style, Interestingness-Only baselines
 ``repro.datasets``    synthetic Spotify / Bank / Products+Sales generators
@@ -40,6 +41,7 @@ from .explain.explainable import ExplainableDataFrame, explain_dataframe
 from .obs import tracing
 from .operators import ExploratoryStep, Filter, GroupBy, Join, Union, parse_query
 from .service import ExplanationService, ServiceConfig
+from .serving import ExplanationServer, ReplicaFleet, SharedCacheTier, TokenAuthenticator
 from .session import CacheStore, ExplanationSession, SessionCache
 from .storage import DatasetStore
 
@@ -55,6 +57,7 @@ __all__ = [
     "ExplainableDataFrame",
     "Explanation",
     "ExplanationReport",
+    "ExplanationServer",
     "ExplanationService",
     "ExplanationSession",
     "ExploratoryStep",
@@ -64,8 +67,11 @@ __all__ = [
     "GroupBy",
     "IsIn",
     "Join",
+    "ReplicaFleet",
     "ServiceConfig",
     "SessionCache",
+    "SharedCacheTier",
+    "TokenAuthenticator",
     "Union",
     "__version__",
     "exact_config",

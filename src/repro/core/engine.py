@@ -140,7 +140,8 @@ class FedexExplainer:
         self.context = context
 
     # ------------------------------------------------------------------ public
-    def explain(self, step: ExploratoryStep, measure: str | None = None) -> ExplanationReport:
+    def explain(self, step: ExploratoryStep, measure: str | None = None,
+                progress: Optional[Callable[[Dict], None]] = None) -> ExplanationReport:
         """Run Algorithm 1 on an exploratory step and return the full report.
 
         When tracing is enabled (``REPRO_TRACE`` / :func:`repro.obs.tracing`)
@@ -148,12 +149,20 @@ class FedexExplainer:
         below (backends, caches, scans) records into it — and the finished
         span tree is attached as ``report.trace``.  Tracing never changes a
         result: the untraced path sees only no-op stubs.
+
+        ``progress``, when given, is called synchronously with one event
+        dictionary per (partition, attribute) grid pair as phase 3 finishes
+        it — with the pool backends this happens while later shards are
+        still computing, which is what lets a serving front end stream
+        partial results.  Progress never changes a result: the events carry
+        copies of per-pair summaries, and a raising callback aborts the
+        request rather than corrupting it.
         """
         tracer, token = begin_request()
         try:
             with tracer.span("explain", operation=step.operation.kind,
                              backend=self.config.backend):
-                report = self._run_pipeline(step, measure, tracer)
+                report = self._run_pipeline(step, measure, tracer, progress)
         finally:
             trace = end_request(tracer, token)
         if trace is not None:
@@ -161,7 +170,8 @@ class FedexExplainer:
         return report
 
     def _run_pipeline(self, step: ExploratoryStep, measure: str | None,
-                      tracer) -> ExplanationReport:
+                      tracer, progress: Optional[Callable[[Dict], None]] = None,
+                      ) -> ExplanationReport:
         """The five phases of Algorithm 1 (under the request's trace root)."""
         timings: Dict[str, float] = {}
         chosen_measure = measure_for_step(step, self.registry, override=measure)
@@ -214,7 +224,7 @@ class FedexExplainer:
             calculator.prefetch(grid, batch_hint=self.config.shard_batch)
             all_candidates: List[ExplanationCandidate] = []
             candidate_partitions: Dict[Tuple, RowPartition] = {}
-            for partition, attribute in grid:
+            for pair_index, (partition, attribute) in enumerate(grid):
                 # One intervention pass: the raw contributions are computed
                 # once and cached, and the standardized list is derived from
                 # the cached raw list.
@@ -228,6 +238,25 @@ class FedexExplainer:
                 for candidate in candidates:
                     candidate_partitions[candidate.key()] = partition
                 all_candidates.extend(candidates)
+                if progress is not None:
+                    # Early pairs are announced while the pool backends are
+                    # still computing later shards (prefetch is per-pair
+                    # non-blocking), so a streaming consumer genuinely sees
+                    # partial results before the request finishes.
+                    best = max(candidates, default=None,
+                               key=lambda c: c.standardized_contribution)
+                    progress({
+                        "phase": "contribution",
+                        "pair": pair_index + 1,
+                        "pairs": len(grid),
+                        "attribute": attribute,
+                        "source_attribute": partition.source_attribute,
+                        "candidates": len(candidates),
+                        "total_candidates": len(all_candidates),
+                        "best_contribution": (
+                            best.standardized_contribution if best is not None
+                            else None),
+                    })
             span.set("candidates", len(all_candidates))
         timings["contribution"] = time.perf_counter() - start
 

@@ -56,6 +56,37 @@ class ServiceOverloadError(ServiceError):
     """A request was shed by per-tenant admission control (``admission="reject"``)."""
 
 
+class ServingError(ServiceError):
+    """The HTTP serving front end (``repro.serving``) rejected a request."""
+
+    #: HTTP status the front end maps this error family to.
+    http_status = 500
+
+
+class ServingAuthError(ServingError):
+    """A request carried a missing or invalid bearer token."""
+
+    http_status = 401
+
+
+class ServingRequestError(ServingError):
+    """A request document is malformed (bad JSON, bad query, bad overrides)."""
+
+    http_status = 400
+
+
+class UnknownDatasetError(ServingRequestError):
+    """A query referenced a dataset name the server cannot resolve."""
+
+    http_status = 404
+
+
+class ServerDrainingError(ServingError):
+    """The server is draining and accepts no new explanation requests."""
+
+    http_status = 503
+
+
 class DatasetError(ReproError):
     """A synthetic dataset generator received invalid parameters."""
 

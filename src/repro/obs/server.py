@@ -43,6 +43,10 @@ __all__ = ["ObservabilityServer", "OBS_PORT_ENV"]
 #: Environment variable naming the scrape port (0/unset → ephemeral).
 OBS_PORT_ENV = "REPRO_OBS_PORT"
 
+#: Upper bound on ``/traces?limit=``: the ring is small, but the response
+#: document must stay bounded no matter what a client asks for.
+MAX_TRACE_LIMIT = 1_024
+
 #: Content type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -156,9 +160,14 @@ class ObservabilityServer:
             self._respond_json(handler, payload)
         elif path == "/traces":
             query = parse_qs(parsed.query)
-            limit = _int_param(query, "limit", default=16)
-            with_spans = _int_param(query, "spans", default=0) > 0
-            traces = self.ring.traces()[:max(0, limit)]
+            try:
+                limit = _int_param(query, "limit", default=16,
+                                   cap=MAX_TRACE_LIMIT)
+                with_spans = _int_param(query, "spans", default=0, cap=1) > 0
+            except _BadParam as error:
+                self._respond_json(handler, {"error": str(error)}, status=400)
+                return
+            traces = self.ring.traces()[:limit]
             payload = {
                 "count": len(traces),
                 "traces": [_trace_document(trace, with_spans)
@@ -183,11 +192,29 @@ class ObservabilityServer:
         handler.wfile.write(body)
 
 
-def _int_param(query: Dict[str, List[str]], key: str, default: int) -> int:
+class _BadParam(ValueError):
+    """A query parameter the client must fix (rendered as HTTP 400)."""
+
+
+def _int_param(query: Dict[str, List[str]], key: str, default: int,
+               cap: int) -> int:
+    """An integer query parameter clamped into ``[0, cap]``.
+
+    A missing parameter uses ``default``; a present but non-numeric value
+    raises :class:`_BadParam` (a silent fallback would mask client typos),
+    and out-of-range values are clamped — a negative limit must not slice
+    from the wrong end, a huge one must not build an unbounded document.
+    """
+    raw = query.get(key)
+    if raw is None:
+        return max(0, min(default, cap))
     try:
-        return int(query.get(key, [default])[0])
+        value = int(raw[0])
     except (TypeError, ValueError):
-        return default
+        raise _BadParam(
+            f"query parameter {key!r} must be an integer, got {raw[0]!r}"
+        ) from None
+    return max(0, min(value, cap))
 
 
 def _trace_document(trace, with_spans: bool) -> dict:

@@ -40,6 +40,9 @@ class ServiceMetrics:
             "repro_service_rejected_total",
             "Requests shed by per-tenant admission control.",
             labelnames=("tenant",))
+        self._inflight = self.registry.gauge(
+            "repro_service_inflight",
+            "Requests admitted but not yet finished.", labelnames=("tenant",))
         self._latency = self.registry.histogram(
             "repro_service_request_seconds",
             "Wall-clock latency of finished requests (success and error).",
@@ -49,9 +52,19 @@ class ServiceMetrics:
             "Largest request latency observed since start-up.")
 
     # ------------------------------------------------------------------ updates
+    #
+    # The lifecycle counters reconcile at every instant:
+    #
+    #     admitted == completed + errors + inflight
+    #
+    # ``record_admitted`` opens a request (requests +1, inflight +1) and
+    # exactly one of ``record_completed`` / ``record_submit_failed`` closes
+    # it (inflight -1).  Rejected requests never enter the equation.
+
     def record_admitted(self, tenant: str) -> None:
         """Count a request entering the service (admitted, not yet finished)."""
         self._requests.labels(tenant=tenant).inc()
+        self._inflight.labels(tenant=tenant).inc()
 
     def record_rejected(self, tenant: str) -> None:
         """Count a request shed by per-tenant admission control."""
@@ -62,8 +75,19 @@ class ServiceMetrics:
         """Count a finished request and fold its latency into the aggregates."""
         family = self._errors if error else self._completed
         family.labels(tenant=tenant).inc()
+        self._inflight.labels(tenant=tenant).dec()
         self._latency.labels(tenant=tenant).observe(seconds)
         self._max_latency.set_max(seconds)
+
+    def record_submit_failed(self, tenant: str) -> None:
+        """Close an admitted request that never reached the worker pool.
+
+        Counted as an error with no latency observation — the request did
+        not run, but ``admitted == completed + errors + inflight`` must
+        keep holding.
+        """
+        self._errors.labels(tenant=tenant).inc()
+        self._inflight.labels(tenant=tenant).dec()
 
     # ---------------------------------------------------------------- snapshots
     def snapshot(self, tenant: Optional[str] = None) -> Dict[str, float]:
@@ -79,12 +103,14 @@ class ServiceMetrics:
             completed = self._completed.total()
             errors = self._errors.total()
             rejected = self._rejected.total()
+            inflight = self._inflight.total()
             latency = self._latency.aggregate()
         else:
             requests = _child_value(self._requests, tenant)
             completed = _child_value(self._completed, tenant)
             errors = _child_value(self._errors, tenant)
             rejected = _child_value(self._rejected, tenant)
+            inflight = _child_value(self._inflight, tenant)
             latency = self._latency.get(tenant=tenant)
         finished = completed + errors
         total_seconds = latency.sum if latency is not None else 0.0
@@ -93,6 +119,7 @@ class ServiceMetrics:
             "completed": int(completed),
             "errors": int(errors),
             "rejected": int(rejected),
+            "inflight": int(inflight),
             "total_seconds": total_seconds,
             "mean_seconds": total_seconds / finished if finished else 0.0,
             "p50_seconds": latency.quantile(0.50) if latency is not None else 0.0,

@@ -187,13 +187,20 @@ class ExplanationService:
         return self.open(tenant, self.dataset_store.open(name), config=config)
 
     def submit(self, tenant: str, step: ExploratoryStep, measure: str | None = None,
-               config: FedexConfig | None = None) -> "Future[ExplanationReport]":
+               config: FedexConfig | None = None,
+               progress=None) -> "Future[ExplanationReport]":
         """Enqueue one explanation request; returns a future for the report.
 
         The request first passes the tenant's admission bound
         (``max_inflight_per_tenant``): beyond it, ``admission="block"``
         waits for one of the tenant's slots, ``admission="reject"`` raises
         :class:`~repro.errors.ServiceOverloadError` immediately.
+
+        ``progress`` is an optional callable invoked from the worker thread
+        with partial-result events while the request computes (see
+        :meth:`FedexExplainer.explain <repro.core.engine.FedexExplainer.explain>`);
+        cached reports emit no events.  The serving layer uses it to stream
+        NDJSON chunks while later shards are still computing.
         """
         if self._closed:
             raise ServiceError("the explanation service has been closed")
@@ -206,25 +213,33 @@ class ExplanationService:
                     f"tenant {tenant!r} exceeded its in-flight bound of "
                     f"{self.service_config.max_inflight_per_tenant} requests"
                 )
-        self.metrics.record_admitted(tenant)
-        session = self.session(tenant)
-
-        def run() -> ExplanationReport:
-            start = time.perf_counter()
-            try:
-                report = session.explain(step, measure=measure, config=config)
-            except Exception:
-                self.metrics.record_completed(tenant, time.perf_counter() - start,
-                                              error=True)
-                raise
-            self.metrics.record_completed(tenant, time.perf_counter() - start)
-            return report
-
+        # Everything between acquiring the admission slot and handing the
+        # request to the pool runs under one guard: a session constructor
+        # failure or a shut-down executor must release the slot (and close
+        # the admitted-request accounting), never leak it.
+        admitted = False
         try:
+            session = self.session(tenant)
+            self.metrics.record_admitted(tenant)
+            admitted = True
+
+            def run() -> ExplanationReport:
+                start = time.perf_counter()
+                kwargs = {} if progress is None else {"progress": progress}
+                try:
+                    report = session.explain(step, measure=measure, config=config,
+                                             **kwargs)
+                except Exception:
+                    self.metrics.record_completed(tenant, time.perf_counter() - start,
+                                                  error=True)
+                    raise
+                self.metrics.record_completed(tenant, time.perf_counter() - start)
+                return report
+
             future = self._executor.submit(run)
         except BaseException:
-            # E.g. the pool was shut down between the closed check and the
-            # submit; the admission slot must not leak with it.
+            if admitted:
+                self.metrics.record_submit_failed(tenant)
             if gate is not None:
                 gate.release()
             raise
@@ -233,9 +248,11 @@ class ExplanationService:
         return future
 
     def explain(self, tenant: str, step: ExploratoryStep, measure: str | None = None,
-                config: FedexConfig | None = None) -> ExplanationReport:
+                config: FedexConfig | None = None,
+                progress=None) -> ExplanationReport:
         """Synchronous :meth:`submit` — admission, pool, metrics included."""
-        return self.submit(tenant, step, measure=measure, config=config).result()
+        return self.submit(tenant, step, measure=measure, config=config,
+                           progress=progress).result()
 
     def session(self, tenant: str) -> ExplanationSession:
         """The tenant's session view over the shared store (created lazily)."""
@@ -337,6 +354,19 @@ class ExplanationService:
     def save_cache(self, path: str) -> int:
         """Snapshot the shared store (see :meth:`CacheStore.save`)."""
         return self.store.save(path)
+
+    def flush_observability(self, timeout_s: float = 5.0) -> bool:
+        """Flush any attached span exporter's queue; True when fully drained.
+
+        The graceful-drain path of the HTTP front end: before a server
+        reports itself drained, every span already queued for export must
+        have reached the sink.  A service with no exporter attached is
+        trivially drained.
+        """
+        exporter = self._obs_exporter
+        if exporter is None:
+            return True
+        return exporter.flush(timeout_s)
 
     def close(self, wait: bool = True) -> None:
         """Stop accepting requests, detach observability, shut the pool down."""

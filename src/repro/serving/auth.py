@@ -1,0 +1,71 @@
+"""Per-tenant bearer-token authentication for the HTTP front end.
+
+One :class:`TokenAuthenticator` per server, built from a ``token ->
+tenant`` mapping: every request must carry ``Authorization: Bearer
+<token>``, and the token names the tenant the request is admitted,
+metered, and quota-charged as.  Many tokens may map to one tenant (key
+rotation, one tenant with several clients).
+
+Token comparison is constant-time (:func:`hmac.compare_digest` against
+every known token) so response timing leaks nothing about how much of a
+guessed token matched.  The authenticator is immutable after construction
+— rotating tokens means building a new one and swapping it on the server,
+which is a single reference assignment and therefore safe under
+concurrent requests.
+"""
+
+from __future__ import annotations
+
+import hmac
+from typing import Dict, Mapping, Optional
+
+from ..errors import ServingAuthError
+
+__all__ = ["TokenAuthenticator"]
+
+
+class TokenAuthenticator:
+    """Maps bearer tokens to tenant identities, in constant time."""
+
+    def __init__(self, tokens: Mapping[str, str]) -> None:
+        if not tokens:
+            raise ValueError("an authenticator needs at least one token")
+        for token, tenant in tokens.items():
+            if not token or not isinstance(token, str):
+                raise ValueError(f"invalid token {token!r}")
+            if not tenant or not isinstance(tenant, str):
+                raise ValueError(f"invalid tenant {tenant!r} for a token")
+        self._tokens: Dict[str, str] = dict(tokens)
+
+    def authenticate(self, authorization: Optional[str]) -> str:
+        """The tenant of an ``Authorization`` header value; raises on failure.
+
+        Accepts exactly ``Bearer <token>`` (scheme case-insensitive).  A
+        missing header, a different scheme, or an unknown token all raise
+        :class:`~repro.errors.ServingAuthError` — the server renders it as
+        HTTP 401.
+        """
+        if not authorization:
+            raise ServingAuthError("missing Authorization header")
+        scheme, _, token = authorization.strip().partition(" ")
+        token = token.strip()
+        if scheme.lower() != "bearer" or not token:
+            raise ServingAuthError(
+                "Authorization must be of the form 'Bearer <token>'")
+        # Compare against every known token: the work done is independent
+        # of whether (and where) the presented token matches.
+        tenant: Optional[str] = None
+        for known, known_tenant in self._tokens.items():
+            if hmac.compare_digest(known.encode(), token.encode()):
+                tenant = known_tenant
+        if tenant is None:
+            raise ServingAuthError("unknown bearer token")
+        return tenant
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tenants = sorted(set(self._tokens.values()))
+        return (f"TokenAuthenticator(tokens={len(self._tokens)}, "
+                f"tenants={len(tenants)})")

@@ -1,0 +1,215 @@
+"""Request validation and response documents of the HTTP front end.
+
+The wire format is deliberately small:
+
+* **Explain request** (``POST /explain`` and ``POST /explain/stream``) — a
+  JSON object::
+
+      {"query": "SELECT * FROM spotify WHERE popularity > 65",
+       "measure": "exceptionality",          # optional
+       "config": {"top_k_explanations": 3}}  # optional, whitelisted keys
+
+  The query is the same SQL-ish dialect the paper's workload uses
+  (:func:`repro.operators.parser.parse_query`); table names resolve
+  against the server's resolver (named datasets of the shared
+  :class:`~repro.storage.store.DatasetStore`, or any ``name ->
+  DataFrame`` mapping).  Nested ``[...]`` subqueries are materialised
+  server-side, one level deep, exactly as the parser defines them.
+
+* **Explain response** — :func:`report_document`: explanations (each via
+  :meth:`Explanation.to_dict`), skyline keys, selected columns, scores
+  and timings.  The same function produces the final chunk of a streamed
+  response, which is how the bit-identity guarantee between the two
+  endpoints holds by construction.
+
+* **Stream chunks** (NDJSON) — one JSON object per line: ``{"event":
+  "progress", ...}`` per finished (partition, attribute) pair while later
+  shards still compute, then exactly one ``{"event": "report", "report":
+  {...}}``, or ``{"event": "error", ...}`` if the request failed mid-way.
+
+Config overrides are whitelisted: a client may tune result shaping and
+sampling, but not the execution backend, worker counts, or cache policy —
+those are the operator's knobs, not the tenant's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..core.config import FedexConfig
+from ..dataframe.frame import DataFrame
+from ..errors import (
+    ExplanationError,
+    QueryParseError,
+    ServingRequestError,
+    UnknownDatasetError,
+)
+from ..operators.parser import ParsedQuery, parse_query
+from ..operators.step import ExploratoryStep
+
+__all__ = [
+    "ALLOWED_CONFIG_OVERRIDES",
+    "ExplainRequest",
+    "parse_explain_request",
+    "report_document",
+    "dump_json",
+]
+
+#: ``FedexConfig`` fields a request may override.  Result shaping and
+#: sampling only — never backends, workers, or cache policy.
+ALLOWED_CONFIG_OVERRIDES = frozenset({
+    "top_k_explanations", "top_k_columns", "sample_size", "seed",
+    "interestingness_weight", "contribution_weight", "use_skyline",
+    "target_columns", "exclude_columns", "positive_contribution_only",
+})
+
+#: Hard cap on request documents; an explain request is a query string
+#: plus a few overrides, never megabytes.
+MAX_REQUEST_BYTES = 64 * 1024
+
+
+@dataclasses.dataclass
+class ExplainRequest:
+    """One validated explain request, ready for the service."""
+
+    step: ExploratoryStep
+    measure: Optional[str]
+    config: Optional[FedexConfig]
+    query_text: str
+
+
+def parse_explain_request(body: bytes, resolver: Callable[[str], DataFrame],
+                          base_config: FedexConfig) -> ExplainRequest:
+    """Validate a request body into an :class:`ExplainRequest`.
+
+    Raises :class:`~repro.errors.ServingRequestError` (HTTP 400) for
+    malformed JSON/queries/overrides and
+    :class:`~repro.errors.UnknownDatasetError` (HTTP 404) for table names
+    the resolver cannot serve.
+    """
+    if len(body) > MAX_REQUEST_BYTES:
+        raise ServingRequestError(
+            f"request body of {len(body)} bytes exceeds the "
+            f"{MAX_REQUEST_BYTES}-byte limit")
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as error:
+        raise ServingRequestError(f"request body is not valid JSON: {error}") from None
+    if not isinstance(document, dict):
+        raise ServingRequestError("request body must be a JSON object")
+    unknown = set(document) - {"query", "measure", "config"}
+    if unknown:
+        raise ServingRequestError(
+            f"unknown request field(s): {', '.join(sorted(unknown))}")
+
+    query_text = document.get("query")
+    if not isinstance(query_text, str) or not query_text.strip():
+        raise ServingRequestError("request needs a non-empty 'query' string")
+    try:
+        parsed = parse_query(query_text)
+    except QueryParseError as error:
+        raise ServingRequestError(f"could not parse query: {error}") from None
+
+    measure = document.get("measure")
+    if measure is not None and not isinstance(measure, str):
+        raise ServingRequestError("'measure' must be a string when given")
+
+    config = _apply_overrides(base_config, document.get("config"))
+    step = _build_step(parsed, resolver)
+    return ExplainRequest(step=step, measure=measure, config=config,
+                          query_text=query_text.strip())
+
+
+def _apply_overrides(base: FedexConfig, overrides) -> Optional[FedexConfig]:
+    if overrides is None:
+        return None
+    if not isinstance(overrides, dict):
+        raise ServingRequestError("'config' must be a JSON object when given")
+    refused = set(overrides) - ALLOWED_CONFIG_OVERRIDES
+    if refused:
+        raise ServingRequestError(
+            f"config override(s) not allowed over HTTP: "
+            f"{', '.join(sorted(refused))}")
+    coerced = {
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in overrides.items()
+    }
+    try:
+        return dataclasses.replace(base, **coerced)
+    except (TypeError, ValueError, ExplanationError) as error:
+        raise ServingRequestError(f"invalid config override: {error}") from None
+
+
+def _build_step(parsed: ParsedQuery, resolver: Callable[[str], DataFrame],
+                ) -> ExploratoryStep:
+    """Materialise a parsed query into a step, resolving table names.
+
+    A one-level nested subquery is applied first and its output becomes
+    the outer step's (single) input — the outer explanation then explains
+    the outer operation, exactly like workload query 12.
+    """
+    if parsed.inner is not None:
+        inner_step = _build_step(parsed.inner, resolver)
+        inputs = [inner_step.output]
+    else:
+        inputs = [_resolve(resolver, name) for name in parsed.tables]
+    return ExploratoryStep(inputs, parsed.operation, label=parsed.text or None)
+
+
+def _resolve(resolver: Callable[[str], DataFrame], name: str) -> DataFrame:
+    try:
+        frame = resolver(name)
+    except KeyError:
+        frame = None
+    except Exception as error:
+        raise UnknownDatasetError(
+            f"could not open dataset {name!r}: {error}") from None
+    if frame is None:
+        raise UnknownDatasetError(f"unknown dataset {name!r}")
+    return frame
+
+
+# ----------------------------------------------------------------- responses
+def report_document(report) -> Dict:
+    """The JSON document of one finished explanation report.
+
+    Used verbatim by the plain endpoint and as the final chunk of the
+    streaming endpoint, so the two are bit-identical by construction.
+    """
+    return {
+        "explanations": [explanation.to_dict()
+                         for explanation in report.explanations],
+        "skyline_keys": [list(key) for key in report.skyline_keys()],
+        "selected_columns": list(report.selected_columns),
+        "interestingness_scores": dict(report.interestingness_scores),
+        "candidates": len(report.all_candidates),
+        "timings": dict(report.timings),
+    }
+
+
+def _json_default(value):
+    """JSON fallback for the NumPy scalars/arrays report artefacts carry."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serialisable: {type(value).__name__}")
+
+
+def dump_json(document: object) -> bytes:
+    """Canonical JSON serialisation of every serving payload.
+
+    One serialiser for both endpoints: identical documents produce
+    identical bytes, which is what the streamed-vs-plain bit-identity
+    acceptance check compares.
+    """
+    return json.dumps(document, default=_json_default,
+                      separators=(",", ":"), sort_keys=True).encode("utf-8")

@@ -119,7 +119,8 @@ class ExplanationSession:
 
     # ------------------------------------------------------------------ public
     def explain(self, step: ExploratoryStep, measure: str | None = None,
-                config: FedexConfig | None = None) -> ExplanationReport:
+                config: FedexConfig | None = None,
+                progress=None) -> ExplanationReport:
         """Explain one exploratory step through the session's caches.
 
         Behaviourally identical to ``FedexExplainer(config).explain(step)``
@@ -128,6 +129,11 @@ class ExplanationSession:
         content, not object identity) returns its memoized report, and a
         merely *overlapping* step reuses partitions, operation structure,
         and column argsorts of its predecessors.
+
+        ``progress`` is forwarded to the engine for partial-result events;
+        a memoized report (and a coalesced follower of someone else's
+        computation) emits none — there is nothing partial about a cache
+        hit.
         """
         effective = config or self.config
         self._history.append(step)
@@ -135,7 +141,7 @@ class ExplanationSession:
         # column adoption, partition/structure keys) is hashed at most once.
         with self.cache.request():
             compute = lambda: self._explainers.for_config(effective).explain(
-                step, measure=measure
+                step, measure=measure, progress=progress
             )
             if not effective.cache_reports:
                 return compute()

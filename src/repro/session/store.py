@@ -193,7 +193,8 @@ class StoreMetrics:
     """
 
     _FIELDS = ("hits", "misses", "insertions", "evictions", "quota_evictions",
-               "oversize_rejections", "coalesced_requests")
+               "oversize_rejections", "coalesced_requests",
+               "tier_hits", "tier_misses", "tier_offers")
 
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -263,11 +264,24 @@ class CacheStore:
         Optional per-layer entry caps, ``{layer: count}`` — retained for
         the single-session :class:`~repro.session.cache.SessionCache`
         compatibility surface; byte budgets are the primary bound.
+    tier:
+        Optional out-of-process second cache level (duck-typed: ``lookup``
+        and ``offer``, e.g. :class:`repro.serving.SharedCacheTier`).  A
+        local miss consults the tier and promotes its hit into this store
+        (charged to the ``"shared"`` pseudo-tenant); local inserts are
+        offered back so other replicas can promote them.  Tier failures
+        (disk gone, unpicklable value) degrade to plain misses — the tier
+        is an optimization, never a correctness dependency.
     """
+
+    #: Tenant that tier-promoted entries are charged to.  A pseudo-tenant:
+    #: no single client pinned the entry, the fleet did.
+    SHARED_TENANT = "shared"
 
     def __init__(self, budget_bytes: Optional[int] = DEFAULT_BUDGET_BYTES,
                  tenant_quota_bytes: Optional[object] = None,
-                 max_entries: Optional[Dict[str, int]] = None) -> None:
+                 max_entries: Optional[Dict[str, int]] = None,
+                 tier: Optional[object] = None) -> None:
         if budget_bytes is not None and budget_bytes <= 0:
             raise ValueError(f"budget_bytes must be positive, got {budget_bytes}")
         self.budget_bytes = budget_bytes
@@ -286,6 +300,7 @@ class CacheStore:
         self._touches: "deque[Tuple[str, object]]" = deque()
         self._inflight: Dict[Tuple[str, object], _Inflight] = {}
         self._inflight_lock = threading.Lock()
+        self.tier = tier
         self.metrics = StoreMetrics()
 
     # ----------------------------------------------------------------- lookups
@@ -296,6 +311,13 @@ class CacheStore:
             entry = self._entries.get(composite)
         tracer = current_tracer()
         if entry is None:
+            promoted = self._tier_promote(layer, key)
+            if promoted is not _MISSING:
+                self.metrics.bump("hits")
+                if tracer.enabled:
+                    tracer.event("cache.lookup",
+                                 labels={"layer": layer, "outcome": "tier_hit"})
+                return promoted
             self.metrics.bump("misses")
             if tracer.enabled:
                 tracer.event("cache.lookup", labels={"layer": layer, "outcome": "miss"})
@@ -345,6 +367,16 @@ class CacheStore:
             self._tenant_lru.setdefault(tenant, OrderedDict())[composite] = None
             self.metrics.bump("insertions")
             self._evict_locked(tenant)
+        if self.tier is not None and tenant != self.SHARED_TENANT:
+            # Write-through to the shared tier (tier-promoted entries are
+            # not re-offered; they came from there).  Never fatal: one
+            # replica's disk hiccup must not fail the request that computed
+            # the value.
+            try:
+                if self.tier.offer(layer, key, value, nbytes=size):
+                    self.metrics.bump("tier_offers")
+            except Exception:
+                pass
         return True
 
     def memoize(self, layer: str, key: object, build: Callable[[], object],
@@ -436,6 +468,19 @@ class CacheStore:
             self._usage = 0
             self._touches.clear()
 
+    def snapshot_entries(self) -> List[Tuple[str, object, str, int, object]]:
+        """A consistent ``(layer, key, tenant, nbytes, value)`` snapshot.
+
+        Recency order is preserved (oldest first).  This is the surface the
+        snapshot persistence and the shared cache tier's bulk
+        :meth:`~repro.serving.SharedCacheTier.publish` both read from.
+        """
+        with self._lock.read():
+            return [
+                (layer, key, entry.tenant, entry.nbytes, entry.value)
+                for (layer, key), entry in self._entries.items()
+            ]
+
     # ------------------------------------------------------------- persistence
     def save(self, path: str) -> int:
         """Snapshot the store to ``path``; returns the number of saved entries.
@@ -446,11 +491,7 @@ class CacheStore:
         snapshot.  Recency order is preserved: oldest first, so a loaded
         store evicts in the same order the live one would have.
         """
-        with self._lock.read():
-            snapshot = [
-                (layer, key, entry.tenant, entry.nbytes, entry.value)
-                for (layer, key), entry in self._entries.items()
-            ]
+        snapshot = self.snapshot_entries()
         records: List[bytes] = []
         for record in snapshot:
             try:
@@ -488,6 +529,22 @@ class CacheStore:
         return store
 
     # --------------------------------------------------------------- internals
+    def _tier_promote(self, layer: str, key: object) -> object:
+        """Consult the shared tier on a local miss; install and return a hit."""
+        if self.tier is None:
+            return _MISSING
+        try:
+            found = self.tier.lookup(layer, key)
+        except Exception:
+            found = None
+        if found is None:
+            self.metrics.bump("tier_misses")
+            return _MISSING
+        value, nbytes = found
+        self.metrics.bump("tier_hits")
+        self.put(layer, key, value, tenant=self.SHARED_TENANT, nbytes=nbytes)
+        return value
+
     def _quota_for(self, tenant: str) -> Optional[int]:
         quotas = self._tenant_quotas
         if quotas is None:

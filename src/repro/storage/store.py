@@ -30,7 +30,7 @@ import threading
 import time
 import uuid
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..dataframe.frame import DataFrame
 from ..errors import StorageError
@@ -324,6 +324,26 @@ class DatasetStore:
             if entry.is_dir() and (entry / MANIFEST_NAME).exists()
         }
         return sorted(found | set(self._datasets))
+
+    def version_tokens(self) -> List[Tuple[str, object, str]]:
+        """Fresh ``(name, manifest version, fingerprint)`` of every dataset.
+
+        Read from disk, bypassing the handle cache: the point is to
+        observe *other* processes' rewrites, which a cached handle never
+        would.  This is the epoch-key source of the replica fleet's shared
+        cache tier — any rewrite of any dataset changes its token here,
+        which invalidates the fleet's shared cache entries.  Datasets
+        mid-rewrite (manifest briefly absent) are skipped; the next read
+        sees the final token.
+        """
+        tokens: List[Tuple[str, object, str]] = []
+        for name in self.names():
+            try:
+                dataset = Dataset(self._path(name))
+            except StorageError:
+                continue
+            tokens.append((name, dataset.manifest.version, dataset.fingerprint))
+        return tokens
 
     def delete(self, name: str) -> bool:
         """Drop dataset ``name``; returns whether anything was removed.

@@ -94,6 +94,44 @@ class TestRoutes:
         (document,) = payload["traces"]
         assert document["span_count"] == len(document["spans"]) == 2
 
+    def test_traces_limit_clamps_negative_to_zero(self):
+        ring = TraceRing()
+        for _ in range(8):
+            ring.add(_trace())
+        with ObservabilityServer(ring=ring) as server:
+            _, _, body = _get(server.url + "/traces?limit=-5")
+        payload = json.loads(body)
+        # A negative limit means "nothing", never Python's "drop the last
+        # five" slice semantics — clamped inside _int_param itself now, so
+        # every future call site inherits the guard.
+        assert payload["count"] == 0
+        assert payload["traces"] == []
+
+    def test_traces_limit_clamped_to_cap(self):
+        from repro.obs.server import MAX_TRACE_LIMIT
+
+        ring = TraceRing()
+        ring.add(_trace())
+        with ObservabilityServer(ring=ring) as server:
+            status, _, body = _get(
+                server.url + f"/traces?limit={MAX_TRACE_LIMIT * 1000}")
+        assert status == 200
+        assert json.loads(body)["count"] == 1  # clamped, served, no error
+
+    @pytest.mark.parametrize("query", ["limit=abc", "spans=xyz", "limit=1.5"])
+    def test_non_numeric_params_are_400(self, query):
+        ring = TraceRing()
+        ring.add(_trace())
+        with ObservabilityServer(ring=ring) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server.url + "/traces?" + query)
+            assert excinfo.value.code == 400
+            payload = json.loads(excinfo.value.read())
+            assert "must be an integer" in payload["error"]
+            # The server keeps serving after the rejected request.
+            _, _, body = _get(server.url + "/traces")
+            assert json.loads(body)["count"] == 1
+
     def test_unknown_path_is_json_404(self):
         with ObservabilityServer() as server:
             with pytest.raises(urllib.error.HTTPError) as excinfo:

@@ -134,6 +134,12 @@ class TestConcurrencyStress:
         assert snapshot["requests"] == 20
         assert snapshot["completed"] == 20
         assert snapshot["errors"] == 0
+        # The lifecycle counters reconcile at quiescence: every admitted
+        # request was closed exactly once.
+        assert snapshot["requests"] == (snapshot["completed"]
+                                        + snapshot["errors"]
+                                        + snapshot["inflight"])
+        assert snapshot["inflight"] == 0
 
     def test_mixed_workload_with_quota_pressure(self, spotify_small):
         """Tiny per-tenant quotas force constant eviction; results stay right."""
@@ -229,6 +235,55 @@ class TestAdmission:
             release.set()
             svc.close()
 
+    def test_session_failure_releases_admission_slot(self, spotify_small):
+        """Regression: a submit that fails before reaching the pool must
+        release the tenant's admission slot (and close the metrics
+        accounting), not leak it.  Pre-fix, the failed submit left the
+        tenant's only slot acquired and the follow-up request below was
+        shed with ServiceOverloadError."""
+        svc = ExplanationService(
+            config=FedexConfig(seed=0),
+            service_config=ServiceConfig(workers=1, max_inflight_per_tenant=1,
+                                         admission="reject"),
+        )
+        step = _steps(spotify_small)[0]
+        try:
+            def exploding_session(tenant):
+                raise RuntimeError("session backend unavailable")
+
+            svc.session = exploding_session
+            with pytest.raises(RuntimeError):
+                svc.submit("alice", step)
+            del svc.session  # restore the real (class) method
+            report = svc.explain("alice", step)  # pre-fix: overload error
+            assert report.skyline_keys()
+            snapshot = svc.metrics.snapshot("alice")
+            assert snapshot["requests"] == (snapshot["completed"]
+                                            + snapshot["errors"]
+                                            + snapshot["inflight"])
+            assert snapshot["inflight"] == 0
+        finally:
+            svc.close()
+
+    def test_executor_failure_closes_admitted_accounting(self, spotify_small):
+        """A request admitted (counted) but refused by the pool is closed
+        as an error, keeping admitted == completed + errors + inflight."""
+        svc = ExplanationService(
+            service_config=ServiceConfig(workers=1, max_inflight_per_tenant=1,
+                                         admission="reject"),
+        )
+        step = _steps(spotify_small)[0]
+        try:
+            svc._executor.shutdown(wait=True)
+            with pytest.raises(RuntimeError):  # pool refuses new work
+                svc.submit("alice", step)
+            snapshot = svc.metrics.snapshot("alice")
+            assert snapshot["requests"] == 1
+            assert snapshot["errors"] == 1
+            assert snapshot["inflight"] == 0
+        finally:
+            svc.close()
+
     def test_slot_released_after_completion(self, spotify_small):
         svc = ExplanationService(
             config=FedexConfig(seed=0),
@@ -264,7 +319,12 @@ class TestMetrics:
         with pytest.raises(Exception):
             # Interestingness has no applicable column -> ExplanationError.
             service.explain("alice", bad_step, config=FedexConfig(target_columns=["nope"]))
-        assert service.stats("alice")["errors"] == 1
+        snapshot = service.stats("alice")
+        assert snapshot["errors"] == 1
+        assert snapshot["requests"] == (snapshot["completed"]
+                                        + snapshot["errors"]
+                                        + snapshot["inflight"])
+        assert snapshot["inflight"] == 0
 
     def test_store_usage_visible_per_tenant(self, service, spotify_small):
         service.explain("alice", _steps(spotify_small)[0])

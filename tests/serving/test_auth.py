@@ -1,0 +1,70 @@
+"""Bearer-token authentication: parsing, tenants, constant-time lookup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServingAuthError
+from repro.serving import TokenAuthenticator
+
+
+@pytest.fixture
+def auth():
+    return TokenAuthenticator({
+        "secret-a": "alice",
+        "secret-a2": "alice",   # key rotation: two tokens, one tenant
+        "secret-b": "bob",
+    })
+
+
+class TestAuthenticate:
+    def test_valid_token_yields_its_tenant(self, auth):
+        assert auth.authenticate("Bearer secret-a") == "alice"
+        assert auth.authenticate("Bearer secret-b") == "bob"
+
+    def test_multiple_tokens_may_share_a_tenant(self, auth):
+        assert auth.authenticate("Bearer secret-a2") == "alice"
+
+    def test_scheme_is_case_insensitive(self, auth):
+        assert auth.authenticate("bearer secret-a") == "alice"
+        assert auth.authenticate("BEARER secret-a") == "alice"
+
+    def test_surrounding_whitespace_tolerated(self, auth):
+        assert auth.authenticate("  Bearer secret-a  ") == "alice"
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "Bearer",                 # no token
+        "Bearer ",                # empty token
+        "Basic secret-a",         # wrong scheme
+        "secret-a",               # bare token, no scheme
+        "Bearer wrong-token",
+        "Bearer secret",          # prefix of a real token
+        "Bearer secret-a-longer", # real token plus suffix
+    ])
+    def test_bad_headers_raise_auth_error(self, auth, header):
+        with pytest.raises(ServingAuthError):
+            auth.authenticate(header)
+
+    def test_auth_error_maps_to_http_401(self):
+        assert ServingAuthError.http_status == 401
+
+
+class TestConstruction:
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            TokenAuthenticator({})
+
+    @pytest.mark.parametrize("tokens", [
+        {"": "alice"},
+        {"tok": ""},
+        {None: "alice"},
+        {"tok": None},
+    ])
+    def test_invalid_entries_rejected(self, tokens):
+        with pytest.raises((ValueError, TypeError)):
+            TokenAuthenticator(tokens)
+
+    def test_len_counts_tokens(self):
+        assert len(TokenAuthenticator({"a": "x", "b": "x"})) == 2

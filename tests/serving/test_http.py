@@ -1,0 +1,295 @@
+"""The asyncio HTTP front end: routes, auth, errors, keep-alive, streaming."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import (
+    Comparison,
+    ExplanationService,
+    ExploratoryStep,
+    FedexConfig,
+    Filter,
+    ServiceConfig,
+)
+from repro.obs.metrics import validate_prometheus_text
+from repro.serving import (
+    ExplanationServer,
+    TokenAuthenticator,
+    dump_json,
+    report_document,
+)
+
+QUERY = "SELECT * FROM spotify WHERE popularity > 65"
+
+
+@pytest.fixture
+def served(spotify_small):
+    """A service + server over one small frame, with two tenants."""
+    service = ExplanationService(
+        config=FedexConfig(seed=0),
+        service_config=ServiceConfig(workers=2),
+    )
+    auth = TokenAuthenticator({"tok-alice": "alice", "tok-bob": "bob"})
+    server = ExplanationServer(service, auth=auth,
+                               frames={"spotify": spotify_small}).start()
+    yield server, service
+    server.close()
+    service.close()
+
+
+def _request(server, path, body=None, token="tok-alice", headers=()):
+    request = urllib.request.Request(server.url + path, data=body)
+    if token is not None:
+        request.add_header("Authorization", f"Bearer {token}")
+    for key, value in headers:
+        request.add_header(key, value)
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def _explain_body(query=QUERY, **extra):
+    return json.dumps({"query": query, **extra}).encode("utf-8")
+
+
+def _stream(server, body, token="tok-alice"):
+    """POST /explain/stream and decode the NDJSON chunks into events."""
+    connection = http.client.HTTPConnection("127.0.0.1", server.port,
+                                            timeout=120)
+    headers = {"Authorization": f"Bearer {token}"} if token else {}
+    connection.request("POST", "/explain/stream", body=body, headers=headers)
+    response = connection.getresponse()
+    try:
+        raw = response.read()
+        return response, [json.loads(line)
+                          for line in raw.decode().strip().split("\n") if line]
+    finally:
+        connection.close()
+
+
+class TestOpsRoutes:
+    def test_healthz(self, served):
+        server, _ = served
+        status, _, body = _request(server, "/healthz", token=None)
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["inflight"] == 0
+        assert payload["workers"] == 2
+
+    def test_metrics_is_valid_prometheus(self, served):
+        server, _ = served
+        _request(server, "/explain", body=_explain_body())
+        status, headers, body = _request(server, "/metrics", token=None)
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        families = validate_prometheus_text(body.decode())
+        assert families["repro_service_requests_total"] == "counter"
+        assert "repro_service_inflight" in families
+
+    def test_unknown_route_404_and_wrong_method_405(self, served):
+        server, _ = served
+        status, _, _ = _request(server, "/nope", token=None)
+        assert status == 404
+        status, _, _ = _request(server, "/explain", token=None)  # GET
+        assert status == 405
+
+
+class TestExplain:
+    def test_explain_returns_full_report(self, served, spotify_small):
+        server, service = served
+        status, headers, body = _request(server, "/explain",
+                                         body=_explain_body())
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        document = json.loads(body)
+        assert document["explanations"]
+        assert document["skyline_keys"]
+        # The served document is exactly the service's own report.
+        step = ExploratoryStep([spotify_small],
+                               Filter(Comparison("popularity", ">", 65)))
+        report = service.explain("alice", step)
+        assert body == dump_json(report_document(report))
+
+    def test_tenant_identity_comes_from_the_token(self, served):
+        server, service = served
+        _request(server, "/explain", body=_explain_body(), token="tok-bob")
+        assert service.metrics.snapshot("bob")["requests"] == 1
+        assert service.metrics.snapshot("alice")["requests"] == 0
+
+    def test_config_override_shapes_the_result(self, served):
+        server, _ = served
+        _, _, body = _request(
+            server, "/explain",
+            body=_explain_body(config={"top_k_explanations": 1}))
+        assert len(json.loads(body)["explanations"]) == 1
+
+    @pytest.mark.parametrize("token,expected", [
+        (None, 401), ("wrong", 401)])
+    def test_auth_failures_are_401(self, served, token, expected):
+        server, _ = served
+        status, headers, _ = _request(server, "/explain",
+                                      body=_explain_body(), token=token)
+        assert status == expected
+        assert headers.get("WWW-Authenticate") == "Bearer"
+
+    def test_bad_json_is_400(self, served):
+        server, _ = served
+        status, _, body = _request(server, "/explain", body=b"{nope")
+        assert status == 400
+        assert "JSON" in json.loads(body)["error"]
+
+    def test_unknown_dataset_is_404(self, served):
+        server, _ = served
+        status, _, _ = _request(
+            server, "/explain",
+            body=_explain_body(query="SELECT * FROM missing WHERE x > 1"))
+        assert status == 404
+
+    def test_oversized_declared_body_is_413(self, served):
+        server, _ = served
+        status, _, _ = _request(server, "/explain", body=b"x" * (300 * 1024))
+        assert status == 413
+
+    def test_keep_alive_serves_many_requests_on_one_connection(self, served):
+        server, _ = served
+        connection = http.client.HTTPConnection("127.0.0.1", server.port,
+                                                timeout=60)
+        try:
+            bodies = []
+            for _ in range(3):
+                connection.request(
+                    "POST", "/explain", body=_explain_body(),
+                    headers={"Authorization": "Bearer tok-alice"})
+                response = connection.getresponse()
+                assert response.status == 200
+                assert response.getheader("Connection") == "keep-alive"
+                bodies.append(response.read())
+            assert bodies[0] == bodies[1] == bodies[2]
+        finally:
+            connection.close()
+
+
+class TestStreaming:
+    def test_stream_is_chunked_ndjson_with_one_final_report(self, served):
+        server, _ = served
+        response, events = _stream(server, _explain_body())
+        assert response.status == 200
+        assert response.getheader("Transfer-Encoding") == "chunked"
+        assert response.getheader("Content-Type") == "application/x-ndjson"
+        kinds = [event["event"] for event in events]
+        assert kinds[-1] == "report"
+        assert kinds.count("report") == 1
+        assert set(kinds[:-1]) <= {"progress"}
+
+    def test_cold_stream_emits_progress_per_pair_in_order(self, served):
+        server, _ = served
+        # A query this tenant pool has not answered: progress events flow
+        # while later (partition, attribute) pairs still compute.
+        body = _explain_body(query="SELECT * FROM spotify WHERE energy < 0.4")
+        _, events = _stream(server, body)
+        progress = [event for event in events if event["event"] == "progress"]
+        assert progress, "cold request must stream partial results"
+        pairs = [event["pair"] for event in progress]
+        assert pairs == sorted(pairs)
+        assert progress[-1]["pairs"] >= progress[-1]["pair"]
+        assert all(event["phase"] == "contribution" for event in progress)
+
+    def test_streamed_report_is_bit_identical_to_plain_endpoint(self, served):
+        server, _ = served
+        body = _explain_body(query="SELECT * FROM spotify WHERE loudness < -9")
+        _, events = _stream(server, body)
+        final = events[-1]
+        assert final["event"] == "report"
+        _, _, plain = _request(server, "/explain", body=body)
+        assert dump_json(final["report"]) == plain
+
+    def test_stream_auth_failure_is_a_plain_401(self, served):
+        server, _ = served
+        response, events = _stream(server, _explain_body(), token=None)
+        assert response.status == 401
+
+    def test_mid_stream_failure_reports_an_error_event(self, served):
+        server, _ = served
+        body = _explain_body(
+            config={"target_columns": ["no_such_column"]})
+        response, events = _stream(server, body)
+        assert response.status == 200  # head already sent; error is in-band
+        assert events[-1]["event"] == "error"
+        assert events[-1]["status"] == 400
+
+
+class TestWithoutAuth:
+    def test_unauthenticated_server_uses_default_tenant(self, spotify_small):
+        service = ExplanationService(config=FedexConfig(seed=0))
+        server = ExplanationServer(service, frames={"spotify": spotify_small},
+                                   default_tenant="everyone").start()
+        try:
+            status, _, _ = _request(server, "/explain", body=_explain_body(),
+                                    token=None)
+            assert status == 200
+            assert service.metrics.snapshot("everyone")["requests"] == 1
+        finally:
+            server.close()
+            service.close()
+
+    def test_dataset_store_resolution(self, tmp_path, spotify_small):
+        from repro import DatasetStore
+
+        store = DatasetStore(tmp_path / "store")
+        store.put("songs", spotify_small)
+        service = ExplanationService(config=FedexConfig(seed=0),
+                                     dataset_store=store)
+        server = ExplanationServer(service).start()
+        try:
+            status, _, body = _request(
+                server, "/explain", token=None,
+                body=_explain_body(query="SELECT * FROM songs WHERE popularity > 65"))
+            assert status == 200
+            assert json.loads(body)["explanations"]
+        finally:
+            server.close()
+            service.close()
+
+    def test_overload_is_429(self, spotify_small):
+        import threading
+
+        service = ExplanationService(
+            service_config=ServiceConfig(workers=1, max_inflight_per_tenant=1,
+                                         admission="reject"))
+        server = ExplanationServer(service,
+                                   frames={"spotify": spotify_small}).start()
+        release = threading.Event()
+        started = threading.Event()
+        session = service.session("anonymous")
+
+        def slow_explain(step, measure=None, config=None, progress=None):
+            started.set()
+            release.wait(timeout=20)
+            raise RuntimeError("never a real report")
+
+        session.explain = slow_explain
+        try:
+            def first():
+                _request(server, "/explain", body=_explain_body(), token=None)
+
+            thread = threading.Thread(target=first)
+            thread.start()
+            assert started.wait(timeout=20)
+            status, _, body = _request(server, "/explain",
+                                       body=_explain_body(), token=None)
+            assert status == 429
+            assert "in-flight bound" in json.loads(body)["error"]
+        finally:
+            release.set()
+            thread.join(timeout=20)
+            server.close()
+            service.close()

@@ -1,0 +1,84 @@
+"""The replica fleet: N processes, one dataset store, one shared tier."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import DatasetStore
+from repro.errors import ServingError
+from repro.serving import ReplicaFleet
+
+BODY = json.dumps(
+    {"query": "SELECT * FROM spotify WHERE popularity > 65"}).encode()
+
+
+def _ask(url, token="tok", path="/explain", body=BODY):
+    request = urllib.request.Request(url + path, data=body)
+    if token:
+        request.add_header("Authorization", f"Bearer {token}")
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.read()
+
+
+@pytest.fixture
+def store_root(tmp_path, spotify_small):
+    store = DatasetStore(tmp_path / "data")
+    store.put("spotify", spotify_small)
+    store.close()
+    return tmp_path / "data"
+
+
+class TestFleet:
+    def test_replicas_agree_and_share_the_tier(self, tmp_path, store_root):
+        fleet = ReplicaFleet(store_root, tmp_path / "tier", replicas=2,
+                             tokens={"tok": "alice"},
+                             fedex_config={"seed": 0})
+        with fleet:
+            assert len(fleet.urls) == 2
+            assert len(set(fleet.ports)) == 2
+
+            first = _ask(fleet.urls[0])
+            assert json.loads(first)["explanations"]
+            # The first replica's phase artefacts reached the shared
+            # segment, keyed under the current manifest epoch.
+            tier_entries = list((tmp_path / "tier").rglob("*.pkl"))
+            assert tier_entries
+
+            second = _ask(fleet.urls[1])
+            # Byte-identical answers across processes: same data (one
+            # store), same deterministic pipeline, same serialiser.
+            assert first == second
+
+        assert fleet.ports == []  # stop() tore everything down
+
+    def test_health_and_metrics_served_per_replica(self, tmp_path, store_root):
+        with ReplicaFleet(store_root, tmp_path / "tier", replicas=2,
+                          tokens={"tok": "alice"}) as fleet:
+            for url in fleet.urls:
+                with urllib.request.urlopen(url + "/healthz",
+                                            timeout=30) as response:
+                    assert json.loads(response.read())["status"] == "ok"
+                with urllib.request.urlopen(url + "/metrics",
+                                            timeout=30) as response:
+                    assert b"repro_service_requests_total" in response.read()
+
+    def test_broken_store_root_fails_startup_cleanly(self, tmp_path):
+        bad_root = tmp_path / "not-a-store"
+        bad_root.write_text("a file, not a directory")
+        fleet = ReplicaFleet(bad_root, tmp_path / "tier", replicas=1)
+        with pytest.raises(ServingError):
+            fleet.start()
+        assert fleet.ports == []
+
+    def test_at_least_one_replica_required(self, tmp_path):
+        with pytest.raises(ValueError):
+            ReplicaFleet(tmp_path / "d", tmp_path / "t", replicas=0)
+
+    def test_stop_is_idempotent(self, tmp_path, store_root):
+        fleet = ReplicaFleet(store_root, tmp_path / "tier", replicas=1,
+                             tokens={"tok": "alice"}).start()
+        fleet.stop()
+        fleet.stop()
